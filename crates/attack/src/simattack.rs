@@ -1,0 +1,239 @@
+//! The SimAttack user re-identification attack.
+//!
+//! Paper §VII-E, following Petit et al. (2016): the adversary holds, for
+//! every user, a profile built from that user's past queries (the training
+//! set). Given an intercepted query, SimAttack computes the smoothed
+//! profile similarity against every user profile; if the best score exceeds
+//! a confidence threshold (0.5) and a single profile attains it, the query
+//! is attributed to that user.
+
+use cyclosa_mechanism::UserId;
+use cyclosa_nlp::profile::UserProfile;
+use cyclosa_workload::generator::UserTrace;
+use std::collections::HashMap;
+
+/// The confidence threshold used by the paper.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// The SimAttack adversary.
+#[derive(Debug, Default)]
+pub struct SimAttack {
+    profiles: HashMap<UserId, UserProfile>,
+    threshold: f64,
+}
+
+impl SimAttack {
+    /// Creates an adversary with an empty knowledge base and the default
+    /// confidence threshold.
+    pub fn new() -> Self {
+        Self { profiles: HashMap::new(), threshold: DEFAULT_THRESHOLD }
+    }
+
+    /// Creates an adversary with a custom confidence threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not within `[0, 1]`.
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        Self { profiles: HashMap::new(), threshold }
+    }
+
+    /// Builds the adversary's prior knowledge from the training traces
+    /// (2/3 of each user's history in the paper's setup).
+    pub fn from_training(traces: &[UserTrace]) -> Self {
+        let mut attack = Self::new();
+        for trace in traces {
+            attack.learn_user(trace);
+        }
+        attack
+    }
+
+    /// Adds (or extends) the profile of one user from a training trace.
+    pub fn learn_user(&mut self, trace: &UserTrace) {
+        let profile = self.profiles.entry(trace.user).or_default();
+        for q in &trace.queries {
+            profile.record_query(&q.query.text);
+        }
+    }
+
+    /// Number of user profiles known to the adversary.
+    pub fn known_users(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The confidence threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The profile similarity of `query` with a specific user, if known.
+    pub fn similarity_to(&self, user: UserId, query: &str) -> Option<f64> {
+        self.profiles.get(&user).map(|p| p.similarity(query))
+    }
+
+    /// Attempts to re-identify the user behind an anonymous query.
+    ///
+    /// Returns `Some(user)` when exactly one profile scores above the
+    /// threshold with the maximum similarity, `None` otherwise (no
+    /// confident, unique attribution — the attack abstains).
+    pub fn reidentify(&self, query: &str) -> Option<UserId> {
+        let mut best: Option<(UserId, f64)> = None;
+        let mut tie = false;
+        for (&user, profile) in &self.profiles {
+            let score = profile.similarity(query);
+            match best {
+                None => best = Some((user, score)),
+                Some((_, best_score)) => {
+                    if score > best_score {
+                        best = Some((user, score));
+                        tie = false;
+                    } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                        tie = true;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((user, score)) if score > self.threshold && !tie => Some(user),
+            _ => None,
+        }
+    }
+
+    /// Attacks an OR-aggregated request (PEAS / X-SEARCH style): the
+    /// adversary scores every disjunct against every profile and attributes
+    /// the group to the user whose profile best matches *some* disjunct,
+    /// provided the best score clears the threshold and is unique.
+    ///
+    /// Returns `(user, index of the disjunct believed to be that user's
+    /// real query)`.
+    pub fn reidentify_group(&self, disjuncts: &[&str]) -> Option<(UserId, usize)> {
+        let mut best: Option<(UserId, usize, f64)> = None;
+        let mut tie = false;
+        for (&user, profile) in &self.profiles {
+            for (i, disjunct) in disjuncts.iter().enumerate() {
+                let score = profile.similarity(disjunct);
+                match best {
+                    None => best = Some((user, i, score)),
+                    Some((_, _, best_score)) => {
+                        if score > best_score {
+                            best = Some((user, i, score));
+                            tie = false;
+                        } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                            tie = true;
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((user, i, score)) if score > self.threshold && !tie => Some((user, i)),
+            _ => None,
+        }
+    }
+
+    /// Given a set of candidate query texts all attributed to the *same
+    /// known* user (e.g. the disjuncts of an OR-obfuscated query, or a batch
+    /// of real + fake queries sent under the user's own identity), returns
+    /// the index of the candidate the adversary believes is the user's real
+    /// query: the one most similar to the user's profile. Returns `None`
+    /// when the user is unknown, the candidate list is empty, or no
+    /// candidate shows any similarity to the profile.
+    pub fn pick_real_query(&self, user: UserId, candidates: &[&str]) -> Option<usize> {
+        let profile = self.profiles.get(&user)?;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, candidate) in candidates.iter().enumerate() {
+            let score = profile.similarity(candidate);
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((i, score));
+            }
+        }
+        match best {
+            Some((i, score)) if score > 0.0 => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_mechanism::{Query, QueryId};
+    use cyclosa_workload::generator::LabeledQuery;
+
+    fn trace(user: u32, queries: &[&str]) -> UserTrace {
+        UserTrace {
+            user: UserId(user),
+            queries: queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| LabeledQuery {
+                    query: Query::new(QueryId(user as u64 * 1000 + i as u64), UserId(user), *q),
+                    topic: "test".to_owned(),
+                    sensitive: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn adversary() -> SimAttack {
+        SimAttack::from_training(&[
+            trace(0, &["diabetes insulin dosage", "glucose monitor reviews", "insulin pump price"]),
+            trace(1, &["cheap flights geneva", "hotel booking barcelona", "train zurich milan"]),
+            trace(2, &["football league fixtures", "basketball playoffs score", "marathon training plan"]),
+        ])
+    }
+
+    #[test]
+    fn repeated_query_is_reidentified() {
+        let attack = adversary();
+        assert_eq!(attack.known_users(), 3);
+        assert_eq!(attack.reidentify("diabetes insulin dosage"), Some(UserId(0)));
+        assert_eq!(attack.reidentify("hotel booking barcelona"), Some(UserId(1)));
+    }
+
+    #[test]
+    fn unrelated_query_is_not_attributed() {
+        let attack = adversary();
+        assert_eq!(attack.reidentify("quantum entanglement tutorial"), None);
+        assert_eq!(attack.reidentify(""), None);
+    }
+
+    #[test]
+    fn weakly_similar_query_stays_below_threshold() {
+        let attack = adversary();
+        // Shares a single term with user 1's profile: not confident enough.
+        assert_eq!(attack.reidentify("hotel california lyrics"), None);
+        assert!(attack.similarity_to(UserId(1), "hotel california lyrics").unwrap() < 0.5);
+    }
+
+    #[test]
+    fn pick_real_query_prefers_profile_consistent_candidate() {
+        let attack = adversary();
+        let candidates = ["paella recipe easy", "insulin pump price", "concert tickets"];
+        assert_eq!(attack.pick_real_query(UserId(0), &candidates.iter().copied().collect::<Vec<_>>()), Some(1));
+        // Unknown user: abstain.
+        assert_eq!(attack.pick_real_query(UserId(99), &["a", "b"]), None);
+        // No candidate matches the profile at all: abstain.
+        assert_eq!(attack.pick_real_query(UserId(0), &["paella recipe", "concert tickets"]), None);
+        assert_eq!(attack.pick_real_query(UserId(0), &[]), None);
+    }
+
+    #[test]
+    fn threshold_controls_aggressiveness() {
+        let lenient = {
+            let mut a = SimAttack::with_threshold(0.05);
+            a.learn_user(&trace(0, &["diabetes insulin dosage"]));
+            a
+        };
+        // With a low threshold even a single shared term suffices.
+        assert_eq!(lenient.reidentify("insulin syringes"), Some(UserId(0)));
+        assert!((lenient.threshold() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_rejected() {
+        let _ = SimAttack::with_threshold(1.5);
+    }
+}

@@ -1,0 +1,68 @@
+//! Unprotected ("direct") Web search: the no-privacy baseline.
+
+use cyclosa_mechanism::{
+    Mechanism, MechanismProperties, ObservedRequest, ProtectionOutcome, Query, ResultsDelivery,
+    SourceIdentity,
+};
+use cyclosa_util::rng::Xoshiro256StarStar;
+
+/// Direct search: the query goes straight to the engine under the user's
+/// own identity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectSearch;
+
+impl DirectSearch {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Mechanism for DirectSearch {
+    fn name(&self) -> &'static str {
+        "DIRECT"
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        MechanismProperties {
+            unlinkability: false,
+            indistinguishability: false,
+            accuracy: true,
+            scalability: true,
+        }
+    }
+
+    fn protect(&mut self, query: &Query, _rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
+        ProtectionOutcome {
+            observed: vec![ObservedRequest {
+                source: SourceIdentity::Exposed(query.user),
+                text: query.text.clone(),
+                carries_real_query: true,
+            }],
+            delivery: ResultsDelivery::ExactQuery,
+            relay_messages: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_mechanism::{QueryId, UserId};
+
+    #[test]
+    fn direct_search_exposes_everything() {
+        let mut direct = DirectSearch::new();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let q = Query::new(QueryId(1), UserId(9), "late night pharmacy geneva");
+        let outcome = direct.protect(&q, &mut rng);
+        assert_eq!(outcome.engine_requests(), 1);
+        assert_eq!(outcome.exposed_requests(), 1);
+        assert_eq!(outcome.observed[0].text, q.text);
+        assert!(outcome.observed[0].carries_real_query);
+        assert_eq!(outcome.delivery, ResultsDelivery::ExactQuery);
+        let props = direct.properties();
+        assert!(!props.unlinkability && !props.indistinguishability);
+        assert!(props.accuracy && props.scalability);
+    }
+}

@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the cryptographic substrate (record protection and
+//! handshakes dominate the per-request work of a CYCLOSA relay).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cyclosa_crypto::aead::ChaCha20Poly1305;
+use cyclosa_crypto::sha256::Sha256;
+use cyclosa_crypto::x25519::StaticSecret;
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let payload = vec![0xABu8; 512];
+
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("sha256_512B", |b| {
+        b.iter(|| Sha256::digest(black_box(&payload)));
+    });
+
+    let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+    group.bench_function("aead_seal_512B", |b| {
+        b.iter(|| aead.seal(&[0u8; 12], black_box(&payload), b"fwd"));
+    });
+    let sealed = aead.seal(&[0u8; 12], &payload, b"fwd");
+    group.bench_function("aead_open_512B", |b| {
+        b.iter(|| aead.open(&[0u8; 12], black_box(&sealed), b"fwd").unwrap());
+    });
+
+    group.bench_function("x25519_diffie_hellman", |b| {
+        let alice = StaticSecret::from_bytes([1u8; 32]);
+        let bob_public = StaticSecret::from_bytes([2u8; 32]).public_key();
+        b.iter(|| alice.diffie_hellman(black_box(&bob_public)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

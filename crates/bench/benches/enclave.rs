@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the SGX simulation layer: ecall dispatch, sealing and
+//! quote generation/verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclosa_sgx::attestation::{generate_quote, AttestationService};
+use cyclosa_sgx::enclave::Platform;
+use cyclosa_sgx::measurement::Measurement;
+use cyclosa_sgx::sealing;
+use std::hint::black_box;
+
+fn bench_enclave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclave");
+    let platform = Platform::new(42);
+
+    group.bench_function("ecall_dispatch", |b| {
+        let mut enclave = platform.create_enclave(b"bench", 0u64);
+        enclave.initialize().unwrap();
+        b.iter(|| enclave.ecall(128, |state| *state += 1).unwrap());
+    });
+
+    let enclave = platform.create_enclave(b"bench", ());
+    let table = vec![0x55u8; 4096];
+    group.bench_function("seal_4KiB", |b| {
+        b.iter(|| sealing::seal(&enclave, b"past-queries", black_box(&table)));
+    });
+    let blob = sealing::seal(&enclave, b"past-queries", &table);
+    group.bench_function("unseal_4KiB", |b| {
+        b.iter(|| sealing::unseal(&enclave, black_box(&blob)).unwrap());
+    });
+
+    let mut service = AttestationService::new();
+    service.provision_platform(&platform);
+    service.allow_measurement(Measurement::from_code_identity(b"bench"));
+    group.bench_function("quote_generate_and_verify", |b| {
+        b.iter(|| {
+            let quote = generate_quote(&enclave, b"handshake key");
+            service.verify_for_cyclosa(black_box(&quote)).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enclave);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Benchmarks of the gossip-based peer sampling protocol (cost of one full
+//! synchronous round over a mid-sized overlay).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cyclosa_peer_sampling::{GossipSimulator, PeerSamplingConfig};
+
+fn bench_peer_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peer_sampling");
+    group.bench_function("gossip_round_200_nodes", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = GossipSimulator::ring(200, PeerSamplingConfig::default(), 3);
+                sim.run_rounds(5);
+                sim
+            },
+            |mut sim| sim.run_round(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_peer_sampling);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The Fig. 8c micro-benchmark: the per-request work of a CYCLOSA relay
+//! (enclave transition + record decrypt/encrypt + table update), which
+//! bounds the sustainable requests/second of one node.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cyclosa::config::ProtectionConfig;
+use cyclosa::node::CyclosaNode;
+use cyclosa_crypto::aead::ChaCha20Poly1305;
+use std::hint::black_box;
+
+fn bench_relay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_throughput");
+    group.throughput(Throughput::Elements(1));
+
+    let mut node = CyclosaNode::builder(1)
+        .protection(ProtectionConfig::with_k_max(3))
+        .build();
+    node.bootstrap_with_seed_queries(["seed query one", "seed query two"]);
+    group.bench_function("relay_one_query", |b| {
+        b.iter(|| node.relay_query(black_box("forwarded query text")));
+    });
+
+    // The full relay pipeline: open the incoming record, process, seal the
+    // outgoing record.
+    let aead = ChaCha20Poly1305::new(&[3u8; 32]);
+    let incoming = aead.seal(&[0u8; 12], b"forwarded query text", b"fwd");
+    group.bench_function("relay_record_pipeline", |b| {
+        b.iter(|| {
+            let plaintext = aead.open(&[0u8; 12], black_box(&incoming), b"fwd").unwrap();
+            let forwarded = node.relay_query(std::str::from_utf8(&plaintext).unwrap());
+            aead.seal(&[1u8; 12], forwarded.as_bytes(), b"rsp")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relay);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmarks of the simulated search engine (plain and OR-aggregated
+//! queries against the synthetic corpus index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+use std::hint::black_box;
+
+fn bench_search_engine(c: &mut Criterion) {
+    let setup = ExperimentSetup::new(ExperimentScale::Small, 13);
+    let engine = &setup.engine;
+
+    let mut group = c.benchmark_group("search_engine");
+    group.bench_function("plain_query", |b| {
+        b.iter(|| engine.reference_results(black_box("diabetes insulin glucose")));
+    });
+    group.bench_function("or_query_k3", |b| {
+        b.iter(|| {
+            engine.reference_results(black_box(
+                "diabetes insulin glucose OR cheap flights geneva OR football playoffs OR sourdough recipe",
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_engine);
+criterion_main!(benches);

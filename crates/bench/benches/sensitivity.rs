@@ -1,0 +1,38 @@
+//! Benchmarks of the sensitivity analysis (Table II machinery + the
+//! adaptive-k decision on the client's critical path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclosa::config::ProtectionConfig;
+use cyclosa::sensitivity::{build_categorizer, SensitivityAnalyzer};
+use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+use cyclosa_nlp::categorizer::CategorizerMethod;
+use std::hint::black_box;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let setup = ExperimentSetup::new(ExperimentScale::Small, 7);
+    let config = ProtectionConfig::default();
+    let mut rng = setup.rng(1);
+    let categorizer = build_categorizer(
+        &setup.lexicon,
+        &["health", "politics", "religion", "sexuality"],
+        &setup.sensitive_corpus,
+        &config,
+        &mut rng,
+    );
+    let mut analyzer = SensitivityAnalyzer::new(categorizer, CategorizerMethod::Combined, &config);
+    analyzer.record_own_queries(
+        setup.train[0].queries.iter().map(|q| q.query.text.as_str()),
+    );
+
+    let mut group = c.benchmark_group("sensitivity");
+    group.bench_function("assess_sensitive_query", |b| {
+        b.iter(|| analyzer.assess(black_box("hiv test anonymous clinic")));
+    });
+    group.bench_function("assess_non_sensitive_query", |b| {
+        b.iter(|| analyzer.assess(black_box("cheap flights geneva paris")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Benchmarks of the SimAttack adversary (cost of one re-identification
+//! attempt against the full profile set).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclosa_attack::simattack::SimAttack;
+use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+use std::hint::black_box;
+
+fn bench_simattack(c: &mut Criterion) {
+    let setup = ExperimentSetup::new(ExperimentScale::Small, 11);
+    let attack = SimAttack::from_training(&setup.train);
+    let repeated = setup.train[0].queries[0].query.text.clone();
+
+    let mut group = c.benchmark_group("simattack");
+    group.bench_function("reidentify_known_query", |b| {
+        b.iter(|| attack.reidentify(black_box(&repeated)));
+    });
+    group.bench_function("reidentify_unknown_query", |b| {
+        b.iter(|| attack.reidentify(black_box("completely unrelated fresh query")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simattack);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Experiment harness: reusable setup and the functions that regenerate
+//! every table and figure of the paper's evaluation (§VIII).
+//!
+//! The [`setup`] module builds the shared experimental fixtures (synthetic
+//! AOL-like workload, search-engine corpus and index, lexicon, LDA corpus,
+//! baseline mechanisms and CYCLOSA itself). The [`experiments`] module
+//! contains one function per table/figure; the `repro` binary and the
+//! Criterion benches are thin wrappers around them.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::*;
+pub use setup::{ExperimentScale, ExperimentSetup};

@@ -1,0 +1,633 @@
+//! A CYCLOSA node: browser-extension front end, SGX enclave, peer discovery
+//! and the relay role.
+//!
+//! Every participant runs the same software (paper §IV): it is a *client*
+//! when the local user searches, and a *relay* (proxy) when it forwards
+//! other users' queries. The split between trusted and untrusted code
+//! follows the paper:
+//!
+//! * **outside the enclave** — the sensitivity analysis over the local
+//!   user's own data (the client machine is trusted);
+//! * **inside the enclave** — the table of other users' past queries, the
+//!   choice of fake queries, the forwarding logic and all key material used
+//!   for the attestation-gated channels.
+
+use crate::config::ProtectionConfig;
+use crate::past_queries::PastQueryTable;
+use crate::sensitivity::{SensitivityAnalyzer, SensitivityAssessment};
+use cyclosa_crypto::channel::{
+    channel_pair, ChannelError, HandshakeInitiator, HandshakeResponder, SecureChannel,
+};
+use cyclosa_crypto::x25519::StaticSecret;
+use cyclosa_nlp::categorizer::{CategorizerMethod, QueryCategorizer};
+use cyclosa_peer_sampling::{PeerId, PeerSamplingConfig, PeerSamplingNode};
+use cyclosa_sgx::attestation::{generate_quote, AttestationError, AttestationService, Quote};
+use cyclosa_sgx::enclave::{Enclave, Platform};
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+
+/// Errors surfaced by the node API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The peer view is empty, so no relay can be selected.
+    NoPeersAvailable,
+    /// The query contained no content terms.
+    EmptyQuery,
+    /// The peer's attestation evidence was rejected.
+    Attestation(AttestationError),
+    /// The secure-channel handshake failed.
+    Channel(ChannelError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::NoPeersAvailable => write!(f, "no peers available to relay the query"),
+            NodeError::EmptyQuery => write!(f, "query has no content terms"),
+            NodeError::Attestation(e) => write!(f, "attestation failed: {e}"),
+            NodeError::Channel(e) => write!(f, "secure channel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<AttestationError> for NodeError {
+    fn from(e: AttestationError) -> Self {
+        NodeError::Attestation(e)
+    }
+}
+
+impl From<ChannelError> for NodeError {
+    fn from(e: ChannelError) -> Self {
+        NodeError::Channel(e)
+    }
+}
+
+/// The state protected by the node's enclave.
+#[derive(Debug)]
+struct TrustedState {
+    past_queries: PastQueryTable,
+    channel_identity: StaticSecret,
+}
+
+/// One relay assignment of a planned query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The peer that will forward this query to the engine.
+    pub relay: PeerId,
+    /// The query text to forward.
+    pub query: String,
+    /// Whether this is the user's real query (`false` for fakes).
+    pub is_real: bool,
+}
+
+/// The plan produced for one user query: the sensitivity assessment plus
+/// the per-relay assignments of the real and fake queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// The sensitivity assessment that determined `k`.
+    pub assessment: SensitivityAssessment,
+    assignments: Vec<Assignment>,
+}
+
+impl QueryPlan {
+    /// All relay assignments (the real query plus `k` fakes, each to a
+    /// different relay when enough peers are known).
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// The assignment carrying the real query.
+    pub fn real_assignment(&self) -> &Assignment {
+        self.assignments
+            .iter()
+            .find(|a| a.is_real)
+            .expect("plans always contain the real query")
+    }
+
+    /// Iterator over the fake-query texts of the plan.
+    pub fn fake_queries(&self) -> impl Iterator<Item = &str> {
+        self.assignments.iter().filter(|a| !a.is_real).map(|a| a.query.as_str())
+    }
+}
+
+/// Statistics of a node's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Queries planned on behalf of the local user.
+    pub queries_planned: u64,
+    /// Fake queries generated.
+    pub fakes_generated: u64,
+    /// Queries relayed on behalf of other users.
+    pub queries_relayed: u64,
+}
+
+/// Builder for [`CyclosaNode`].
+#[derive(Debug)]
+pub struct NodeBuilder {
+    node_id: u64,
+    platform_seed: u64,
+    protection: ProtectionConfig,
+    categorizer: QueryCategorizer,
+    method: CategorizerMethod,
+    sensitive_topics: Vec<String>,
+    peer_sampling: PeerSamplingConfig,
+}
+
+impl NodeBuilder {
+    fn new(node_id: u64) -> Self {
+        Self {
+            node_id,
+            platform_seed: node_id ^ 0x5EED_5EED,
+            protection: ProtectionConfig::default(),
+            categorizer: QueryCategorizer::new(),
+            method: CategorizerMethod::Combined,
+            sensitive_topics: Vec::new(),
+            peer_sampling: PeerSamplingConfig::default(),
+        }
+    }
+
+    /// Declares a topic the user considers sensitive (informational; the
+    /// actual dictionaries are supplied through [`NodeBuilder::categorizer`]).
+    pub fn sensitive_topic(mut self, topic: &str) -> Self {
+        self.sensitive_topics.push(topic.to_lowercase());
+        self
+    }
+
+    /// Sets the protection configuration.
+    pub fn protection(mut self, protection: ProtectionConfig) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// Supplies the semantic categorizer (dictionaries for the user's
+    /// sensitive topics).
+    pub fn categorizer(mut self, categorizer: QueryCategorizer) -> Self {
+        self.categorizer = categorizer;
+        self
+    }
+
+    /// Selects the categorizer method (Table II compares the three).
+    pub fn method(mut self, method: CategorizerMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Overrides the SGX platform seed (each physical machine has one).
+    pub fn platform_seed(mut self, seed: u64) -> Self {
+        self.platform_seed = seed;
+        self
+    }
+
+    /// Overrides the peer-sampling configuration.
+    pub fn peer_sampling(mut self, config: PeerSamplingConfig) -> Self {
+        self.peer_sampling = config;
+        self
+    }
+
+    /// Builds the node (creates and initializes its enclave).
+    pub fn build(self) -> CyclosaNode {
+        let platform = Platform::new(self.platform_seed);
+        let identity_seed =
+            cyclosa_crypto::hkdf::derive_key(b"cyclosa-node-identity", &self.node_id.to_le_bytes(), b"x25519");
+        let state = TrustedState {
+            past_queries: PastQueryTable::new(self.protection.past_query_capacity),
+            channel_identity: StaticSecret::from_bytes(identity_seed),
+        };
+        let mut enclave = platform.create_enclave(b"cyclosa-enclave/0.1.0/reference-build", state);
+        enclave.initialize().expect("fresh enclave initializes");
+        let analyzer = SensitivityAnalyzer::new(self.categorizer, self.method, &self.protection);
+        CyclosaNode {
+            id: PeerId(self.node_id),
+            platform,
+            enclave,
+            peer_sampling: PeerSamplingNode::new(PeerId(self.node_id), self.peer_sampling),
+            analyzer,
+            protection: self.protection,
+            sensitive_topics: self.sensitive_topics,
+            stats: NodeStats::default(),
+        }
+    }
+}
+
+/// A CYCLOSA participant (client + relay).
+#[derive(Debug)]
+pub struct CyclosaNode {
+    id: PeerId,
+    platform: Platform,
+    enclave: Enclave<TrustedState>,
+    peer_sampling: PeerSamplingNode,
+    analyzer: SensitivityAnalyzer,
+    protection: ProtectionConfig,
+    sensitive_topics: Vec<String>,
+    stats: NodeStats,
+}
+
+impl CyclosaNode {
+    /// Starts building a node with the given identifier.
+    pub fn builder(node_id: u64) -> NodeBuilder {
+        NodeBuilder::new(node_id)
+    }
+
+    /// The node's overlay identifier.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The protection configuration.
+    pub fn protection(&self) -> &ProtectionConfig {
+        &self.protection
+    }
+
+    /// The topics the user declared sensitive.
+    pub fn sensitive_topics(&self) -> &[String] {
+        &self.sensitive_topics
+    }
+
+    /// Node activity counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The SGX platform hosting this node (provision it at the attestation
+    /// service during bootstrap).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Simulated nanoseconds spent inside the enclave so far.
+    pub fn enclave_time_ns(&self) -> u64 {
+        self.enclave.stats().simulated_ns
+    }
+
+    /// Number of past queries currently stored inside the enclave.
+    pub fn past_query_count(&mut self) -> usize {
+        self.enclave
+            .ecall(0, |state| state.past_queries.len())
+            .expect("enclave initialized")
+            .0
+    }
+
+    /// Mutable access to the peer-sampling protocol instance (driven by the
+    /// deployment's gossip rounds).
+    pub fn peer_sampling_mut(&mut self) -> &mut PeerSamplingNode {
+        &mut self.peer_sampling
+    }
+
+    /// Read access to the peer-sampling instance.
+    pub fn peer_sampling(&self) -> &PeerSamplingNode {
+        &self.peer_sampling
+    }
+
+    /// Seeds the enclave's fake-query table with trending queries
+    /// (paper §V-D: Google-Trends-style bootstrap).
+    pub fn bootstrap_with_seed_queries<'a>(&mut self, queries: impl IntoIterator<Item = &'a str>) {
+        let queries: Vec<String> = queries.into_iter().map(|q| q.to_owned()).collect();
+        let bytes: usize = queries.iter().map(|q| q.len()).sum();
+        self.enclave
+            .ecall(bytes, move |state| {
+                for q in &queries {
+                    state.past_queries.record(q);
+                }
+                state.past_queries.resident_bytes()
+            })
+            .map(|(resident, _)| self.enclave.set_resident_bytes(resident))
+            .expect("enclave initialized");
+    }
+
+    /// Seeds the peer view from a public directory (paper §V-D).
+    pub fn bootstrap_peers(&mut self, peers: impl IntoIterator<Item = PeerId>) {
+        self.peer_sampling.bootstrap(peers);
+    }
+
+    /// Records the local user's own search history (used only by the
+    /// linkability assessment, outside the enclave).
+    pub fn record_own_history<'a>(&mut self, queries: impl IntoIterator<Item = &'a str>) {
+        self.analyzer.record_own_queries(queries);
+    }
+
+    /// Assesses a query without planning it (exposed for Fig. 7).
+    pub fn assess(&self, query: &str) -> SensitivityAssessment {
+        self.analyzer.assess(query)
+    }
+
+    /// Plans the protection of one user query: assesses its sensitivity,
+    /// draws `k` fake queries inside the enclave and assigns the real and
+    /// fake queries to `k + 1` distinct relays from the current random view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::EmptyQuery`] for queries without content terms
+    /// and [`NodeError::NoPeersAvailable`] when the peer view is empty.
+    pub fn plan_query(&mut self, query: &str, rng: &mut Xoshiro256StarStar) -> Result<QueryPlan, NodeError> {
+        if cyclosa_nlp::text::tokenize(query).is_empty() {
+            return Err(NodeError::EmptyQuery);
+        }
+        let assessment = self.analyzer.assess(query);
+        let relays = self.peer_sampling.random_peers(rng, assessment.k + 1);
+        if relays.is_empty() {
+            return Err(NodeError::NoPeersAvailable);
+        }
+        // Draw the fake queries inside the enclave (they are other users'
+        // past queries and must not leak outside in plaintext on relays; on
+        // the local node they are only used to build outgoing requests).
+        let fake_count = assessment.k.min(relays.len().saturating_sub(1));
+        let query_owned = query.to_owned();
+        let (fakes, _) = self
+            .enclave
+            .ecall(query.len() + 64 * fake_count, {
+                let mut draw_rng = rng.fork(0xFA4E);
+                move |state| state.past_queries.draw_fakes(fake_count, &mut draw_rng)
+            })
+            .expect("enclave initialized");
+
+        // Assign the real query and the fakes to distinct relays; the relay
+        // carrying the real query is chosen uniformly among them.
+        let mut assignments = Vec::with_capacity(fakes.len() + 1);
+        let real_position = rng.gen_index(fakes.len() + 1);
+        let mut fake_iter = fakes.into_iter();
+        for (i, relay) in relays.iter().copied().enumerate().take(fake_iter.len() + 1) {
+            if i == real_position {
+                assignments.push(Assignment { relay, query: query_owned.clone(), is_real: true });
+            } else if let Some(fake) = fake_iter.next() {
+                assignments.push(Assignment { relay, query: fake, is_real: false });
+            }
+        }
+        // If the real position exceeded the number of assignments (possible
+        // when fewer fakes were available than planned), append it.
+        if !assignments.iter().any(|a| a.is_real) {
+            let relay = relays[rng.gen_index(relays.len())];
+            assignments.push(Assignment { relay, query: query_owned.clone(), is_real: true });
+        }
+
+        // The user's own query enters the local linkability history.
+        self.analyzer.record_own_query(query);
+        self.stats.queries_planned += 1;
+        self.stats.fakes_generated += assignments.iter().filter(|a| !a.is_real).count() as u64;
+        Ok(QueryPlan { assessment, assignments })
+    }
+
+    /// Handles a query received as a relay: stores it in the in-enclave
+    /// past-query table and returns the text to forward to the search
+    /// engine (the node never learns whether it is real or fake).
+    pub fn relay_query(&mut self, query: &str) -> String {
+        let query_owned = query.to_owned();
+        let (resident, _) = self
+            .enclave
+            .ecall(query.len() + 64, move |state| {
+                state.past_queries.record(&query_owned);
+                state.past_queries.resident_bytes()
+            })
+            .expect("enclave initialized");
+        self.enclave.set_resident_bytes(resident);
+        // Leaving the enclave towards the network stack is an ocall.
+        self.enclave.ocall(query.len()).expect("enclave initialized");
+        self.stats.queries_relayed += 1;
+        query.to_owned()
+    }
+
+    /// Produces an attestation quote binding `report_data` (typically the
+    /// node's handshake public key) to this enclave.
+    pub fn quote(&self, report_data: &[u8]) -> Quote {
+        generate_quote(&self.enclave, report_data)
+    }
+
+    /// The node's channel public key (derived inside the enclave).
+    pub fn channel_public_key(&mut self) -> cyclosa_crypto::x25519::PublicKey {
+        self.enclave
+            .ecall(32, |state| state.channel_identity.public_key())
+            .expect("enclave initialized")
+            .0
+    }
+
+}
+
+/// Establishes a mutually attested secure channel between two nodes,
+/// verifying both quotes against the attestation `service` before the
+/// handshake completes (paper §V-D).
+///
+/// # Errors
+///
+/// Fails when either quote is rejected or the cryptographic handshake fails.
+pub fn attested_channel_pair(
+    initiator: &mut CyclosaNode,
+    responder: &mut CyclosaNode,
+    service: &AttestationService,
+) -> Result<(SecureChannel, SecureChannel), NodeError> {
+    // Each side derives an ephemeral handshake key inside its enclave and
+    // binds its public part into a quote.
+    let initiator_secret = ephemeral_secret(initiator);
+    let responder_secret = ephemeral_secret(responder);
+    let initiator_quote = initiator.quote(initiator_secret.public_key().as_bytes());
+    let responder_quote = responder.quote(responder_secret.public_key().as_bytes());
+    // Each side verifies the peer's quote with the attestation service.
+    service.verify_for_cyclosa(&responder_quote)?;
+    service.verify_for_cyclosa(&initiator_quote)?;
+    // The handshake binds the quotes into the transcript, so any later
+    // substitution is detected.
+    let (init_channel, resp_channel) = channel_pair(
+        initiator_secret,
+        initiator_quote.to_bytes(),
+        responder_secret,
+        responder_quote.to_bytes(),
+    )?;
+    Ok((init_channel, resp_channel))
+}
+
+/// Runs the two-message handshake explicitly (initiator side first), which
+/// the deployment simulation uses when the two nodes live on different
+/// simulated machines.
+///
+/// # Errors
+///
+/// Propagates attestation and handshake failures.
+pub fn attested_handshake_messages(
+    initiator: &mut CyclosaNode,
+    responder: &mut CyclosaNode,
+    service: &AttestationService,
+) -> Result<(SecureChannel, SecureChannel), NodeError> {
+    let initiator_secret = ephemeral_secret(initiator);
+    let responder_secret = ephemeral_secret(responder);
+    let initiator_quote = initiator.quote(initiator_secret.public_key().as_bytes());
+    let responder_quote = responder.quote(responder_secret.public_key().as_bytes());
+    service.verify_for_cyclosa(&initiator_quote)?;
+    service.verify_for_cyclosa(&responder_quote)?;
+    let (hs_initiator, init_msg) =
+        HandshakeInitiator::new(initiator_secret, initiator_quote.to_bytes());
+    let (response, responder_channel) =
+        HandshakeResponder::respond(responder_secret, responder_quote.to_bytes(), &init_msg)?;
+    let initiator_channel = hs_initiator.finish(&response)?;
+    Ok((initiator_channel, responder_channel))
+}
+
+/// Derives a per-node ephemeral handshake secret. The derivation runs as an
+/// ecall so the long-term identity never leaves the enclave; the simulation
+/// keeps it deterministic per node so experiments are reproducible.
+fn ephemeral_secret(node: &mut CyclosaNode) -> StaticSecret {
+    let node_id = node.id().0;
+    let measurement = *node.enclave.measurement().as_bytes();
+    node.enclave
+        .ecall(64, move |state| {
+            let binding = cyclosa_crypto::hkdf::derive_key(
+                b"cyclosa-ephemeral",
+                state.channel_identity.public_key().as_bytes(),
+                &[&node_id.to_le_bytes()[..], &measurement[..]].concat(),
+            );
+            StaticSecret::from_bytes(binding)
+        })
+        .expect("enclave initialized")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_sgx::measurement::Measurement;
+
+    fn node(id: u64, k_max: usize) -> CyclosaNode {
+        let mut node = CyclosaNode::builder(id)
+            .protection(ProtectionConfig::with_k_max(k_max))
+            .sensitive_topic("health")
+            .build();
+        node.bootstrap_with_seed_queries([
+            "trending sneakers deal",
+            "football league fixtures",
+            "netflix series trailer",
+            "cheap flights geneva",
+            "laptop discount coupon",
+            "museum opening hours",
+            "sourdough starter recipe",
+            "marathon training plan",
+        ]);
+        node.bootstrap_peers((100..130).map(PeerId));
+        node
+    }
+
+    #[test]
+    fn plan_assigns_distinct_relays_and_contains_real_query() {
+        let mut node = node(1, 5);
+        node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        assert!(plan.assessment.k >= 1);
+        let relays: std::collections::HashSet<_> =
+            plan.assignments().iter().map(|a| a.relay).collect();
+        assert_eq!(relays.len(), plan.assignments().len(), "relays must be distinct");
+        assert_eq!(plan.assignments().iter().filter(|a| a.is_real).count(), 1);
+        assert_eq!(plan.real_assignment().query, "zurich train strike");
+        assert_eq!(plan.fake_queries().count(), plan.assignments().len() - 1);
+        assert_eq!(node.stats().queries_planned, 1);
+    }
+
+    #[test]
+    fn unlinkable_non_sensitive_query_travels_alone() {
+        let mut node = node(2, 7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let plan = node.plan_query("museum opening tomorrow", &mut rng).unwrap();
+        assert_eq!(plan.assessment.k, 0);
+        assert_eq!(plan.assignments().len(), 1);
+        assert!(plan.assignments()[0].is_real);
+    }
+
+    #[test]
+    fn planning_requires_peers_and_content() {
+        let mut lonely = CyclosaNode::builder(3).build();
+        lonely.bootstrap_with_seed_queries(["seed query"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        assert_eq!(
+            lonely.plan_query("anything at all", &mut rng).unwrap_err(),
+            NodeError::NoPeersAvailable
+        );
+        let mut node = node(4, 3);
+        assert_eq!(node.plan_query("the of", &mut rng).unwrap_err(), NodeError::EmptyQuery);
+    }
+
+    #[test]
+    fn relayed_queries_feed_the_fake_table() {
+        let mut node = node(5, 3);
+        let before = node.past_query_count();
+        let forwarded = node.relay_query("hiv test anonymous clinic");
+        assert_eq!(forwarded, "hiv test anonymous clinic");
+        assert_eq!(node.past_query_count(), before + 1);
+        assert_eq!(node.stats().queries_relayed, 1);
+        assert!(node.enclave_time_ns() > 0);
+    }
+
+    #[test]
+    fn fakes_are_drawn_from_the_past_query_table() {
+        let mut node = node(6, 4);
+        node.record_own_history(["cheap flights geneva", "cheap flights geneva paris"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let plan = node.plan_query("cheap flights geneva", &mut rng).unwrap();
+        let seeds = [
+            "trending sneakers deal",
+            "football league fixtures",
+            "netflix series trailer",
+            "cheap flights geneva",
+            "laptop discount coupon",
+            "museum opening hours",
+            "sourdough starter recipe",
+            "marathon training plan",
+        ];
+        for fake in plan.fake_queries() {
+            assert!(seeds.contains(&fake), "fake {fake} not from the table");
+        }
+    }
+
+    #[test]
+    fn attested_channel_requires_provisioned_platform() {
+        let mut alice = node(7, 3);
+        let mut bob = node(8, 3);
+        let mut service = AttestationService::new();
+        service.allow_measurement(Measurement::cyclosa_reference());
+        // Nothing provisioned yet: the handshake is refused.
+        assert!(matches!(
+            attested_channel_pair(&mut alice, &mut bob, &service),
+            Err(NodeError::Attestation(_))
+        ));
+        service.provision_platform(&alice.platform().clone());
+        service.provision_platform(&bob.platform().clone());
+        let (mut a, mut b) = attested_channel_pair(&mut alice, &mut bob, &service).unwrap();
+        let record = a.seal(b"forward: erotic stories", b"fwd");
+        assert_eq!(b.open(&record, b"fwd").unwrap(), b"forward: erotic stories");
+    }
+
+    #[test]
+    fn rogue_enclave_is_rejected() {
+        let mut alice = node(9, 3);
+        // Bob runs a tampered build: same platform provisioning, different
+        // measurement.
+        let mut bob = CyclosaNode::builder(10).build();
+        bob.bootstrap_peers([PeerId(1)]);
+        let mut service = AttestationService::new();
+        service.provision_platform(&alice.platform().clone());
+        service.provision_platform(&bob.platform().clone());
+        // Only allow a measurement that matches neither node...
+        service.allow_measurement(Measurement::rogue("other-build"));
+        assert!(matches!(
+            attested_channel_pair(&mut alice, &mut bob, &service),
+            Err(NodeError::Attestation(AttestationError::UnknownMeasurement))
+        ));
+    }
+
+    #[test]
+    fn explicit_handshake_variant_matches() {
+        let mut alice = node(11, 3);
+        let mut bob = node(12, 3);
+        let mut service = AttestationService::new();
+        service.allow_measurement(Measurement::from_code_identity(
+            b"cyclosa-enclave/0.1.0/reference-build",
+        ));
+        service.provision_platform(&alice.platform().clone());
+        service.provision_platform(&bob.platform().clone());
+        let (mut a, mut b) = attested_handshake_messages(&mut alice, &mut bob, &service).unwrap();
+        let record = b.seal(b"response page", b"rsp");
+        assert_eq!(a.open(&record, b"rsp").unwrap(), b"response page");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NodeError::NoPeersAvailable.to_string().contains("peers"));
+        assert!(NodeError::EmptyQuery.to_string().contains("content"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Qualitative mechanism properties (the rows of Table I).
+
+/// The four qualitative properties the paper compares in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MechanismProperties {
+    /// The search engine cannot link a query to the identity of its sender.
+    pub unlinkability: bool,
+    /// The search engine cannot tell real queries apart from fake ones.
+    pub indistinguishability: bool,
+    /// The user receives the same results as an unprotected search.
+    pub accuracy: bool,
+    /// The design scales to many users without centralized choke points or
+    /// being blocked by engine rate limiting.
+    pub scalability: bool,
+}
+
+impl MechanismProperties {
+    /// Renders the property set as the ✓/✗ row used in Table I.
+    pub fn as_row(&self) -> [bool; 4] {
+        [self.unlinkability, self.indistinguishability, self.accuracy, self.scalability]
+    }
+
+    /// Number of satisfied properties.
+    pub fn satisfied(&self) -> usize {
+        self.as_row().iter().filter(|&&b| b).count()
+    }
+}
+
+impl std::fmt::Display for MechanismProperties {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        write!(
+            f,
+            "unlinkability={} indistinguishability={} accuracy={} scalability={}",
+            mark(self.unlinkability),
+            mark(self.indistinguishability),
+            mark(self.accuracy),
+            mark(self.scalability)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_count() {
+        let p = MechanismProperties {
+            unlinkability: true,
+            indistinguishability: false,
+            accuracy: true,
+            scalability: true,
+        };
+        assert_eq!(p.as_row(), [true, false, true, true]);
+        assert_eq!(p.satisfied(), 3);
+        assert!(p.to_string().contains("indistinguishability=no"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Core query and user identifiers.
+
+/// Identifier of a (simulated) user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user-{}", self.0)
+    }
+}
+
+/// Identifier of a query within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query-{}", self.0)
+    }
+}
+
+/// A Web search query issued by a user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Unique identifier within the workload.
+    pub id: QueryId,
+    /// The user who typed the query.
+    pub user: UserId,
+    /// The raw query text.
+    pub text: String,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(id: QueryId, user: UserId, text: impl Into<String>) -> Self {
+        Self { id, user, text: text.into() }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {:?}", self.id, self.user, self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let q = Query::new(QueryId(7), UserId(2), "icdcs 2018 program");
+        assert_eq!(q.text, "icdcs 2018 program");
+        assert_eq!(q.user, UserId(2));
+        let shown = format!("{q}");
+        assert!(shown.contains("query-7"));
+        assert!(shown.contains("user-2"));
+        assert!(shown.contains("icdcs"));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(UserId(1) < UserId(2));
+        assert!(QueryId(10) > QueryId(9));
+    }
+}

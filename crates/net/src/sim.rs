@@ -1,0 +1,467 @@
+//! The discrete-event simulation loop.
+//!
+//! Nodes are state machines implementing [`NodeBehavior`]. They react to
+//! incoming [`Envelope`]s and to timers, and emit sends / timer requests
+//! through a [`Context`]. The [`Simulation`] owns the global clock, samples
+//! link latencies, injects losses, models crashed nodes and guarantees
+//! per-link FIFO delivery (so the sequence-number-based secure channels of
+//! `cyclosa-crypto` work unchanged on top of it).
+
+use crate::latency::LatencyModel;
+use crate::time::SimTime;
+use crate::NodeId;
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender.
+    pub src: NodeId,
+    /// Recipient.
+    pub dst: NodeId,
+    /// Application-defined message tag (protocol message type).
+    pub tag: u32,
+    /// Opaque payload (typically an AEAD-protected record).
+    pub payload: Vec<u8>,
+}
+
+/// Behaviour of a simulated node.
+pub trait NodeBehavior {
+    /// Invoked when a message is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope);
+
+    /// Invoked when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+/// The API surface a node can use while handling an event.
+#[derive(Debug)]
+pub struct Context<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    actions: &'a mut Vec<Action>,
+}
+
+impl Context<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's identifier.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends a message to `dst`.
+    pub fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) {
+        self.actions.push(Action::Send(Envelope { src: self.self_id, dst, tag, payload }));
+    }
+
+    /// Schedules `on_timer(token)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.actions.push(Action::Timer { node: self.self_id, delay, token });
+    }
+}
+
+#[derive(Debug)]
+enum Action {
+    Send(Envelope),
+    Timer { node: NodeId, delay: SimTime, token: u64 },
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver(Envelope),
+    Timer { node: NodeId, token: u64 },
+}
+
+/// Counters describing a finished (or in-progress) simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimulationStats {
+    /// Messages delivered to a node's `on_message`.
+    pub delivered: u64,
+    /// Messages dropped by link loss.
+    pub lost: u64,
+    /// Messages dropped because the destination crashed or does not exist.
+    pub dropped_dead: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulation {
+    clock: SimTime,
+    sequence: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<EventKind>>,
+    nodes: HashMap<NodeId, Box<dyn NodeBehavior>>,
+    crashed: HashSet<NodeId>,
+    default_latency: LatencyModel,
+    link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
+    loss_probability: f64,
+    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    rng: Xoshiro256StarStar,
+    stats: SimulationStats,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("clock", &self.clock)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation seeded with `seed`. The default link
+    /// model is a WAN-class log-normal latency with no loss.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            clock: SimTime::ZERO,
+            sequence: 0,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            nodes: HashMap::new(),
+            crashed: HashSet::new(),
+            default_latency: LatencyModel::wan(),
+            link_latency: HashMap::new(),
+            loss_probability: 0.0,
+            last_delivery: HashMap::new(),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            stats: SimulationStats::default(),
+        }
+    }
+
+    /// Registers a node.
+    pub fn add_node(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior>) {
+        self.nodes.insert(id, behavior);
+    }
+
+    /// Sets the default latency model for all links.
+    pub fn set_default_latency(&mut self, model: LatencyModel) {
+        self.default_latency = model;
+    }
+
+    /// Overrides the latency model of the directed link `src → dst`.
+    pub fn set_link_latency(&mut self, src: NodeId, dst: NodeId, model: LatencyModel) {
+        self.link_latency.insert((src, dst), model);
+    }
+
+    /// Sets the probability that any message is silently lost in transit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.loss_probability = p;
+    }
+
+    /// Marks a node as crashed: messages to it are dropped, its timers stop
+    /// firing.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimulationStats {
+        self.stats
+    }
+
+    /// Mutable access to the simulation RNG (for callers that need to draw
+    /// from the same deterministic stream).
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256StarStar {
+        &mut self.rng
+    }
+
+    /// Injects a message from outside the simulation (e.g. a user typing a
+    /// query) to be delivered at `at` + link latency.
+    pub fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
+        let envelope = Envelope { src, dst, tag, payload };
+        self.enqueue_send(at, envelope);
+    }
+
+    /// Schedules a timer on `node` at absolute time `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        self.push_event(at, EventKind::Timer { node, token });
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let idx = self.events.len();
+        self.events.push(Some(kind));
+        self.sequence += 1;
+        self.queue.push(Reverse((at, self.sequence, idx)));
+    }
+
+    fn link_model(&self, src: NodeId, dst: NodeId) -> LatencyModel {
+        self.link_latency.get(&(src, dst)).copied().unwrap_or(self.default_latency)
+    }
+
+    fn enqueue_send(&mut self, at: SimTime, envelope: Envelope) {
+        if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+            self.stats.lost += 1;
+            return;
+        }
+        let latency = self.link_model(envelope.src, envelope.dst).sample(&mut self.rng);
+        let mut deliver_at = at + latency;
+        // Per-link FIFO: never deliver earlier than the previously scheduled
+        // message on the same directed link.
+        let key = (envelope.src, envelope.dst);
+        if let Some(&last) = self.last_delivery.get(&key) {
+            if deliver_at <= last {
+                deliver_at = last + SimTime::from_nanos(1);
+            }
+        }
+        self.last_delivery.insert(key, deliver_at);
+        self.push_event(deliver_at, EventKind::Deliver(envelope));
+    }
+
+    /// Processes the next event, if any, and returns its timestamp.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Reverse((at, _, idx)) = self.queue.pop()?;
+        let kind = self.events[idx].take().expect("event consumed once");
+        self.clock = at;
+        let mut actions = Vec::new();
+        match kind {
+            EventKind::Deliver(envelope) => {
+                let dst = envelope.dst;
+                if self.crashed.contains(&dst) || !self.nodes.contains_key(&dst) {
+                    self.stats.dropped_dead += 1;
+                } else {
+                    self.stats.delivered += 1;
+                    self.stats.bytes_delivered += envelope.payload.len() as u64;
+                    let mut ctx = Context { now: at, self_id: dst, actions: &mut actions };
+                    self.nodes.get_mut(&dst).expect("checked above").on_message(&mut ctx, envelope);
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if !self.crashed.contains(&node) && self.nodes.contains_key(&node) {
+                    self.stats.timers_fired += 1;
+                    let mut ctx = Context { now: at, self_id: node, actions: &mut actions };
+                    self.nodes.get_mut(&node).expect("checked above").on_timer(&mut ctx, token);
+                }
+            }
+        }
+        for action in actions {
+            match action {
+                Action::Send(envelope) => self.enqueue_send(at, envelope),
+                Action::Timer { node, delay, token } => {
+                    self.push_event(at + delay, EventKind::Timer { node, token })
+                }
+            }
+        }
+        Some(at)
+    }
+
+    /// Runs until the event queue is empty or `max_events` have been
+    /// processed, returning the number of processed events.
+    pub fn run_with_limit(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events && self.step().is_some() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until the event queue is empty (with a large safety limit).
+    pub fn run(&mut self) -> u64 {
+        self.run_with_limit(50_000_000)
+    }
+
+    /// Runs until the clock reaches `deadline` or no events remain.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse((at, _, _))) = self.queue.peek() {
+            if *at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.clock = self.clock.max(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records delivery times of received messages.
+    struct Recorder {
+        log: Rc<RefCell<Vec<(SimTime, u32, Vec<u8>)>>>,
+    }
+
+    impl NodeBehavior for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+            self.log.borrow_mut().push((ctx.now(), envelope.tag, envelope.payload));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+            self.log.borrow_mut().push((ctx.now(), token as u32, b"timer".to_vec()));
+        }
+    }
+
+    /// Replies to every message with the same payload.
+    struct Echo;
+    impl NodeBehavior for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+            ctx.send(envelope.src, envelope.tag + 1, envelope.payload);
+        }
+    }
+
+    fn recorder() -> (Rc<RefCell<Vec<(SimTime, u32, Vec<u8>)>>>, Recorder) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        (log.clone(), Recorder { log })
+    }
+
+    #[test]
+    fn message_delivery_respects_constant_latency() {
+        let mut sim = Simulation::new(1);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(50)));
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        sim.post(SimTime::ZERO, NodeId(0), NodeId(1), 7, b"hello".to_vec());
+        sim.run();
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, SimTime::from_millis(50));
+        assert_eq!(entries[0].1, 7);
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().bytes_delivered, 5);
+    }
+
+    #[test]
+    fn echo_round_trip_takes_two_hops() {
+        let mut sim = Simulation::new(2);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(0), Box::new(rec));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        sim.post(SimTime::ZERO, NodeId(0), NodeId(1), 1, b"ping".to_vec());
+        sim.run();
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, SimTime::from_millis(20));
+        assert_eq!(entries[0].1, 2);
+    }
+
+    #[test]
+    fn per_link_fifo_is_preserved_despite_random_latency() {
+        let mut sim = Simulation::new(3);
+        sim.set_default_latency(LatencyModel::LogNormal { median_ms: 50.0, sigma: 1.0 });
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        for i in 0..50u32 {
+            sim.post(SimTime::from_millis(i as u64), NodeId(0), NodeId(1), i, vec![]);
+        }
+        sim.run();
+        let tags: Vec<u32> = log.borrow().iter().map(|(_, tag, _)| *tag).collect();
+        assert_eq!(tags, (0..50).collect::<Vec<_>>(), "per-link order must be FIFO");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulation::new(4);
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(5), Box::new(rec));
+        sim.schedule_timer(SimTime::from_millis(30), NodeId(5), 3);
+        sim.schedule_timer(SimTime::from_millis(10), NodeId(5), 1);
+        sim.schedule_timer(SimTime::from_millis(20), NodeId(5), 2);
+        sim.run();
+        let tokens: Vec<u32> = log.borrow().iter().map(|(_, t, _)| *t).collect();
+        assert_eq!(tokens, vec![1, 2, 3]);
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    #[test]
+    fn crashed_nodes_drop_messages_and_timers() {
+        let mut sim = Simulation::new(5);
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        sim.crash(NodeId(1));
+        sim.post(SimTime::ZERO, NodeId(0), NodeId(1), 1, b"x".to_vec());
+        sim.schedule_timer(SimTime::from_millis(1), NodeId(1), 9);
+        sim.run();
+        assert!(log.borrow().is_empty());
+        assert_eq!(sim.stats().dropped_dead, 1);
+        assert_eq!(sim.stats().timers_fired, 0);
+    }
+
+    #[test]
+    fn unknown_destination_counts_as_dead() {
+        let mut sim = Simulation::new(6);
+        sim.post(SimTime::ZERO, NodeId(0), NodeId(42), 1, vec![]);
+        sim.run();
+        assert_eq!(sim.stats().dropped_dead, 1);
+    }
+
+    #[test]
+    fn loss_probability_drops_roughly_that_fraction() {
+        let mut sim = Simulation::new(7);
+        sim.set_loss_probability(0.3);
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        for i in 0..2000u64 {
+            sim.post(SimTime::from_millis(i), NodeId(0), NodeId(1), 0, vec![]);
+        }
+        sim.run();
+        let delivered = log.borrow().len() as f64;
+        assert!((delivered / 2000.0 - 0.7).abs() < 0.05, "delivered fraction {}", delivered / 2000.0);
+        assert_eq!(sim.stats().lost + sim.stats().delivered, 2000);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(8);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        sim.post(SimTime::from_millis(0), NodeId(0), NodeId(1), 1, vec![]);
+        sim.post(SimTime::from_secs(100), NodeId(0), NodeId(1), 2, vec![]);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        sim.run();
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let (log, rec) = recorder();
+            sim.add_node(NodeId(1), Box::new(rec));
+            sim.add_node(NodeId(2), Box::new(Echo));
+            for i in 0..20u64 {
+                sim.post(SimTime::from_millis(i * 5), NodeId(1), NodeId(2), i as u32, vec![0u8; 8]);
+            }
+            sim.run();
+            let observed: Vec<(u64, u32)> =
+                log.borrow().iter().map(|(t, tag, _)| (t.as_nanos(), *tag)).collect();
+            observed
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_rejected() {
+        let mut sim = Simulation::new(1);
+        sim.set_loss_probability(1.5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-topic dictionaries of sensitive terms.
+//!
+//! The paper assembles, for every sensitive topic, a dictionary of terms
+//! gathered from (i) the WordNet synsets mapped to the topic's domains and
+//! (ii) the thematic vectors of the trained LDA model (paper §V-A1). A query
+//! is semantically sensitive for a user when it contains a term of a
+//! dictionary whose topic the user marked as sensitive.
+
+use crate::lda::LdaModel;
+use crate::lexicon::Lexicon;
+use crate::text::{tokenize, Vocabulary};
+use std::collections::BTreeSet;
+
+/// A dictionary of terms associated with one sensitive topic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopicDictionary {
+    topic: String,
+    terms: BTreeSet<String>,
+    /// Terms that are *unambiguous* evidence of the topic (present only in
+    /// this topic's domain in the lexicon, or highly ranked by LDA).
+    strong_terms: BTreeSet<String>,
+}
+
+impl TopicDictionary {
+    /// Creates an empty dictionary for `topic`.
+    pub fn new(topic: &str) -> Self {
+        Self { topic: topic.to_lowercase(), ..Self::default() }
+    }
+
+    /// The topic this dictionary describes.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Number of terms in the dictionary.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the dictionary has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds a term (marking it strong if `strong` is true).
+    pub fn add_term(&mut self, term: &str, strong: bool) {
+        let term = term.to_lowercase();
+        if strong {
+            self.strong_terms.insert(term.clone());
+        }
+        self.terms.insert(term);
+    }
+
+    /// Returns `true` when `term` belongs to the dictionary.
+    pub fn contains(&self, term: &str) -> bool {
+        self.terms.contains(&term.to_lowercase())
+    }
+
+    /// Returns `true` when `term` is unambiguous evidence of the topic.
+    pub fn contains_strong(&self, term: &str) -> bool {
+        self.strong_terms.contains(&term.to_lowercase())
+    }
+
+    /// Returns `true` if any content term of `query` is in the dictionary.
+    pub fn matches_query(&self, query: &str) -> bool {
+        tokenize(query).iter().any(|t| self.contains(t))
+    }
+
+    /// Returns `true` if any content term of `query` is strong evidence.
+    pub fn matches_query_strongly(&self, query: &str) -> bool {
+        tokenize(query).iter().any(|t| self.contains_strong(t))
+    }
+
+    /// Builds a dictionary from the words a lexicon links to `domain`.
+    /// Words linked *only* to that domain are marked strong.
+    pub fn from_lexicon(topic: &str, lexicon: &Lexicon, domain: &str) -> Self {
+        let mut dict = Self::new(topic);
+        for word in lexicon.words_in_domain(domain) {
+            dict.add_term(word, lexicon.word_exclusively_in_domain(word, domain));
+        }
+        dict
+    }
+
+    /// Builds a dictionary from the top `per_topic` terms of every LDA topic
+    /// (the model is assumed to have been trained on a corpus about the
+    /// sensitive subject, as in the paper). All LDA terms are strong.
+    pub fn from_lda(topic: &str, model: &LdaModel, vocab: &Vocabulary, per_topic: usize) -> Self {
+        let mut dict = Self::new(topic);
+        for word_id in model.thematic_terms(per_topic) {
+            if let Some(term) = vocab.term(word_id) {
+                dict.add_term(term, true);
+            }
+        }
+        dict
+    }
+
+    /// Merges another dictionary into this one (union of terms; strong terms
+    /// stay strong).
+    pub fn merge(&mut self, other: &TopicDictionary) {
+        for t in &other.terms {
+            self.terms.insert(t.clone());
+        }
+        for t in &other.strong_terms {
+            self.strong_terms.insert(t.clone());
+        }
+    }
+
+    /// Iterates over all terms.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(|t| t.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::{Corpus, LdaTrainingConfig};
+    use crate::lexicon::LexiconBuilder;
+    use cyclosa_util::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn manual_dictionary_matches_queries() {
+        let mut dict = TopicDictionary::new("health");
+        dict.add_term("diabetes", true);
+        dict.add_term("Clinic", false);
+        assert!(dict.matches_query("type 2 diabetes diet"));
+        assert!(dict.matches_query("nearest CLINIC opening hours"));
+        assert!(!dict.matches_query("cheap flights geneva"));
+        assert!(dict.matches_query_strongly("diabetes insulin"));
+        assert!(!dict.matches_query_strongly("clinic address"));
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn from_lexicon_marks_exclusive_words_strong() {
+        let lexicon = LexiconBuilder::new()
+            .domain_terms("sexuality", ["fetish"])
+            .ambiguous_terms("sexuality", "general", ["adult"])
+            .build();
+        let dict = TopicDictionary::from_lexicon("sexuality", &lexicon, "sexuality");
+        assert!(dict.contains("fetish") && dict.contains_strong("fetish"));
+        assert!(dict.contains("adult") && !dict.contains_strong("adult"));
+    }
+
+    #[test]
+    fn from_lda_extracts_topic_terms() {
+        let mut vocab = Vocabulary::new();
+        let corpus = Corpus::from_texts(
+            &mut vocab,
+            [
+                "erotic massage video",
+                "fetish lingerie video",
+                "erotic fetish story",
+                "lingerie massage story",
+            ],
+        );
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let model = crate::lda::LdaModel::train(
+            &corpus,
+            LdaTrainingConfig { num_topics: 2, alpha: 0.5, beta: 0.01, iterations: 50 },
+            &mut rng,
+        );
+        let dict = TopicDictionary::from_lda("sexuality", &model, &vocab, 3);
+        assert!(!dict.is_empty());
+        assert!(dict.iter().all(|t| vocab.id_of(t).is_some()));
+        // Every dictionary term came from the training corpus vocabulary.
+        assert!(dict.contains("erotic") || dict.contains("fetish") || dict.contains("lingerie"));
+    }
+
+    #[test]
+    fn merge_unions_terms() {
+        let mut a = TopicDictionary::new("health");
+        a.add_term("flu", true);
+        let mut b = TopicDictionary::new("health");
+        b.add_term("cancer", false);
+        b.add_term("flu", false);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains_strong("flu"));
+        assert!(!a.contains_strong("cancer"));
+    }
+
+    #[test]
+    fn empty_dictionary_matches_nothing() {
+        let dict = TopicDictionary::new("religion");
+        assert!(dict.is_empty());
+        assert!(!dict.matches_query("church schedule"));
+        assert_eq!(dict.topic(), "religion");
+    }
+}

@@ -1,0 +1,227 @@
+//! A WordNet-like lexical database with domain labels.
+//!
+//! The paper builds per-topic dictionaries from WordNet synsets and the
+//! eXtended WordNet Domains mapping (paper §V-A1, §V-F): every synset is
+//! mapped to domain labels, and the dictionary of a sensitive topic gathers
+//! all words of all synsets mapped to the corresponding domain.
+//!
+//! The real WordNet database cannot be bundled with this reproduction, so
+//! [`Lexicon`] provides the same *structure* (synsets → words, synsets →
+//! domains) and a [`LexiconBuilder`] that the workload crate uses to
+//! synthesize a lexicon from its topic vocabularies — including the
+//! polysemy/ambiguity that makes a purely lexicon-based categorizer
+//! imprecise (Table II: WordNet alone reaches precision 0.53).
+
+use std::collections::{BTreeSet, HashMap};
+
+/// A set of synonymous words tagged with the domains they belong to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Synset {
+    /// Identifier of the synset within its lexicon.
+    pub id: usize,
+    /// The words that form the synset.
+    pub words: Vec<String>,
+    /// Domain labels (e.g. `"sexuality"`, `"medicine"`, `"sport"`).
+    pub domains: Vec<String>,
+}
+
+/// A lexical database mapping words to synsets and domains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Lexicon {
+    synsets: Vec<Synset>,
+    word_index: HashMap<String, Vec<usize>>,
+}
+
+impl Lexicon {
+    /// Creates an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a synset and returns its id.
+    pub fn add_synset<W, D>(&mut self, words: W, domains: D) -> usize
+    where
+        W: IntoIterator<Item = String>,
+        D: IntoIterator<Item = String>,
+    {
+        let id = self.synsets.len();
+        let words: Vec<String> = words.into_iter().map(|w| w.to_lowercase()).collect();
+        let domains: Vec<String> = domains.into_iter().map(|d| d.to_lowercase()).collect();
+        for w in &words {
+            self.word_index.entry(w.clone()).or_default().push(id);
+        }
+        self.synsets.push(Synset { id, words, domains });
+        id
+    }
+
+    /// Number of synsets.
+    pub fn len(&self) -> usize {
+        self.synsets.len()
+    }
+
+    /// Returns `true` when the lexicon has no synset.
+    pub fn is_empty(&self) -> bool {
+        self.synsets.is_empty()
+    }
+
+    /// The synsets containing `word`.
+    pub fn synsets_of(&self, word: &str) -> Vec<&Synset> {
+        self.word_index
+            .get(&word.to_lowercase())
+            .map(|ids| ids.iter().map(|&i| &self.synsets[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The set of domains `word` is linked to (across all its synsets).
+    pub fn domains_of(&self, word: &str) -> BTreeSet<&str> {
+        self.synsets_of(word)
+            .into_iter()
+            .flat_map(|s| s.domains.iter().map(|d| d.as_str()))
+            .collect()
+    }
+
+    /// Returns `true` when `word` is linked to `domain`.
+    pub fn word_in_domain(&self, word: &str, domain: &str) -> bool {
+        self.domains_of(word).contains(domain.to_lowercase().as_str())
+    }
+
+    /// Returns `true` when `word`'s only domains are `domain` (the word is
+    /// unambiguous evidence for that domain).
+    pub fn word_exclusively_in_domain(&self, word: &str, domain: &str) -> bool {
+        let domains = self.domains_of(word);
+        !domains.is_empty() && domains.iter().all(|d| *d == domain.to_lowercase())
+    }
+
+    /// All words linked to `domain` (the raw dictionary of that domain).
+    pub fn words_in_domain(&self, domain: &str) -> BTreeSet<&str> {
+        let domain = domain.to_lowercase();
+        self.synsets
+            .iter()
+            .filter(|s| s.domains.iter().any(|d| *d == domain))
+            .flat_map(|s| s.words.iter().map(|w| w.as_str()))
+            .collect()
+    }
+
+    /// All domains present in the lexicon.
+    pub fn domains(&self) -> BTreeSet<&str> {
+        self.synsets
+            .iter()
+            .flat_map(|s| s.domains.iter().map(|d| d.as_str()))
+            .collect()
+    }
+}
+
+/// A convenience builder for synthesizing lexica from topic vocabularies.
+#[derive(Debug, Default)]
+pub struct LexiconBuilder {
+    lexicon: Lexicon,
+}
+
+impl LexiconBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds each term of `terms` as a single-word synset in `domain`.
+    pub fn domain_terms<'a>(mut self, domain: &str, terms: impl IntoIterator<Item = &'a str>) -> Self {
+        for t in terms {
+            self.lexicon.add_synset([t.to_owned()], [domain.to_owned()]);
+        }
+        self
+    }
+
+    /// Adds terms that belong to `domain` *and* to `other_domain` — the
+    /// polysemous words that make a lexicon-only categorizer over-trigger.
+    pub fn ambiguous_terms<'a>(
+        mut self,
+        domain: &str,
+        other_domain: &str,
+        terms: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        for t in terms {
+            self.lexicon
+                .add_synset([t.to_owned()], [domain.to_owned(), other_domain.to_owned()]);
+        }
+        self
+    }
+
+    /// Adds a multi-word synonym set in a domain.
+    pub fn synset<'a>(mut self, domain: &str, words: impl IntoIterator<Item = &'a str>) -> Self {
+        self.lexicon.add_synset(
+            words.into_iter().map(|w| w.to_owned()).collect::<Vec<_>>(),
+            [domain.to_owned()],
+        );
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Lexicon {
+        self.lexicon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Lexicon {
+        LexiconBuilder::new()
+            .domain_terms("sexuality", ["erotic", "fetish"])
+            .domain_terms("health", ["diabetes", "chemotherapy"])
+            .ambiguous_terms("sexuality", "general", ["model", "adult"])
+            .synset("health", ["flu", "influenza"])
+            .build()
+    }
+
+    #[test]
+    fn words_map_to_domains() {
+        let lex = sample();
+        assert!(lex.word_in_domain("erotic", "sexuality"));
+        assert!(lex.word_in_domain("influenza", "health"));
+        assert!(!lex.word_in_domain("erotic", "health"));
+        assert!(lex.domains_of("unknownword").is_empty());
+    }
+
+    #[test]
+    fn ambiguous_words_belong_to_both_domains() {
+        let lex = sample();
+        let domains = lex.domains_of("adult");
+        assert!(domains.contains("sexuality"));
+        assert!(domains.contains("general"));
+        assert!(!lex.word_exclusively_in_domain("adult", "sexuality"));
+        assert!(lex.word_exclusively_in_domain("fetish", "sexuality"));
+    }
+
+    #[test]
+    fn synonyms_share_a_synset() {
+        let lex = sample();
+        let flu_synsets = lex.synsets_of("flu");
+        assert_eq!(flu_synsets.len(), 1);
+        assert!(flu_synsets[0].words.contains(&"influenza".to_owned()));
+    }
+
+    #[test]
+    fn domain_dictionary_collects_all_words() {
+        let lex = sample();
+        let words = lex.words_in_domain("sexuality");
+        assert!(words.contains("erotic"));
+        assert!(words.contains("adult"));
+        assert!(!words.contains("diabetes"));
+        assert_eq!(lex.domains().len(), 3);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let lex = sample();
+        assert!(lex.word_in_domain("Erotic", "SEXUALITY"));
+    }
+
+    #[test]
+    fn empty_lexicon_behaves() {
+        let lex = Lexicon::new();
+        assert!(lex.is_empty());
+        assert!(lex.synsets_of("x").is_empty());
+        assert!(lex.words_in_domain("health").is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Text analysis substrate for the CYCLOSA reproduction.
+//!
+//! The paper's sensitivity analysis (paper §V-A) combines two text-analysis
+//! components that this crate provides, together with the shared machinery
+//! they need:
+//!
+//! * [`text`] — tokenization, normalization and stop-word removal for Web
+//!   search queries.
+//! * [`vector`] — sparse term vectors and the cosine similarity used by the
+//!   linkability assessment and by SimAttack.
+//! * [`lexicon`] — a WordNet-like lexical database: synonym sets (synsets)
+//!   mapped to domain labels, with a generator for synthetic lexica (the
+//!   real WordNet + eXtended WordNet Domains cannot be bundled).
+//! * [`lda`] — Latent Dirichlet Allocation trained with collapsed Gibbs
+//!   sampling, standing in for the Mallet-trained model of §V-F.
+//! * [`dictionary`] — per-topic dictionaries of sensitive terms assembled
+//!   from the lexicon and/or LDA topics.
+//! * [`categorizer`] — the semantic sensitivity detector evaluated in
+//!   Table II (WordNet, LDA, and WordNet+LDA variants).
+//! * [`profile`] — user interest profiles built from past queries and the
+//!   exponential-smoothing similarity score shared by the linkability
+//!   assessment (defence) and SimAttack (attack).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categorizer;
+pub mod dictionary;
+pub mod lda;
+pub mod lexicon;
+pub mod profile;
+pub mod text;
+pub mod vector;
+
+pub use categorizer::{CategorizerMethod, QueryCategorizer};
+pub use dictionary::TopicDictionary;
+pub use lda::{LdaModel, LdaTrainingConfig};
+pub use lexicon::{Lexicon, Synset};
+pub use profile::UserProfile;
+pub use text::{normalize, tokenize, Vocabulary};
+pub use vector::{cosine_similarity, TermVector};

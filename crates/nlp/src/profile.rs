@@ -1,0 +1,210 @@
+//! User interest profiles and the profile–query similarity score.
+//!
+//! Both sides of the arms race use the same construction:
+//!
+//! * the **linkability assessment** on the client (paper §V-A2) compares the
+//!   current query with the user's *own* past queries to estimate the risk
+//!   that the query can be linked back to her;
+//! * the **SimAttack adversary** (paper §VII-E) compares an intercepted
+//!   query with every known user profile and re-identifies the user whose
+//!   profile is most similar (above a confidence threshold).
+//!
+//! The score is: cosine similarity between the query vector and every past
+//! query of the profile, similarities ranked, then aggregated with
+//! exponential smoothing so that the closest past queries dominate.
+
+use crate::vector::{cosine_similarity, TermVector};
+use cyclosa_util::smoothing::exponential_smoothing;
+
+/// Default smoothing factor used by both the defence and the attack.
+///
+/// With `alpha = 0.7` a query identical to one past query scores ≈ 0.7, and
+/// a query sharing no term with the profile scores 0 — comfortably on either
+/// side of SimAttack's 0.5 confidence threshold.
+pub const DEFAULT_SMOOTHING_ALPHA: f64 = 0.7;
+
+/// A user profile: the collection of past queries attributed to one user.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    queries: Vec<TermVector>,
+    raw_queries: Vec<String>,
+    alpha: f64,
+}
+
+impl Default for UserProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserProfile {
+    /// Creates an empty profile with the default smoothing factor.
+    pub fn new() -> Self {
+        Self { queries: Vec::new(), raw_queries: Vec::new(), alpha: DEFAULT_SMOOTHING_ALPHA }
+    }
+
+    /// Creates an empty profile with an explicit smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { queries: Vec::new(), raw_queries: Vec::new(), alpha }
+    }
+
+    /// Builds a profile directly from an iterator of past query strings.
+    pub fn from_queries<'a>(queries: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut profile = Self::new();
+        for q in queries {
+            profile.record_query(q);
+        }
+        profile
+    }
+
+    /// Records one past query into the profile.
+    pub fn record_query(&mut self, query: &str) {
+        let vector = TermVector::binary_from_query(query);
+        if vector.is_empty() {
+            return;
+        }
+        self.queries.push(vector);
+        self.raw_queries.push(query.to_owned());
+    }
+
+    /// Number of past queries in the profile.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` when no query has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The raw past queries (useful for building fake-query tables and
+    /// co-occurrence statistics).
+    pub fn raw_queries(&self) -> &[String] {
+        &self.raw_queries
+    }
+
+    /// The similarity in `[0, 1]` between `query` and this profile:
+    /// exponential smoothing over the ranked cosine similarities with every
+    /// past query. Returns 0 for an empty profile or an empty query.
+    pub fn similarity(&self, query: &str) -> f64 {
+        let vector = TermVector::binary_from_query(query);
+        if vector.is_empty() || self.queries.is_empty() {
+            return 0.0;
+        }
+        let similarities: Vec<f64> =
+            self.queries.iter().map(|past| cosine_similarity(&vector, past)).collect();
+        exponential_smoothing(&similarities, self.alpha)
+    }
+
+    /// The maximum cosine similarity between `query` and any single past
+    /// query (a cruder linkability signal, exposed for ablations).
+    pub fn max_similarity(&self, query: &str) -> f64 {
+        let vector = TermVector::binary_from_query(query);
+        self.queries
+            .iter()
+            .map(|past| cosine_similarity(&vector, past))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<'a> FromIterator<&'a str> for UserProfile {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        Self::from_queries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health_profile() -> UserProfile {
+        UserProfile::from_queries([
+            "diabetes type 2 symptoms",
+            "insulin pump price",
+            "low sugar diet plan",
+            "glucose monitor reviews",
+        ])
+    }
+
+    #[test]
+    fn exact_repeat_scores_high() {
+        let profile = health_profile();
+        let score = profile.similarity("diabetes type 2 symptoms");
+        assert!(score > 0.6, "score was {score}");
+        assert!(score > 0.5, "an exact repeat must cross the SimAttack threshold");
+    }
+
+    #[test]
+    fn related_query_scores_moderately() {
+        let profile = health_profile();
+        let related = profile.similarity("diabetes diet");
+        let unrelated = profile.similarity("football world cup schedule");
+        assert!(related > unrelated);
+        assert!(related > 0.1);
+        assert_eq!(unrelated, 0.0);
+    }
+
+    #[test]
+    fn empty_profile_or_query_scores_zero() {
+        let empty = UserProfile::new();
+        assert_eq!(empty.similarity("anything"), 0.0);
+        assert!(empty.is_empty());
+        let profile = health_profile();
+        assert_eq!(profile.similarity(""), 0.0);
+        assert_eq!(profile.similarity("the of and"), 0.0);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let profile = health_profile();
+        for query in [
+            "diabetes",
+            "insulin glucose sugar diet",
+            "completely unrelated query",
+            "diabetes type 2 symptoms insulin pump price",
+        ] {
+            let s = profile.similarity(query);
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range for {query}");
+        }
+    }
+
+    #[test]
+    fn stop_word_only_queries_are_ignored_when_recording() {
+        let mut profile = UserProfile::new();
+        profile.record_query("the of and");
+        assert!(profile.is_empty());
+        profile.record_query("real query terms");
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile.raw_queries(), ["real query terms"]);
+    }
+
+    #[test]
+    fn max_similarity_bounds_smoothed_score() {
+        let profile = health_profile();
+        let q = "insulin price comparison";
+        assert!(profile.similarity(q) <= profile.max_similarity(q) + 1e-12);
+    }
+
+    #[test]
+    fn with_alpha_validates_range() {
+        let p = UserProfile::with_alpha(0.9);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_is_rejected() {
+        let _ = UserProfile::with_alpha(0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects_queries() {
+        let profile: UserProfile = ["a query", "another query"].into_iter().collect();
+        assert_eq!(profile.len(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Query tokenization, normalization and vocabulary management.
+//!
+//! Web search queries are short (2–4 terms on average in the AOL log), so
+//! the pipeline is deliberately simple: lowercase, strip punctuation, split
+//! on whitespace, drop stop words and single characters. Both the defence
+//! (sensitivity analysis) and the attack (SimAttack) use exactly this
+//! pipeline so neither gains an artificial advantage from preprocessing.
+
+use std::collections::HashMap;
+
+/// English stop words that carry no topical signal in queries.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "how",
+    "i", "in", "is", "it", "my", "of", "on", "or", "que", "that", "the", "this", "to", "was",
+    "what", "when", "where", "which", "who", "will", "with", "you", "your",
+];
+
+/// Returns `true` if `term` is a stop word.
+pub fn is_stop_word(term: &str) -> bool {
+    STOP_WORDS.contains(&term)
+}
+
+/// Lowercases a query and removes every character that is not alphanumeric
+/// or whitespace.
+pub fn normalize(query: &str) -> String {
+    query
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c.is_whitespace() {
+                c.to_ascii_lowercase()
+            } else {
+                ' '
+            }
+        })
+        .collect()
+}
+
+/// Tokenizes a query into lowercase content terms (stop words and single
+/// characters removed).
+///
+/// # Example
+///
+/// ```
+/// use cyclosa_nlp::text::tokenize;
+/// assert_eq!(tokenize("What is the Weather in Lyon?"), vec!["weather", "lyon"]);
+/// ```
+pub fn tokenize(query: &str) -> Vec<String> {
+    normalize(query)
+        .split_whitespace()
+        .filter(|t| t.len() > 1 && !is_stop_word(t))
+        .map(|t| t.to_owned())
+        .collect()
+}
+
+/// A bidirectional mapping between terms and dense integer ids.
+///
+/// Shared by the LDA trainer, the search-engine index and the workload
+/// generator so that term ids are consistent across crates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vocabulary from an iterator of terms (duplicates collapsed).
+    pub fn from_terms<I, S>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut vocab = Self::new();
+        for t in terms {
+            vocab.intern(t.as_ref());
+        }
+        vocab
+    }
+
+    /// Returns the id of `term`, inserting it if absent.
+    pub fn intern(&mut self, term: &str) -> usize {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = self.terms.len();
+        self.terms.push(term.to_owned());
+        self.index.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `term` if it is known.
+    pub fn id_of(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// Returns the term with the given id, if any.
+    pub fn term(&self, id: usize) -> Option<&str> {
+        self.terms.get(id).map(|s| s.as_str())
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when no term has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.terms.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+
+    /// Converts a query into known term ids (unknown terms are dropped).
+    pub fn encode(&self, query: &str) -> Vec<usize> {
+        tokenize(query).iter().filter_map(|t| self.id_of(t)).collect()
+    }
+
+    /// Converts a query into term ids, interning unknown terms.
+    pub fn encode_interning(&mut self, query: &str) -> Vec<usize> {
+        tokenize(query).iter().map(|t| self.intern(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_punctuation_and_case() {
+        assert_eq!(normalize("Hello, World!"), "hello  world ");
+        assert_eq!(normalize("C++ & rust?"), "c     rust ");
+    }
+
+    #[test]
+    fn tokenize_drops_stop_words_and_short_tokens() {
+        assert_eq!(
+            tokenize("how to treat a migraine at home"),
+            vec!["treat", "migraine", "home"]
+        );
+        assert_eq!(tokenize("the of and"), Vec::<String>::new());
+        assert_eq!(tokenize(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        assert_eq!(tokenize("windows 10 activation key"), vec!["windows", "10", "activation", "key"]);
+    }
+
+    #[test]
+    fn vocabulary_interning_is_stable() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("health");
+        let b = v.intern("politics");
+        let a2 = v.intern("health");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.term(a), Some("health"));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.id_of("missing"), None);
+    }
+
+    #[test]
+    fn encode_known_and_unknown_terms() {
+        let mut v = Vocabulary::from_terms(["flu", "symptoms"]);
+        assert_eq!(v.encode("flu symptoms treatment"), vec![0, 1]);
+        assert_eq!(v.encode_interning("flu symptoms treatment"), vec![0, 1, 2]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn vocabulary_iteration_preserves_order() {
+        let v = Vocabulary::from_terms(["zebra", "apple", "zebra", "mango"]);
+        let collected: Vec<_> = v.iter().map(|(_, t)| t.to_owned()).collect();
+        assert_eq!(collected, vec!["zebra", "apple", "mango"]);
+    }
+
+    #[test]
+    fn stop_word_lookup() {
+        assert!(is_stop_word("the"));
+        assert!(!is_stop_word("enclave"));
+    }
+}

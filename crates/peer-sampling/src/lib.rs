@@ -1,0 +1,30 @@
+//! Gossip-based random peer sampling for CYCLOSA's peer discovery.
+//!
+//! Paper §V-E: "the selection and maintenance of random views is using the
+//! random-peer-sampling protocol \[Jelasity et al., 2007\] which ensures
+//! connectivity between nodes by building and maintaining a continuously
+//! changing random topology."
+//!
+//! This crate implements that protocol family:
+//!
+//! * [`View`] — a bounded partial view of node descriptors with ages;
+//! * [`PeerSamplingNode`] — one protocol participant with the standard
+//!   policies (peer selection, view propagation, healer/swapper merging);
+//! * [`GossipSimulator`] — a synchronous round driver over many nodes with
+//!   failure injection and overlay-quality metrics (connectivity, in-degree
+//!   balance), used by the deployment simulation and by benchmarks.
+//!
+//! CYCLOSA uses the resulting random views for two purposes: selecting the
+//! `k + 1` relays of each query (load balancing falls out of view
+//! randomness) and bootstrapping attestation-gated channels to fresh peers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod simulator;
+pub mod view;
+
+pub use node::{ExchangeBuffer, PeerSamplingConfig, PeerSamplingNode, SelectionPolicy};
+pub use simulator::{GossipSimulator, OverlayMetrics};
+pub use view::{Descriptor, PeerId, View};

@@ -1,0 +1,297 @@
+//! A synchronous round driver for the peer-sampling protocol with overlay
+//! quality metrics and failure injection.
+
+use crate::node::{PeerSamplingConfig, PeerSamplingNode};
+use crate::view::PeerId;
+use cyclosa_util::rng::Xoshiro256StarStar;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Quality metrics of the gossip overlay at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlayMetrics {
+    /// Number of alive nodes.
+    pub nodes: usize,
+    /// Whether the directed union of views is weakly connected.
+    pub connected: bool,
+    /// Average in-degree (how many views a node appears in).
+    pub mean_in_degree: f64,
+    /// Maximum in-degree across nodes.
+    pub max_in_degree: usize,
+    /// Fraction of view slots pointing at dead nodes.
+    pub dead_references: f64,
+}
+
+/// Drives a population of [`PeerSamplingNode`]s through synchronous gossip
+/// rounds (each round, every alive node initiates one push–pull exchange).
+#[derive(Debug)]
+pub struct GossipSimulator {
+    nodes: HashMap<PeerId, PeerSamplingNode>,
+    dead: HashSet<PeerId>,
+    rng: Xoshiro256StarStar,
+    rounds_run: usize,
+}
+
+impl GossipSimulator {
+    /// Creates `count` nodes bootstrapped in a ring (each node initially
+    /// knows only its successor), which is the hardest realistic starting
+    /// topology for the protocol to randomize.
+    pub fn ring(count: usize, config: PeerSamplingConfig, seed: u64) -> Self {
+        assert!(count >= 2, "a gossip overlay needs at least two nodes");
+        let mut nodes = HashMap::new();
+        for i in 0..count {
+            let id = PeerId(i as u64);
+            let mut node = PeerSamplingNode::new(id, config);
+            node.bootstrap([PeerId(((i + 1) % count) as u64)]);
+            nodes.insert(id, node);
+        }
+        Self { nodes, dead: HashSet::new(), rng: Xoshiro256StarStar::seed_from_u64(seed), rounds_run: 0 }
+    }
+
+    /// Creates `count` nodes that all know a single bootstrap node (a
+    /// star), modelling CYCLOSA's public-directory bootstrap.
+    pub fn star(count: usize, config: PeerSamplingConfig, seed: u64) -> Self {
+        assert!(count >= 2, "a gossip overlay needs at least two nodes");
+        let mut nodes = HashMap::new();
+        for i in 0..count {
+            let id = PeerId(i as u64);
+            let mut node = PeerSamplingNode::new(id, config);
+            if i != 0 {
+                node.bootstrap([PeerId(0)]);
+            } else {
+                node.bootstrap([PeerId(1)]);
+            }
+            nodes.insert(id, node);
+        }
+        Self { nodes, dead: HashSet::new(), rng: Xoshiro256StarStar::seed_from_u64(seed), rounds_run: 0 }
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - self.dead.len()
+    }
+
+    /// Returns `true` when no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Marks a node as crashed: it stops gossiping and answering.
+    pub fn kill(&mut self, peer: PeerId) {
+        self.dead.insert(peer);
+    }
+
+    /// Access to a node (alive or dead).
+    pub fn node(&self, peer: PeerId) -> Option<&PeerSamplingNode> {
+        self.nodes.get(&peer)
+    }
+
+    /// All alive node identifiers.
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = self
+            .nodes
+            .keys()
+            .filter(|p| !self.dead.contains(p))
+            .copied()
+            .collect();
+        peers.sort_unstable();
+        peers
+    }
+
+    /// Runs one synchronous gossip round.
+    pub fn run_round(&mut self) {
+        self.rounds_run += 1;
+        let alive = self.alive_peers();
+        for id in alive {
+            // Age first, as in the reference protocol.
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.increase_ages();
+            }
+            let Some(partner) = self.nodes.get(&id).and_then(|n| n.select_partner(&mut self.rng)) else {
+                continue;
+            };
+            if self.dead.contains(&partner) {
+                // Unresponsive peer: blacklist it, exactly as CYCLOSA clients
+                // blacklist proxies that do not answer in time.
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.blacklist(partner);
+                }
+                continue;
+            }
+            // Active side prepares its buffer.
+            let initiator_buffer = self.nodes.get(&id).expect("alive node").prepare_buffer(&mut self.rng);
+            // Passive side answers with its own buffer and merges.
+            let partner_buffer = {
+                let partner_node = self.nodes.get(&partner).expect("partner exists");
+                partner_node.prepare_buffer(&mut self.rng)
+            };
+            if let Some(partner_node) = self.nodes.get_mut(&partner) {
+                partner_node.merge(&initiator_buffer, &partner_buffer, &mut self.rng);
+            }
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.merge(&partner_buffer, &initiator_buffer, &mut self.rng);
+            }
+        }
+    }
+
+    /// Runs `rounds` synchronous rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// Computes the current overlay quality metrics over alive nodes.
+    pub fn metrics(&self) -> OverlayMetrics {
+        let alive: Vec<PeerId> = self.alive_peers();
+        let alive_set: HashSet<PeerId> = alive.iter().copied().collect();
+        let mut in_degree: HashMap<PeerId, usize> = alive.iter().map(|&p| (p, 0)).collect();
+        let mut dead_refs = 0usize;
+        let mut total_refs = 0usize;
+        let mut adjacency: HashMap<PeerId, Vec<PeerId>> = HashMap::new();
+        for &id in &alive {
+            let node = &self.nodes[&id];
+            for peer in node.view().peers() {
+                total_refs += 1;
+                if alive_set.contains(&peer) {
+                    *in_degree.entry(peer).or_insert(0) += 1;
+                    adjacency.entry(id).or_default().push(peer);
+                    // Treat the overlay as undirected for connectivity.
+                    adjacency.entry(peer).or_default().push(id);
+                } else {
+                    dead_refs += 1;
+                }
+            }
+        }
+        let connected = if alive.is_empty() {
+            true
+        } else {
+            let mut visited = HashSet::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(alive[0]);
+            visited.insert(alive[0]);
+            while let Some(p) = queue.pop_front() {
+                for &next in adjacency.get(&p).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if visited.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+            visited.len() == alive.len()
+        };
+        let mean_in_degree = if alive.is_empty() {
+            0.0
+        } else {
+            in_degree.values().sum::<usize>() as f64 / alive.len() as f64
+        };
+        OverlayMetrics {
+            nodes: alive.len(),
+            connected,
+            mean_in_degree,
+            max_in_degree: in_degree.values().copied().max().unwrap_or(0),
+            dead_references: if total_refs == 0 { 0.0 } else { dead_refs as f64 / total_refs as f64 },
+        }
+    }
+
+    /// Borrow of the internal RNG, to draw relay choices consistent with the
+    /// simulation stream.
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256StarStar {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PeerSamplingConfig {
+        PeerSamplingConfig::default()
+    }
+
+    #[test]
+    fn ring_bootstrap_converges_to_connected_random_overlay() {
+        let mut sim = GossipSimulator::ring(100, config(), 42);
+        sim.run_rounds(30);
+        let metrics = sim.metrics();
+        assert!(metrics.connected, "overlay must stay connected");
+        assert_eq!(metrics.nodes, 100);
+        // Views should be essentially full after 30 rounds.
+        let mean_view: f64 = sim
+            .alive_peers()
+            .iter()
+            .map(|p| sim.node(*p).unwrap().view().len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(mean_view > 15.0, "mean view size was {mean_view}");
+        // In-degree should be reasonably balanced (no hot spot dominating).
+        assert!(metrics.max_in_degree < 60, "max in-degree {}", metrics.max_in_degree);
+    }
+
+    #[test]
+    fn star_bootstrap_spreads_degree() {
+        let mut sim = GossipSimulator::star(80, config(), 7);
+        sim.run_rounds(40);
+        let metrics = sim.metrics();
+        assert!(metrics.connected);
+        // The bootstrap node must no longer be referenced by everybody.
+        let bootstrap_in_degree = sim
+            .alive_peers()
+            .iter()
+            .filter(|p| sim.node(**p).unwrap().view().contains(PeerId(0)))
+            .count();
+        assert!(bootstrap_in_degree < 79, "star hub still referenced by all nodes");
+    }
+
+    #[test]
+    fn dead_nodes_are_forgotten() {
+        let mut sim = GossipSimulator::ring(60, config(), 3);
+        sim.run_rounds(20);
+        for i in 0..10 {
+            sim.kill(PeerId(i));
+        }
+        sim.run_rounds(30);
+        let metrics = sim.metrics();
+        assert_eq!(metrics.nodes, 50);
+        assert!(metrics.connected);
+        assert!(
+            metrics.dead_references < 0.10,
+            "dead references still at {:.2}",
+            metrics.dead_references
+        );
+    }
+
+    #[test]
+    fn random_peer_draws_spread_load() {
+        let mut sim = GossipSimulator::ring(50, config(), 11);
+        sim.run_rounds(30);
+        // Draw many relay sets from one node and check they cover a large
+        // fraction of the population over time (the load-balancing property
+        // CYCLOSA relies on).
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            sim.run_round();
+            let node = sim.node(PeerId(0)).unwrap().clone();
+            let peers = node.random_peers(sim.rng_mut(), 4);
+            seen.extend(peers);
+        }
+        assert!(seen.len() > 35, "only {} distinct relays seen", seen.len());
+    }
+
+    #[test]
+    fn metrics_on_tiny_overlay() {
+        let sim = GossipSimulator::ring(2, config(), 1);
+        let metrics = sim.metrics();
+        assert_eq!(metrics.nodes, 2);
+        assert!(metrics.connected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_node_overlay_is_rejected() {
+        let _ = GossipSimulator::ring(1, config(), 1);
+    }
+}

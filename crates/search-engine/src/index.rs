@@ -1,0 +1,257 @@
+//! Inverted index with TF-IDF ranking and OR-query support.
+
+use crate::corpus::{DocId, Document};
+use cyclosa_nlp::text::tokenize;
+use std::collections::HashMap;
+
+/// One ranked search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// The matching document.
+    pub doc: DocId,
+    /// TF-IDF relevance score (higher is better).
+    pub score: f64,
+}
+
+/// An inverted index over a document corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    /// term → list of (document, term frequency).
+    postings: HashMap<String, Vec<(DocId, u32)>>,
+    /// document → length in terms (for normalization).
+    doc_lengths: HashMap<DocId, u32>,
+    documents: usize,
+}
+
+impl Index {
+    /// Builds an index over `documents`.
+    pub fn build(documents: &[Document]) -> Self {
+        let mut index = Self::default();
+        for doc in documents {
+            index.add_document(doc);
+        }
+        index
+    }
+
+    /// Adds a single document to the index.
+    pub fn add_document(&mut self, document: &Document) {
+        let terms = tokenize(&document.text);
+        if terms.is_empty() {
+            return;
+        }
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for t in &terms {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (term, count) in counts {
+            self.postings.entry(term).or_default().push((document.id, count));
+        }
+        self.doc_lengths.insert(document.id, terms.len() as u32);
+        self.documents += 1;
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.documents
+    }
+
+    /// Returns `true` when no document has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.documents == 0
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Inverse document frequency of a term (smoothed).
+    fn idf(&self, term: &str) -> f64 {
+        let df = self.postings.get(term).map(|p| p.len()).unwrap_or(0);
+        ((self.documents as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0
+    }
+
+    /// Ranks documents for a conjunctive (single) query: documents matching
+    /// more query terms with higher TF-IDF weight come first.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<SearchResult> {
+        let terms = tokenize(query);
+        if terms.is_empty() || self.documents == 0 {
+            return Vec::new();
+        }
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for term in &terms {
+            let idf = self.idf(term);
+            if let Some(postings) = self.postings.get(term) {
+                for &(doc, tf) in postings {
+                    let length = self.doc_lengths[&doc].max(1) as f64;
+                    *scores.entry(doc).or_insert(0.0) += (tf as f64 / length) * idf;
+                }
+            }
+        }
+        let mut results: Vec<SearchResult> =
+            scores.into_iter().map(|(doc, score)| SearchResult { doc, score }).collect();
+        // Deterministic ordering: score desc, then doc id.
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        results.truncate(limit);
+        results
+    }
+
+    /// Executes an OR-aggregated query of the form `q1 OR q2 OR ... OR qn`
+    /// (as produced by GooPIR, PEAS and X-SEARCH): each disjunct is ranked
+    /// separately and the result page interleaves the per-disjunct rankings,
+    /// which is what pollutes the page with results of the fake queries.
+    pub fn search_or(&self, aggregated_query: &str, limit: usize) -> Vec<SearchResult> {
+        let disjuncts: Vec<&str> = aggregated_query
+            .split(" OR ")
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if disjuncts.len() <= 1 {
+            return self.search(aggregated_query, limit);
+        }
+        let per_disjunct: Vec<Vec<SearchResult>> = disjuncts
+            .iter()
+            .map(|q| self.search(q, limit))
+            .collect();
+        let mut merged = Vec::with_capacity(limit);
+        let mut seen = std::collections::HashSet::new();
+        let mut rank = 0usize;
+        while merged.len() < limit {
+            let mut any = false;
+            for results in &per_disjunct {
+                if let Some(r) = results.get(rank) {
+                    any = true;
+                    if seen.insert(r.doc) && merged.len() < limit {
+                        merged.push(*r);
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            rank += 1;
+        }
+        merged
+    }
+
+    /// Returns the set of terms of `query` that occur in document `doc` —
+    /// used by the client-side filtering of OR-based mechanisms.
+    pub fn matching_terms(&self, doc: DocId, query: &str) -> Vec<String> {
+        tokenize(query)
+            .into_iter()
+            .filter(|t| {
+                self.postings
+                    .get(t)
+                    .map(|p| p.iter().any(|(d, _)| *d == doc))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::DocId;
+
+    fn doc(id: u64, text: &str) -> Document {
+        Document { id: DocId(id), topic: String::new(), text: text.to_owned() }
+    }
+
+    fn sample_index() -> Index {
+        Index::build(&[
+            doc(0, "flu symptoms fever treatment doctor"),
+            doc(1, "diabetes insulin glucose treatment"),
+            doc(2, "cheap flights geneva paris booking"),
+            doc(3, "hotel booking barcelona beach"),
+            doc(4, "flu vaccine side effects fever"),
+            doc(5, "train booking zurich milan"),
+        ])
+    }
+
+    #[test]
+    fn relevant_documents_rank_first() {
+        let index = sample_index();
+        let results = index.search("flu fever", 10);
+        assert!(!results.is_empty());
+        let top_ids: Vec<u64> = results.iter().take(2).map(|r| r.doc.0).collect();
+        assert!(top_ids.contains(&0));
+        assert!(top_ids.contains(&4));
+    }
+
+    #[test]
+    fn unrelated_query_returns_nothing() {
+        let index = sample_index();
+        assert!(index.search("quantum chromodynamics", 10).is_empty());
+        assert!(index.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates_results() {
+        let index = sample_index();
+        let results = index.search("booking", 2);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let index = sample_index();
+        let results = index.search("flu fever treatment booking", 10);
+        for pair in results.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn or_query_mixes_topics() {
+        let index = sample_index();
+        let results = index.search_or("flu fever OR hotel barcelona", 6);
+        let ids: Vec<u64> = results.iter().map(|r| r.doc.0).collect();
+        // Results of both disjuncts appear in the page.
+        assert!(ids.iter().any(|&i| i == 0 || i == 4), "health results missing: {ids:?}");
+        assert!(ids.iter().any(|&i| i == 3), "travel results missing: {ids:?}");
+    }
+
+    #[test]
+    fn or_query_with_single_disjunct_equals_plain_search() {
+        let index = sample_index();
+        assert_eq!(index.search_or("flu fever", 5), index.search("flu fever", 5));
+    }
+
+    #[test]
+    fn or_page_displaces_exact_results() {
+        let index = sample_index();
+        // With a small page, the OR aggregation leaves less room for the
+        // real query's results — the root cause of completeness < 1.
+        let exact: Vec<_> = index.search("booking", 3).iter().map(|r| r.doc).collect();
+        let polluted: Vec<_> = index
+            .search_or("booking OR flu OR insulin", 3)
+            .iter()
+            .map(|r| r.doc)
+            .collect();
+        let kept = exact.iter().filter(|d| polluted.contains(d)).count();
+        assert!(kept < exact.len(), "obfuscation should displace some exact results");
+    }
+
+    #[test]
+    fn matching_terms_reports_overlap() {
+        let index = sample_index();
+        let terms = index.matching_terms(DocId(0), "flu booking fever");
+        assert_eq!(terms, vec!["flu", "fever"]);
+        assert!(index.matching_terms(DocId(3), "flu fever").is_empty());
+    }
+
+    #[test]
+    fn index_statistics() {
+        let index = sample_index();
+        assert_eq!(index.len(), 6);
+        assert!(!index.is_empty());
+        assert!(index.vocabulary_size() > 10);
+        assert!(Index::default().is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Exponential smoothing aggregation.
+//!
+//! Both the linkability assessment on the client (paper §V-A2) and the
+//! SimAttack adversary (paper §VII-E) score a query against a set of past
+//! queries by (1) computing the cosine similarity with every past query,
+//! (2) sorting the similarities, and (3) aggregating them with exponential
+//! smoothing so that the most similar past queries dominate the score.
+//!
+//! This module implements that aggregation once so that the defence and the
+//! attack are guaranteed to use the same definition.
+
+/// Aggregates a set of similarity scores with exponential smoothing.
+///
+/// The scores are sorted in **descending** order and folded as
+/// `s = alpha * x_i + (1 - alpha) * s` starting from the largest score, which
+/// gives the highest weight to the most similar past queries (matching the
+/// SimAttack definition: similarities "ranked in ascending order" and folded
+/// from the smallest, which is equivalent to this descending fold with the
+/// roles of `alpha` swapped; we use the formulation that weights the top
+/// similarity by `alpha`).
+///
+/// Returns a value in `[0, 1]` when all inputs are in `[0, 1]`, and `0.0` for
+/// an empty input.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use cyclosa_util::smoothing::exponential_smoothing;
+/// let score = exponential_smoothing(&[0.1, 0.9, 0.3], 0.5);
+/// assert!(score > 0.45 && score <= 0.9);
+/// ```
+pub fn exponential_smoothing(similarities: &[f64], alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    if similarities.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = similarities
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    // Fold from the *smallest* up so that the largest similarity receives the
+    // final (heaviest) alpha weight.
+    let mut acc = *sorted.last().expect("non-empty");
+    for &s in sorted.iter().rev().skip(1) {
+        acc = alpha * s + (1.0 - alpha) * acc;
+    }
+    acc
+}
+
+/// An incremental exponentially weighted moving average.
+///
+/// Used by nodes to track their observed relay latency and by the search
+/// engine simulator to track per-client request rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Records an observation and returns the updated average.
+    pub fn record(&mut self, observation: f64) -> f64 {
+        let next = match self.value {
+            None => observation,
+            Some(prev) => self.alpha * observation + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, or `None` if nothing has been recorded.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_scores_zero() {
+        assert_eq!(exponential_smoothing(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_identity() {
+        assert!((exponential_smoothing(&[0.7], 0.3) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_similarity_dominates() {
+        // One perfect match among many poor matches should keep the score
+        // high: that is what makes a *single* very similar past query enough
+        // for re-identification.
+        let mut sims = vec![0.05; 20];
+        sims.push(1.0);
+        let score = exponential_smoothing(&sims, 0.5);
+        assert!(score > 0.5, "score was {score}");
+    }
+
+    #[test]
+    fn all_low_similarities_stay_low() {
+        let sims = vec![0.1; 30];
+        let score = exponential_smoothing(&sims, 0.5);
+        assert!((score - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = exponential_smoothing(&[0.2, 0.9, 0.4, 0.1], 0.5);
+        let b = exponential_smoothing(&[0.9, 0.1, 0.2, 0.4], 0.5);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_bounded_by_extremes() {
+        let sims = [0.15, 0.6, 0.33, 0.92, 0.4];
+        let score = exponential_smoothing(&sims, 0.4);
+        assert!(score >= 0.15 && score <= 0.92);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let score = exponential_smoothing(&[f64::NAN, 0.5, f64::INFINITY], 0.5);
+        assert!((score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_zero_is_rejected() {
+        let _ = exponential_smoothing(&[0.5], 0.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut ewma = Ewma::new(0.2);
+        assert_eq!(ewma.value(), None);
+        for _ in 0..200 {
+            ewma.record(5.0);
+        }
+        assert!((ewma.value().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_observation_is_taken_verbatim() {
+        let mut ewma = Ewma::new(0.1);
+        assert_eq!(ewma.record(3.0), 3.0);
+        assert!(ewma.record(4.0) > 3.0);
+    }
+}

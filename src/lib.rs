@@ -1,0 +1,18 @@
+//! Workspace-level umbrella crate for the CYCLOSA reproduction.
+//!
+//! This crate only hosts the cross-crate integration tests (in `tests/`) and
+//! the runnable examples (in `examples/`). The actual functionality lives in
+//! the `cyclosa-*` crates under `crates/`.
+
+pub use cyclosa as core;
+pub use cyclosa_attack as attack;
+pub use cyclosa_baselines as baselines;
+pub use cyclosa_crypto as crypto;
+pub use cyclosa_mechanism as mechanism;
+pub use cyclosa_net as net;
+pub use cyclosa_nlp as nlp;
+pub use cyclosa_peer_sampling as peer_sampling;
+pub use cyclosa_search_engine as search_engine;
+pub use cyclosa_sgx as sgx;
+pub use cyclosa_util as util;
+pub use cyclosa_workload as workload;

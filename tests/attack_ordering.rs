@@ -1,0 +1,128 @@
+//! Cross-crate integration test of the evaluation pipeline: the relative
+//! ordering of the mechanisms under the SimAttack adversary and the
+//! accuracy metrics must match the paper's qualitative findings
+//! (Fig. 5 / Fig. 6), at a reduced workload scale.
+
+use cyclosa_bench::experiments::{fig5, fig6, fig7, table1, table2};
+use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+
+fn setup() -> ExperimentSetup {
+    ExperimentSetup::new(ExperimentScale::Small, 2018)
+}
+
+fn rate(report: &cyclosa_bench::experiments::Fig5Report, name: &str) -> f64 {
+    report
+        .rows
+        .iter()
+        .find(|r| r.mechanism == name)
+        .unwrap_or_else(|| panic!("mechanism {name} missing"))
+        .rate_percent
+}
+
+#[test]
+fn reidentification_ordering_matches_the_paper() {
+    let setup = setup();
+    let report = fig5(&setup, 7);
+
+    let tor = rate(&report, "TOR");
+    let tmn = rate(&report, "TrackMeNot");
+    let goopir = rate(&report, "GooPIR");
+    let peas = rate(&report, "PEAS");
+    let xsearch = rate(&report, "X-SEARCH");
+    let cyclosa = rate(&report, "CYCLOSA");
+
+    // Indistinguishability-only mechanisms leak the most.
+    assert!(tmn > tor, "TrackMeNot ({tmn}) must leak more than TOR ({tor})");
+    assert!(goopir > tor, "GooPIR ({goopir}) must leak more than TOR ({tor})");
+    // Combining unlinkability and indistinguishability drops the rate
+    // drastically below plain anonymization.
+    assert!(peas < tor, "PEAS ({peas}) must beat TOR ({tor})");
+    assert!(xsearch < tor / 2.0, "X-SEARCH ({xsearch}) must clearly beat TOR ({tor})");
+    // CYCLOSA is the most robust mechanism.
+    assert!(cyclosa < xsearch, "CYCLOSA ({cyclosa}) must beat X-SEARCH ({xsearch})");
+    assert!(cyclosa < peas, "CYCLOSA ({cyclosa}) must beat PEAS ({peas})");
+    assert!(cyclosa < 10.0, "CYCLOSA's rate should stay in the single digits");
+    // TOR lands in the ballpark the paper reports (~36 %).
+    assert!((20.0..50.0).contains(&tor), "TOR rate {tor} out of expected range");
+}
+
+#[test]
+fn accuracy_matches_the_papers_two_groups() {
+    let setup = setup();
+    let report = fig6(&setup, 3);
+    for row in &report.rows {
+        match row.mechanism.as_str() {
+            // Mechanisms that answer the exact query are perfectly accurate.
+            "TOR" | "TrackMeNot" | "CYCLOSA" | "CYCLOSA (adaptive)" => {
+                assert!(
+                    row.correctness_percent > 99.9 && row.completeness_percent > 99.9,
+                    "{} should be perfectly accurate, got {}/{}",
+                    row.mechanism,
+                    row.correctness_percent,
+                    row.completeness_percent
+                );
+            }
+            // OR-obfuscating mechanisms lose accuracy.
+            "GooPIR" | "PEAS" | "X-SEARCH" => {
+                assert!(
+                    row.completeness_percent < 95.0,
+                    "{} should lose completeness, got {}",
+                    row.mechanism,
+                    row.completeness_percent
+                );
+            }
+            other => panic!("unexpected mechanism {other}"),
+        }
+    }
+}
+
+#[test]
+fn adaptive_protection_spares_non_sensitive_queries() {
+    let setup = setup();
+    let report = fig7(&setup, 7);
+    // Not every query needs the maximum protection, but sensitive ones do.
+    assert!(report.fraction_k_max > 0.10 && report.fraction_k_max < 0.80);
+    assert!(report.mean_k < 7.0);
+    assert!(report.cdf.last().unwrap().1 > 99.9, "CDF must reach 100% at kmax");
+    // The CDF is non-decreasing.
+    for pair in report.cdf.windows(2) {
+        assert!(pair[1].1 >= pair[0].1);
+    }
+}
+
+#[test]
+fn table1_and_table2_have_the_expected_shape() {
+    let setup = setup();
+    let t1 = table1(&setup);
+    let cyclosa_row = t1.rows.iter().find(|r| r.mechanism == "CYCLOSA").unwrap();
+    assert!(
+        cyclosa_row.unlinkability
+            && cyclosa_row.indistinguishability
+            && cyclosa_row.accuracy
+            && cyclosa_row.scalability,
+        "CYCLOSA is the only mechanism satisfying all four properties"
+    );
+    for row in &t1.rows {
+        if row.mechanism != "CYCLOSA" {
+            assert!(
+                !(row.unlinkability && row.indistinguishability && row.accuracy && row.scalability),
+                "{} should not satisfy all four properties",
+                row.mechanism
+            );
+        }
+    }
+
+    let t2 = table2(&setup);
+    let wordnet = &t2.rows[0];
+    let lda = &t2.rows[1];
+    let combined = &t2.rows[2];
+    // The trade-off of Table II: the lexicon alone over-triggers (lower
+    // precision); LDA and the combination are more precise while keeping
+    // recall high.
+    assert!(wordnet.precision < lda.precision, "WordNet precision should be the lowest");
+    assert!(combined.precision >= wordnet.precision);
+    for row in &t2.rows {
+        assert!(row.recall > 0.6, "{} recall too low: {}", row.tool, row.recall);
+        assert!(row.precision > 0.3, "{} precision too low: {}", row.tool, row.precision);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of cross-crate invariants (proptest).
+
+use cyclosa::config::ProtectionConfig;
+use cyclosa::past_queries::PastQueryTable;
+use cyclosa::sensitivity::SensitivityAnalyzer;
+use cyclosa_crypto::aead::ChaCha20Poly1305;
+use cyclosa_crypto::channel::channel_pair;
+use cyclosa_crypto::x25519::StaticSecret;
+use cyclosa_sgx::enclave::Platform;
+use cyclosa_sgx::sealing;
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use cyclosa_util::smoothing::exponential_smoothing;
+use proptest::prelude::*;
+
+proptest! {
+    /// AEAD round-trips for arbitrary payloads and associated data, and any
+    /// single-byte corruption is rejected.
+    #[test]
+    fn aead_roundtrip_and_tamper_detection(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let aead = ChaCha20Poly1305::new(&key);
+        let sealed = aead.seal(&nonce, &payload, &aad);
+        prop_assert_eq!(aead.open(&nonce, &sealed, &aad).unwrap(), payload);
+        let mut tampered = sealed.clone();
+        let index = flip_byte % tampered.len().max(1);
+        tampered[index] ^= 1 << flip_bit;
+        prop_assert!(aead.open(&nonce, &tampered, &aad).is_err());
+    }
+
+    /// Sealing round-trips on the same enclave and never opens on a
+    /// different platform.
+    #[test]
+    fn sealing_binds_to_the_platform(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        data in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let enclave_a = Platform::new(seed_a).create_enclave(b"cyclosa", ());
+        let enclave_b = Platform::new(seed_b).create_enclave(b"cyclosa", ());
+        let blob = sealing::seal(&enclave_a, b"state", &data);
+        prop_assert_eq!(sealing::unseal(&enclave_a, &blob).unwrap(), data);
+        prop_assert!(sealing::unseal(&enclave_b, &blob).is_err());
+    }
+
+    /// Secure channels deliver arbitrary message sequences in order.
+    #[test]
+    fn channel_delivers_message_sequences(
+        seed in any::<u64>(),
+        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 1..8),
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let a = StaticSecret::from_bytes(rng.gen_bytes());
+        let b = StaticSecret::from_bytes(rng.gen_bytes());
+        let (mut alice, mut bob) = channel_pair(a, b"quote-a".to_vec(), b, b"quote-b".to_vec()).unwrap();
+        for message in &messages {
+            let record = alice.seal(message, b"aad");
+            prop_assert_eq!(&bob.open(&record, b"aad").unwrap(), message);
+        }
+    }
+
+    /// The adaptive protection always picks k within [0, kmax], and the
+    /// linkability score stays within [0, 1].
+    #[test]
+    fn adaptive_k_stays_in_range(
+        k_max in 1usize..12,
+        history in prop::collection::vec("[a-z]{2,8}( [a-z]{2,8}){0,3}", 0..20),
+        query in "[a-z]{2,8}( [a-z]{2,8}){0,4}",
+    ) {
+        let config = ProtectionConfig { k_max, ..ProtectionConfig::default() };
+        let mut analyzer = SensitivityAnalyzer::linkability_only(&config);
+        analyzer.record_own_queries(history.iter().map(|s| s.as_str()));
+        let assessment = analyzer.assess(&query);
+        prop_assert!(assessment.k <= k_max);
+        prop_assert!((0.0..=1.0).contains(&assessment.linkability));
+    }
+
+    /// The past-query table never exceeds its capacity and fake draws only
+    /// return stored entries.
+    #[test]
+    fn past_query_table_respects_capacity(
+        capacity in 1usize..50,
+        queries in prop::collection::vec("[a-z]{3,10}( [a-z]{3,10}){0,2}", 0..100),
+        draw in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut table = PastQueryTable::new(capacity);
+        table.record_all(queries.iter().map(|s| s.as_str()));
+        prop_assert!(table.len() <= capacity);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for fake in table.draw_fakes(draw, &mut rng) {
+            prop_assert!(table.iter().any(|q| q == fake));
+        }
+    }
+
+    /// Exponential smoothing of values in [0, 1] stays in [0, 1] and is
+    /// bounded by the extremes of its input.
+    #[test]
+    fn smoothing_is_bounded(
+        values in prop::collection::vec(0.0f64..=1.0, 1..50),
+        alpha in 0.05f64..=1.0,
+    ) {
+        let score = exponential_smoothing(&values, alpha);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(score >= min - 1e-9 && score <= max + 1e-9);
+    }
+}

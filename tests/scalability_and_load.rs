@@ -1,0 +1,72 @@
+//! Integration test of the system-side experiments: rate limiting blocks
+//! the centralized proxy but not the decentralized deployment (Fig. 8d),
+//! the relay sustains higher load than the X-SEARCH proxy (Fig. 8c), and
+//! end-to-end latencies stay sub-second while TOR does not (Fig. 8a).
+
+use cyclosa::deployment::{
+    relay_service_time_ns, run_end_to_end_latency, run_load_experiment, throughput_latency_curve,
+    xsearch_service_time_ns, EndToEndConfig, LoadExperimentConfig,
+};
+use cyclosa_baselines::latency::LatencyProfile;
+use cyclosa_sgx::enclave::CostModel;
+use cyclosa_util::rng::Xoshiro256StarStar;
+use cyclosa_util::stats::Summary;
+
+#[test]
+fn centralized_proxy_is_blocked_while_cyclosa_spreads_the_load() {
+    let report = run_load_experiment(LoadExperimentConfig {
+        duration_minutes: 60,
+        ..LoadExperimentConfig::default()
+    });
+    assert_eq!(report.cyclosa_rejected, 0);
+    assert!(report.xsearch_rejected.iter().sum::<u64>() > 0);
+    // After the first bucket the proxy is essentially dead.
+    assert_eq!(*report.xsearch_admitted.last().unwrap(), 0);
+    // CYCLOSA nodes stay far below the engine's hourly budget.
+    let per_hour_upper_bound = report
+        .cyclosa_max_per_node
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max)
+        * (60.0 / 10.0);
+    assert!(per_hour_upper_bound < report.engine_hourly_limit as f64);
+    assert!(report.cyclosa_fairness > 0.9);
+}
+
+#[test]
+fn relay_sustains_higher_request_rates_than_the_xsearch_proxy() {
+    let cost = CostModel::default();
+    let cyclosa_service = relay_service_time_ns(&cost, 512);
+    let xsearch_service = xsearch_service_time_ns(&cost, 512, 3);
+    assert!(cyclosa_service < xsearch_service);
+
+    let rates = [10_000.0, 30_000.0, 40_000.0];
+    let cyclosa = throughput_latency_curve(cyclosa_service, &rates, 5.3);
+    let xsearch = throughput_latency_curve(xsearch_service, &rates, 5.3);
+    // CYCLOSA still answers at 40,000 req/s with sub-second latency.
+    assert!(!cyclosa[2].saturated);
+    assert!(cyclosa[2].latency_s < 1.0);
+    // X-SEARCH has collapsed by 30,000-40,000 req/s.
+    assert!(xsearch[1].saturated || xsearch[2].saturated);
+}
+
+#[test]
+fn cyclosa_latency_is_sub_second_and_an_order_of_magnitude_below_tor() {
+    let cyclosa = run_end_to_end_latency(EndToEndConfig {
+        relays: 30,
+        k: 3,
+        queries: 80,
+        ..EndToEndConfig::default()
+    });
+    let cyclosa_median = Summary::from_samples(&cyclosa).median;
+    assert!(cyclosa_median < 1.5, "median {cyclosa_median}");
+
+    let profile = LatencyProfile::default();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let tor: Vec<f64> = (0..80).map(|_| profile.tor(&mut rng).as_secs_f64()).collect();
+    let tor_median = Summary::from_samples(&tor).median;
+    assert!(
+        tor_median / cyclosa_median > 10.0,
+        "TOR ({tor_median}) should be at least 10x slower than CYCLOSA ({cyclosa_median})"
+    );
+}
