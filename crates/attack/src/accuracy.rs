@@ -60,7 +60,12 @@ fn result_sets(
                 .results
                 .iter()
                 .map(|r| r.doc)
-                .filter(|doc| !engine.index().matching_terms(*doc, original_query).is_empty())
+                .filter(|doc| {
+                    !engine
+                        .index()
+                        .matching_terms(*doc, original_query)
+                        .is_empty()
+                })
                 .collect()
         }
     };
@@ -84,14 +89,22 @@ pub fn evaluate_accuracy(
             continue;
         }
         let intersection = received.intersection(&reference).count() as f64;
-        let correctness = if received.is_empty() { 0.0 } else { intersection / received.len() as f64 };
+        let correctness = if received.is_empty() {
+            0.0
+        } else {
+            intersection / received.len() as f64
+        };
         let completeness = intersection / reference.len() as f64;
         correctness_sum += correctness;
         completeness_sum += completeness;
         evaluated += 1;
     }
     if evaluated == 0 {
-        return AccuracyReport { correctness: 0.0, completeness: 0.0, evaluated: 0 };
+        return AccuracyReport {
+            correctness: 0.0,
+            completeness: 0.0,
+            evaluated: 0,
+        };
     }
     AccuracyReport {
         correctness: correctness_sum / evaluated as f64,
@@ -104,7 +117,8 @@ pub fn evaluate_accuracy(
 mod tests {
     use super::*;
     use cyclosa_mechanism::{
-        MechanismProperties, ObservedRequest, ProtectionOutcome, Query, QueryId, SourceIdentity, UserId,
+        MechanismProperties, ObservedRequest, ProtectionOutcome, Query, QueryId, SourceIdentity,
+        UserId,
     };
     use cyclosa_search_engine::corpus::{CorpusGenerator, Document};
     use cyclosa_search_engine::{EngineConfig, Index};
@@ -124,7 +138,12 @@ mod tests {
             "EXACT"
         }
         fn properties(&self) -> MechanismProperties {
-            MechanismProperties { unlinkability: true, indistinguishability: true, accuracy: true, scalability: true }
+            MechanismProperties {
+                unlinkability: true,
+                indistinguishability: true,
+                accuracy: true,
+                scalability: true,
+            }
         }
         fn protect(&mut self, query: &Query, _rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
             ProtectionOutcome {
@@ -145,7 +164,12 @@ mod tests {
             "OBFUSCATED"
         }
         fn properties(&self) -> MechanismProperties {
-            MechanismProperties { unlinkability: false, indistinguishability: true, accuracy: false, scalability: true }
+            MechanismProperties {
+                unlinkability: false,
+                indistinguishability: true,
+                accuracy: false,
+                scalability: true,
+            }
         }
         fn protect(&mut self, query: &Query, _rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
             let obfuscated = format!(
@@ -158,7 +182,9 @@ mod tests {
                     text: obfuscated.clone(),
                     carries_real_query: true,
                 }],
-                delivery: ResultsDelivery::FilteredFromObfuscated { obfuscated_query: obfuscated },
+                delivery: ResultsDelivery::FilteredFromObfuscated {
+                    obfuscated_query: obfuscated,
+                },
                 relay_messages: 0,
             }
         }
@@ -200,8 +226,16 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let report = evaluate_accuracy(&mut Obfuscating, &engine, &testing(), &mut rng);
         assert!(report.evaluated >= 2);
-        assert!(report.completeness < 0.999, "completeness {}", report.completeness);
-        assert!(report.correctness > 0.2, "correctness {}", report.correctness);
+        assert!(
+            report.completeness < 0.999,
+            "completeness {}",
+            report.completeness
+        );
+        assert!(
+            report.correctness > 0.2,
+            "correctness {}",
+            report.correctness
+        );
         assert!(report.completeness > 0.1);
     }
 

@@ -44,7 +44,11 @@ impl ReidentificationReport {
     /// The re-identification rate as defined by the paper for this
     /// mechanism class (see module documentation).
     pub fn rate(&self) -> f64 {
-        let denominator = if self.identity_exposed { self.real_queries } else { self.engine_requests };
+        let denominator = if self.identity_exposed {
+            self.real_queries
+        } else {
+            self.engine_requests
+        };
         if denominator == 0 {
             0.0
         } else {
@@ -173,7 +177,12 @@ mod tests {
             "ANON"
         }
         fn properties(&self) -> MechanismProperties {
-            MechanismProperties { unlinkability: true, indistinguishability: false, accuracy: true, scalability: true }
+            MechanismProperties {
+                unlinkability: true,
+                indistinguishability: false,
+                accuracy: true,
+                scalability: true,
+            }
         }
         fn protect(&mut self, query: &Query, _rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
             ProtectionOutcome {
@@ -195,7 +204,12 @@ mod tests {
             "EXPOSED"
         }
         fn properties(&self) -> MechanismProperties {
-            MechanismProperties { unlinkability: false, indistinguishability: true, accuracy: true, scalability: true }
+            MechanismProperties {
+                unlinkability: false,
+                indistinguishability: true,
+                accuracy: true,
+                scalability: true,
+            }
         }
         fn protect(&mut self, query: &Query, _rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
             ProtectionOutcome {
@@ -232,8 +246,22 @@ mod tests {
                 .collect(),
         };
         vec![
-            mk(0, &["diabetes insulin dosage", "insulin pump price", "glucose monitor"]),
-            mk(1, &["cheap flights geneva", "hotel booking barcelona", "train zurich"]),
+            mk(
+                0,
+                &[
+                    "diabetes insulin dosage",
+                    "insulin pump price",
+                    "glucose monitor",
+                ],
+            ),
+            mk(
+                1,
+                &[
+                    "cheap flights geneva",
+                    "hotel booking barcelona",
+                    "train zurich",
+                ],
+            ),
         ]
     }
 
@@ -256,8 +284,7 @@ mod tests {
     #[test]
     fn anonymizer_is_attacked_through_profile_similarity() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let report =
-            evaluate_reidentification(&mut Anonymizer, &training(), &testing(), &mut rng);
+        let report = evaluate_reidentification(&mut Anonymizer, &training(), &testing(), &mut rng);
         // The repeated health query is re-identified, the fresh unrelated
         // travel query is not.
         assert_eq!(report.successful, 1);

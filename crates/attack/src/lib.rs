@@ -23,6 +23,6 @@ pub mod accuracy;
 pub mod evaluation;
 pub mod simattack;
 
-pub use accuracy::{AccuracyReport, evaluate_accuracy};
+pub use accuracy::{evaluate_accuracy, AccuracyReport};
 pub use evaluation::{evaluate_reidentification, ReidentificationReport};
 pub use simattack::SimAttack;

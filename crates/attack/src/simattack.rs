@@ -26,7 +26,10 @@ impl SimAttack {
     /// Creates an adversary with an empty knowledge base and the default
     /// confidence threshold.
     pub fn new() -> Self {
-        Self { profiles: HashMap::new(), threshold: DEFAULT_THRESHOLD }
+        Self {
+            profiles: HashMap::new(),
+            threshold: DEFAULT_THRESHOLD,
+        }
     }
 
     /// Creates an adversary with a custom confidence threshold.
@@ -35,8 +38,14 @@ impl SimAttack {
     ///
     /// Panics if the threshold is not within `[0, 1]`.
     pub fn with_threshold(threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
-        Self { profiles: HashMap::new(), threshold }
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
+        Self {
+            profiles: HashMap::new(),
+            threshold,
+        }
     }
 
     /// Builds the adversary's prior knowledge from the training traces
@@ -178,9 +187,30 @@ mod tests {
 
     fn adversary() -> SimAttack {
         SimAttack::from_training(&[
-            trace(0, &["diabetes insulin dosage", "glucose monitor reviews", "insulin pump price"]),
-            trace(1, &["cheap flights geneva", "hotel booking barcelona", "train zurich milan"]),
-            trace(2, &["football league fixtures", "basketball playoffs score", "marathon training plan"]),
+            trace(
+                0,
+                &[
+                    "diabetes insulin dosage",
+                    "glucose monitor reviews",
+                    "insulin pump price",
+                ],
+            ),
+            trace(
+                1,
+                &[
+                    "cheap flights geneva",
+                    "hotel booking barcelona",
+                    "train zurich milan",
+                ],
+            ),
+            trace(
+                2,
+                &[
+                    "football league fixtures",
+                    "basketball playoffs score",
+                    "marathon training plan",
+                ],
+            ),
         ])
     }
 
@@ -188,8 +218,14 @@ mod tests {
     fn repeated_query_is_reidentified() {
         let attack = adversary();
         assert_eq!(attack.known_users(), 3);
-        assert_eq!(attack.reidentify("diabetes insulin dosage"), Some(UserId(0)));
-        assert_eq!(attack.reidentify("hotel booking barcelona"), Some(UserId(1)));
+        assert_eq!(
+            attack.reidentify("diabetes insulin dosage"),
+            Some(UserId(0))
+        );
+        assert_eq!(
+            attack.reidentify("hotel booking barcelona"),
+            Some(UserId(1))
+        );
     }
 
     #[test]
@@ -204,18 +240,33 @@ mod tests {
         let attack = adversary();
         // Shares a single term with user 1's profile: not confident enough.
         assert_eq!(attack.reidentify("hotel california lyrics"), None);
-        assert!(attack.similarity_to(UserId(1), "hotel california lyrics").unwrap() < 0.5);
+        assert!(
+            attack
+                .similarity_to(UserId(1), "hotel california lyrics")
+                .unwrap()
+                < 0.5
+        );
     }
 
     #[test]
     fn pick_real_query_prefers_profile_consistent_candidate() {
         let attack = adversary();
-        let candidates = ["paella recipe easy", "insulin pump price", "concert tickets"];
-        assert_eq!(attack.pick_real_query(UserId(0), &candidates.iter().copied().collect::<Vec<_>>()), Some(1));
+        let candidates = [
+            "paella recipe easy",
+            "insulin pump price",
+            "concert tickets",
+        ];
+        assert_eq!(
+            attack.pick_real_query(UserId(0), candidates.as_ref()),
+            Some(1)
+        );
         // Unknown user: abstain.
         assert_eq!(attack.pick_real_query(UserId(99), &["a", "b"]), None);
         // No candidate matches the profile at all: abstain.
-        assert_eq!(attack.pick_real_query(UserId(0), &["paella recipe", "concert tickets"]), None);
+        assert_eq!(
+            attack.pick_real_query(UserId(0), &["paella recipe", "concert tickets"]),
+            None
+        );
         assert_eq!(attack.pick_real_query(UserId(0), &[]), None);
     }
 

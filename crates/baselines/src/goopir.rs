@@ -43,7 +43,11 @@ impl GooPir {
         let count = term_count.clamp(1, 4);
         let mut terms = Vec::with_capacity(count);
         for _ in 0..count {
-            terms.push(rng.choose(&self.dictionary).expect("non-empty dictionary").clone());
+            terms.push(
+                rng.choose(&self.dictionary)
+                    .expect("non-empty dictionary")
+                    .clone(),
+            );
         }
         terms.join(" ")
     }
@@ -78,7 +82,9 @@ impl Mechanism for GooPir {
                 text: aggregated.clone(),
                 carries_real_query: true,
             }],
-            delivery: ResultsDelivery::FilteredFromObfuscated { obfuscated_query: aggregated },
+            delivery: ResultsDelivery::FilteredFromObfuscated {
+                obfuscated_query: aggregated,
+            },
             relay_messages: 0,
         }
     }
@@ -90,10 +96,12 @@ mod tests {
     use cyclosa_mechanism::{QueryId, UserId};
 
     fn dictionary() -> Vec<String> {
-        ["mortgage", "football", "trailer", "recipe", "laptop", "museum", "sneakers"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "mortgage", "football", "trailer", "recipe", "laptop", "museum", "sneakers",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     #[test]
@@ -128,7 +136,10 @@ mod tests {
                 continue;
             }
             for term in disjunct.split_whitespace() {
-                assert!(dict.contains(&term.to_string()), "term {term} not in dictionary");
+                assert!(
+                    dict.contains(&term.to_string()),
+                    "term {term} not in dictionary"
+                );
             }
         }
     }

@@ -30,7 +30,10 @@ impl Default for LatencyProfile {
     fn default() -> Self {
         Self {
             wan: LatencyModel::wan(),
-            proxy_wan: LatencyModel::LogNormal { median_ms: 95.0, sigma: 0.3 },
+            proxy_wan: LatencyModel::LogNormal {
+                median_ms: 95.0,
+                sigma: 0.3,
+            },
             tor_hop: LatencyModel::tor_hop(),
             engine: LatencyModel::search_engine_processing(),
         }
@@ -102,7 +105,9 @@ mod tests {
         let profile = LatencyProfile::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
         let xs = medians((0..2000).map(|_| {
-            profile.xsearch(&mut rng, SimTime::from_micros(50)).as_secs_f64()
+            profile
+                .xsearch(&mut rng, SimTime::from_micros(50))
+                .as_secs_f64()
         }));
         let direct = medians((0..2000).map(|_| profile.direct(&mut rng).as_secs_f64()));
         assert!(xs > direct, "xsearch {xs} should exceed direct {direct}");

@@ -95,7 +95,10 @@ pub struct Peas {
 impl Peas {
     /// Creates the baseline with `k` fake queries per real query.
     pub fn new(k: usize) -> Self {
-        Self { k, matrix: CooccurrenceMatrix::new() }
+        Self {
+            k,
+            matrix: CooccurrenceMatrix::new(),
+        }
     }
 
     /// Seeds the issuer's co-occurrence matrix with queries of other users
@@ -151,7 +154,9 @@ impl Mechanism for Peas {
                 text: aggregated.clone(),
                 carries_real_query: true,
             }],
-            delivery: ResultsDelivery::FilteredFromObfuscated { obfuscated_query: aggregated },
+            delivery: ResultsDelivery::FilteredFromObfuscated {
+                obfuscated_query: aggregated,
+            },
             // client → proxy → issuer and back.
             relay_messages: 4,
         }

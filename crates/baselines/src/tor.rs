@@ -120,7 +120,9 @@ impl Mechanism for Tor {
         // relay, and hand the plaintext to the engine from the exit node.
         let circuit = OnionCircuit::build(CIRCUIT_LENGTH, rng);
         let onion = circuit.wrap(query.text.as_bytes());
-        let plaintext = circuit.peel_all(&onion).expect("honest relays peel correctly");
+        let plaintext = circuit
+            .peel_all(&onion)
+            .expect("honest relays peel correctly");
         let text = String::from_utf8(plaintext).expect("query text is UTF-8");
         ProtectionOutcome {
             observed: vec![ObservedRequest {

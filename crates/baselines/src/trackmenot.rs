@@ -31,7 +31,10 @@ impl TrackMeNot {
     /// Panics if the feed is empty.
     pub fn new(fakes_per_query: usize, feed: Vec<String>) -> Self {
         assert!(!feed.is_empty(), "TrackMeNot needs a non-empty RSS feed");
-        Self { fakes_per_query, feed }
+        Self {
+            fakes_per_query,
+            feed,
+        }
     }
 
     /// Creates the baseline with the default rate of 3 fakes per query.
@@ -105,7 +108,14 @@ mod tests {
         let outcome = tmn.protect(&q, &mut rng);
         assert_eq!(outcome.engine_requests(), 4);
         assert_eq!(outcome.exposed_requests(), 4);
-        assert_eq!(outcome.observed.iter().filter(|r| r.carries_real_query).count(), 1);
+        assert_eq!(
+            outcome
+                .observed
+                .iter()
+                .filter(|r| r.carries_real_query)
+                .count(),
+            1
+        );
         assert_eq!(outcome.delivery, ResultsDelivery::ExactQuery);
         // Fakes come from the feed.
         for fake in outcome.observed.iter().filter(|r| !r.carries_real_query) {

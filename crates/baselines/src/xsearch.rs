@@ -38,7 +38,11 @@ impl XSearch {
     pub fn new(k: usize, platform: &Platform) -> Self {
         let mut enclave = platform.create_enclave(b"xsearch-proxy/1.0", ProxyState::default());
         enclave.initialize().expect("fresh enclave initializes");
-        Self { k, max_table: 10_000, enclave }
+        Self {
+            k,
+            max_table: 10_000,
+            enclave,
+        }
     }
 
     /// Creates the proxy on a default platform (convenience for tests and
@@ -85,7 +89,13 @@ impl XSearch {
     fn refresh_epc_accounting(&mut self) {
         let bytes = self
             .enclave
-            .ecall(0, |state| state.past_queries.iter().map(|q| q.len() + 24).sum::<usize>())
+            .ecall(0, |state| {
+                state
+                    .past_queries
+                    .iter()
+                    .map(|q| q.len() + 24)
+                    .sum::<usize>()
+            })
             .expect("enclave is initialized")
             .0;
         self.enclave.set_resident_bytes(bytes);
@@ -138,7 +148,9 @@ impl Mechanism for XSearch {
                 text: aggregated.clone(),
                 carries_real_query: true,
             }],
-            delivery: ResultsDelivery::FilteredFromObfuscated { obfuscated_query: aggregated },
+            delivery: ResultsDelivery::FilteredFromObfuscated {
+                obfuscated_query: aggregated,
+            },
             // client → proxy and back.
             relay_messages: 2,
         }

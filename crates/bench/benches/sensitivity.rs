@@ -20,9 +20,7 @@ fn bench_sensitivity(c: &mut Criterion) {
         &mut rng,
     );
     let mut analyzer = SensitivityAnalyzer::new(categorizer, CategorizerMethod::Combined, &config);
-    analyzer.record_own_queries(
-        setup.train[0].queries.iter().map(|q| q.query.text.as_str()),
-    );
+    analyzer.record_own_queries(setup.train[0].queries.iter().map(|q| q.query.text.as_str()));
 
     let mut group = c.benchmark_group("sensitivity");
     group.bench_function("assess_sensitive_query", |b| {

@@ -8,7 +8,7 @@
 
 use cyclosa_bench::experiments::{self, PRIVACY_K, SYSTEM_K};
 use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
-use serde::Serialize;
+use cyclosa_util::json::ToJson;
 
 #[derive(Debug)]
 struct Options {
@@ -38,7 +38,12 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 experiments.clear();
                 experiments.push("help".to_owned());
-                return Ok(Options { scale, seed, json, experiments });
+                return Ok(Options {
+                    scale,
+                    seed,
+                    json,
+                    experiments,
+                });
             }
             other => experiments.push(other.trim_start_matches("--").to_owned()),
         }
@@ -46,20 +51,36 @@ fn parse_args() -> Result<Options, String> {
     if experiments.is_empty() {
         experiments.push("all".to_owned());
     }
-    Ok(Options { scale, seed, json, experiments })
+    Ok(Options {
+        scale,
+        seed,
+        json,
+        experiments,
+    })
 }
 
-fn emit<T: Serialize + std::fmt::Display>(json: bool, report: &T) {
+fn emit<T: ToJson + std::fmt::Display>(json: bool, report: &T) {
     if json {
-        println!("{}", serde_json::to_string_pretty(report).expect("report serializes"));
+        println!("{}", report.to_json().pretty());
     } else {
         println!("{report}");
     }
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "annotation", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
-    "ablation-adaptive", "ablation-fakes", "ablation-paths",
+    "table1",
+    "table2",
+    "annotation",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "ablation-adaptive",
+    "ablation-fakes",
+    "ablation-paths",
 ];
 
 fn main() {
@@ -110,8 +131,14 @@ fn main() {
             "fig8b" => emit(options.json, &experiments::fig8b(&setup, 200)),
             "fig8c" => emit(options.json, &experiments::fig8c()),
             "fig8d" => emit(options.json, &experiments::fig8d(options.seed)),
-            "ablation-adaptive" => emit(options.json, &experiments::ablation_adaptive(&setup, PRIVACY_K)),
-            "ablation-fakes" => emit(options.json, &experiments::ablation_fakes(&setup, PRIVACY_K)),
+            "ablation-adaptive" => emit(
+                options.json,
+                &experiments::ablation_adaptive(&setup, PRIVACY_K),
+            ),
+            "ablation-fakes" => emit(
+                options.json,
+                &experiments::ablation_fakes(&setup, PRIVACY_K),
+            ),
             "ablation-paths" => emit(options.json, &experiments::ablation_paths(&setup, SYSTEM_K)),
             other => {
                 eprintln!("unknown experiment: {other} (see --help)");

@@ -1,0 +1,99 @@
+//! `scale` — the sharded-runtime scalability experiment.
+//!
+//! Sweeps the ping workload across populations and shard counts and
+//! reports engine throughput:
+//!
+//! ```text
+//! scale [--nodes 1000,10000,100000] [--shards 1,2,4,8] [--rounds N] [--seed N] [--json]
+//! ```
+
+use cyclosa_bench::scalability::{scalability_sweep, ScaleConfig};
+use cyclosa_util::json::ToJson;
+
+#[derive(Debug)]
+struct Options {
+    populations: Vec<usize>,
+    shard_counts: Vec<usize>,
+    config: ScaleConfig,
+    json: bool,
+}
+
+fn parse_list(value: &str) -> Result<Vec<usize>, String> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("invalid list entry: {part}"))
+        })
+        .collect()
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        populations: vec![1_000, 10_000, 100_000],
+        shard_counts: vec![1, 2, 4, 8],
+        config: ScaleConfig::default(),
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                options.populations = parse_list(&args.next().ok_or("--nodes needs a value")?)?;
+            }
+            "--shards" => {
+                options.shard_counts = parse_list(&args.next().ok_or("--shards needs a value")?)?;
+            }
+            "--rounds" => {
+                options.config.rounds = args
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|_| "invalid rounds".to_owned())?;
+            }
+            "--seed" => {
+                options.config.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "invalid seed".to_owned())?;
+            }
+            "--json" => options.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: scale [--nodes N,N,...] [--shards N,N,...] [--rounds N] [--seed N] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if options.populations.is_empty() || options.shard_counts.is_empty() {
+        return Err("populations and shard counts must be non-empty".to_owned());
+    }
+    if options.shard_counts.contains(&0) {
+        return Err("--shards entries must be at least 1".to_owned());
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "# sweeping populations {:?} across shard counts {:?} ({} rounds, seed {})...",
+        options.populations, options.shard_counts, options.config.rounds, options.config.seed
+    );
+    let report = scalability_sweep(&options.populations, &options.shard_counts, &options.config);
+    if options.json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        println!("{report}");
+    }
+}

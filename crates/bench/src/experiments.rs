@@ -13,10 +13,11 @@ use cyclosa_baselines::latency::LatencyProfile;
 use cyclosa_mechanism::{Mechanism, MechanismProperties};
 use cyclosa_net::time::SimTime;
 use cyclosa_nlp::categorizer::{CategorizerMethod, DetectionQuality, QueryCategorizer};
+use cyclosa_runtime::metrics::Histogram;
 use cyclosa_sgx::enclave::CostModel;
-use cyclosa_util::stats::{Cdf, Summary};
+use cyclosa_util::impl_to_json;
+use cyclosa_util::stats::Cdf;
 use cyclosa_workload::annotation::{AnnotationCampaign, AnnotationConfig};
-use serde::Serialize;
 use std::fmt;
 
 /// The number of fake queries used by the privacy experiments (Fig. 5/7).
@@ -29,7 +30,7 @@ pub const SYSTEM_K: usize = 3;
 // ---------------------------------------------------------------------------
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Mechanism name.
     pub mechanism: String,
@@ -44,7 +45,7 @@ pub struct Table1Row {
 }
 
 /// Table I: qualitative comparison of the mechanisms.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Report {
     /// Rows in the paper's column order.
     pub rows: Vec<Table1Row>,
@@ -77,7 +78,11 @@ pub fn table1(setup: &ExperimentSetup) -> Table1Report {
 impl fmt::Display for Table1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table I: comparison of private Web search mechanisms")?;
-        writeln!(f, "{:<12} {:>14} {:>20} {:>9} {:>12}", "Mechanism", "Unlinkability", "Indistinguishability", "Accuracy", "Scalability")?;
+        writeln!(
+            f,
+            "{:<12} {:>14} {:>20} {:>9} {:>12}",
+            "Mechanism", "Unlinkability", "Indistinguishability", "Accuracy", "Scalability"
+        )?;
         for row in &self.rows {
             let mark = |b: bool| if b { "yes" } else { "no" };
             writeln!(
@@ -99,7 +104,7 @@ impl fmt::Display for Table1Report {
 // ---------------------------------------------------------------------------
 
 /// One row of Table II.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Semantic tool (WordNet / LDA / WordNet + LDA).
     pub tool: String,
@@ -110,7 +115,7 @@ pub struct Table2Row {
 }
 
 /// Table II: detection of semantically sensitive queries (sexuality topic).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Report {
     /// Rows for the three detector variants.
     pub rows: Vec<Table2Row>,
@@ -146,17 +151,36 @@ pub fn table2(setup: &ExperimentSetup) -> Table2Report {
             .map(|q| categorizer.is_sensitive(&q.query.text, method))
             .collect();
         let quality = DetectionQuality::evaluate(&detections, &ground_truth);
-        rows.push(Table2Row { tool: name.to_owned(), precision: quality.precision, recall: quality.recall });
+        rows.push(Table2Row {
+            tool: name.to_owned(),
+            precision: quality.precision,
+            recall: quality.recall,
+        });
     }
-    Table2Report { rows, evaluated_queries: queries.len() }
+    Table2Report {
+        rows,
+        evaluated_queries: queries.len(),
+    }
 }
 
 impl fmt::Display for Table2Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table II: detection of semantically sensitive queries ({} queries)", self.evaluated_queries)?;
-        writeln!(f, "{:<16} {:>10} {:>8}", "Semantic tool", "Precision", "Recall")?;
+        writeln!(
+            f,
+            "Table II: detection of semantically sensitive queries ({} queries)",
+            self.evaluated_queries
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>8}",
+            "Semantic tool", "Precision", "Recall"
+        )?;
         for row in &self.rows {
-            writeln!(f, "{:<16} {:>10.2} {:>8.2}", row.tool, row.precision, row.recall)?;
+            writeln!(
+                f,
+                "{:<16} {:>10.2} {:>8.2}",
+                row.tool, row.precision, row.recall
+            )?;
         }
         Ok(())
     }
@@ -167,7 +191,7 @@ impl fmt::Display for Table2Report {
 // ---------------------------------------------------------------------------
 
 /// The §VII-C annotation-campaign statistic.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnnotationReport {
     /// Number of annotated queries.
     pub annotated_queries: usize,
@@ -180,7 +204,8 @@ pub struct AnnotationReport {
 /// Reproduces the crowd-sourcing campaign statistic.
 pub fn annotation(setup: &ExperimentSetup) -> AnnotationReport {
     let mut rng = setup.rng(0xA11);
-    let campaign = AnnotationCampaign::run(&setup.test_queries, AnnotationConfig::default(), &mut rng);
+    let campaign =
+        AnnotationCampaign::run(&setup.test_queries, AnnotationConfig::default(), &mut rng);
     AnnotationReport {
         annotated_queries: campaign.len(),
         sensitive_fraction: campaign.sensitive_fraction(),
@@ -190,9 +215,21 @@ pub fn annotation(setup: &ExperimentSetup) -> AnnotationReport {
 
 impl fmt::Display for AnnotationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Crowd-sourcing campaign (§VII-C): {} queries annotated", self.annotated_queries)?;
-        writeln!(f, "  sensitive fraction: {:.2}% (paper: 15.74%)", self.sensitive_fraction * 100.0)?;
-        writeln!(f, "  agreement with ground truth: {:.2}%", self.agreement_with_ground_truth * 100.0)
+        writeln!(
+            f,
+            "Crowd-sourcing campaign (§VII-C): {} queries annotated",
+            self.annotated_queries
+        )?;
+        writeln!(
+            f,
+            "  sensitive fraction: {:.2}% (paper: 15.74%)",
+            self.sensitive_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "  agreement with ground truth: {:.2}%",
+            self.agreement_with_ground_truth * 100.0
+        )
     }
 }
 
@@ -201,7 +238,7 @@ impl fmt::Display for AnnotationReport {
 // ---------------------------------------------------------------------------
 
 /// One bar of Fig. 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Row {
     /// Mechanism name.
     pub mechanism: String,
@@ -215,7 +252,7 @@ pub struct Fig5Row {
 }
 
 /// Fig. 5: robustness against the SimAttack re-identification attack.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Report {
     /// One row per mechanism.
     pub rows: Vec<Fig5Row>,
@@ -228,12 +265,17 @@ pub fn fig5(setup: &ExperimentSetup, k: usize) -> Fig5Report {
     let mut rows = Vec::new();
     let mut run = |name: &str, mechanism: &mut dyn Mechanism, label: u64| {
         let mut rng = setup.rng(0xF15 ^ label);
-        let report = evaluate_reidentification(mechanism, &setup.train, &setup.test_queries, &mut rng);
+        let report =
+            evaluate_reidentification(mechanism, &setup.train, &setup.test_queries, &mut rng);
         rows.push(Fig5Row {
             mechanism: name.to_owned(),
             rate_percent: report.rate_percent(),
             successful: report.successful,
-            denominator: if report.identity_exposed { report.real_queries } else { report.engine_requests },
+            denominator: if report.identity_exposed {
+                report.real_queries
+            } else {
+                report.engine_requests
+            },
         });
     };
     run("TOR", &mut setup.tor(), 1);
@@ -252,8 +294,16 @@ pub fn fig5(setup: &ExperimentSetup, k: usize) -> Fig5Report {
 
 impl fmt::Display for Fig5Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 5: re-identification rate (k = {}) — lower is better", self.k)?;
-        writeln!(f, "{:<12} {:>8} {:>12} {:>12}", "Mechanism", "Rate %", "Successes", "Denominator")?;
+        writeln!(
+            f,
+            "Fig. 5: re-identification rate (k = {}) — lower is better",
+            self.k
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>12} {:>12}",
+            "Mechanism", "Rate %", "Successes", "Denominator"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,
@@ -270,7 +320,7 @@ impl fmt::Display for Fig5Report {
 // ---------------------------------------------------------------------------
 
 /// One pair of bars of Fig. 6.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Mechanism name.
     pub mechanism: String,
@@ -281,7 +331,7 @@ pub struct Fig6Row {
 }
 
 /// Fig. 6: accuracy of the results returned to users.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Report {
     /// One row per mechanism.
     pub rows: Vec<Fig6Row>,
@@ -312,8 +362,16 @@ pub fn fig6(setup: &ExperimentSetup, k: usize) -> Fig6Report {
 
 impl fmt::Display for Fig6Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 6: accuracy of results returned to users (k = {})", self.k)?;
-        writeln!(f, "{:<12} {:>13} {:>14}", "Mechanism", "Correctness %", "Completeness %")?;
+        writeln!(
+            f,
+            "Fig. 6: accuracy of results returned to users (k = {})",
+            self.k
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>13} {:>14}",
+            "Mechanism", "Correctness %", "Completeness %"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,
@@ -330,7 +388,7 @@ impl fmt::Display for Fig6Report {
 // ---------------------------------------------------------------------------
 
 /// Fig. 7: CDF of the number of fake queries chosen by CYCLOSA.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Report {
     /// `(k, cumulative percent of queries with <= k fakes)` pairs.
     pub cdf: Vec<(usize, f64)>,
@@ -354,7 +412,12 @@ pub fn fig7(setup: &ExperimentSetup, k_max: usize) -> Fig7Report {
     let ks = cyclosa.k_history();
     let total = ks.len().max(1) as f64;
     let cdf: Vec<(usize, f64)> = (0..=k_max)
-        .map(|k| (k, ks.iter().filter(|&&v| v <= k).count() as f64 / total * 100.0))
+        .map(|k| {
+            (
+                k,
+                ks.iter().filter(|&&v| v <= k).count() as f64 / total * 100.0,
+            )
+        })
         .collect();
     Fig7Report {
         fraction_zero: ks.iter().filter(|&&v| v == 0).count() as f64 / total,
@@ -367,13 +430,25 @@ pub fn fig7(setup: &ExperimentSetup, k_max: usize) -> Fig7Report {
 
 impl fmt::Display for Fig7Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 7: CDF of the number of fake queries (kmax = {})", self.k_max)?;
+        writeln!(
+            f,
+            "Fig. 7: CDF of the number of fake queries (kmax = {})",
+            self.k_max
+        )?;
         writeln!(f, "{:>3} {:>8}", "k", "CDF %")?;
         for (k, pct) in &self.cdf {
             writeln!(f, "{k:>3} {pct:>8.1}")?;
         }
-        writeln!(f, "no fakes needed: {:.1}% of queries", self.fraction_zero * 100.0)?;
-        writeln!(f, "maximum protection: {:.1}% of queries", self.fraction_k_max * 100.0)?;
+        writeln!(
+            f,
+            "no fakes needed: {:.1}% of queries",
+            self.fraction_zero * 100.0
+        )?;
+        writeln!(
+            f,
+            "maximum protection: {:.1}% of queries",
+            self.fraction_k_max * 100.0
+        )?;
         writeln!(f, "mean k: {:.2}", self.mean_k)
     }
 }
@@ -382,21 +457,24 @@ impl fmt::Display for Fig7Report {
 // Fig. 8a / 8b — end-to-end latency
 // ---------------------------------------------------------------------------
 
-/// One latency distribution of Fig. 8a.
-#[derive(Debug, Clone, Serialize)]
+/// One latency distribution of Fig. 8a, summarized through the shared
+/// log-linear histogram of `cyclosa_runtime::metrics`.
+#[derive(Debug, Clone)]
 pub struct LatencyRow {
     /// System name (Direct, X-Search, CYCLOSA, TOR) or `k=<n>` for Fig. 8b.
     pub label: String,
     /// Median latency in seconds.
-    pub median_s: f64,
+    pub p50_s: f64,
     /// 95th percentile latency in seconds.
     pub p95_s: f64,
+    /// 99th percentile latency in seconds.
+    pub p99_s: f64,
     /// Number of samples.
     pub samples: usize,
 }
 
 /// Fig. 8a / Fig. 8b report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyReport {
     /// The figure this report reproduces ("8a" or "8b").
     pub figure: String,
@@ -405,8 +483,18 @@ pub struct LatencyReport {
 }
 
 fn latency_row(label: &str, samples: &[f64]) -> LatencyRow {
-    let summary = Summary::from_samples(samples);
-    LatencyRow { label: label.to_owned(), median_s: summary.median, p95_s: summary.p95, samples: summary.count }
+    let histogram = Histogram::new();
+    for &sample in samples {
+        histogram.record_secs_f64(sample);
+    }
+    let snapshot = histogram.snapshot();
+    LatencyRow {
+        label: label.to_owned(),
+        p50_s: snapshot.p50 as f64 / 1e9,
+        p95_s: snapshot.p95 as f64 / 1e9,
+        p99_s: snapshot.p99 as f64 / 1e9,
+        samples: snapshot.count as usize,
+    }
 }
 
 /// Regenerates Fig. 8a: end-to-end latency of Direct, X-Search, CYCLOSA and
@@ -415,11 +503,16 @@ pub fn fig8a(setup: &ExperimentSetup, queries: usize) -> LatencyReport {
     let profile = LatencyProfile::default();
     let cost = CostModel::default();
     let mut rng = setup.rng(0xF8A);
-    let direct: Vec<f64> = (0..queries).map(|_| profile.direct(&mut rng).as_secs_f64()).collect();
+    let direct: Vec<f64> = (0..queries)
+        .map(|_| profile.direct(&mut rng).as_secs_f64())
+        .collect();
     let xsearch_processing = SimTime::from_nanos(xsearch_service_time_ns(&cost, 512, SYSTEM_K));
-    let xsearch: Vec<f64> =
-        (0..queries).map(|_| profile.xsearch(&mut rng, xsearch_processing).as_secs_f64()).collect();
-    let tor: Vec<f64> = (0..queries).map(|_| profile.tor(&mut rng).as_secs_f64()).collect();
+    let xsearch: Vec<f64> = (0..queries)
+        .map(|_| profile.xsearch(&mut rng, xsearch_processing).as_secs_f64())
+        .collect();
+    let tor: Vec<f64> = (0..queries)
+        .map(|_| profile.tor(&mut rng).as_secs_f64())
+        .collect();
     let cyclosa = run_end_to_end_latency(EndToEndConfig {
         relays: 50,
         k: SYSTEM_K,
@@ -456,15 +549,26 @@ pub fn fig8b(setup: &ExperimentSetup, queries: usize) -> LatencyReport {
             latency_row(&format!("k={k}"), &samples)
         })
         .collect();
-    LatencyReport { figure: "8b".to_owned(), rows }
+    LatencyReport {
+        figure: "8b".to_owned(),
+        rows,
+    }
 }
 
 impl fmt::Display for LatencyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. {}: end-to-end latency", self.figure)?;
-        writeln!(f, "{:<10} {:>10} {:>10} {:>9}", "System", "Median s", "p95 s", "Samples")?;
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>10} {:>10} {:>9}",
+            "System", "p50 s", "p95 s", "p99 s", "Samples"
+        )?;
         for row in &self.rows {
-            writeln!(f, "{:<10} {:>10.3} {:>10.3} {:>9}", row.label, row.median_s, row.p95_s, row.samples)?;
+            writeln!(
+                f,
+                "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+                row.label, row.p50_s, row.p95_s, row.p99_s, row.samples
+            )?;
         }
         Ok(())
     }
@@ -475,7 +579,7 @@ impl fmt::Display for LatencyReport {
 // ---------------------------------------------------------------------------
 
 /// One offered-load point of Fig. 8c.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8cRow {
     /// Offered load in requests per second.
     pub offered_rps: f64,
@@ -488,7 +592,7 @@ pub struct Fig8cRow {
 }
 
 /// Fig. 8c report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8cReport {
     /// One row per offered load.
     pub rows: Vec<Fig8cRow>,
@@ -498,7 +602,9 @@ pub struct Fig8cReport {
 /// X-SEARCH proxy, no engine forwarding).
 pub fn fig8c() -> Fig8cReport {
     let cost = CostModel::default();
-    let rates = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0];
+    let rates = [
+        1_000.0, 2_500.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0,
+    ];
     let cyclosa_curve = throughput_latency_curve(relay_service_time_ns(&cost, 512), &rates, 5.3);
     let xsearch_curve =
         throughput_latency_curve(xsearch_service_time_ns(&cost, 512, SYSTEM_K), &rates, 5.3);
@@ -518,8 +624,15 @@ pub fn fig8c() -> Fig8cReport {
 
 impl fmt::Display for Fig8cReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 8c: throughput vs latency (relay/proxy only, no engine)")?;
-        writeln!(f, "{:>12} {:>14} {:>15}", "Offered req/s", "CYCLOSA s", "X-Search s")?;
+        writeln!(
+            f,
+            "Fig. 8c: throughput vs latency (relay/proxy only, no engine)"
+        )?;
+        writeln!(
+            f,
+            "{:>12} {:>14} {:>15}",
+            "Offered req/s", "CYCLOSA s", "X-Search s"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,
@@ -527,7 +640,11 @@ impl fmt::Display for Fig8cReport {
                 row.offered_rps,
                 row.cyclosa_latency_s,
                 row.xsearch_latency_s,
-                if row.xsearch_saturated { "  (saturated)" } else { "" }
+                if row.xsearch_saturated {
+                    "  (saturated)"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())
@@ -539,7 +656,7 @@ impl fmt::Display for Fig8cReport {
 // ---------------------------------------------------------------------------
 
 /// Fig. 8d report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8dReport {
     /// Bucket end times in minutes.
     pub minutes: Vec<u64>,
@@ -561,7 +678,10 @@ pub struct Fig8dReport {
 
 /// Regenerates Fig. 8d (100 most-active users, 90 minutes, k = 3).
 pub fn fig8d(seed: u64) -> Fig8dReport {
-    let report = run_load_experiment(LoadExperimentConfig { seed, ..LoadExperimentConfig::default() });
+    let report = run_load_experiment(LoadExperimentConfig {
+        seed,
+        ..LoadExperimentConfig::default()
+    });
     Fig8dReport {
         minutes: report.bucket_minutes,
         cyclosa_mean_per_node: report.cyclosa_mean_per_node,
@@ -576,7 +696,11 @@ pub fn fig8d(seed: u64) -> Fig8dReport {
 
 impl fmt::Display for Fig8dReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 8d: per-node load vs engine rate limit ({} req/h budget)", self.engine_hourly_limit)?;
+        writeln!(
+            f,
+            "Fig. 8d: per-node load vs engine rate limit ({} req/h budget)",
+            self.engine_hourly_limit
+        )?;
         writeln!(
             f,
             "{:>7} {:>14} {:>13} {:>13} {:>13}",
@@ -594,7 +718,11 @@ impl fmt::Display for Fig8dReport {
             )?;
         }
         writeln!(f, "CYCLOSA requests rejected: {}", self.cyclosa_rejected)?;
-        writeln!(f, "CYCLOSA load fairness (Jain): {:.3}", self.cyclosa_fairness)
+        writeln!(
+            f,
+            "CYCLOSA load fairness (Jain): {:.3}",
+            self.cyclosa_fairness
+        )
     }
 }
 
@@ -603,7 +731,7 @@ impl fmt::Display for Fig8dReport {
 // ---------------------------------------------------------------------------
 
 /// One arm of an ablation experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant name.
     pub variant: String,
@@ -616,7 +744,7 @@ pub struct AblationRow {
 }
 
 /// An ablation report (adaptive-k, fake source, or path separation).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationReport {
     /// The ablation name.
     pub name: String,
@@ -646,9 +774,17 @@ fn ablation_row(
 pub fn ablation_adaptive(setup: &ExperimentSetup, k_max: usize) -> AblationReport {
     let rows = vec![
         ablation_row(setup, "adaptive k (CYCLOSA)", &mut setup.cyclosa(k_max), 1),
-        ablation_row(setup, "fixed k = kmax", &mut setup.cyclosa(k_max).with_fixed_k(), 2),
+        ablation_row(
+            setup,
+            "fixed k = kmax",
+            &mut setup.cyclosa(k_max).with_fixed_k(),
+            2,
+        ),
     ];
-    AblationReport { name: "adaptive protection".to_owned(), rows }
+    AblationReport {
+        name: "adaptive protection".to_owned(),
+        rows,
+    }
 }
 
 /// Ablation: fake queries from past queries versus from a dictionary.
@@ -660,7 +796,12 @@ pub fn ablation_fakes(setup: &ExperimentSetup, k: usize) -> AblationReport {
         .flat_map(|t| t.terms.iter().map(|s| s.to_string()))
         .collect();
     let rows = vec![
-        ablation_row(setup, "past-query fakes (CYCLOSA)", &mut setup.cyclosa(k), 3),
+        ablation_row(
+            setup,
+            "past-query fakes (CYCLOSA)",
+            &mut setup.cyclosa(k),
+            3,
+        ),
         ablation_row(
             setup,
             "dictionary fakes",
@@ -668,16 +809,27 @@ pub fn ablation_fakes(setup: &ExperimentSetup, k: usize) -> AblationReport {
             4,
         ),
     ];
-    AblationReport { name: "fake-query source".to_owned(), rows }
+    AblationReport {
+        name: "fake-query source".to_owned(),
+        rows,
+    }
 }
 
 /// Ablation: separate relay paths versus a single OR-aggregated path.
 pub fn ablation_paths(setup: &ExperimentSetup, k: usize) -> AblationReport {
     let rows = vec![
         ablation_row(setup, "separate paths (CYCLOSA)", &mut setup.cyclosa(k), 5),
-        ablation_row(setup, "single OR path", &mut setup.cyclosa(k).with_single_path(), 6),
+        ablation_row(
+            setup,
+            "single OR path",
+            &mut setup.cyclosa(k).with_single_path(),
+            6,
+        ),
     ];
-    AblationReport { name: "path separation".to_owned(), rows }
+    AblationReport {
+        name: "path separation".to_owned(),
+        rows,
+    }
 }
 
 impl fmt::Display for AblationReport {
@@ -710,5 +862,90 @@ pub fn fig7_raw_cdf(setup: &ExperimentSetup, k_max: usize) -> Cdf {
     for q in &setup.test_queries {
         cyclosa.protect(&q.query, &mut rng);
     }
-    Cdf::from_samples(&cyclosa.k_history().iter().map(|&k| k as f64).collect::<Vec<_>>())
+    Cdf::from_samples(
+        &cyclosa
+            .k_history()
+            .iter()
+            .map(|&k| k as f64)
+            .collect::<Vec<_>>(),
+    )
 }
+
+// ---------------------------------------------------------------------------
+// JSON report serialization (`repro --json`)
+// ---------------------------------------------------------------------------
+
+impl_to_json!(Table1Row {
+    mechanism,
+    unlinkability,
+    indistinguishability,
+    accuracy,
+    scalability
+});
+impl_to_json!(Table1Report { rows });
+impl_to_json!(Table2Row {
+    tool,
+    precision,
+    recall
+});
+impl_to_json!(Table2Report {
+    rows,
+    evaluated_queries
+});
+impl_to_json!(AnnotationReport {
+    annotated_queries,
+    sensitive_fraction,
+    agreement_with_ground_truth
+});
+impl_to_json!(Fig5Row {
+    mechanism,
+    rate_percent,
+    successful,
+    denominator
+});
+impl_to_json!(Fig5Report { rows, k });
+impl_to_json!(Fig6Row {
+    mechanism,
+    correctness_percent,
+    completeness_percent
+});
+impl_to_json!(Fig6Report { rows, k });
+impl_to_json!(Fig7Report {
+    cdf,
+    fraction_zero,
+    fraction_k_max,
+    mean_k,
+    k_max
+});
+impl_to_json!(LatencyRow {
+    label,
+    p50_s,
+    p95_s,
+    p99_s,
+    samples
+});
+impl_to_json!(LatencyReport { figure, rows });
+impl_to_json!(Fig8cRow {
+    offered_rps,
+    cyclosa_latency_s,
+    xsearch_latency_s,
+    xsearch_saturated
+});
+impl_to_json!(Fig8cReport { rows });
+impl_to_json!(Fig8dReport {
+    minutes,
+    cyclosa_mean_per_node,
+    cyclosa_max_per_node,
+    xsearch_admitted,
+    xsearch_rejected,
+    engine_hourly_limit,
+    cyclosa_fairness,
+    cyclosa_rejected
+});
+impl_to_json!(AblationRow {
+    variant,
+    reidentification_percent,
+    engine_requests_per_query,
+    completeness_percent
+});
+impl_to_json!(AblationReport { name, rows });

@@ -10,7 +10,9 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod scalability;
 pub mod setup;
 
 pub use experiments::*;
+pub use scalability::{scalability_sweep, ScaleConfig, ScalePoint, ScaleReport};
 pub use setup::{ExperimentScale, ExperimentSetup};

@@ -10,7 +10,9 @@ use cyclosa_nlp::lexicon::Lexicon;
 use cyclosa_search_engine::corpus::CorpusGenerator;
 use cyclosa_search_engine::{EngineConfig, Index, SearchEngine};
 use cyclosa_util::rng::Xoshiro256StarStar;
-use cyclosa_workload::generator::{LabeledQuery, QueryLog, UserTrace, WorkloadConfig, WorkloadGenerator};
+use cyclosa_workload::generator::{
+    LabeledQuery, QueryLog, UserTrace, WorkloadConfig, WorkloadGenerator,
+};
 use cyclosa_workload::topics::{seed_queries, sensitive_corpus, synthetic_lexicon, TopicCatalog};
 
 /// How large an experiment to run.
@@ -28,8 +30,16 @@ impl ExperimentScale {
     /// The workload configuration for this scale.
     pub fn workload_config(self) -> WorkloadConfig {
         match self {
-            ExperimentScale::Small => WorkloadConfig { users: 24, mean_queries_per_user: 40, ..WorkloadConfig::default() },
-            ExperimentScale::Default => WorkloadConfig { users: 100, mean_queries_per_user: 60, ..WorkloadConfig::default() },
+            ExperimentScale::Small => WorkloadConfig {
+                users: 24,
+                mean_queries_per_user: 40,
+                ..WorkloadConfig::default()
+            },
+            ExperimentScale::Default => WorkloadConfig {
+                users: 100,
+                mean_queries_per_user: 60,
+                ..WorkloadConfig::default()
+            },
             ExperimentScale::Paper => WorkloadConfig::default(),
         }
     }
@@ -60,7 +70,9 @@ impl std::str::FromStr for ExperimentScale {
             "small" => Ok(ExperimentScale::Small),
             "default" => Ok(ExperimentScale::Default),
             "paper" => Ok(ExperimentScale::Paper),
-            other => Err(format!("unknown scale {other} (expected small|default|paper)")),
+            other => Err(format!(
+                "unknown scale {other} (expected small|default|paper)"
+            )),
         }
     }
 }
@@ -147,10 +159,17 @@ impl ExperimentSetup {
     /// Builds a fully seeded CYCLOSA mechanism with `k_max`.
     pub fn cyclosa(&self, k_max: usize) -> Cyclosa {
         let config = ProtectionConfig::with_k_max(k_max);
-        let mut cyclosa = Cyclosa::new(config.clone(), self.categorizer(&config), CategorizerMethod::Combined);
+        let mut cyclosa = Cyclosa::new(
+            config.clone(),
+            self.categorizer(&config),
+            CategorizerMethod::Combined,
+        );
         cyclosa.seed_fake_pool(self.seed_queries.iter().map(|s| s.as_str()));
         for trace in &self.train {
-            cyclosa.register_user_history(trace.user, trace.queries.iter().map(|q| q.query.text.as_str()));
+            cyclosa.register_user_history(
+                trace.user,
+                trace.queries.iter().map(|q| q.query.text.as_str()),
+            );
         }
         cyclosa
     }
@@ -205,7 +224,12 @@ impl ExperimentSetup {
     pub fn training_histories(&self) -> Vec<(UserId, Vec<&str>)> {
         self.train
             .iter()
-            .map(|t| (t.user, t.queries.iter().map(|q| q.query.text.as_str()).collect()))
+            .map(|t| {
+                (
+                    t.user,
+                    t.queries.iter().map(|q| q.query.text.as_str()).collect(),
+                )
+            })
             .collect()
     }
 }

@@ -18,14 +18,22 @@ pub struct ProtectionConfig {
 
 impl Default for ProtectionConfig {
     fn default() -> Self {
-        Self { k_max: 7, past_query_capacity: 2_000, linkability_alpha: 0.7, lda_terms_per_topic: 6 }
+        Self {
+            k_max: 7,
+            past_query_capacity: 2_000,
+            linkability_alpha: 0.7,
+            lda_terms_per_topic: 6,
+        }
     }
 }
 
 impl ProtectionConfig {
     /// The configuration used by the system experiments (k fixed small).
     pub fn with_k_max(k_max: usize) -> Self {
-        Self { k_max, ..Self::default() }
+        Self {
+            k_max,
+            ..Self::default()
+        }
     }
 
     /// Validates the configuration.
@@ -62,19 +70,28 @@ mod tests {
     fn with_k_max_overrides_only_k() {
         let config = ProtectionConfig::with_k_max(3);
         assert_eq!(config.k_max, 3);
-        assert_eq!(config.past_query_capacity, ProtectionConfig::default().past_query_capacity);
+        assert_eq!(
+            config.past_query_capacity,
+            ProtectionConfig::default().past_query_capacity
+        );
     }
 
     #[test]
     fn validation_rejects_bad_fields() {
-        let mut config = ProtectionConfig::default();
-        config.past_query_capacity = 0;
+        let config = ProtectionConfig {
+            past_query_capacity: 0,
+            ..ProtectionConfig::default()
+        };
         assert!(config.validate().is_err());
-        let mut config = ProtectionConfig::default();
-        config.linkability_alpha = 0.0;
+        let config = ProtectionConfig {
+            linkability_alpha: 0.0,
+            ..ProtectionConfig::default()
+        };
         assert!(config.validate().is_err());
-        let mut config = ProtectionConfig::default();
-        config.lda_terms_per_topic = 0;
+        let config = ProtectionConfig {
+            lda_terms_per_topic: 0,
+            ..ProtectionConfig::default()
+        };
         assert!(config.validate().is_err());
     }
 }

@@ -4,7 +4,12 @@
 //!   a population of relays and the search engine, producing the per-query
 //!   end-to-end latency distribution (Fig. 8a, Fig. 8b). The latency of a
 //!   protected query is the latency of its *real* query path: fake queries
-//!   travel in parallel and their responses are dropped.
+//!   travel in parallel and their responses are dropped. The experiment is
+//!   generic over the execution engine ([`run_end_to_end_latency_on`]):
+//!   it produces bit-identical output on the sequential simulator and on
+//!   the sharded parallel engine ([`run_end_to_end_latency_sharded`]),
+//!   and threads [`DeploymentMetrics`] through relay forwarding, engine
+//!   queries and the client's latency accounting.
 //! * [`throughput_latency_curve`] — the closed-loop relay saturation curve
 //!   of Fig. 8c, driven by the SGX cost model and an M/D/1 queueing
 //!   approximation of the relay's request pipeline.
@@ -14,22 +19,71 @@
 //!   through a single X-SEARCH proxy that the engine promptly blocks.
 
 use crate::node::CyclosaNode;
+use cyclosa_net::engine::Engine;
 use cyclosa_net::latency::LatencyModel;
 use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation};
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
+use cyclosa_runtime::metrics::{Counter, Histogram, Registry};
+use cyclosa_runtime::ShardedEngine;
 use cyclosa_search_engine::ratelimit::{RateLimiter, RateLimiterConfig};
 use cyclosa_sgx::enclave::CostModel;
 use cyclosa_util::dist::Exponential;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
 use cyclosa_util::stats::jain_fairness;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const TAG_FORWARD: u32 = 1;
 const TAG_ENGINE_QUERY: u32 = 2;
 const TAG_ENGINE_RESPONSE: u32 = 3;
 const TAG_RESPONSE: u32 = 4;
+
+/// Metric handles threaded through the simulated deployment: relay
+/// forwarding, search-engine queries and the client's end-to-end latency.
+///
+/// Handles are cheap `Arc` clones, so one set can be shared by every relay
+/// across every shard of the parallel engine. Recording never feeds back
+/// into scheduling — instrumented runs remain bit-identical.
+#[derive(Debug, Clone)]
+pub struct DeploymentMetrics {
+    /// Requests forwarded by relays towards the engine.
+    pub relay_forwarded: Counter,
+    /// Distribution of in-enclave relay service times (ns).
+    pub relay_service_ns: Histogram,
+    /// Queries received by the search engine.
+    pub engine_queries: Counter,
+    /// Distribution of engine processing delays (ns).
+    pub engine_processing_ns: Histogram,
+    /// Distribution of real-query end-to-end latencies (ns).
+    pub end_to_end_ns: Histogram,
+}
+
+impl DeploymentMetrics {
+    /// Registers the deployment metrics under their canonical names
+    /// (`relay.forwarded`, `relay.service_ns`, `engine.queries`,
+    /// `engine.processing_ns`, `client.end_to_end_ns`).
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            relay_forwarded: registry.counter("relay.forwarded"),
+            relay_service_ns: registry.histogram("relay.service_ns"),
+            engine_queries: registry.counter("engine.queries"),
+            engine_processing_ns: registry.histogram("engine.processing_ns"),
+            end_to_end_ns: registry.histogram("client.end_to_end_ns"),
+        }
+    }
+
+    /// Free-standing handles not attached to any registry (used when the
+    /// caller does not care about metrics).
+    pub fn detached() -> Self {
+        Self {
+            relay_forwarded: Counter::new(),
+            relay_service_ns: Histogram::new(),
+            engine_queries: Counter::new(),
+            engine_processing_ns: Histogram::new(),
+            end_to_end_ns: Histogram::new(),
+        }
+    }
+}
 
 /// Configuration of the end-to-end latency experiment (Fig. 8a / 8b).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +140,7 @@ struct RelayBehavior {
     engine: NodeId,
     processing: SimTime,
     pending: Vec<Envelope>,
+    metrics: DeploymentMetrics,
 }
 
 impl NodeBehavior for RelayBehavior {
@@ -109,6 +164,8 @@ impl NodeBehavior for RelayBehavior {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         if let Some(envelope) = self.pending.get(token as usize) {
+            self.metrics.relay_forwarded.inc();
+            self.metrics.relay_service_ns.record_time(self.processing);
             ctx.send(self.engine, TAG_ENGINE_QUERY, envelope.payload.clone());
         }
     }
@@ -118,6 +175,7 @@ struct EngineBehavior {
     processing: LatencyModel,
     rng: Xoshiro256StarStar,
     pending: Vec<(NodeId, Vec<u8>)>,
+    metrics: DeploymentMetrics,
 }
 
 impl NodeBehavior for EngineBehavior {
@@ -126,6 +184,8 @@ impl NodeBehavior for EngineBehavior {
             return;
         }
         let delay = self.processing.sample(&mut self.rng);
+        self.metrics.engine_queries.inc();
+        self.metrics.engine_processing_ns.record_time(delay);
         self.pending.push((envelope.src, envelope.payload));
         ctx.set_timer(delay, (self.pending.len() - 1) as u64);
     }
@@ -143,7 +203,8 @@ struct ClientBehavior {
     queries: Vec<String>,
     rng: Xoshiro256StarStar,
     sent_at: Vec<Option<SimTime>>,
-    latencies: Rc<RefCell<Vec<f64>>>,
+    latencies: Arc<Mutex<Vec<f64>>>,
+    metrics: DeploymentMetrics,
     uplink_per_request: SimTime,
     /// Deferred sends: (destination, payload) scheduled behind the uplink.
     outbox: Vec<(NodeId, Vec<u8>)>,
@@ -157,12 +218,19 @@ impl NodeBehavior for ClientBehavior {
         let text = String::from_utf8_lossy(&envelope.payload).to_string();
         let mut parts = text.splitn(4, '|');
         let _client = parts.next();
-        let seq: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(usize::MAX);
+        let seq: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(usize::MAX);
         let flag = parts.next().unwrap_or("");
         if flag == "R" {
             if let Some(Some(sent)) = self.sent_at.get(seq) {
-                let latency = (ctx.now().saturating_sub(*sent)).as_secs_f64();
-                self.latencies.borrow_mut().push(latency);
+                let elapsed = ctx.now().saturating_sub(*sent);
+                self.metrics.end_to_end_ns.record_time(elapsed);
+                self.latencies
+                    .lock()
+                    .expect("latency sink poisoned")
+                    .push(elapsed.as_secs_f64());
             }
         }
         // Responses to fake queries are silently dropped (paper §IV step 8).
@@ -173,7 +241,8 @@ impl NodeBehavior for ClientBehavior {
         // above it identify entries of the outbox whose uplink slot arrived.
         const OUTBOX_BASE: u64 = 1 << 40;
         if token >= OUTBOX_BASE {
-            if let Some((relay, payload)) = self.outbox.get((token - OUTBOX_BASE) as usize).cloned() {
+            if let Some((relay, payload)) = self.outbox.get((token - OUTBOX_BASE) as usize).cloned()
+            {
                 ctx.send(relay, TAG_FORWARD, payload);
             }
             return;
@@ -194,10 +263,9 @@ impl NodeBehavior for ClientBehavior {
             let payload = format!("{}|{}|{}|{}", ctx.self_id().0, seq, flag, query);
             // Requests leave the client one uplink slot apart, in random
             // relay order (slot order is already a random permutation).
-            self.outbox.push((self.relays[relay_index], payload.into_bytes()));
-            let delay = SimTime::from_nanos(
-                self.uplink_per_request.as_nanos() * (slot as u64 + 1),
-            );
+            self.outbox
+                .push((self.relays[relay_index], payload.into_bytes()));
+            let delay = SimTime::from_nanos(self.uplink_per_request.as_nanos() * (slot as u64 + 1));
             ctx.set_timer(delay, OUTBOX_BASE + (self.outbox.len() - 1) as u64);
         }
     }
@@ -209,32 +277,50 @@ fn parse_client(payload: &[u8]) -> Option<NodeId> {
     Some(NodeId(id))
 }
 
-/// Runs the end-to-end latency experiment and returns the per-query
-/// latencies (seconds) of the real-query path.
-pub fn run_end_to_end_latency(config: EndToEndConfig) -> Vec<f64> {
-    assert!(config.relays >= config.k + 1, "need at least k + 1 relays");
-    let mut sim = Simulation::new(config.seed);
-    sim.set_default_latency(LatencyModel::wan());
+/// Runs the end-to-end latency experiment on `engine_impl` — any
+/// [`Engine`], sequential or sharded — recording into `metrics` and
+/// returning the per-query latencies (seconds) of the real-query path.
+///
+/// For a given `config.seed` the result is bit-identical across engines
+/// and shard counts (see `cyclosa_net::engine` for why).
+pub fn run_end_to_end_latency_on<E: Engine>(
+    engine_impl: &mut E,
+    config: &EndToEndConfig,
+    metrics: &DeploymentMetrics,
+) -> Vec<f64> {
+    assert!(config.relays > config.k, "need at least k + 1 relays");
+    engine_impl.set_default_latency(LatencyModel::wan());
     let engine = NodeId(0);
     let relays: Vec<NodeId> = (1..=config.relays as u64).map(NodeId).collect();
     let client = NodeId(config.relays as u64 + 1);
 
     let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed ^ 0xC11E);
-    sim.add_node(
+    engine_impl.add_node(
         engine,
         Box::new(EngineBehavior {
             processing: LatencyModel::search_engine_processing(),
             rng: rng.fork(1),
             pending: Vec::new(),
+            metrics: metrics.clone(),
         }),
     );
     let processing = SimTime::from_nanos(relay_service_time_ns(&config.cost, 512));
     for &relay in &relays {
-        sim.add_node(relay, Box::new(RelayBehavior { engine, processing, pending: Vec::new() }));
+        engine_impl.add_node(
+            relay,
+            Box::new(RelayBehavior {
+                engine,
+                processing,
+                pending: Vec::new(),
+                metrics: metrics.clone(),
+            }),
+        );
     }
-    let latencies = Rc::new(RefCell::new(Vec::new()));
-    let queries: Vec<String> = (0..config.queries).map(|i| format!("query number {i} terms")).collect();
-    sim.add_node(
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let queries: Vec<String> = (0..config.queries)
+        .map(|i| format!("query number {i} terms"))
+        .collect();
+    engine_impl.add_node(
         client,
         Box::new(ClientBehavior {
             relays: relays.clone(),
@@ -243,17 +329,33 @@ pub fn run_end_to_end_latency(config: EndToEndConfig) -> Vec<f64> {
             rng: rng.fork(2),
             sent_at: Vec::new(),
             latencies: latencies.clone(),
+            metrics: metrics.clone(),
             uplink_per_request: config.client_uplink_per_request,
             outbox: Vec::new(),
         }),
     );
     // One query every 500 ms of simulated time.
     for i in 0..config.queries {
-        sim.schedule_timer(SimTime::from_millis(500 * i as u64), client, i as u64);
+        engine_impl.schedule_timer(SimTime::from_millis(500 * i as u64), client, i as u64);
     }
-    sim.run();
-    let collected = latencies.borrow().clone();
+    engine_impl.run();
+    let collected = latencies.lock().expect("latency sink poisoned").clone();
     collected
+}
+
+/// Runs the end-to-end latency experiment on the sequential simulator and
+/// returns the per-query latencies (seconds) of the real-query path.
+pub fn run_end_to_end_latency(config: EndToEndConfig) -> Vec<f64> {
+    let mut simulation = Simulation::new(config.seed);
+    run_end_to_end_latency_on(&mut simulation, &config, &DeploymentMetrics::detached())
+}
+
+/// Runs the end-to-end latency experiment on the sharded parallel engine
+/// with `shards` worker threads. Same seed ⇒ same output as
+/// [`run_end_to_end_latency`], bit for bit.
+pub fn run_end_to_end_latency_sharded(config: EndToEndConfig, shards: usize) -> Vec<f64> {
+    let mut engine = ShardedEngine::new(config.seed, shards);
+    run_end_to_end_latency_on(&mut engine, &config, &DeploymentMetrics::detached())
 }
 
 /// One point of the Fig. 8c throughput/latency curve.
@@ -283,7 +385,11 @@ pub fn throughput_latency_curve(
         .map(|&rate| {
             let utilization = rate * service_s;
             if utilization >= 1.0 {
-                ThroughputPoint { offered_rps: rate, latency_s: saturation_latency_s, saturated: true }
+                ThroughputPoint {
+                    offered_rps: rate,
+                    latency_s: saturation_latency_s,
+                    saturated: true,
+                }
             } else {
                 // M/D/1 mean waiting time plus a base network round trip to
                 // the next hop (the experiment measures the reply from the
@@ -404,7 +510,10 @@ pub fn run_load_experiment(config: LoadExperimentConfig) -> LoadReport {
         // the 10,500 req/hour figure, so we model each as a separate engine
         // request from the same identity.
         for _ in 0..(config.k + 1) {
-            if xsearch_limiter.submit(xsearch_proxy_identity, at).is_admitted() {
+            if xsearch_limiter
+                .submit(xsearch_proxy_identity, at)
+                .is_admitted()
+            {
                 xsearch_admitted[bucket] += 1;
             } else {
                 xsearch_rejected[bucket] += 1;
@@ -412,7 +521,9 @@ pub fn run_load_experiment(config: LoadExperimentConfig) -> LoadReport {
         }
     }
 
-    let bucket_ends: Vec<u64> = (1..=buckets as u64).map(|b| b * config.bucket_minutes).collect();
+    let bucket_ends: Vec<u64> = (1..=buckets as u64)
+        .map(|b| b * config.bucket_minutes)
+        .collect();
     let cyclosa_mean_per_node: Vec<f64> = cyclosa_per_node_bucket
         .iter()
         .map(|nodes| nodes.iter().sum::<u64>() as f64 / config.users as f64)
@@ -460,8 +571,12 @@ pub fn converge_peer_views(nodes: &mut [CyclosaNode], rounds: usize, seed: u64) 
             }
             let buffer_i = nodes[i].peer_sampling().prepare_buffer(&mut rng);
             let buffer_j = nodes[j].peer_sampling().prepare_buffer(&mut rng);
-            nodes[j].peer_sampling_mut().merge(&buffer_i, &buffer_j, &mut rng);
-            nodes[i].peer_sampling_mut().merge(&buffer_j, &buffer_i, &mut rng);
+            nodes[j]
+                .peer_sampling_mut()
+                .merge(&buffer_i, &buffer_j, &mut rng);
+            nodes[i]
+                .peer_sampling_mut()
+                .merge(&buffer_j, &buffer_i, &mut rng);
         }
     }
 }
@@ -473,18 +588,85 @@ mod tests {
 
     #[test]
     fn end_to_end_latency_is_sub_second_at_the_median() {
-        let config = EndToEndConfig { relays: 20, k: 3, queries: 60, ..EndToEndConfig::default() };
+        let config = EndToEndConfig {
+            relays: 20,
+            k: 3,
+            queries: 60,
+            ..EndToEndConfig::default()
+        };
         let latencies = run_end_to_end_latency(config);
         assert!(latencies.len() >= 55, "only {} samples", latencies.len());
         let summary = Summary::from_samples(&latencies);
-        assert!(summary.median > 0.3 && summary.median < 2.0, "median {}", summary.median);
+        assert!(
+            summary.median > 0.3 && summary.median < 2.0,
+            "median {}",
+            summary.median
+        );
+    }
+
+    #[test]
+    fn sharded_engines_reproduce_the_sequential_latencies_exactly() {
+        let config = EndToEndConfig {
+            relays: 15,
+            k: 2,
+            queries: 30,
+            ..EndToEndConfig::default()
+        };
+        let sequential = run_end_to_end_latency(config);
+        assert!(!sequential.is_empty());
+        for shards in [1, 2, 4] {
+            assert_eq!(
+                run_end_to_end_latency_sharded(config, shards),
+                sequential,
+                "latencies diverged with {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn deployment_metrics_observe_the_experiment() {
+        let registry = cyclosa_runtime::Registry::new();
+        let metrics = DeploymentMetrics::register(&registry);
+        let config = EndToEndConfig {
+            relays: 10,
+            k: 3,
+            queries: 20,
+            ..EndToEndConfig::default()
+        };
+        let mut simulation = Simulation::new(config.seed);
+        let latencies = run_end_to_end_latency_on(&mut simulation, &config, &metrics);
+        assert_eq!(metrics.end_to_end_ns.count() as usize, latencies.len());
+        // Every uploaded request is forwarded by exactly one relay and
+        // reaches the engine exactly once (no loss configured).
+        let expected = (config.queries * (config.k + 1)) as u64;
+        assert_eq!(metrics.relay_forwarded.get(), expected);
+        assert_eq!(metrics.engine_queries.get(), expected);
+        let snapshot = registry.snapshot();
+        let e2e = &snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "client.end_to_end_ns")
+            .unwrap()
+            .1;
+        assert!(
+            e2e.p50 > 300_000_000,
+            "median end-to-end below 0.3s: {}",
+            e2e.p50
+        );
+        assert!(e2e.p95 >= e2e.p50 && e2e.p99 >= e2e.p95);
     }
 
     #[test]
     fn latency_grows_slowly_with_k() {
-        let base = EndToEndConfig { relays: 30, queries: 60, ..EndToEndConfig::default() };
-        let k0 = Summary::from_samples(&run_end_to_end_latency(EndToEndConfig { k: 0, ..base })).median;
-        let k7 = Summary::from_samples(&run_end_to_end_latency(EndToEndConfig { k: 7, ..base })).median;
+        let base = EndToEndConfig {
+            relays: 30,
+            queries: 60,
+            ..EndToEndConfig::default()
+        };
+        let k0 =
+            Summary::from_samples(&run_end_to_end_latency(EndToEndConfig { k: 0, ..base })).median;
+        let k7 =
+            Summary::from_samples(&run_end_to_end_latency(EndToEndConfig { k: 7, ..base })).median;
         // Fake queries travel in parallel: the median latency must not blow
         // up with k (the paper's Fig. 8b shows < 1.5 s even at k = 7).
         assert!(k7 < k0 * 2.5, "k=7 median {k7} vs k=0 median {k0}");
@@ -493,13 +675,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "k + 1 relays")]
     fn latency_experiment_needs_enough_relays() {
-        let _ = run_end_to_end_latency(EndToEndConfig { relays: 2, k: 5, ..EndToEndConfig::default() });
+        let _ = run_end_to_end_latency(EndToEndConfig {
+            relays: 2,
+            k: 5,
+            ..EndToEndConfig::default()
+        });
     }
 
     #[test]
     fn throughput_curve_saturates_at_service_rate() {
         // 20 µs of service time → ~50,000 req/s capacity.
-        let points = throughput_latency_curve(20_000, &[1_000.0, 10_000.0, 40_000.0, 60_000.0], 5.3);
+        let points =
+            throughput_latency_curve(20_000, &[1_000.0, 10_000.0, 40_000.0, 60_000.0], 5.3);
         assert!(!points[0].saturated && points[0].latency_s < 0.5);
         assert!(points[2].latency_s < 1.0);
         assert!(points[3].saturated);
@@ -517,15 +704,32 @@ mod tests {
     #[test]
     fn load_experiment_blocks_xsearch_but_not_cyclosa() {
         let report = run_load_experiment(LoadExperimentConfig::default());
-        assert_eq!(report.cyclosa_rejected, 0, "CYCLOSA nodes must stay under the limit");
+        assert_eq!(
+            report.cyclosa_rejected, 0,
+            "CYCLOSA nodes must stay under the limit"
+        );
         let total_rejected: u64 = report.xsearch_rejected.iter().sum();
         let total_admitted: u64 = report.xsearch_admitted.iter().sum();
-        assert!(total_rejected > total_admitted, "the central proxy must get blocked");
+        assert!(
+            total_rejected > total_admitted,
+            "the central proxy must get blocked"
+        );
         // Per-node CYCLOSA load stays far below the hourly budget.
-        let max_bucket = report.cyclosa_max_per_node.iter().cloned().fold(0.0, f64::max);
+        let max_bucket = report
+            .cyclosa_max_per_node
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         assert!(max_bucket * 6.0 < report.engine_hourly_limit as f64);
-        assert!(report.cyclosa_fairness > 0.9, "fairness {}", report.cyclosa_fairness);
-        assert_eq!(report.bucket_minutes.len(), report.cyclosa_mean_per_node.len());
+        assert!(
+            report.cyclosa_fairness > 0.9,
+            "fairness {}",
+            report.cyclosa_fairness
+        );
+        assert_eq!(
+            report.bucket_minutes.len(),
+            report.cyclosa_mean_per_node.len()
+        );
     }
 
     #[test]
@@ -540,7 +744,8 @@ mod tests {
 
     #[test]
     fn converge_peer_views_fills_views() {
-        let mut nodes: Vec<CyclosaNode> = (0..20).map(|i| CyclosaNode::builder(i).build()).collect();
+        let mut nodes: Vec<CyclosaNode> =
+            (0..20).map(|i| CyclosaNode::builder(i).build()).collect();
         converge_peer_views(&mut nodes, 10, 99);
         for node in &nodes {
             assert!(node.peer_sampling().view().len() >= 5);

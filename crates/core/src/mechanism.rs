@@ -51,7 +51,11 @@ impl Cyclosa {
     /// Creates the mechanism with the given protection configuration and
     /// semantic categorizer (shared structure; each user still has her own
     /// history for the linkability assessment).
-    pub fn new(protection: ProtectionConfig, categorizer: QueryCategorizer, method: CategorizerMethod) -> Self {
+    pub fn new(
+        protection: ProtectionConfig,
+        categorizer: QueryCategorizer,
+        method: CategorizerMethod,
+    ) -> Self {
         let capacity = protection.past_query_capacity;
         Self {
             protection,
@@ -93,7 +97,11 @@ impl Cyclosa {
 
     /// Registers a user's search history (training set), which drives her
     /// linkability assessment.
-    pub fn register_user_history<'a>(&mut self, user: UserId, queries: impl IntoIterator<Item = &'a str>) {
+    pub fn register_user_history<'a>(
+        &mut self,
+        user: UserId,
+        queries: impl IntoIterator<Item = &'a str>,
+    ) {
         let analyzer = self.analyzer_for(user);
         analyzer.record_own_queries(queries);
     }
@@ -117,7 +125,12 @@ impl Cyclosa {
             .or_insert_with(|| SensitivityAnalyzer::new(categorizer, method, &protection))
     }
 
-    fn draw_fakes(&mut self, count: usize, reference: &str, rng: &mut Xoshiro256StarStar) -> Vec<String> {
+    fn draw_fakes(
+        &mut self,
+        count: usize,
+        reference: &str,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Vec<String> {
         match &self.fake_source {
             FakeSource::PastQueries => self.fake_pool.draw_fakes(count, rng),
             FakeSource::Dictionary(dictionary) => {
@@ -201,7 +214,9 @@ impl Mechanism for Cyclosa {
                     text: aggregated.clone(),
                     carries_real_query: true,
                 }],
-                delivery: ResultsDelivery::FilteredFromObfuscated { obfuscated_query: aggregated },
+                delivery: ResultsDelivery::FilteredFromObfuscated {
+                    obfuscated_query: aggregated,
+                },
                 relay_messages: 2,
             }
         }
@@ -253,7 +268,14 @@ mod tests {
         let outcome = cyclosa.protect(&query(1, 0, "hiv test anonymous"), &mut rng);
         assert_eq!(outcome.engine_requests(), 8);
         assert_eq!(outcome.exposed_requests(), 0);
-        assert_eq!(outcome.observed.iter().filter(|r| r.carries_real_query).count(), 1);
+        assert_eq!(
+            outcome
+                .observed
+                .iter()
+                .filter(|r| r.carries_real_query)
+                .count(),
+            1
+        );
         assert_eq!(outcome.delivery, ResultsDelivery::ExactQuery);
         assert_eq!(cyclosa.k_history(), &[7]);
     }
@@ -294,13 +316,21 @@ mod tests {
         let outcome = cyclosa.protect(&query(1, 0, "diabetes insulin"), &mut rng);
         assert_eq!(outcome.engine_requests(), 1);
         assert!(outcome.observed[0].text.contains(" OR "));
-        assert!(matches!(outcome.delivery, ResultsDelivery::FilteredFromObfuscated { .. }));
+        assert!(matches!(
+            outcome.delivery,
+            ResultsDelivery::FilteredFromObfuscated { .. }
+        ));
     }
 
     #[test]
     fn dictionary_fakes_ablation_uses_dictionary_terms() {
-        let dictionary: Vec<String> = ["mortgage", "football", "trailer"].iter().map(|s| s.to_string()).collect();
-        let mut cyclosa = cyclosa(4).with_dictionary_fakes(dictionary.clone()).with_fixed_k();
+        let dictionary: Vec<String> = ["mortgage", "football", "trailer"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut cyclosa = cyclosa(4)
+            .with_dictionary_fakes(dictionary.clone())
+            .with_fixed_k();
         let mut rng = Xoshiro256StarStar::seed_from_u64(6);
         let outcome = cyclosa.protect(&query(1, 0, "diabetes insulin"), &mut rng);
         for request in outcome.observed.iter().filter(|r| !r.carries_real_query) {

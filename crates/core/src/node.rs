@@ -107,7 +107,10 @@ impl QueryPlan {
 
     /// Iterator over the fake-query texts of the plan.
     pub fn fake_queries(&self) -> impl Iterator<Item = &str> {
-        self.assignments.iter().filter(|a| !a.is_real).map(|a| a.query.as_str())
+        self.assignments
+            .iter()
+            .filter(|a| !a.is_real)
+            .map(|a| a.query.as_str())
     }
 }
 
@@ -188,8 +191,11 @@ impl NodeBuilder {
     /// Builds the node (creates and initializes its enclave).
     pub fn build(self) -> CyclosaNode {
         let platform = Platform::new(self.platform_seed);
-        let identity_seed =
-            cyclosa_crypto::hkdf::derive_key(b"cyclosa-node-identity", &self.node_id.to_le_bytes(), b"x25519");
+        let identity_seed = cyclosa_crypto::hkdf::derive_key(
+            b"cyclosa-node-identity",
+            &self.node_id.to_le_bytes(),
+            b"x25519",
+        );
         let state = TrustedState {
             past_queries: PastQueryTable::new(self.protection.past_query_capacity),
             channel_identity: StaticSecret::from_bytes(identity_seed),
@@ -319,7 +325,11 @@ impl CyclosaNode {
     ///
     /// Returns [`NodeError::EmptyQuery`] for queries without content terms
     /// and [`NodeError::NoPeersAvailable`] when the peer view is empty.
-    pub fn plan_query(&mut self, query: &str, rng: &mut Xoshiro256StarStar) -> Result<QueryPlan, NodeError> {
+    pub fn plan_query(
+        &mut self,
+        query: &str,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<QueryPlan, NodeError> {
         if cyclosa_nlp::text::tokenize(query).is_empty() {
             return Err(NodeError::EmptyQuery);
         }
@@ -348,23 +358,38 @@ impl CyclosaNode {
         let mut fake_iter = fakes.into_iter();
         for (i, relay) in relays.iter().copied().enumerate().take(fake_iter.len() + 1) {
             if i == real_position {
-                assignments.push(Assignment { relay, query: query_owned.clone(), is_real: true });
+                assignments.push(Assignment {
+                    relay,
+                    query: query_owned.clone(),
+                    is_real: true,
+                });
             } else if let Some(fake) = fake_iter.next() {
-                assignments.push(Assignment { relay, query: fake, is_real: false });
+                assignments.push(Assignment {
+                    relay,
+                    query: fake,
+                    is_real: false,
+                });
             }
         }
         // If the real position exceeded the number of assignments (possible
         // when fewer fakes were available than planned), append it.
         if !assignments.iter().any(|a| a.is_real) {
             let relay = relays[rng.gen_index(relays.len())];
-            assignments.push(Assignment { relay, query: query_owned.clone(), is_real: true });
+            assignments.push(Assignment {
+                relay,
+                query: query_owned.clone(),
+                is_real: true,
+            });
         }
 
         // The user's own query enters the local linkability history.
         self.analyzer.record_own_query(query);
         self.stats.queries_planned += 1;
         self.stats.fakes_generated += assignments.iter().filter(|a| !a.is_real).count() as u64;
-        Ok(QueryPlan { assessment, assignments })
+        Ok(QueryPlan {
+            assessment,
+            assignments,
+        })
     }
 
     /// Handles a query received as a relay: stores it in the in-enclave
@@ -381,7 +406,9 @@ impl CyclosaNode {
             .expect("enclave initialized");
         self.enclave.set_resident_bytes(resident);
         // Leaving the enclave towards the network stack is an ocall.
-        self.enclave.ocall(query.len()).expect("enclave initialized");
+        self.enclave
+            .ocall(query.len())
+            .expect("enclave initialized");
         self.stats.queries_relayed += 1;
         query.to_owned()
     }
@@ -399,7 +426,6 @@ impl CyclosaNode {
             .expect("enclave initialized")
             .0
     }
-
 }
 
 /// Establishes a mutually attested secure channel between two nodes,
@@ -512,7 +538,11 @@ mod tests {
         assert!(plan.assessment.k >= 1);
         let relays: std::collections::HashSet<_> =
             plan.assignments().iter().map(|a| a.relay).collect();
-        assert_eq!(relays.len(), plan.assignments().len(), "relays must be distinct");
+        assert_eq!(
+            relays.len(),
+            plan.assignments().len(),
+            "relays must be distinct"
+        );
         assert_eq!(plan.assignments().iter().filter(|a| a.is_real).count(), 1);
         assert_eq!(plan.real_assignment().query, "zurich train strike");
         assert_eq!(plan.fake_queries().count(), plan.assignments().len() - 1);
@@ -523,7 +553,9 @@ mod tests {
     fn unlinkable_non_sensitive_query_travels_alone() {
         let mut node = node(2, 7);
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
-        let plan = node.plan_query("museum opening tomorrow", &mut rng).unwrap();
+        let plan = node
+            .plan_query("museum opening tomorrow", &mut rng)
+            .unwrap();
         assert_eq!(plan.assessment.k, 0);
         assert_eq!(plan.assignments().len(), 1);
         assert!(plan.assignments()[0].is_real);
@@ -539,7 +571,10 @@ mod tests {
             NodeError::NoPeersAvailable
         );
         let mut node = node(4, 3);
-        assert_eq!(node.plan_query("the of", &mut rng).unwrap_err(), NodeError::EmptyQuery);
+        assert_eq!(
+            node.plan_query("the of", &mut rng).unwrap_err(),
+            NodeError::EmptyQuery
+        );
     }
 
     #[test]

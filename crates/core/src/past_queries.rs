@@ -23,7 +23,10 @@ impl PastQueryTable {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "past-query table needs a positive capacity");
-        Self { capacity, queries: VecDeque::with_capacity(capacity.min(4096)) }
+        Self {
+            capacity,
+            queries: VecDeque::with_capacity(capacity.min(4096)),
+        }
     }
 
     /// Maximum number of stored queries.

@@ -8,8 +8,8 @@
 //!   sensitive? Dictionaries come from the WordNet-like lexicon and the LDA
 //!   model of `cyclosa-nlp`.
 //! * a **linkability assessment** — a score in `[0, 1]` measuring how
-//!   similar the query is to the user's own past queries (cosine similarity
-//!   + exponential smoothing): the higher, the more likely a
+//!   similar the query is to the user's own past queries (cosine
+//!   similarity with exponential smoothing): the higher, the more likely a
 //!   re-identification attack succeeds.
 //!
 //! The number of fake queries is then `k = kmax` for semantically sensitive
@@ -48,7 +48,11 @@ pub struct SensitivityAnalyzer {
 
 impl SensitivityAnalyzer {
     /// Creates an analyzer from an already-built categorizer.
-    pub fn new(categorizer: QueryCategorizer, method: CategorizerMethod, config: &ProtectionConfig) -> Self {
+    pub fn new(
+        categorizer: QueryCategorizer,
+        method: CategorizerMethod,
+        config: &ProtectionConfig,
+    ) -> Self {
         Self {
             categorizer,
             method,
@@ -109,7 +113,12 @@ impl SensitivityAnalyzer {
             // Linear projection of the linkability score onto [0, kmax].
             (linkability * self.k_max as f64).round() as usize
         };
-        SensitivityAssessment { semantic, matched_topics, linkability, k: k.min(self.k_max) }
+        SensitivityAssessment {
+            semantic,
+            matched_topics,
+            linkability,
+            k: k.min(self.k_max),
+        }
     }
 }
 
@@ -176,7 +185,8 @@ mod tests {
     fn analyzer(k_max: usize) -> SensitivityAnalyzer {
         let config = ProtectionConfig::with_k_max(k_max);
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let categorizer = build_categorizer(&lexicon(), &["health", "sexuality"], &[], &config, &mut rng);
+        let categorizer =
+            build_categorizer(&lexicon(), &["health", "sexuality"], &[], &config, &mut rng);
         SensitivityAnalyzer::new(categorizer, CategorizerMethod::Combined, &config)
     }
 
@@ -227,7 +237,10 @@ mod tests {
     fn ambiguous_terms_do_not_trigger_combined_method() {
         let analyzer = analyzer(7);
         let assessment = analyzer.assess("adult education evening classes");
-        assert!(!assessment.semantic, "ambiguous term alone should not be sensitive");
+        assert!(
+            !assessment.semantic,
+            "ambiguous term alone should not be sensitive"
+        );
     }
 
     #[test]
@@ -249,8 +262,7 @@ mod tests {
             "erotic fetish video".into(),
             "lingerie webcam show".into(),
         ];
-        let categorizer =
-            build_categorizer(&lexicon(), &["sexuality"], &corpus, &config, &mut rng);
+        let categorizer = build_categorizer(&lexicon(), &["sexuality"], &corpus, &config, &mut rng);
         let analyzer = SensitivityAnalyzer::new(categorizer, CategorizerMethod::Lda, &config);
         // "lingerie" and "webcam" are not in the lexicon, only in the corpus:
         // the LDA dictionary must pick at least one of them up.

@@ -37,7 +37,9 @@ pub struct ChaCha20Poly1305 {
 impl ChaCha20Poly1305 {
     /// Creates an AEAD instance from a 32-byte key.
     pub fn new(key: &[u8; 32]) -> Self {
-        Self { cipher: ChaCha20::new(key) }
+        Self {
+            cipher: ChaCha20::new(key),
+        }
     }
 
     /// Encrypts `plaintext` and authenticates it together with `aad`.
@@ -117,13 +119,15 @@ mod tests {
     #[test]
     fn rfc8439_aead_vector() {
         // RFC 8439 §2.8.2.
-        let key: [u8; 32] = from_hex(
-            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
-        )
-        .unwrap()
-        .try_into()
-        .unwrap();
-        let nonce: [u8; 12] = from_hex("070000004041424344454647").unwrap().try_into().unwrap();
+        let key: [u8; 32] =
+            from_hex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = from_hex("070000004041424344454647")
+            .unwrap()
+            .try_into()
+            .unwrap();
         let aad = from_hex("50515253c0c1c2c3c4c5c6c7").unwrap();
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let aead = ChaCha20Poly1305::new(&key);
@@ -138,7 +142,10 @@ mod tests {
         );
         assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
         // Round trip.
-        assert_eq!(aead.open(&nonce, &sealed, &aad).unwrap(), plaintext.to_vec());
+        assert_eq!(
+            aead.open(&nonce, &sealed, &aad).unwrap(),
+            plaintext.to_vec()
+        );
     }
 
     #[test]
@@ -155,7 +162,10 @@ mod tests {
         let aead = ChaCha20Poly1305::new(&[1u8; 32]);
         let nonce = [2u8; 12];
         let sealed = aead.seal(&nonce, b"real query", b"relay-3");
-        assert_eq!(aead.open(&nonce, &sealed, b"relay-4"), Err(AeadError::TagMismatch));
+        assert_eq!(
+            aead.open(&nonce, &sealed, b"relay-4"),
+            Err(AeadError::TagMismatch)
+        );
     }
 
     #[test]
@@ -182,7 +192,10 @@ mod tests {
         let nonce = [9u8; 12];
         let sealed = aead.seal(&nonce, b"", b"header");
         assert_eq!(sealed.len(), TAG_LEN);
-        assert_eq!(aead.open(&nonce, &sealed, b"header").unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            aead.open(&nonce, &sealed, b"header").unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]
@@ -197,6 +210,8 @@ mod tests {
     #[test]
     fn aead_error_display() {
         assert!(AeadError::TagMismatch.to_string().contains("tag"));
-        assert!(AeadError::CiphertextTooShort.to_string().contains("shorter"));
+        assert!(AeadError::CiphertextTooShort
+            .to_string()
+            .contains("shorter"));
     }
 }

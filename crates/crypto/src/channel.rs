@@ -86,7 +86,10 @@ impl HandshakeInitiator {
     /// Creates an initiator from an ephemeral secret and its attestation
     /// evidence, returning the first message to send.
     pub fn new(secret: StaticSecret, evidence: Vec<u8>) -> (Self, HandshakeInit) {
-        let msg = HandshakeInit { public_key: secret.public_key(), evidence: evidence.clone() };
+        let msg = HandshakeInit {
+            public_key: secret.public_key(),
+            evidence: evidence.clone(),
+        };
         (Self { secret, evidence }, msg)
     }
 
@@ -136,8 +139,12 @@ impl HandshakeResponder {
         if shared.is_zero() {
             return Err(ChannelError::DegenerateSharedSecret);
         }
-        let transcript =
-            transcript_hash(&init.public_key, &secret.public_key(), &init.evidence, &evidence);
+        let transcript = transcript_hash(
+            &init.public_key,
+            &secret.public_key(),
+            &init.evidence,
+            &evidence,
+        );
         let keys = DerivedKeys::derive(shared.as_bytes(), &transcript);
         let confirmation = HmacSha256::mac(&keys.confirm_key, &transcript);
         let response = HandshakeResponse {
@@ -277,7 +284,10 @@ mod tests {
     use super::*;
 
     fn secrets() -> (StaticSecret, StaticSecret) {
-        (StaticSecret::from_bytes([11u8; 32]), StaticSecret::from_bytes([22u8; 32]))
+        (
+            StaticSecret::from_bytes([11u8; 32]),
+            StaticSecret::from_bytes([22u8; 32]),
+        )
     }
 
     #[test]
@@ -313,7 +323,10 @@ mod tests {
         let (mut alice, mut bob) = channel_pair(a, vec![], b, vec![]).unwrap();
         let record = alice.seal(b"query", b"");
         assert!(bob.open(&record, b"").is_ok());
-        assert!(matches!(bob.open(&record, b""), Err(ChannelError::Record(_))));
+        assert!(matches!(
+            bob.open(&record, b""),
+            Err(ChannelError::Record(_))
+        ));
     }
 
     #[test]
@@ -343,7 +356,10 @@ mod tests {
     #[test]
     fn low_order_peer_key_is_rejected() {
         let (_, b) = secrets();
-        let init = HandshakeInit { public_key: PublicKey([0u8; 32]), evidence: vec![] };
+        let init = HandshakeInit {
+            public_key: PublicKey([0u8; 32]),
+            evidence: vec![],
+        };
         assert_eq!(
             HandshakeResponder::respond(b, vec![], &init).unwrap_err(),
             ChannelError::DegenerateSharedSecret
@@ -355,14 +371,19 @@ mod tests {
         let (a, b) = secrets();
         let c = StaticSecret::from_bytes([33u8; 32]);
         let (mut alice, _bob) = channel_pair(a, vec![], b, vec![]).unwrap();
-        let (_x, mut carol) = channel_pair(StaticSecret::from_bytes([44u8; 32]), vec![], c, vec![]).unwrap();
+        let (_x, mut carol) =
+            channel_pair(StaticSecret::from_bytes([44u8; 32]), vec![], c, vec![]).unwrap();
         let record = alice.seal(b"secret", b"");
         assert!(carol.open(&record, b"").is_err());
     }
 
     #[test]
     fn error_display_is_informative() {
-        assert!(ChannelError::KeyConfirmationFailed.to_string().contains("confirmation"));
-        assert!(ChannelError::DegenerateSharedSecret.to_string().contains("zero"));
+        assert!(ChannelError::KeyConfirmationFailed
+            .to_string()
+            .contains("confirmation"));
+        assert!(ChannelError::DegenerateSharedSecret
+            .to_string()
+            .contains("zero"));
     }
 }

@@ -34,7 +34,10 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&inner_pad);
-        Self { inner, outer_key_pad: outer_pad }
+        Self {
+            inner,
+            outer_key_pad: outer_pad,
+        }
     }
 
     /// Absorbs message data.

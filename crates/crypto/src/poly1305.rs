@@ -36,7 +36,13 @@ impl Poly1305 {
         r1 &= 0x0FFF_FFFC_0FFF_FFFC;
         let s0 = u64::from_le_bytes(key[16..24].try_into().expect("slice of 8"));
         let s1 = u64::from_le_bytes(key[24..32].try_into().expect("slice of 8"));
-        Self { r: [r0, r1], s: [s0, s1], h: [0; 3], buffer: [0; 16], buffer_len: 0 }
+        Self {
+            r: [r0, r1],
+            s: [s0, s1],
+            h: [0; 3],
+            buffer: [0; 16],
+            buffer_len: 0,
+        }
     }
 
     /// Absorbs message bytes.
@@ -197,12 +203,11 @@ mod tests {
     #[test]
     fn rfc8439_vector() {
         // RFC 8439 §2.5.2.
-        let key: [u8; 32] = from_hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .unwrap()
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .unwrap()
+                .try_into()
+                .unwrap();
         let msg = b"Cryptographic Forum Research Group";
         let tag = Poly1305::mac(&key, msg);
         assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
@@ -247,7 +252,10 @@ mod tests {
     #[test]
     fn different_messages_different_tags() {
         let key = [0x33u8; 32];
-        assert_ne!(Poly1305::mac(&key, b"query A"), Poly1305::mac(&key, b"query B"));
+        assert_ne!(
+            Poly1305::mac(&key, b"query A"),
+            Poly1305::mac(&key, b"query B")
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buffer: [0u8; BLOCK_LEN], buffer_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Convenience one-shot digest of `data`.
@@ -179,7 +184,7 @@ pub fn hex(bytes: &[u8]) -> String {
 /// Decodes a lowercase/uppercase hex string. Returns `None` on malformed
 /// input (odd length or non-hex characters).
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let bytes = s.as_bytes();
@@ -239,7 +244,11 @@ mod tests {
         // Feed in irregular chunk sizes to exercise buffering paths.
         let mut h = Sha256::new();
         let mut offset = 0;
-        for (i, size) in [1usize, 63, 64, 65, 127, 129, 1000].iter().cycle().enumerate() {
+        for (i, size) in [1usize, 63, 64, 65, 127, 129, 1000]
+            .iter()
+            .cycle()
+            .enumerate()
+        {
             if offset >= data.len() {
                 break;
             }

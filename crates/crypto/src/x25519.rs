@@ -46,10 +46,10 @@ impl Fe {
         h[0] = h[0].wrapping_add(19 * q);
         let mut carry = h[0] >> 51;
         h[0] &= MASK51;
-        for i in 1..5 {
-            h[i] = h[i].wrapping_add(carry);
-            carry = h[i] >> 51;
-            h[i] &= MASK51;
+        for limb in h.iter_mut().skip(1) {
+            *limb = limb.wrapping_add(carry);
+            carry = *limb >> 51;
+            *limb &= MASK51;
         }
         // Pack the 255 bits into 32 bytes.
         let w0 = h[0] | (h[1] << 51);
@@ -69,10 +69,10 @@ impl Fe {
         let mut l = self.0;
         let mut carry = l[0] >> 51;
         l[0] &= MASK51;
-        for i in 1..5 {
-            l[i] = l[i].wrapping_add(carry);
-            carry = l[i] >> 51;
-            l[i] &= MASK51;
+        for limb in l.iter_mut().skip(1) {
+            *limb = limb.wrapping_add(carry);
+            carry = *limb >> 51;
+            *limb &= MASK51;
         }
         l[0] = l[0].wrapping_add(19 * carry);
         let carry = l[0] >> 51;
@@ -82,9 +82,9 @@ impl Fe {
     }
 
     fn add(self, other: Fe) -> Fe {
-        let mut l = [0u64; 5];
-        for i in 0..5 {
-            l[i] = self.0[i] + other.0[i];
+        let mut l = self.0;
+        for (limb, other_limb) in l.iter_mut().zip(other.0) {
+            *limb += other_limb;
         }
         Fe(l).weak_reduce()
     }
@@ -110,15 +110,12 @@ impl Fe {
         let f = self.0;
         let g = other.0;
         let m = |a: u64, b: u64| (a as u128) * (b as u128);
-        let r0 = m(f[0], g[0])
-            + 19 * (m(f[1], g[4]) + m(f[2], g[3]) + m(f[3], g[2]) + m(f[4], g[1]));
-        let r1 = m(f[0], g[1])
-            + m(f[1], g[0])
-            + 19 * (m(f[2], g[4]) + m(f[3], g[3]) + m(f[4], g[2]));
-        let r2 = m(f[0], g[2])
-            + m(f[1], g[1])
-            + m(f[2], g[0])
-            + 19 * (m(f[3], g[4]) + m(f[4], g[3]));
+        let r0 =
+            m(f[0], g[0]) + 19 * (m(f[1], g[4]) + m(f[2], g[3]) + m(f[3], g[2]) + m(f[4], g[1]));
+        let r1 =
+            m(f[0], g[1]) + m(f[1], g[0]) + 19 * (m(f[2], g[4]) + m(f[3], g[3]) + m(f[4], g[2]));
+        let r2 =
+            m(f[0], g[2]) + m(f[1], g[1]) + m(f[2], g[0]) + 19 * (m(f[3], g[4]) + m(f[4], g[3]));
         let r3 = m(f[0], g[3]) + m(f[1], g[2]) + m(f[2], g[1]) + m(f[3], g[0]) + 19 * m(f[4], g[4]);
         let r4 = m(f[0], g[4]) + m(f[1], g[3]) + m(f[2], g[2]) + m(f[3], g[1]) + m(f[4], g[0]);
         carry_reduce([r0, r1, r2, r3, r4])

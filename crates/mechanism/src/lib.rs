@@ -95,7 +95,10 @@ impl ProtectionOutcome {
 
     /// Requests that expose the user's identity to the engine.
     pub fn exposed_requests(&self) -> usize {
-        self.observed.iter().filter(|r| r.source.is_exposed()).count()
+        self.observed
+            .iter()
+            .filter(|r| r.source.is_exposed())
+            .count()
     }
 }
 

@@ -17,7 +17,12 @@ pub struct MechanismProperties {
 impl MechanismProperties {
     /// Renders the property set as the ✓/✗ row used in Table I.
     pub fn as_row(&self) -> [bool; 4] {
-        [self.unlinkability, self.indistinguishability, self.accuracy, self.scalability]
+        [
+            self.unlinkability,
+            self.indistinguishability,
+            self.accuracy,
+            self.scalability,
+        ]
     }
 
     /// Number of satisfied properties.

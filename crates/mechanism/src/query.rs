@@ -34,7 +34,11 @@ pub struct Query {
 impl Query {
     /// Creates a query.
     pub fn new(id: QueryId, user: UserId, text: impl Into<String>) -> Self {
-        Self { id, user, text: text.into() }
+        Self {
+            id,
+            user,
+            text: text.into(),
+        }
     }
 }
 

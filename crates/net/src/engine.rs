@@ -1,0 +1,309 @@
+//! The engine abstraction shared by the sequential simulator and the
+//! sharded parallel runtime.
+//!
+//! [`Engine`] extracts the scheduling surface of [`crate::sim::Simulation`]
+//! — register nodes, inject messages and timers, advance simulated time —
+//! so that [`crate::sim::NodeBehavior`] implementations and whole
+//! experiments run unchanged on either the sequential engine or the
+//! sharded engine of `cyclosa-runtime`.
+//!
+//! # Determinism contract
+//!
+//! Conforming engines must produce **bit-identical executions for the same
+//! seed**, regardless of how event processing is parallelised. Two
+//! mechanisms in this module make that possible:
+//!
+//! * **Deterministic event ordering** — every event carries an [`EventKey`]
+//!   that totally orders the execution independently of insertion order or
+//!   thread interleaving. The key is derived only from quantities that are
+//!   themselves deterministic (delivery time, destination node, the
+//!   sender's per-link message sequence, the target's per-node timer
+//!   sequence).
+//! * **Per-link randomness** — link latency and loss draws come from a
+//!   dedicated RNG stream per directed link ([`link_stream`]), seeded from
+//!   `(engine seed, src, dst)`. Because only `src`'s handler sends on the
+//!   link `src → dst`, the draw sequence on each stream depends only on
+//!   that node's (deterministic) behaviour, never on global event
+//!   interleaving. [`LinkTable`] encapsulates this discipline and is shared
+//!   by both engines so they cannot drift apart.
+//!
+//! # FIFO contract
+//!
+//! Messages on the same directed link are delivered in send order
+//! (enforced in [`LinkTable::prepare`] by bumping the delivery time past
+//! the previously scheduled delivery). The sequence-number-based secure
+//! channels of `cyclosa-crypto` rely on this.
+
+use crate::latency::LatencyModel;
+use crate::sim::{Envelope, NodeBehavior, SimulationStats};
+use crate::time::SimTime;
+use crate::NodeId;
+use cyclosa_util::rng::{Rng, SplitMix64, Xoshiro256StarStar};
+use std::collections::HashMap;
+
+/// Classes of events, ordered within the same `(time, node)` slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventClass {
+    /// A message delivery (runs `on_message`).
+    Deliver,
+    /// A timer firing (runs `on_timer`).
+    Timer,
+}
+
+/// The deterministic total-order key of an event.
+///
+/// Keys are unique: deliveries are distinguished by `(src, per-link
+/// sequence)` and timers by the target's per-node timer sequence, both of
+/// which are assigned in the emitting node's own deterministic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The node whose handler runs.
+    pub node: NodeId,
+    /// Deliveries sort before timers in the same `(time, node)` slot.
+    pub class: EventClass,
+    /// Deliver: the sender's id. Timer: the per-node timer sequence.
+    pub a: u64,
+    /// Deliver: the per-link message sequence. Timer: the token.
+    pub b: u64,
+}
+
+/// The payload of a scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Deliver a message to `key.node`.
+    Deliver(Envelope),
+    /// Fire `on_timer(token)` on `key.node`.
+    Timer {
+        /// The application token passed back to `on_timer`.
+        token: u64,
+    },
+}
+
+/// An event plus its deterministic ordering key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// The total-order key.
+    pub key: EventKey,
+    /// What happens when the event fires.
+    pub kind: EventKind,
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed);
+    let x = sm.next_u64();
+    let mut sm = SplitMix64::new(x ^ a);
+    let y = sm.next_u64();
+    let mut sm = SplitMix64::new(y ^ b);
+    sm.next_u64()
+}
+
+/// Derives the dedicated RNG stream of the directed link `src → dst` for an
+/// engine seeded with `seed`.
+pub fn link_stream(seed: u64, src: NodeId, dst: NodeId) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(mix(seed, src.0, dst.0))
+}
+
+#[derive(Debug)]
+struct LinkState {
+    rng: Xoshiro256StarStar,
+    sequence: u64,
+    last_delivery: Option<SimTime>,
+}
+
+/// Per-directed-link delivery state: RNG stream, FIFO watermark and message
+/// sequence counter.
+///
+/// Both engines funnel every send through [`LinkTable::prepare`], which is
+/// what makes their latency/loss draws — and therefore their entire
+/// executions — bit-identical.
+#[derive(Debug)]
+pub struct LinkTable {
+    seed: u64,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+}
+
+impl LinkTable {
+    /// Creates an empty table for an engine seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            links: HashMap::new(),
+        }
+    }
+
+    /// Decides the fate of one message sent at `at` on `src → dst`.
+    ///
+    /// Returns `None` when the message is lost, otherwise the delivery time
+    /// (respecting per-link FIFO order) and the per-link message sequence
+    /// number to use in the event key.
+    pub fn prepare(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        model: LatencyModel,
+        loss_probability: f64,
+    ) -> Option<(SimTime, u64)> {
+        let state = self.links.entry((src, dst)).or_insert_with(|| LinkState {
+            rng: link_stream(self.seed, src, dst),
+            sequence: 0,
+            last_delivery: None,
+        });
+        if loss_probability > 0.0 && state.rng.gen_bool(loss_probability) {
+            return None;
+        }
+        let mut deliver_at = at + model.sample(&mut state.rng);
+        if let Some(last) = state.last_delivery {
+            if deliver_at <= last {
+                deliver_at = last + SimTime::from_nanos(1);
+            }
+        }
+        state.last_delivery = Some(deliver_at);
+        let sequence = state.sequence;
+        state.sequence += 1;
+        Some((deliver_at, sequence))
+    }
+}
+
+/// The scheduling surface shared by the sequential [`crate::sim::Simulation`]
+/// and the sharded engine of `cyclosa-runtime`.
+///
+/// Node behaviours only ever see a [`crate::sim::Context`], so any
+/// [`NodeBehavior`] implementation runs unchanged on every `Engine`.
+/// Configuration methods (`add_node`, `set_*`, `crash`, `post`,
+/// `schedule_timer`) must be called before [`Engine::run`]; engines are not
+/// required to support reconfiguration while events are in flight.
+pub trait Engine {
+    /// Registers a node behaviour under `id`.
+    fn add_node(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior + Send>);
+
+    /// Sets the default latency model for all links.
+    fn set_default_latency(&mut self, model: LatencyModel);
+
+    /// Overrides the latency model of the directed link `src → dst`.
+    fn set_link_latency(&mut self, src: NodeId, dst: NodeId, model: LatencyModel);
+
+    /// Sets the probability that any message is silently lost in transit.
+    fn set_loss_probability(&mut self, p: f64);
+
+    /// Marks a node as crashed: messages to it are dropped, its timers stop
+    /// firing.
+    fn crash(&mut self, node: NodeId);
+
+    /// Injects a message from outside the simulation, delivered at `at`
+    /// plus the sampled link latency.
+    fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>);
+
+    /// Schedules `on_timer(token)` on `node` at absolute time `at`.
+    fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64);
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Runs until no events remain, returning the number of processed
+    /// events.
+    fn run(&mut self) -> u64;
+
+    /// Runs until the clock reaches `deadline` or no events remain.
+    fn run_until(&mut self, deadline: SimTime);
+
+    /// Run statistics so far.
+    fn stats(&self) -> SimulationStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_keys_order_by_time_node_class() {
+        let base = EventKey {
+            at: SimTime::from_millis(5),
+            node: NodeId(3),
+            class: EventClass::Deliver,
+            a: 0,
+            b: 0,
+        };
+        let later = EventKey {
+            at: SimTime::from_millis(6),
+            ..base
+        };
+        let other_node = EventKey {
+            node: NodeId(4),
+            ..base
+        };
+        let timer = EventKey {
+            class: EventClass::Timer,
+            ..base
+        };
+        assert!(base < later);
+        assert!(base < other_node);
+        assert!(
+            base < timer,
+            "deliveries sort before timers in the same slot"
+        );
+    }
+
+    #[test]
+    fn link_streams_are_deterministic_and_decorrelated() {
+        let mut a = link_stream(7, NodeId(1), NodeId(2));
+        let mut b = link_stream(7, NodeId(1), NodeId(2));
+        let mut c = link_stream(7, NodeId(2), NodeId(1));
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c, "link direction must change the stream");
+    }
+
+    #[test]
+    fn link_table_preserves_fifo_and_counts_sequences() {
+        let mut table = LinkTable::new(1);
+        let model = LatencyModel::LogNormal {
+            median_ms: 50.0,
+            sigma: 1.0,
+        };
+        let mut last = SimTime::ZERO;
+        for expected_seq in 0..50u64 {
+            let (at, seq) = table
+                .prepare(SimTime::ZERO, NodeId(0), NodeId(1), model, 0.0)
+                .expect("no loss configured");
+            assert!(at > last, "delivery times must strictly increase per link");
+            assert_eq!(seq, expected_seq);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn link_table_is_independent_of_other_links() {
+        // Interleaving draws on an unrelated link must not change this
+        // link's delivery schedule — the property sharding relies on.
+        let model = LatencyModel::wan();
+        let mut alone = LinkTable::new(9);
+        let solo: Vec<_> = (0..20)
+            .map(|i| alone.prepare(SimTime::from_millis(i), NodeId(0), NodeId(1), model, 0.0))
+            .collect();
+        let mut mixed = LinkTable::new(9);
+        let interleaved: Vec<_> = (0..20)
+            .map(|i| {
+                let _ = mixed.prepare(SimTime::from_millis(i), NodeId(5), NodeId(6), model, 0.0);
+                mixed.prepare(SimTime::from_millis(i), NodeId(0), NodeId(1), model, 0.0)
+            })
+            .collect();
+        assert_eq!(solo, interleaved);
+    }
+}

@@ -34,18 +34,27 @@ pub enum LatencyModel {
 impl LatencyModel {
     /// A model for a LAN-class link (fractions of a millisecond).
     pub fn lan() -> Self {
-        LatencyModel::LogNormal { median_ms: 0.3, sigma: 0.2 }
+        LatencyModel::LogNormal {
+            median_ms: 0.3,
+            sigma: 0.2,
+        }
     }
 
     /// A model for a wide-area residential link, calibrated so that one hop
     /// costs roughly 100–200 ms at the median.
     pub fn wan() -> Self {
-        LatencyModel::LogNormal { median_ms: 140.0, sigma: 0.35 }
+        LatencyModel::LogNormal {
+            median_ms: 140.0,
+            sigma: 0.35,
+        }
     }
 
     /// A model for the search engine's internal processing time.
     pub fn search_engine_processing() -> Self {
-        LatencyModel::LogNormal { median_ms: 180.0, sigma: 0.25 }
+        LatencyModel::LogNormal {
+            median_ms: 180.0,
+            sigma: 0.25,
+        }
     }
 
     /// A model for one hop through the TOR overlay (circuit construction,
@@ -53,12 +62,15 @@ impl LatencyModel {
     /// WAN hop; three such hops plus the engine round trip reproduce the
     /// tens-of-seconds medians measured in the paper).
     pub fn tor_hop() -> Self {
-        LatencyModel::LogNormal { median_ms: 10_000.0, sigma: 0.45 }
+        LatencyModel::LogNormal {
+            median_ms: 10_000.0,
+            sigma: 0.45,
+        }
     }
 
-    /// Samples one latency value.
+    /// Samples one latency value, clamped to [`LatencyModel::floor`].
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
-        match *self {
+        let raw = match *self {
             LatencyModel::Constant(t) => t,
             LatencyModel::Uniform { low, high } => {
                 if high <= low {
@@ -67,8 +79,31 @@ impl LatencyModel {
                 SimTime::from_nanos(rng.gen_range(low.as_nanos(), high.as_nanos() + 1))
             }
             LatencyModel::LogNormal { median_ms, sigma } => {
-                let ms = LogNormal::from_median(median_ms.max(f64::MIN_POSITIVE), sigma).sample(rng);
+                let ms =
+                    LogNormal::from_median(median_ms.max(f64::MIN_POSITIVE), sigma).sample(rng);
                 SimTime::from_nanos((ms * 1e6) as u64)
+            }
+        };
+        raw.max(self.floor())
+    }
+
+    /// A guaranteed lower bound on every sampled latency — the physical
+    /// propagation floor of the link.
+    ///
+    /// This is what gives the sharded runtime its conservative lookahead:
+    /// a message sent at time `t` can never arrive before `t + floor()`,
+    /// so shards may safely process a time window of that width in
+    /// parallel. For the unbounded-below log-normal model the floor is set
+    /// at one eighth of the median; the probability mass below that point
+    /// is negligible for every spread used by the experiments (< 2·10⁻⁹
+    /// for the WAN model), so clamping does not measurably distort the
+    /// distribution.
+    pub fn floor(&self) -> SimTime {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { low, .. } => low,
+            LatencyModel::LogNormal { median_ms, .. } => {
+                SimTime::from_nanos((median_ms * 1e6 / 8.0) as u64)
             }
         }
     }
@@ -81,7 +116,9 @@ impl LatencyModel {
             LatencyModel::Uniform { low, high } => {
                 SimTime::from_nanos((low.as_nanos() + high.as_nanos()) / 2)
             }
-            LatencyModel::LogNormal { median_ms, .. } => SimTime::from_nanos((median_ms * 1e6) as u64),
+            LatencyModel::LogNormal { median_ms, .. } => {
+                SimTime::from_nanos((median_ms * 1e6) as u64)
+            }
         }
     }
 }
@@ -104,7 +141,10 @@ mod tests {
 
     #[test]
     fn uniform_model_respects_bounds() {
-        let model = LatencyModel::Uniform { low: SimTime::from_millis(10), high: SimTime::from_millis(20) };
+        let model = LatencyModel::Uniform {
+            low: SimTime::from_millis(10),
+            high: SimTime::from_millis(20),
+        };
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         for _ in 0..1000 {
             let s = model.sample(&mut rng);
@@ -112,7 +152,10 @@ mod tests {
         }
         assert_eq!(model.median(), SimTime::from_millis(15));
         // Degenerate bounds fall back to the lower bound.
-        let degenerate = LatencyModel::Uniform { low: SimTime::from_millis(5), high: SimTime::from_millis(5) };
+        let degenerate = LatencyModel::Uniform {
+            low: SimTime::from_millis(5),
+            high: SimTime::from_millis(5),
+        };
         assert_eq!(degenerate.sample(&mut rng), SimTime::from_millis(5));
     }
 
@@ -120,7 +163,9 @@ mod tests {
     fn lognormal_median_is_calibrated() {
         let model = LatencyModel::wan();
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-        let samples: Vec<f64> = (0..20_000).map(|_| model.sample(&mut rng).as_millis_f64()).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| model.sample(&mut rng).as_millis_f64())
+            .collect();
         let median = Summary::from_samples(&samples).median;
         assert!((median - 140.0).abs() / 140.0 < 0.05, "median was {median}");
     }
@@ -129,6 +174,29 @@ mod tests {
     fn tor_hops_are_much_slower_than_wan() {
         assert!(LatencyModel::tor_hop().median() > LatencyModel::wan().median());
         assert!(LatencyModel::tor_hop().median().as_secs_f64() >= 5.0);
+    }
+
+    #[test]
+    fn samples_never_fall_below_the_floor() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for model in [
+            LatencyModel::wan(),
+            LatencyModel::lan(),
+            LatencyModel::Constant(SimTime::from_millis(3)),
+            LatencyModel::Uniform {
+                low: SimTime::from_millis(1),
+                high: SimTime::from_millis(2),
+            },
+        ] {
+            let floor = model.floor();
+            for _ in 0..2000 {
+                assert!(model.sample(&mut rng) >= floor);
+            }
+        }
+        assert_eq!(
+            LatencyModel::wan().floor(),
+            SimTime::from_nanos((140.0 * 1e6 / 8.0) as u64)
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   simulator delivers messages after sampled link latencies, preserving
 //!   per-link FIFO order (which the secure channels of `cyclosa-crypto`
 //!   rely on), injects losses and models crashed or Byzantine-silent nodes.
+//! * [`engine`] — the [`Engine`] scheduling trait shared with the sharded
+//!   parallel engine of `cyclosa-runtime`, plus the deterministic event
+//!   keys and per-link RNG streams that make executions bit-identical
+//!   across engines.
 //!
 //! # Example
 //!
@@ -44,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod latency;
 pub mod sim;
 pub mod time;
 
+pub use engine::{Engine, EventClass, EventKey, EventKind, LinkTable, ScheduledEvent};
 pub use latency::LatencyModel;
 pub use sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
 pub use time::SimTime;

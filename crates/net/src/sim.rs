@@ -1,4 +1,4 @@
-//! The discrete-event simulation loop.
+//! The sequential discrete-event simulation loop.
 //!
 //! Nodes are state machines implementing [`NodeBehavior`]. They react to
 //! incoming [`Envelope`]s and to timers, and emit sends / timer requests
@@ -6,11 +6,17 @@
 //! link latencies, injects losses, models crashed nodes and guarantees
 //! per-link FIFO delivery (so the sequence-number-based secure channels of
 //! `cyclosa-crypto` work unchanged on top of it).
+//!
+//! Events are ordered by the deterministic [`EventKey`] of
+//! [`crate::engine`] and all link randomness flows through the shared
+//! [`LinkTable`], which makes an execution a pure function of the seed —
+//! the sharded engine of `cyclosa-runtime` reproduces it bit for bit.
 
+use crate::engine::{Engine, EventClass, EventKey, EventKind, LinkTable, ScheduledEvent};
 use crate::latency::LatencyModel;
 use crate::time::SimTime;
 use crate::NodeId;
-use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use cyclosa_util::rng::Xoshiro256StarStar;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -47,6 +53,16 @@ pub struct Context<'a> {
 }
 
 impl Context<'_> {
+    /// Builds a context collecting the actions of one handler invocation.
+    /// Used by engine implementations; applications never construct one.
+    pub fn new(now: SimTime, self_id: NodeId, actions: &mut Vec<Action>) -> Context<'_> {
+        Context {
+            now,
+            self_id,
+            actions,
+        }
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -59,25 +75,39 @@ impl Context<'_> {
 
     /// Sends a message to `dst`.
     pub fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) {
-        self.actions.push(Action::Send(Envelope { src: self.self_id, dst, tag, payload }));
+        self.actions.push(Action::Send(Envelope {
+            src: self.self_id,
+            dst,
+            tag,
+            payload,
+        }));
     }
 
     /// Schedules `on_timer(token)` on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimTime, token: u64) {
-        self.actions.push(Action::Timer { node: self.self_id, delay, token });
+        self.actions.push(Action::Timer {
+            node: self.self_id,
+            delay,
+            token,
+        });
     }
 }
 
+/// An effect emitted by a node handler, applied by the engine after the
+/// handler returns.
 #[derive(Debug)]
-enum Action {
+pub enum Action {
+    /// Send a message.
     Send(Envelope),
-    Timer { node: NodeId, delay: SimTime, token: u64 },
-}
-
-#[derive(Debug)]
-enum EventKind {
-    Deliver(Envelope),
-    Timer { node: NodeId, token: u64 },
+    /// Arm a timer on the emitting node.
+    Timer {
+        /// The node the timer fires on (always the emitting node).
+        node: NodeId,
+        /// Delay relative to the emitting event.
+        delay: SimTime,
+        /// Application token passed back to `on_timer`.
+        token: u64,
+    },
 }
 
 /// Counters describing a finished (or in-progress) simulation run.
@@ -95,18 +125,29 @@ pub struct SimulationStats {
     pub bytes_delivered: u64,
 }
 
-/// The discrete-event simulator.
+impl SimulationStats {
+    /// Accumulates another stats block into this one (used when merging
+    /// per-shard statistics).
+    pub fn merge(&mut self, other: &SimulationStats) {
+        self.delivered += other.delivered;
+        self.lost += other.lost;
+        self.dropped_dead += other.dropped_dead;
+        self.timers_fired += other.timers_fired;
+        self.bytes_delivered += other.bytes_delivered;
+    }
+}
+
+/// The sequential discrete-event simulator.
 pub struct Simulation {
     clock: SimTime,
-    sequence: u64,
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    events: Vec<Option<EventKind>>,
+    queue: BinaryHeap<Reverse<ScheduledEvent>>,
     nodes: HashMap<NodeId, Box<dyn NodeBehavior>>,
     crashed: HashSet<NodeId>,
     default_latency: LatencyModel,
     link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
     loss_probability: f64,
-    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+    links: LinkTable,
+    timer_sequences: HashMap<NodeId, u64>,
     rng: Xoshiro256StarStar,
     stats: SimulationStats,
 }
@@ -128,15 +169,14 @@ impl Simulation {
     pub fn new(seed: u64) -> Self {
         Self {
             clock: SimTime::ZERO,
-            sequence: 0,
             queue: BinaryHeap::new(),
-            events: Vec::new(),
             nodes: HashMap::new(),
             crashed: HashSet::new(),
             default_latency: LatencyModel::wan(),
             link_latency: HashMap::new(),
             loss_probability: 0.0,
-            last_delivery: HashMap::new(),
+            links: LinkTable::new(seed),
+            timer_sequences: HashMap::new(),
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             stats: SimulationStats::default(),
         }
@@ -163,7 +203,10 @@ impl Simulation {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
         self.loss_probability = p;
     }
 
@@ -184,7 +227,9 @@ impl Simulation {
     }
 
     /// Mutable access to the simulation RNG (for callers that need to draw
-    /// from the same deterministic stream).
+    /// from the same deterministic stream). Link latency and loss draws do
+    /// *not* come from this generator — they use per-link streams so that
+    /// executions stay independent of event interleaving.
     pub fn rng_mut(&mut self) -> &mut Xoshiro256StarStar {
         &mut self.rng
     }
@@ -192,68 +237,91 @@ impl Simulation {
     /// Injects a message from outside the simulation (e.g. a user typing a
     /// query) to be delivered at `at` + link latency.
     pub fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
-        let envelope = Envelope { src, dst, tag, payload };
+        let envelope = Envelope {
+            src,
+            dst,
+            tag,
+            payload,
+        };
         self.enqueue_send(at, envelope);
     }
 
     /// Schedules a timer on `node` at absolute time `at`.
     pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
-        self.push_event(at, EventKind::Timer { node, token });
-    }
-
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let idx = self.events.len();
-        self.events.push(Some(kind));
-        self.sequence += 1;
-        self.queue.push(Reverse((at, self.sequence, idx)));
+        let sequence = self.timer_sequences.entry(node).or_insert(0);
+        let key = EventKey {
+            at,
+            node,
+            class: EventClass::Timer,
+            a: *sequence,
+            b: token,
+        };
+        *sequence += 1;
+        self.queue.push(Reverse(ScheduledEvent {
+            key,
+            kind: EventKind::Timer { token },
+        }));
     }
 
     fn link_model(&self, src: NodeId, dst: NodeId) -> LatencyModel {
-        self.link_latency.get(&(src, dst)).copied().unwrap_or(self.default_latency)
+        self.link_latency
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_latency)
     }
 
     fn enqueue_send(&mut self, at: SimTime, envelope: Envelope) {
-        if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
-            self.stats.lost += 1;
-            return;
-        }
-        let latency = self.link_model(envelope.src, envelope.dst).sample(&mut self.rng);
-        let mut deliver_at = at + latency;
-        // Per-link FIFO: never deliver earlier than the previously scheduled
-        // message on the same directed link.
-        let key = (envelope.src, envelope.dst);
-        if let Some(&last) = self.last_delivery.get(&key) {
-            if deliver_at <= last {
-                deliver_at = last + SimTime::from_nanos(1);
+        let model = self.link_model(envelope.src, envelope.dst);
+        match self
+            .links
+            .prepare(at, envelope.src, envelope.dst, model, self.loss_probability)
+        {
+            None => self.stats.lost += 1,
+            Some((deliver_at, sequence)) => {
+                let key = EventKey {
+                    at: deliver_at,
+                    node: envelope.dst,
+                    class: EventClass::Deliver,
+                    a: envelope.src.0,
+                    b: sequence,
+                };
+                self.queue.push(Reverse(ScheduledEvent {
+                    key,
+                    kind: EventKind::Deliver(envelope),
+                }));
             }
         }
-        self.last_delivery.insert(key, deliver_at);
-        self.push_event(deliver_at, EventKind::Deliver(envelope));
     }
 
     /// Processes the next event, if any, and returns its timestamp.
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse((at, _, idx)) = self.queue.pop()?;
-        let kind = self.events[idx].take().expect("event consumed once");
+        let Reverse(event) = self.queue.pop()?;
+        let at = event.key.at;
+        let node = event.key.node;
         self.clock = at;
         let mut actions = Vec::new();
-        match kind {
+        match event.kind {
             EventKind::Deliver(envelope) => {
-                let dst = envelope.dst;
-                if self.crashed.contains(&dst) || !self.nodes.contains_key(&dst) {
+                if self.crashed.contains(&node) || !self.nodes.contains_key(&node) {
                     self.stats.dropped_dead += 1;
                 } else {
                     self.stats.delivered += 1;
                     self.stats.bytes_delivered += envelope.payload.len() as u64;
-                    let mut ctx = Context { now: at, self_id: dst, actions: &mut actions };
-                    self.nodes.get_mut(&dst).expect("checked above").on_message(&mut ctx, envelope);
+                    let mut ctx = Context::new(at, node, &mut actions);
+                    self.nodes
+                        .get_mut(&node)
+                        .expect("checked above")
+                        .on_message(&mut ctx, envelope);
                 }
             }
-            EventKind::Timer { node, token } => {
+            EventKind::Timer { token } => {
                 if !self.crashed.contains(&node) && self.nodes.contains_key(&node) {
                     self.stats.timers_fired += 1;
-                    let mut ctx = Context { now: at, self_id: node, actions: &mut actions };
-                    self.nodes.get_mut(&node).expect("checked above").on_timer(&mut ctx, token);
+                    let mut ctx = Context::new(at, node, &mut actions);
+                    self.nodes
+                        .get_mut(&node)
+                        .expect("checked above")
+                        .on_timer(&mut ctx, token);
                 }
             }
         }
@@ -261,7 +329,7 @@ impl Simulation {
             match action {
                 Action::Send(envelope) => self.enqueue_send(at, envelope),
                 Action::Timer { node, delay, token } => {
-                    self.push_event(at + delay, EventKind::Timer { node, token })
+                    self.schedule_timer(at + delay, node, token)
                 }
             }
         }
@@ -285,13 +353,63 @@ impl Simulation {
 
     /// Runs until the clock reaches `deadline` or no events remain.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse((at, _, _))) = self.queue.peek() {
-            if *at > deadline {
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.key.at > deadline {
                 break;
             }
             self.step();
         }
         self.clock = self.clock.max(deadline);
+    }
+}
+
+impl Engine for Simulation {
+    fn add_node(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior + Send>) {
+        Simulation::add_node(self, id, behavior);
+    }
+
+    fn set_default_latency(&mut self, model: LatencyModel) {
+        Simulation::set_default_latency(self, model);
+    }
+
+    fn set_link_latency(&mut self, src: NodeId, dst: NodeId, model: LatencyModel) {
+        Simulation::set_link_latency(self, src, dst, model);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        Simulation::set_loss_probability(self, p);
+    }
+
+    fn crash(&mut self, node: NodeId) {
+        Simulation::crash(self, node);
+    }
+
+    fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
+        Simulation::post(self, at, src, dst, tag, payload);
+    }
+
+    fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        Simulation::schedule_timer(self, at, node, token);
+    }
+
+    fn now(&self) -> SimTime {
+        Simulation::now(self)
+    }
+
+    fn run(&mut self) -> u64 {
+        // The Engine contract is "run until no events remain"; the inherent
+        // `run` keeps its legacy 50M-event safety cap for direct callers,
+        // but here it would silently truncate executions that the sharded
+        // engine completes, breaking cross-engine equivalence.
+        Simulation::run_with_limit(self, u64::MAX)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        Simulation::run_until(self, deadline);
+    }
+
+    fn stats(&self) -> SimulationStats {
+        Simulation::stats(self)
     }
 }
 
@@ -301,17 +419,23 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    type DeliveryLog = Rc<RefCell<Vec<(SimTime, u32, Vec<u8>)>>>;
+
     /// Records delivery times of received messages.
     struct Recorder {
-        log: Rc<RefCell<Vec<(SimTime, u32, Vec<u8>)>>>,
+        log: DeliveryLog,
     }
 
     impl NodeBehavior for Recorder {
         fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
-            self.log.borrow_mut().push((ctx.now(), envelope.tag, envelope.payload));
+            self.log
+                .borrow_mut()
+                .push((ctx.now(), envelope.tag, envelope.payload));
         }
         fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
-            self.log.borrow_mut().push((ctx.now(), token as u32, b"timer".to_vec()));
+            self.log
+                .borrow_mut()
+                .push((ctx.now(), token as u32, b"timer".to_vec()));
         }
     }
 
@@ -323,7 +447,7 @@ mod tests {
         }
     }
 
-    fn recorder() -> (Rc<RefCell<Vec<(SimTime, u32, Vec<u8>)>>>, Recorder) {
+    fn recorder() -> (DeliveryLog, Recorder) {
         let log = Rc::new(RefCell::new(Vec::new()));
         (log.clone(), Recorder { log })
     }
@@ -362,15 +486,28 @@ mod tests {
     #[test]
     fn per_link_fifo_is_preserved_despite_random_latency() {
         let mut sim = Simulation::new(3);
-        sim.set_default_latency(LatencyModel::LogNormal { median_ms: 50.0, sigma: 1.0 });
+        sim.set_default_latency(LatencyModel::LogNormal {
+            median_ms: 50.0,
+            sigma: 1.0,
+        });
         let (log, rec) = recorder();
         sim.add_node(NodeId(1), Box::new(rec));
         for i in 0..50u32 {
-            sim.post(SimTime::from_millis(i as u64), NodeId(0), NodeId(1), i, vec![]);
+            sim.post(
+                SimTime::from_millis(i as u64),
+                NodeId(0),
+                NodeId(1),
+                i,
+                vec![],
+            );
         }
         sim.run();
         let tags: Vec<u32> = log.borrow().iter().map(|(_, tag, _)| *tag).collect();
-        assert_eq!(tags, (0..50).collect::<Vec<_>>(), "per-link order must be FIFO");
+        assert_eq!(
+            tags,
+            (0..50).collect::<Vec<_>>(),
+            "per-link order must be FIFO"
+        );
     }
 
     #[test]
@@ -420,7 +557,11 @@ mod tests {
         }
         sim.run();
         let delivered = log.borrow().len() as f64;
-        assert!((delivered / 2000.0 - 0.7).abs() < 0.05, "delivered fraction {}", delivered / 2000.0);
+        assert!(
+            (delivered / 2000.0 - 0.7).abs() < 0.05,
+            "delivered fraction {}",
+            delivered / 2000.0
+        );
         assert_eq!(sim.stats().lost + sim.stats().delivered, 2000);
     }
 
@@ -447,15 +588,56 @@ mod tests {
             sim.add_node(NodeId(1), Box::new(rec));
             sim.add_node(NodeId(2), Box::new(Echo));
             for i in 0..20u64 {
-                sim.post(SimTime::from_millis(i * 5), NodeId(1), NodeId(2), i as u32, vec![0u8; 8]);
+                sim.post(
+                    SimTime::from_millis(i * 5),
+                    NodeId(1),
+                    NodeId(2),
+                    i as u32,
+                    vec![0u8; 8],
+                );
             }
             sim.run();
-            let observed: Vec<(u64, u32)> =
-                log.borrow().iter().map(|(t, tag, _)| (t.as_nanos(), *tag)).collect();
+            let observed: Vec<(u64, u32)> = log
+                .borrow()
+                .iter()
+                .map(|(t, tag, _)| (t.as_nanos(), *tag))
+                .collect();
             observed
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn deliveries_on_one_link_are_unaffected_by_other_traffic() {
+        // The per-link randomness discipline: adding traffic on unrelated
+        // links must not change when this link's messages arrive.
+        let run = |with_noise: bool| {
+            let mut sim = Simulation::new(77);
+            let (log, rec) = recorder();
+            sim.add_node(NodeId(1), Box::new(rec));
+            sim.add_node(NodeId(9), Box::new(Echo));
+            for i in 0..10u64 {
+                sim.post(
+                    SimTime::from_millis(i * 7),
+                    NodeId(0),
+                    NodeId(1),
+                    i as u32,
+                    vec![],
+                );
+                if with_noise {
+                    sim.post(SimTime::from_millis(i * 7), NodeId(8), NodeId(9), 0, vec![]);
+                }
+            }
+            sim.run();
+            let observed: Vec<(u64, u32)> = log
+                .borrow()
+                .iter()
+                .map(|(t, tag, _)| (t.as_nanos(), *tag))
+                .collect();
+            observed
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "seconds must be non-negative and finite");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "seconds must be non-negative and finite"
+        );
         Self((s * 1e9).round() as u64)
     }
 

@@ -82,9 +82,10 @@ impl QueryCategorizer {
             return false;
         }
         match method {
-            CategorizerMethod::WordNet => {
-                self.lexicon_dictionaries.iter().any(|d| d.matches_query(query))
-            }
+            CategorizerMethod::WordNet => self
+                .lexicon_dictionaries
+                .iter()
+                .any(|d| d.matches_query(query)),
             CategorizerMethod::Lda => self.lda_dictionaries.iter().any(|d| d.matches_query(query)),
             CategorizerMethod::Combined => {
                 self.lda_dictionaries.iter().any(|d| d.matches_query(query))
@@ -146,7 +147,11 @@ impl DetectionQuality {
     ///
     /// Panics if the slices have different lengths.
     pub fn evaluate(detections: &[bool], ground_truth: &[bool]) -> Self {
-        assert_eq!(detections.len(), ground_truth.len(), "parallel slices required");
+        assert_eq!(
+            detections.len(),
+            ground_truth.len(),
+            "parallel slices required"
+        );
         let detected = detections.iter().filter(|&&d| d).count();
         let sensitive = ground_truth.iter().filter(|&&s| s).count();
         let true_positives = detections
@@ -154,9 +159,21 @@ impl DetectionQuality {
             .zip(ground_truth.iter())
             .filter(|(&d, &s)| d && s)
             .count();
-        let precision = if detected == 0 { 1.0 } else { true_positives as f64 / detected as f64 };
-        let recall = if sensitive == 0 { 1.0 } else { true_positives as f64 / sensitive as f64 };
-        Self { precision, recall, total: detections.len() }
+        let precision = if detected == 0 {
+            1.0
+        } else {
+            true_positives as f64 / detected as f64
+        };
+        let recall = if sensitive == 0 {
+            1.0
+        } else {
+            true_positives as f64 / sensitive as f64
+        };
+        Self {
+            precision,
+            recall,
+            total: detections.len(),
+        }
     }
 
     /// The harmonic mean of precision and recall.
@@ -217,7 +234,9 @@ mod tests {
             c.matching_topics("erotic lingerie", CategorizerMethod::Combined),
             vec!["sexuality"]
         );
-        assert!(c.matching_topics("weather geneva", CategorizerMethod::Combined).is_empty());
+        assert!(c
+            .matching_topics("weather geneva", CategorizerMethod::Combined)
+            .is_empty());
         assert_eq!(c.topics(), vec!["sexuality"]);
     }
 

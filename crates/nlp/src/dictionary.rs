@@ -24,7 +24,10 @@ pub struct TopicDictionary {
 impl TopicDictionary {
     /// Creates an empty dictionary for `topic`.
     pub fn new(topic: &str) -> Self {
-        Self { topic: topic.to_lowercase(), ..Self::default() }
+        Self {
+            topic: topic.to_lowercase(),
+            ..Self::default()
+        }
     }
 
     /// The topic this dictionary describes.
@@ -157,7 +160,12 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let model = crate::lda::LdaModel::train(
             &corpus,
-            LdaTrainingConfig { num_topics: 2, alpha: 0.5, beta: 0.01, iterations: 50 },
+            LdaTrainingConfig {
+                num_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                iterations: 50,
+            },
             &mut rng,
         );
         let dict = TopicDictionary::from_lda("sexuality", &model, &vocab, 3);

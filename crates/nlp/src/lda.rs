@@ -31,7 +31,10 @@ impl Corpus {
             .map(|t| vocab.encode_interning(t))
             .filter(|d| !d.is_empty())
             .collect();
-        Self { vocab_size: vocab.len(), documents }
+        Self {
+            vocab_size: vocab.len(),
+            documents,
+        }
     }
 
     /// Total number of tokens in the corpus.
@@ -55,7 +58,12 @@ pub struct LdaTrainingConfig {
 
 impl Default for LdaTrainingConfig {
     fn default() -> Self {
-        Self { num_topics: 20, alpha: 0.1, beta: 0.01, iterations: 100 }
+        Self {
+            num_topics: 20,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 100,
+        }
     }
 }
 
@@ -184,7 +192,12 @@ impl LdaModel {
 
     /// Infers the topic distribution of a new token sequence by a short
     /// Gibbs chain holding the topic-word statistics fixed.
-    pub fn infer<R: Rng + ?Sized>(&self, tokens: &[usize], iterations: usize, rng: &mut R) -> Vec<f64> {
+    pub fn infer<R: Rng + ?Sized>(
+        &self,
+        tokens: &[usize],
+        iterations: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
         let k = self.num_topics;
         if tokens.is_empty() {
             return vec![1.0 / k as f64; k];
@@ -200,7 +213,8 @@ impl LdaModel {
                 let old = assignments[i];
                 doc_topic[old] -= 1;
                 for (t, weight) in weights.iter_mut().enumerate() {
-                    *weight = self.topic_term_probability(t, w) * (doc_topic[t] as f64 + self.alpha);
+                    *weight =
+                        self.topic_term_probability(t, w) * (doc_topic[t] as f64 + self.alpha);
                 }
                 let new = rng.sample_weighted(&weights).unwrap_or(old);
                 assignments[i] = new;
@@ -208,7 +222,9 @@ impl LdaModel {
             }
         }
         let total: f64 = tokens.len() as f64 + k as f64 * self.alpha;
-        (0..k).map(|t| (doc_topic[t] as f64 + self.alpha) / total).collect()
+        (0..k)
+            .map(|t| (doc_topic[t] as f64 + self.alpha) / total)
+            .collect()
     }
 }
 
@@ -249,7 +265,12 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let corpus = separable_corpus(&mut vocab);
         let mut rng = Xoshiro256StarStar::seed_from_u64(7);
-        let config = LdaTrainingConfig { num_topics: 2, alpha: 0.1, beta: 0.01, iterations: 300 };
+        let config = LdaTrainingConfig {
+            num_topics: 2,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 300,
+        };
         let model = LdaModel::train(&corpus, config, &mut rng);
         (vocab, model)
     }
@@ -286,7 +307,29 @@ mod tests {
             .collect();
         let health_hits = top
             .iter()
-            .filter(|t| ["flu", "fever", "cough", "diabetes", "insulin", "glucose", "cancer", "tumor", "chemotherapy", "medicine", "vaccine", "biopsy", "scan", "monitor", "diet", "doctor", "treatment", "symptoms"].contains(&t.as_ref()))
+            .filter(|t| {
+                [
+                    "flu",
+                    "fever",
+                    "cough",
+                    "diabetes",
+                    "insulin",
+                    "glucose",
+                    "cancer",
+                    "tumor",
+                    "chemotherapy",
+                    "medicine",
+                    "vaccine",
+                    "biopsy",
+                    "scan",
+                    "monitor",
+                    "diet",
+                    "doctor",
+                    "treatment",
+                    "symptoms",
+                ]
+                .contains(t)
+            })
             .count();
         assert!(health_hits >= 4, "top words were {top:?}");
     }
@@ -335,7 +378,10 @@ mod tests {
     #[should_panic(expected = "non-empty corpus")]
     fn empty_corpus_is_rejected() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let corpus = Corpus { vocab_size: 0, documents: vec![] };
+        let corpus = Corpus {
+            vocab_size: 0,
+            documents: vec![],
+        };
         let _ = LdaModel::train(&corpus, LdaTrainingConfig::default(), &mut rng);
     }
 
@@ -353,12 +399,30 @@ mod tests {
         let mut vocab_a = Vocabulary::new();
         let corpus_a = separable_corpus(&mut vocab_a);
         let mut rng_a = Xoshiro256StarStar::seed_from_u64(99);
-        let model_a = LdaModel::train(&corpus_a, LdaTrainingConfig { num_topics: 2, alpha: 0.5, beta: 0.01, iterations: 50 }, &mut rng_a);
+        let model_a = LdaModel::train(
+            &corpus_a,
+            LdaTrainingConfig {
+                num_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                iterations: 50,
+            },
+            &mut rng_a,
+        );
 
         let mut vocab_b = Vocabulary::new();
         let corpus_b = separable_corpus(&mut vocab_b);
         let mut rng_b = Xoshiro256StarStar::seed_from_u64(99);
-        let model_b = LdaModel::train(&corpus_b, LdaTrainingConfig { num_topics: 2, alpha: 0.5, beta: 0.01, iterations: 50 }, &mut rng_b);
+        let model_b = LdaModel::train(
+            &corpus_b,
+            LdaTrainingConfig {
+                num_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                iterations: 50,
+            },
+            &mut rng_b,
+        );
 
         for t in 0..2 {
             for w in 0..corpus_a.vocab_size {

@@ -82,7 +82,8 @@ impl Lexicon {
 
     /// Returns `true` when `word` is linked to `domain`.
     pub fn word_in_domain(&self, word: &str, domain: &str) -> bool {
-        self.domains_of(word).contains(domain.to_lowercase().as_str())
+        self.domains_of(word)
+            .contains(domain.to_lowercase().as_str())
     }
 
     /// Returns `true` when `word`'s only domains are `domain` (the word is
@@ -97,7 +98,7 @@ impl Lexicon {
         let domain = domain.to_lowercase();
         self.synsets
             .iter()
-            .filter(|s| s.domains.iter().any(|d| *d == domain))
+            .filter(|s| s.domains.contains(&domain))
             .flat_map(|s| s.words.iter().map(|w| w.as_str()))
             .collect()
     }
@@ -124,7 +125,11 @@ impl LexiconBuilder {
     }
 
     /// Adds each term of `terms` as a single-word synset in `domain`.
-    pub fn domain_terms<'a>(mut self, domain: &str, terms: impl IntoIterator<Item = &'a str>) -> Self {
+    pub fn domain_terms<'a>(
+        mut self,
+        domain: &str,
+        terms: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
         for t in terms {
             self.lexicon.add_synset([t.to_owned()], [domain.to_owned()]);
         }

@@ -40,7 +40,11 @@ impl Default for UserProfile {
 impl UserProfile {
     /// Creates an empty profile with the default smoothing factor.
     pub fn new() -> Self {
-        Self { queries: Vec::new(), raw_queries: Vec::new(), alpha: DEFAULT_SMOOTHING_ALPHA }
+        Self {
+            queries: Vec::new(),
+            raw_queries: Vec::new(),
+            alpha: DEFAULT_SMOOTHING_ALPHA,
+        }
     }
 
     /// Creates an empty profile with an explicit smoothing factor.
@@ -50,7 +54,11 @@ impl UserProfile {
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn with_alpha(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Self { queries: Vec::new(), raw_queries: Vec::new(), alpha }
+        Self {
+            queries: Vec::new(),
+            raw_queries: Vec::new(),
+            alpha,
+        }
     }
 
     /// Builds a profile directly from an iterator of past query strings.
@@ -96,8 +104,11 @@ impl UserProfile {
         if vector.is_empty() || self.queries.is_empty() {
             return 0.0;
         }
-        let similarities: Vec<f64> =
-            self.queries.iter().map(|past| cosine_similarity(&vector, past)).collect();
+        let similarities: Vec<f64> = self
+            .queries
+            .iter()
+            .map(|past| cosine_similarity(&vector, past))
+            .collect();
         exponential_smoothing(&similarities, self.alpha)
     }
 
@@ -136,7 +147,10 @@ mod tests {
         let profile = health_profile();
         let score = profile.similarity("diabetes type 2 symptoms");
         assert!(score > 0.6, "score was {score}");
-        assert!(score > 0.5, "an exact repeat must cross the SimAttack threshold");
+        assert!(
+            score > 0.5,
+            "an exact repeat must cross the SimAttack threshold"
+        );
     }
 
     #[test]
@@ -169,7 +183,10 @@ mod tests {
             "diabetes type 2 symptoms insulin pump price",
         ] {
             let s = profile.similarity(query);
-            assert!((0.0..=1.0).contains(&s), "score {s} out of range for {query}");
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "score {s} out of range for {query}"
+            );
         }
     }
 

@@ -119,7 +119,10 @@ impl Vocabulary {
 
     /// Converts a query into known term ids (unknown terms are dropped).
     pub fn encode(&self, query: &str) -> Vec<usize> {
-        tokenize(query).iter().filter_map(|t| self.id_of(t)).collect()
+        tokenize(query)
+            .iter()
+            .filter_map(|t| self.id_of(t))
+            .collect()
     }
 
     /// Converts a query into term ids, interning unknown terms.
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn tokenize_keeps_numbers() {
-        assert_eq!(tokenize("windows 10 activation key"), vec!["windows", "10", "activation", "key"]);
+        assert_eq!(
+            tokenize("windows 10 activation key"),
+            vec!["windows", "10", "activation", "key"]
+        );
     }
 
     #[test]

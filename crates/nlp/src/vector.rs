@@ -91,12 +91,12 @@ impl TermVector {
     /// Dot product with another vector.
     pub fn dot(&self, other: &TermVector) -> f64 {
         // Iterate over the smaller map for efficiency.
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
-        small
-            .weights
-            .iter()
-            .map(|(t, w)| w * large.weight(t))
-            .sum()
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.weights.iter().map(|(t, w)| w * large.weight(t)).sum()
     }
 }
 
@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn from_iterator_accumulates() {
-        let v: TermVector = vec![("x".to_owned(), 1.0), ("x".to_owned(), 2.0)].into_iter().collect();
+        let v: TermVector = vec![("x".to_owned(), 1.0), ("x".to_owned(), 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!(v.weight("x"), 3.0);
     }
 

@@ -13,6 +13,10 @@
 //! * [`GossipSimulator`] — a synchronous round driver over many nodes with
 //!   failure injection and overlay-quality metrics (connectivity, in-degree
 //!   balance), used by the deployment simulation and by benchmarks.
+//! * [`EngineGossipOverlay`] — the same protocol running over simulated
+//!   network messages on any `cyclosa_net::engine::Engine`, including the
+//!   sharded parallel engine of `cyclosa-runtime` for population-scale
+//!   experiments.
 //!
 //! CYCLOSA uses the resulting random views for two purposes: selecting the
 //! `k + 1` relays of each query (load balancing falls out of view
@@ -22,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod node;
+pub mod overlay;
 pub mod simulator;
 pub mod view;
 
 pub use node::{ExchangeBuffer, PeerSamplingConfig, PeerSamplingNode, SelectionPolicy};
-pub use simulator::{GossipSimulator, OverlayMetrics};
+pub use overlay::{EngineGossipConfig, EngineGossipOverlay};
+pub use simulator::{overlay_metrics_from_views, GossipSimulator, OverlayMetrics};
 pub use view::{Descriptor, PeerId, View};

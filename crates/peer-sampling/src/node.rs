@@ -42,7 +42,13 @@ impl Default for PeerSamplingConfig {
     fn default() -> Self {
         // c = 20, exchange c/2, H = 1, S = 9, tail selection: the
         // self-healing configuration recommended by Jelasity et al.
-        Self { view_size: 20, exchange_size: 10, healer: 1, swapper: 9, selection: SelectionPolicy::Oldest }
+        Self {
+            view_size: 20,
+            exchange_size: 10,
+            healer: 1,
+            swapper: 9,
+            selection: SelectionPolicy::Oldest,
+        }
     }
 }
 
@@ -64,7 +70,11 @@ pub struct PeerSamplingNode {
 impl PeerSamplingNode {
     /// Creates a node with an empty view.
     pub fn new(id: PeerId, config: PeerSamplingConfig) -> Self {
-        Self { id, view: View::new(config.view_size), config }
+        Self {
+            id,
+            view: View::new(config.view_size),
+            config,
+        }
     }
 
     /// The node's identifier.
@@ -104,7 +114,9 @@ impl PeerSamplingNode {
     /// descriptor plus a random sample of its view.
     pub fn prepare_buffer<R: Rng + ?Sized>(&self, rng: &mut R) -> ExchangeBuffer {
         let mut descriptors = vec![Descriptor::fresh(self.id)];
-        let sample = self.view.sample(rng, self.config.exchange_size.saturating_sub(1));
+        let sample = self
+            .view
+            .sample(rng, self.config.exchange_size.saturating_sub(1));
         descriptors.extend(sample);
         ExchangeBuffer { descriptors }
     }
@@ -159,7 +171,11 @@ impl PeerSamplingNode {
     /// Draws `count` distinct random peers from the view — the API CYCLOSA
     /// uses to pick the `k + 1` relays for a query.
     pub fn random_peers<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<PeerId> {
-        self.view.sample(rng, count).into_iter().map(|d| d.peer).collect()
+        self.view
+            .sample(rng, count)
+            .into_iter()
+            .map(|d| d.peer)
+            .collect()
     }
 }
 
@@ -169,7 +185,13 @@ mod tests {
     use cyclosa_util::rng::Xoshiro256StarStar;
 
     fn config() -> PeerSamplingConfig {
-        PeerSamplingConfig { view_size: 6, exchange_size: 3, healer: 1, swapper: 2, selection: SelectionPolicy::Oldest }
+        PeerSamplingConfig {
+            view_size: 6,
+            exchange_size: 3,
+            healer: 1,
+            swapper: 2,
+            selection: SelectionPolicy::Oldest,
+        }
     }
 
     #[test]
@@ -197,7 +219,10 @@ mod tests {
         node.bootstrap([PeerId(1), PeerId(2)]);
         node.increase_ages();
         node.bootstrap([PeerId(3)]);
-        assert_ne!(node.select_partner(&mut Xoshiro256StarStar::seed_from_u64(1)), Some(PeerId(3)));
+        assert_ne!(
+            node.select_partner(&mut Xoshiro256StarStar::seed_from_u64(1)),
+            Some(PeerId(3))
+        );
     }
 
     #[test]
@@ -208,11 +233,16 @@ mod tests {
         let received = ExchangeBuffer {
             descriptors: vec![
                 Descriptor::fresh(PeerId(100)),
-                Descriptor { peer: PeerId(101), age: 1 },
+                Descriptor {
+                    peer: PeerId(101),
+                    age: 1,
+                },
                 Descriptor::fresh(PeerId(0)), // self must be ignored
             ],
         };
-        let sent = ExchangeBuffer { descriptors: vec![Descriptor::fresh(PeerId(0)), Descriptor::fresh(PeerId(1))] };
+        let sent = ExchangeBuffer {
+            descriptors: vec![Descriptor::fresh(PeerId(0)), Descriptor::fresh(PeerId(1))],
+        };
         node.merge(&received, &sent, &mut rng);
         assert!(node.view().len() <= config().view_size);
         assert!(node.view().contains(PeerId(100)) || node.view().contains(PeerId(101)));
@@ -242,6 +272,9 @@ mod tests {
     #[test]
     fn empty_view_has_no_partner() {
         let node = PeerSamplingNode::new(PeerId(0), config());
-        assert_eq!(node.select_partner(&mut Xoshiro256StarStar::seed_from_u64(1)), None);
+        assert_eq!(
+            node.select_partner(&mut Xoshiro256StarStar::seed_from_u64(1)),
+            None
+        );
     }
 }

@@ -1,0 +1,331 @@
+//! The peer-sampling protocol running on a discrete-event [`Engine`] —
+//! the event-driven port of [`crate::simulator::GossipSimulator`].
+//!
+//! Where the synchronous simulator exchanges buffers by direct method
+//! calls, this overlay runs the same protocol over simulated network
+//! messages: each node arms a periodic round timer, pushes its buffer to
+//! the selected partner, and merges the pulled reply. Unanswered exchanges
+//! (crashed partners) are blacklisted at the next round, mirroring how
+//! CYCLOSA clients drop unresponsive proxies.
+//!
+//! Every node draws from its own seed-derived RNG stream, so an execution
+//! is a pure function of `(seed, population, config)` — identical on the
+//! sequential simulator and on the sharded parallel engine, for any shard
+//! count.
+
+use crate::node::{ExchangeBuffer, PeerSamplingConfig, PeerSamplingNode};
+use crate::simulator::{overlay_metrics_from_views, OverlayMetrics};
+use crate::view::{Descriptor, PeerId};
+use cyclosa_net::engine::Engine;
+use cyclosa_net::sim::{Context, Envelope, NodeBehavior};
+use cyclosa_net::time::SimTime;
+use cyclosa_net::NodeId;
+use cyclosa_util::rng::{SplitMix64, Xoshiro256StarStar};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Message tag: push half of a gossip exchange.
+const TAG_PUSH: u32 = 0x9001;
+/// Message tag: pull reply of a gossip exchange.
+const TAG_REPLY: u32 = 0x9002;
+
+/// Configuration of the event-driven gossip overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineGossipConfig {
+    /// Parameters of the underlying peer-sampling protocol.
+    pub protocol: PeerSamplingConfig,
+    /// Number of gossip rounds each node initiates.
+    pub rounds: usize,
+    /// Interval between a node's rounds (must comfortably exceed one
+    /// network round trip so replies arrive before the next round).
+    pub round_period: SimTime,
+}
+
+impl Default for EngineGossipConfig {
+    fn default() -> Self {
+        Self {
+            protocol: PeerSamplingConfig::default(),
+            rounds: 30,
+            round_period: SimTime::from_secs(1),
+        }
+    }
+}
+
+fn encode(buffer: &ExchangeBuffer) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(buffer.descriptors.len() * 12);
+    for descriptor in &buffer.descriptors {
+        bytes.extend_from_slice(&descriptor.peer.0.to_le_bytes());
+        bytes.extend_from_slice(&descriptor.age.to_le_bytes());
+    }
+    bytes
+}
+
+fn decode(bytes: &[u8]) -> Option<ExchangeBuffer> {
+    if !bytes.len().is_multiple_of(12) {
+        return None;
+    }
+    let descriptors = bytes
+        .chunks_exact(12)
+        .map(|chunk| Descriptor {
+            peer: PeerId(u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"))),
+            age: u32::from_le_bytes(chunk[8..].try_into().expect("4 bytes")),
+        })
+        .collect();
+    Some(ExchangeBuffer { descriptors })
+}
+
+fn node_rng(seed: u64, id: u64) -> Xoshiro256StarStar {
+    let mut sm = SplitMix64::new(seed);
+    let base = cyclosa_util::rng::Rng::next_u64(&mut sm);
+    Xoshiro256StarStar::seed_from_u64(base ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One gossip participant driven by engine events.
+struct GossipBehavior {
+    node: Arc<Mutex<PeerSamplingNode>>,
+    rng: Xoshiro256StarStar,
+    rounds_left: usize,
+    round_period: SimTime,
+    /// The partner and sent buffer of the exchange in flight, if any.
+    awaiting: Option<(PeerId, ExchangeBuffer)>,
+}
+
+impl NodeBehavior for GossipBehavior {
+    fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+        let Some(received) = decode(&envelope.payload) else {
+            return;
+        };
+        let mut node = self.node.lock().expect("gossip node poisoned");
+        match envelope.tag {
+            TAG_PUSH => {
+                // Passive side: answer with our own buffer, then merge.
+                let reply = node.prepare_buffer(&mut self.rng);
+                ctx.send(envelope.src, TAG_REPLY, encode(&reply));
+                node.merge(&received, &reply, &mut self.rng);
+            }
+            TAG_REPLY
+                // Active side: merge against the buffer we sent, but only
+                // for the exchange actually in flight (a reply straggling
+                // past the next round's blacklisting is dropped).
+                if self
+                    .awaiting
+                    .as_ref()
+                    .is_some_and(|(partner, _)| partner.0 == envelope.src.0)
+                => {
+                    let (_, sent) = self.awaiting.take().expect("checked above");
+                    node.merge(&received, &sent, &mut self.rng);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        let mut node = self.node.lock().expect("gossip node poisoned");
+        if let Some((partner, _)) = self.awaiting.take() {
+            // The previous round's partner never answered: blacklist it,
+            // exactly as CYCLOSA clients blacklist unresponsive proxies.
+            node.blacklist(partner);
+        }
+        node.increase_ages();
+        if let Some(partner) = node.select_partner(&mut self.rng) {
+            let buffer = node.prepare_buffer(&mut self.rng);
+            ctx.send(NodeId(partner.0), TAG_PUSH, encode(&buffer));
+            self.awaiting = Some((partner, buffer));
+        }
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+        if self.rounds_left > 0 {
+            ctx.set_timer(self.round_period, 0);
+        }
+    }
+}
+
+/// A gossip overlay deployed on an [`Engine`]; inspect views and quality
+/// metrics after `engine.run()`.
+#[derive(Debug)]
+pub struct EngineGossipOverlay {
+    handles: Vec<(PeerId, Arc<Mutex<PeerSamplingNode>>)>,
+    dead: HashSet<PeerId>,
+}
+
+impl EngineGossipOverlay {
+    /// Registers `count` nodes bootstrapped in a ring (node `i` initially
+    /// knows only its successor) on `engine`, each initiating
+    /// `config.rounds` gossip rounds. Call `engine.run()` afterwards to
+    /// execute the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    pub fn ring<E: Engine + ?Sized>(
+        engine: &mut E,
+        count: usize,
+        config: EngineGossipConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(count >= 2, "a gossip overlay needs at least two nodes");
+        let mut handles = Vec::with_capacity(count);
+        for i in 0..count {
+            let id = PeerId(i as u64);
+            let mut node = PeerSamplingNode::new(id, config.protocol);
+            node.bootstrap([PeerId(((i + 1) % count) as u64)]);
+            let handle = Arc::new(Mutex::new(node));
+            handles.push((id, handle.clone()));
+            engine.add_node(
+                NodeId(id.0),
+                Box::new(GossipBehavior {
+                    node: handle,
+                    rng: node_rng(seed, id.0),
+                    rounds_left: config.rounds,
+                    round_period: config.round_period,
+                    awaiting: None,
+                }),
+            );
+            engine.schedule_timer(config.round_period, NodeId(id.0), 0);
+        }
+        Self {
+            handles,
+            dead: HashSet::new(),
+        }
+    }
+
+    /// Crashes `peer` on the engine: it stops gossiping and answering, and
+    /// is excluded from [`EngineGossipOverlay::metrics`]. Call between
+    /// engine runs, not while one is in progress.
+    pub fn kill<E: Engine + ?Sized>(&mut self, engine: &mut E, peer: PeerId) {
+        engine.crash(NodeId(peer.0));
+        self.dead.insert(peer);
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.handles.len() - self.dead.len()
+    }
+
+    /// Returns `true` when no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current `(node, view peers)` pairs of the alive population,
+    /// sorted by node id.
+    pub fn views(&self) -> Vec<(PeerId, Vec<PeerId>)> {
+        self.handles
+            .iter()
+            .filter(|(id, _)| !self.dead.contains(id))
+            .map(|(id, node)| {
+                (
+                    *id,
+                    node.lock().expect("gossip node poisoned").view().peers(),
+                )
+            })
+            .collect()
+    }
+
+    /// Overlay quality metrics over the alive population.
+    pub fn metrics(&self) -> OverlayMetrics {
+        overlay_metrics_from_views(&self.views())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_net::sim::Simulation;
+    use cyclosa_runtime::ShardedEngine;
+
+    fn converged_views(
+        engine: &mut dyn Engine,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(PeerId, Vec<PeerId>)> {
+        let overlay = EngineGossipOverlay::ring(engine, count, EngineGossipConfig::default(), seed);
+        engine.run();
+        let mut views = overlay.views();
+        for (_, peers) in &mut views {
+            peers.sort_unstable();
+        }
+        views
+    }
+
+    #[test]
+    fn ring_bootstrap_converges_on_the_event_engine() {
+        let mut simulation = Simulation::new(8);
+        let overlay =
+            EngineGossipOverlay::ring(&mut simulation, 100, EngineGossipConfig::default(), 8);
+        simulation.run();
+        let metrics = overlay.metrics();
+        assert!(metrics.connected, "overlay must stay connected");
+        assert_eq!(metrics.nodes, 100);
+        let mean_view: f64 = overlay
+            .views()
+            .iter()
+            .map(|(_, v)| v.len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(mean_view > 15.0, "mean view size was {mean_view}");
+        assert!(
+            metrics.max_in_degree < 60,
+            "max in-degree {}",
+            metrics.max_in_degree
+        );
+    }
+
+    #[test]
+    fn sharded_overlay_is_bit_identical_to_sequential() {
+        let mut sequential = Simulation::new(21);
+        let expected = converged_views(&mut sequential, 60, 21);
+        for shards in [2, 4] {
+            let mut engine = ShardedEngine::new(21, shards);
+            let observed = converged_views(&mut engine, 60, 21);
+            assert_eq!(observed, expected, "views diverged with {shards} shards");
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_are_blacklisted_and_forgotten() {
+        let mut simulation = Simulation::new(5);
+        let config = EngineGossipConfig {
+            rounds: 60,
+            ..EngineGossipConfig::default()
+        };
+        let mut overlay = EngineGossipOverlay::ring(&mut simulation, 60, config, 5);
+        simulation.run_until(SimTime::from_secs(20));
+        for i in 0..10 {
+            overlay.kill(&mut simulation, PeerId(i));
+        }
+        simulation.run();
+        let metrics = overlay.metrics();
+        assert_eq!(metrics.nodes, 50);
+        assert!(metrics.connected);
+        assert!(
+            metrics.dead_references < 0.10,
+            "dead references still at {:.2}",
+            metrics.dead_references
+        );
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        let buffer = ExchangeBuffer {
+            descriptors: vec![
+                Descriptor {
+                    peer: PeerId(7),
+                    age: 3,
+                },
+                Descriptor {
+                    peer: PeerId(u64::MAX),
+                    age: u32::MAX,
+                },
+            ],
+        };
+        assert_eq!(decode(&encode(&buffer)), Some(buffer));
+        assert_eq!(decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_overlay_is_rejected() {
+        let mut simulation = Simulation::new(1);
+        let _ = EngineGossipOverlay::ring(&mut simulation, 1, EngineGossipConfig::default(), 1);
+    }
+}

@@ -21,6 +21,63 @@ pub struct OverlayMetrics {
     pub dead_references: f64,
 }
 
+/// Computes overlay quality metrics from `(node, view peers)` pairs of the
+/// *alive* population. References to peers absent from `views` count as
+/// dead. Shared by the synchronous [`GossipSimulator`] and the
+/// event-driven engine overlay.
+pub fn overlay_metrics_from_views(views: &[(PeerId, Vec<PeerId>)]) -> OverlayMetrics {
+    let alive_set: HashSet<PeerId> = views.iter().map(|(id, _)| *id).collect();
+    let mut in_degree: HashMap<PeerId, usize> = views.iter().map(|(id, _)| (*id, 0)).collect();
+    let mut dead_refs = 0usize;
+    let mut total_refs = 0usize;
+    let mut adjacency: HashMap<PeerId, Vec<PeerId>> = HashMap::new();
+    for (id, peers) in views {
+        for &peer in peers {
+            total_refs += 1;
+            if alive_set.contains(&peer) {
+                *in_degree.entry(peer).or_insert(0) += 1;
+                adjacency.entry(*id).or_default().push(peer);
+                // Treat the overlay as undirected for connectivity.
+                adjacency.entry(peer).or_default().push(*id);
+            } else {
+                dead_refs += 1;
+            }
+        }
+    }
+    let connected = if views.is_empty() {
+        true
+    } else {
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(views[0].0);
+        visited.insert(views[0].0);
+        while let Some(p) = queue.pop_front() {
+            for &next in adjacency.get(&p).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if visited.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        visited.len() == views.len()
+    };
+    let mean_in_degree = if views.is_empty() {
+        0.0
+    } else {
+        in_degree.values().sum::<usize>() as f64 / views.len() as f64
+    };
+    OverlayMetrics {
+        nodes: views.len(),
+        connected,
+        mean_in_degree,
+        max_in_degree: in_degree.values().copied().max().unwrap_or(0),
+        dead_references: if total_refs == 0 {
+            0.0
+        } else {
+            dead_refs as f64 / total_refs as f64
+        },
+    }
+}
+
 /// Drives a population of [`PeerSamplingNode`]s through synchronous gossip
 /// rounds (each round, every alive node initiates one push–pull exchange).
 #[derive(Debug)]
@@ -44,7 +101,12 @@ impl GossipSimulator {
             node.bootstrap([PeerId(((i + 1) % count) as u64)]);
             nodes.insert(id, node);
         }
-        Self { nodes, dead: HashSet::new(), rng: Xoshiro256StarStar::seed_from_u64(seed), rounds_run: 0 }
+        Self {
+            nodes,
+            dead: HashSet::new(),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            rounds_run: 0,
+        }
     }
 
     /// Creates `count` nodes that all know a single bootstrap node (a
@@ -62,7 +124,12 @@ impl GossipSimulator {
             }
             nodes.insert(id, node);
         }
-        Self { nodes, dead: HashSet::new(), rng: Xoshiro256StarStar::seed_from_u64(seed), rounds_run: 0 }
+        Self {
+            nodes,
+            dead: HashSet::new(),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            rounds_run: 0,
+        }
     }
 
     /// Number of alive nodes.
@@ -111,7 +178,11 @@ impl GossipSimulator {
             if let Some(node) = self.nodes.get_mut(&id) {
                 node.increase_ages();
             }
-            let Some(partner) = self.nodes.get(&id).and_then(|n| n.select_partner(&mut self.rng)) else {
+            let Some(partner) = self
+                .nodes
+                .get(&id)
+                .and_then(|n| n.select_partner(&mut self.rng))
+            else {
                 continue;
             };
             if self.dead.contains(&partner) {
@@ -123,7 +194,11 @@ impl GossipSimulator {
                 continue;
             }
             // Active side prepares its buffer.
-            let initiator_buffer = self.nodes.get(&id).expect("alive node").prepare_buffer(&mut self.rng);
+            let initiator_buffer = self
+                .nodes
+                .get(&id)
+                .expect("alive node")
+                .prepare_buffer(&mut self.rng);
             // Passive side answers with its own buffer and merges.
             let partner_buffer = {
                 let partner_node = self.nodes.get(&partner).expect("partner exists");
@@ -147,54 +222,12 @@ impl GossipSimulator {
 
     /// Computes the current overlay quality metrics over alive nodes.
     pub fn metrics(&self) -> OverlayMetrics {
-        let alive: Vec<PeerId> = self.alive_peers();
-        let alive_set: HashSet<PeerId> = alive.iter().copied().collect();
-        let mut in_degree: HashMap<PeerId, usize> = alive.iter().map(|&p| (p, 0)).collect();
-        let mut dead_refs = 0usize;
-        let mut total_refs = 0usize;
-        let mut adjacency: HashMap<PeerId, Vec<PeerId>> = HashMap::new();
-        for &id in &alive {
-            let node = &self.nodes[&id];
-            for peer in node.view().peers() {
-                total_refs += 1;
-                if alive_set.contains(&peer) {
-                    *in_degree.entry(peer).or_insert(0) += 1;
-                    adjacency.entry(id).or_default().push(peer);
-                    // Treat the overlay as undirected for connectivity.
-                    adjacency.entry(peer).or_default().push(id);
-                } else {
-                    dead_refs += 1;
-                }
-            }
-        }
-        let connected = if alive.is_empty() {
-            true
-        } else {
-            let mut visited = HashSet::new();
-            let mut queue = VecDeque::new();
-            queue.push_back(alive[0]);
-            visited.insert(alive[0]);
-            while let Some(p) = queue.pop_front() {
-                for &next in adjacency.get(&p).map(|v| v.as_slice()).unwrap_or(&[]) {
-                    if visited.insert(next) {
-                        queue.push_back(next);
-                    }
-                }
-            }
-            visited.len() == alive.len()
-        };
-        let mean_in_degree = if alive.is_empty() {
-            0.0
-        } else {
-            in_degree.values().sum::<usize>() as f64 / alive.len() as f64
-        };
-        OverlayMetrics {
-            nodes: alive.len(),
-            connected,
-            mean_in_degree,
-            max_in_degree: in_degree.values().copied().max().unwrap_or(0),
-            dead_references: if total_refs == 0 { 0.0 } else { dead_refs as f64 / total_refs as f64 },
-        }
+        let views: Vec<(PeerId, Vec<PeerId>)> = self
+            .alive_peers()
+            .into_iter()
+            .map(|id| (id, self.nodes[&id].view().peers()))
+            .collect();
+        overlay_metrics_from_views(&views)
     }
 
     /// Borrow of the internal RNG, to draw relay choices consistent with the
@@ -228,7 +261,11 @@ mod tests {
             / 100.0;
         assert!(mean_view > 15.0, "mean view size was {mean_view}");
         // In-degree should be reasonably balanced (no hot spot dominating).
-        assert!(metrics.max_in_degree < 60, "max in-degree {}", metrics.max_in_degree);
+        assert!(
+            metrics.max_in_degree < 60,
+            "max in-degree {}",
+            metrics.max_in_degree
+        );
     }
 
     #[test]
@@ -243,7 +280,10 @@ mod tests {
             .iter()
             .filter(|p| sim.node(**p).unwrap().view().contains(PeerId(0)))
             .count();
-        assert!(bootstrap_in_degree < 79, "star hub still referenced by all nodes");
+        assert!(
+            bootstrap_in_degree < 79,
+            "star hub still referenced by all nodes"
+        );
     }
 
     #[test]

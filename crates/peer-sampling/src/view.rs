@@ -42,7 +42,10 @@ impl View {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "view capacity must be positive");
-        Self { capacity, descriptors: Vec::with_capacity(capacity) }
+        Self {
+            capacity,
+            descriptors: Vec::with_capacity(capacity),
+        }
     }
 
     /// Maximum number of descriptors the view can hold.
@@ -78,7 +81,11 @@ impl View {
     /// Inserts a descriptor, keeping only the freshest descriptor per peer
     /// and never exceeding capacity (the oldest descriptor is evicted).
     pub fn insert(&mut self, descriptor: Descriptor) {
-        if let Some(existing) = self.descriptors.iter_mut().find(|d| d.peer == descriptor.peer) {
+        if let Some(existing) = self
+            .descriptors
+            .iter_mut()
+            .find(|d| d.peer == descriptor.peer)
+        {
             if descriptor.age < existing.age {
                 existing.age = descriptor.age;
             }
@@ -106,7 +113,11 @@ impl View {
     /// which appends the whole received buffer before applying the healer /
     /// swapper policies and truncating back to capacity.
     pub fn insert_unbounded(&mut self, descriptor: Descriptor) {
-        if let Some(existing) = self.descriptors.iter_mut().find(|d| d.peer == descriptor.peer) {
+        if let Some(existing) = self
+            .descriptors
+            .iter_mut()
+            .find(|d| d.peer == descriptor.peer)
+        {
             if descriptor.age < existing.age {
                 existing.age = descriptor.age;
             }
@@ -190,27 +201,45 @@ mod tests {
     fn insert_respects_capacity_and_freshness() {
         let mut view = View::new(3);
         for i in 0..3 {
-            view.insert(Descriptor { peer: PeerId(i), age: i as u32 });
+            view.insert(Descriptor {
+                peer: PeerId(i),
+                age: i as u32,
+            });
         }
         assert_eq!(view.len(), 3);
         // A fresher descriptor evicts the oldest one.
-        view.insert(Descriptor { peer: PeerId(99), age: 0 });
+        view.insert(Descriptor {
+            peer: PeerId(99),
+            age: 0,
+        });
         assert_eq!(view.len(), 3);
         assert!(view.contains(PeerId(99)));
         assert!(!view.contains(PeerId(2)));
         // An older descriptor does not evict anything.
-        view.insert(Descriptor { peer: PeerId(100), age: 50 });
+        view.insert(Descriptor {
+            peer: PeerId(100),
+            age: 50,
+        });
         assert!(!view.contains(PeerId(100)));
     }
 
     #[test]
     fn duplicate_peer_keeps_freshest_age() {
         let mut view = View::new(4);
-        view.insert(Descriptor { peer: PeerId(1), age: 5 });
-        view.insert(Descriptor { peer: PeerId(1), age: 2 });
+        view.insert(Descriptor {
+            peer: PeerId(1),
+            age: 5,
+        });
+        view.insert(Descriptor {
+            peer: PeerId(1),
+            age: 2,
+        });
         assert_eq!(view.len(), 1);
         assert_eq!(view.descriptors()[0].age, 2);
-        view.insert(Descriptor { peer: PeerId(1), age: 9 });
+        view.insert(Descriptor {
+            peer: PeerId(1),
+            age: 9,
+        });
         assert_eq!(view.descriptors()[0].age, 2);
     }
 
@@ -218,7 +247,10 @@ mod tests {
     fn remove_oldest_and_first() {
         let mut view = View::new(5);
         for i in 0..5 {
-            view.insert(Descriptor { peer: PeerId(i), age: i as u32 });
+            view.insert(Descriptor {
+                peer: PeerId(i),
+                age: i as u32,
+            });
         }
         view.remove_oldest(2);
         assert_eq!(view.len(), 3);
@@ -232,8 +264,14 @@ mod tests {
     #[test]
     fn ages_increase_and_oldest_is_found() {
         let mut view = View::new(3);
-        view.insert(Descriptor { peer: PeerId(1), age: 0 });
-        view.insert(Descriptor { peer: PeerId(2), age: 4 });
+        view.insert(Descriptor {
+            peer: PeerId(1),
+            age: 0,
+        });
+        view.insert(Descriptor {
+            peer: PeerId(2),
+            age: 4,
+        });
         view.increase_ages();
         assert_eq!(view.oldest().unwrap().peer, PeerId(2));
         assert_eq!(view.oldest().unwrap().age, 5);

@@ -1,0 +1,32 @@
+//! `cyclosa-runtime` — the population-scale execution engine of the
+//! CYCLOSA reproduction.
+//!
+//! The paper evaluates CYCLOSA with ~100 nodes; the roadmap targets
+//! millions. This crate provides the two pieces that make that jump
+//! possible:
+//!
+//! * [`shard`] — [`shard::ShardedEngine`], a deterministic parallel
+//!   discrete-event engine. Nodes are partitioned across worker shards by
+//!   `NodeId` hash, each shard runs on its own thread, and shards
+//!   synchronize with a conservative time-window barrier sized by the
+//!   minimum link-latency floor. Executions are bit-identical to the
+//!   sequential `cyclosa_net::sim::Simulation` for the same seed, for any
+//!   shard count — so every experiment can scale out without changing its
+//!   results.
+//! * [`metrics`] — counters, gauges and log-linear latency histograms with
+//!   p50/p95/p99 export, cheap enough to thread through relay forwarding,
+//!   enclave transitions and search-engine queries on the hot path.
+//!
+//! Both engines implement [`cyclosa_net::engine::Engine`]; behaviours
+//! written against `cyclosa_net::sim::NodeBehavior` run unchanged on
+//! either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod shard;
+
+pub use cyclosa_net::engine::Engine;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use shard::{shard_of, ShardedEngine};

@@ -1,0 +1,482 @@
+//! Lightweight, thread-safe metrics: counters, gauges and log-linear
+//! latency histograms with percentile export.
+//!
+//! Every handle is a cheap [`Arc`]-backed clone, so the same counter can be
+//! incremented from node behaviours running on different shards of the
+//! parallel engine without contention beyond an atomic add. Histograms use
+//! log-linear bucketing (32 linear sub-buckets per power of two, ≤ 3.2 %
+//! relative error), the classic HDR layout, so recording is a single atomic
+//! increment and p50/p95/p99 export is exact to bucket resolution.
+//!
+//! Metrics are observability, not simulation state: recording never draws
+//! randomness and never feeds back into scheduling, so instrumented runs
+//! remain bit-identical to uninstrumented ones.
+
+use cyclosa_net::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of linear sub-buckets per power of two (and the precision bits).
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Bucket count covering the full `u64` range at this precision.
+const BUCKETS: usize = ((64 - SUB_BUCKET_BITS) as usize + 1) * SUB_BUCKETS as usize;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a free-standing counter (not attached to a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a free-standing gauge (not attached to a registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log-linear histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BUCKET_BITS;
+    let slot = (value >> shift) & (SUB_BUCKETS - 1);
+    ((shift as usize + 1) * SUB_BUCKETS as usize) + slot as usize
+}
+
+fn bucket_low(index: usize) -> u64 {
+    let sub = SUB_BUCKETS as usize;
+    if index < sub {
+        return index as u64;
+    }
+    let shift = (index / sub - 1) as u32;
+    let slot = (index % sub) as u64;
+    (SUB_BUCKETS + slot) << shift
+}
+
+impl Histogram {
+    /// Creates a free-standing histogram (not attached to a registry).
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, AtomicU64::default);
+        Self {
+            core: Arc::new(HistogramCore {
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let core = &self.core;
+        core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a simulated duration in nanoseconds.
+    pub fn record_time(&self, t: SimTime) {
+        self.record(t.as_nanos());
+    }
+
+    /// Records a duration given in (non-negative, finite) seconds, stored
+    /// at nanosecond resolution.
+    pub fn record_secs_f64(&self, seconds: f64) {
+        if seconds.is_finite() && seconds >= 0.0 {
+            self.record((seconds * 1e9).round() as u64);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// The estimated value at quantile `q` (clamped to `[0, 1]`), to
+    /// bucket resolution. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_low(i);
+            }
+        }
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time summary of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.core.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.core.min.load(Ordering::Relaxed)
+            },
+            max: self.core.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`] (all values in the recorded
+/// unit, conventionally nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median, to bucket resolution.
+    pub p50: u64,
+    /// 95th percentile, to bucket resolution.
+    pub p95: u64,
+    /// 99th percentile, to bucket resolution.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} p50={} p95={} p99={} min={} max={}",
+            self.count,
+            format_ns(self.p50),
+            format_ns(self.p95),
+            format_ns(self.p99),
+            format_ns(self.min),
+            format_ns(self.max),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics.
+///
+/// Cloning a registry clones a handle to the same underlying metrics, so a
+/// registry can be handed to every subsystem of a deployment and read out
+/// once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.counters {
+            writeln!(f, "{name:<40} {value}")?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(f, "{name:<40} {value}")?;
+        }
+        for (name, snapshot) in &self.histograms {
+            writeln!(f, "{name:<40} {snapshot}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_covers_u64() {
+        let mut last = None;
+        for value in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = bucket_index(value);
+            assert!(index < BUCKETS, "index {index} out of range for {value}");
+            assert!(bucket_low(index) <= value);
+            if let Some((prev_value, prev_index)) = last {
+                assert!(index >= prev_index, "{value} < {prev_value:?} bucket order");
+            }
+            last = Some((value, index));
+        }
+        // Relative error bound: the bucket low is within 1/32 of the value.
+        for value in [100u64, 12_345, 999_999_999, 7_777_777_777] {
+            let low = bucket_low(bucket_index(value));
+            assert!((value - low) as f64 / value as f64 <= 1.0 / 32.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_match_uniform_data() {
+        let histogram = Histogram::new();
+        for value in 1..=10_000u64 {
+            histogram.record(value);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 10_000);
+        assert_eq!(snapshot.min, 1);
+        assert_eq!(snapshot.max, 10_000);
+        let relative = |observed: u64, expected: f64| (observed as f64 - expected).abs() / expected;
+        assert!(
+            relative(snapshot.p50, 5_000.0) < 0.05,
+            "p50 = {}",
+            snapshot.p50
+        );
+        assert!(
+            relative(snapshot.p95, 9_500.0) < 0.05,
+            "p95 = {}",
+            snapshot.p95
+        );
+        assert!(
+            relative(snapshot.p99, 9_900.0) < 0.05,
+            "p99 = {}",
+            snapshot.p99
+        );
+        assert!((snapshot.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let histogram = Histogram::new();
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 0);
+        assert_eq!(snapshot.p50, 0);
+        assert_eq!(snapshot.min, 0);
+    }
+
+    #[test]
+    fn counters_and_gauges_are_shared_through_the_registry() {
+        let registry = Registry::new();
+        let a = registry.counter("relay.forwarded");
+        let b = registry.counter("relay.forwarded");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("relay.forwarded").get(), 3);
+        let gauge = registry.gauge("queue.depth");
+        gauge.set(5);
+        gauge.add(-2);
+        assert_eq!(registry.gauge("queue.depth").get(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let histogram = Histogram::new();
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let histogram = histogram.clone();
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        histogram.record(t * 10_000 + i);
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(histogram.count(), 40_000);
+        assert_eq!(counter.get(), 40_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_displays() {
+        let registry = Registry::new();
+        registry.counter("zeta").inc();
+        registry.counter("alpha").inc();
+        registry.histogram("latency").record_secs_f64(0.5);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters[0].0, "alpha");
+        assert_eq!(snapshot.counters[1].0, "zeta");
+        assert_eq!(snapshot.histograms[0].1.count, 1);
+        let text = snapshot.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("latency"));
+    }
+
+    #[test]
+    fn record_secs_rounds_to_nanoseconds() {
+        let histogram = Histogram::new();
+        histogram.record_secs_f64(1.5);
+        histogram.record_time(SimTime::from_millis(500));
+        assert_eq!(histogram.count(), 2);
+        let snapshot = histogram.snapshot();
+        assert!(snapshot.max >= 1_400_000_000, "max {}", snapshot.max);
+    }
+}

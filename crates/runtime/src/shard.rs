@@ -1,0 +1,658 @@
+//! The sharded parallel discrete-event engine.
+//!
+//! [`ShardedEngine`] partitions nodes across worker shards by `NodeId`
+//! hash ([`shard_of`]) and runs each shard's event loop on its own thread.
+//! Shards synchronize through a **conservative time-window barrier**: the
+//! window width is the minimum latency floor across all configured link
+//! models (the *lookahead*), so a message sent during a window can never be
+//! due for delivery inside the same window — every shard can therefore
+//! process its window in parallel without ever seeing an event out of
+//! order.
+//!
+//! Within a window each shard pops events in [`EventKey`] order; messages
+//! to nodes on other shards are collected into per-shard-pair FIFO
+//! mailboxes and merged into the destination heaps at the barrier.
+//! Because event keys and all link randomness are deterministic (see
+//! `cyclosa_net::engine`), an execution is **bit-identical to the
+//! sequential [`Simulation`](cyclosa_net::sim::Simulation) for the same
+//! seed, for any shard count**.
+//!
+//! ```
+//! use cyclosa_net::engine::Engine;
+//! use cyclosa_net::sim::{Context, Envelope, NodeBehavior};
+//! use cyclosa_net::time::SimTime;
+//! use cyclosa_net::NodeId;
+//! use cyclosa_runtime::shard::ShardedEngine;
+//!
+//! struct Echo;
+//! impl NodeBehavior for Echo {
+//!     fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+//!         if envelope.tag == 0 {
+//!             ctx.send(envelope.src, 1, envelope.payload);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = ShardedEngine::new(7, 4);
+//! engine.add_node(NodeId(1), Box::new(Echo));
+//! engine.add_node(NodeId(2), Box::new(Echo));
+//! engine.post(SimTime::ZERO, NodeId(1), NodeId(2), 0, b"ping".to_vec());
+//! engine.run();
+//! assert_eq!(engine.stats().delivered, 2);
+//! ```
+
+use cyclosa_net::engine::{Engine, EventClass, EventKey, EventKind, LinkTable, ScheduledEvent};
+use cyclosa_net::latency::LatencyModel;
+use cyclosa_net::sim::{Action, Context, Envelope, NodeBehavior, SimulationStats};
+use cyclosa_net::time::SimTime;
+use cyclosa_net::NodeId;
+use cyclosa_util::rng::{Rng, SplitMix64};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// The shard that owns `node` in an engine with `shards` shards.
+///
+/// Uses a SplitMix64 hash of the id so that dense id ranges spread evenly.
+pub fn shard_of(node: NodeId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (SplitMix64::new(node.0).next_u64() % shards as u64) as usize
+}
+
+/// One shard: a slice of the node population plus everything needed to run
+/// their events locally (heap, per-link state for links originating here,
+/// timer sequences, statistics).
+struct Shard {
+    index: usize,
+    num_shards: usize,
+    nodes: HashMap<NodeId, Box<dyn NodeBehavior + Send>>,
+    crashed: HashSet<NodeId>,
+    queue: BinaryHeap<Reverse<ScheduledEvent>>,
+    links: LinkTable,
+    default_latency: LatencyModel,
+    link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
+    loss_probability: f64,
+    timer_sequences: HashMap<NodeId, u64>,
+    clock: SimTime,
+    processed: u64,
+    stats: SimulationStats,
+}
+
+impl Shard {
+    fn new(index: usize, num_shards: usize, seed: u64) -> Self {
+        Self {
+            index,
+            num_shards,
+            nodes: HashMap::new(),
+            crashed: HashSet::new(),
+            queue: BinaryHeap::new(),
+            links: LinkTable::new(seed),
+            default_latency: LatencyModel::wan(),
+            link_latency: HashMap::new(),
+            loss_probability: 0.0,
+            timer_sequences: HashMap::new(),
+            clock: SimTime::ZERO,
+            processed: 0,
+            stats: SimulationStats::default(),
+        }
+    }
+
+    fn link_model(&self, src: NodeId, dst: NodeId) -> LatencyModel {
+        self.link_latency
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_latency)
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(event)| event.key.at)
+    }
+
+    /// Turns one send into a scheduled delivery (or a loss). Must run on
+    /// the shard owning `envelope.src` so the per-link state is touched in
+    /// the sender's deterministic order.
+    fn prepare_send(&mut self, at: SimTime, envelope: Envelope) -> Option<ScheduledEvent> {
+        let model = self.link_model(envelope.src, envelope.dst);
+        match self
+            .links
+            .prepare(at, envelope.src, envelope.dst, model, self.loss_probability)
+        {
+            None => {
+                self.stats.lost += 1;
+                None
+            }
+            Some((deliver_at, sequence)) => Some(ScheduledEvent {
+                key: EventKey {
+                    at: deliver_at,
+                    node: envelope.dst,
+                    class: EventClass::Deliver,
+                    a: envelope.src.0,
+                    b: sequence,
+                },
+                kind: EventKind::Deliver(envelope),
+            }),
+        }
+    }
+
+    fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        let sequence = self.timer_sequences.entry(node).or_insert(0);
+        let key = EventKey {
+            at,
+            node,
+            class: EventClass::Timer,
+            a: *sequence,
+            b: token,
+        };
+        *sequence += 1;
+        self.queue.push(Reverse(ScheduledEvent {
+            key,
+            kind: EventKind::Timer { token },
+        }));
+    }
+
+    /// Processes every local event strictly before `end`, appending
+    /// cross-shard deliveries to `outgoing[dst_shard]`.
+    fn process_window(&mut self, end: SimTime, outgoing: &mut [Vec<ScheduledEvent>]) {
+        let mut actions = Vec::new();
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.key.at >= end {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked above");
+            let at = event.key.at;
+            let node = event.key.node;
+            self.clock = at;
+            self.processed += 1;
+            match event.kind {
+                EventKind::Deliver(envelope) => {
+                    if self.crashed.contains(&node) || !self.nodes.contains_key(&node) {
+                        self.stats.dropped_dead += 1;
+                    } else {
+                        self.stats.delivered += 1;
+                        self.stats.bytes_delivered += envelope.payload.len() as u64;
+                        let mut ctx = Context::new(at, node, &mut actions);
+                        self.nodes
+                            .get_mut(&node)
+                            .expect("checked above")
+                            .on_message(&mut ctx, envelope);
+                    }
+                }
+                EventKind::Timer { token } => {
+                    if !self.crashed.contains(&node) && self.nodes.contains_key(&node) {
+                        self.stats.timers_fired += 1;
+                        let mut ctx = Context::new(at, node, &mut actions);
+                        self.nodes
+                            .get_mut(&node)
+                            .expect("checked above")
+                            .on_timer(&mut ctx, token);
+                    }
+                }
+            }
+            for action in actions.drain(..) {
+                match action {
+                    Action::Send(envelope) => {
+                        if let Some(event) = self.prepare_send(at, envelope) {
+                            let dst_shard = shard_of(event.key.node, self.num_shards);
+                            if dst_shard == self.index {
+                                self.queue.push(Reverse(event));
+                            } else {
+                                outgoing[dst_shard].push(event);
+                            }
+                        }
+                    }
+                    Action::Timer { node, delay, token } => {
+                        self.schedule_timer(at + delay, node, token);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The sharded parallel engine. See the module documentation for the
+/// synchronization scheme and determinism argument.
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    clock: SimTime,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("clock", &self.clock)
+            .field(
+                "nodes",
+                &self.shards.iter().map(|s| s.nodes.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// Creates an engine with `shards` worker shards, seeded with `seed`.
+    ///
+    /// With `shards == 1` the engine degenerates to a single worker and is
+    /// still bit-identical to the sequential simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        assert!(shards > 0, "an engine needs at least one shard");
+        Self {
+            shards: (0..shards).map(|i| Shard::new(i, shards, seed)).collect(),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.shards.iter().map(|s| s.nodes.len()).sum()
+    }
+
+    /// The conservative lookahead: the smallest latency floor of any
+    /// configured link model. A cross-shard message can never arrive
+    /// earlier than its send time plus this bound, which is what makes a
+    /// window of this width safe to process in parallel.
+    ///
+    /// A zero lookahead (some link has no latency floor, e.g.
+    /// `Constant(SimTime::ZERO)`) means a message can arrive *at the time
+    /// it is sent*: no window width is safe, the execution cannot be
+    /// partitioned, and [`Engine::run`] panics rather than silently
+    /// diverge from the sequential simulator. Every built-in model family
+    /// used by the experiments has a positive floor.
+    pub fn lookahead(&self) -> SimTime {
+        let shard = &self.shards[0];
+        let mut lookahead = shard.default_latency.floor();
+        for model in shard.link_latency.values() {
+            lookahead = lookahead.min(model.floor());
+        }
+        lookahead
+    }
+
+    fn shard_mut(&mut self, node: NodeId) -> &mut Shard {
+        let index = shard_of(node, self.shards.len());
+        &mut self.shards[index]
+    }
+
+    fn run_windows(&mut self, deadline: Option<SimTime>) -> u64 {
+        let lookahead = self.lookahead();
+        assert!(
+            lookahead > SimTime::ZERO,
+            "sharded execution requires every configured latency model to have a \
+             positive floor (a zero-latency link admits same-instant cross-shard \
+             deliveries, which no conservative window can order deterministically); \
+             use the sequential Simulation for zero-latency topologies"
+        );
+        let num_shards = self.shards.len();
+        let processed_before: u64 = self.shards.iter().map(|s| s.processed).sum();
+
+        let barrier = Barrier::new(num_shards);
+        let next_times: Vec<AtomicU64> =
+            (0..num_shards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let window_end = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mailboxes: Vec<Vec<Mutex<Vec<ScheduledEvent>>>> = (0..num_shards)
+            .map(|_| (0..num_shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+
+        {
+            let barrier = &barrier;
+            let next_times = &next_times;
+            let window_end = &window_end;
+            let done = &done;
+            let mailboxes = &mailboxes;
+            std::thread::scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    scope.spawn(move || {
+                        let index = shard.index;
+                        let mut outgoing: Vec<Vec<ScheduledEvent>> =
+                            (0..num_shards).map(|_| Vec::new()).collect();
+                        loop {
+                            let next = shard.next_event_time().map_or(u64::MAX, |t| t.as_nanos());
+                            next_times[index].store(next, Ordering::SeqCst);
+                            barrier.wait();
+                            if index == 0 {
+                                let start = next_times
+                                    .iter()
+                                    .map(|t| t.load(Ordering::SeqCst))
+                                    .min()
+                                    .expect("at least one shard");
+                                let past_deadline = deadline
+                                    .is_some_and(|d| start != u64::MAX && start > d.as_nanos());
+                                if start == u64::MAX || past_deadline {
+                                    done.store(true, Ordering::SeqCst);
+                                } else {
+                                    let mut end =
+                                        start.saturating_add(lookahead.as_nanos()).max(start + 1);
+                                    if let Some(d) = deadline {
+                                        // Events at exactly the deadline must
+                                        // still run (run_until is inclusive).
+                                        end = end.min(d.as_nanos() + 1);
+                                    }
+                                    window_end.store(end, Ordering::SeqCst);
+                                }
+                            }
+                            barrier.wait();
+                            if done.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let end = SimTime::from_nanos(window_end.load(Ordering::SeqCst));
+                            shard.process_window(end, &mut outgoing);
+                            for (dst, events) in outgoing.iter_mut().enumerate() {
+                                if !events.is_empty() {
+                                    mailboxes[index][dst]
+                                        .lock()
+                                        .expect("mailbox poisoned")
+                                        .append(events);
+                                }
+                            }
+                            barrier.wait();
+                            for row in mailboxes.iter() {
+                                let mut inbox = row[index].lock().expect("mailbox poisoned");
+                                for event in inbox.drain(..) {
+                                    shard.queue.push(Reverse(event));
+                                }
+                            }
+                            // The next round's first barrier orders these
+                            // drains before anyone reads next_times again.
+                        }
+                    });
+                }
+            });
+        }
+
+        self.clock = self
+            .shards
+            .iter()
+            .map(|s| s.clock)
+            .max()
+            .unwrap_or(self.clock)
+            .max(self.clock);
+        self.shards.iter().map(|s| s.processed).sum::<u64>() - processed_before
+    }
+}
+
+impl Engine for ShardedEngine {
+    fn add_node(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior + Send>) {
+        self.shard_mut(id).nodes.insert(id, behavior);
+    }
+
+    fn set_default_latency(&mut self, model: LatencyModel) {
+        for shard in &mut self.shards {
+            shard.default_latency = model;
+        }
+    }
+
+    fn set_link_latency(&mut self, src: NodeId, dst: NodeId, model: LatencyModel) {
+        for shard in &mut self.shards {
+            shard.link_latency.insert((src, dst), model);
+        }
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        for shard in &mut self.shards {
+            shard.loss_probability = p;
+        }
+    }
+
+    fn crash(&mut self, node: NodeId) {
+        self.shard_mut(node).crashed.insert(node);
+    }
+
+    fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
+        let envelope = Envelope {
+            src,
+            dst,
+            tag,
+            payload,
+        };
+        // Link state lives with the sender's shard; the event itself goes
+        // to the destination's shard.
+        if let Some(event) = self.shard_mut(src).prepare_send(at, envelope) {
+            let dst_shard = shard_of(dst, self.shards.len());
+            self.shards[dst_shard].queue.push(Reverse(event));
+        }
+    }
+
+    fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        self.shard_mut(node).schedule_timer(at, node, token);
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn run(&mut self) -> u64 {
+        self.run_windows(None)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        self.run_windows(Some(deadline));
+        self.clock = self.clock.max(deadline);
+    }
+
+    fn stats(&self) -> SimulationStats {
+        let mut total = SimulationStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_net::sim::Simulation;
+    use std::sync::Arc;
+
+    type SharedTrace = Arc<Mutex<HashMap<NodeId, Vec<(u64, u32)>>>>;
+
+    /// Records `(time, tag)` per receiving node through a shared map.
+    #[derive(Clone)]
+    struct Recorder {
+        log: SharedTrace,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Self {
+                log: Arc::new(Mutex::new(HashMap::new())),
+            }
+        }
+        fn take(&self) -> HashMap<NodeId, Vec<(u64, u32)>> {
+            std::mem::take(&mut self.log.lock().unwrap())
+        }
+    }
+
+    impl NodeBehavior for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+            self.log
+                .lock()
+                .unwrap()
+                .entry(ctx.self_id())
+                .or_default()
+                .push((ctx.now().as_nanos(), envelope.tag));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+            self.log
+                .lock()
+                .unwrap()
+                .entry(ctx.self_id())
+                .or_default()
+                .push((ctx.now().as_nanos(), token as u32));
+        }
+    }
+
+    /// Forwards each message to a pseudo-random next hop, decrementing a
+    /// TTL in the tag's upper bits — generates chatty cross-shard traffic.
+    struct Forwarder {
+        population: u64,
+        reporter: NodeId,
+        recorder: Recorder,
+    }
+
+    impl NodeBehavior for Forwarder {
+        fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+            self.recorder.on_message(ctx, envelope.clone());
+            let ttl = envelope.tag >> 16;
+            if ttl == 0 {
+                ctx.send(self.reporter, envelope.tag & 0xFFFF, envelope.payload);
+                return;
+            }
+            let me = ctx.self_id().0;
+            let next = NodeId(
+                (me.wrapping_mul(6364136223846793005)
+                    .wrapping_add(envelope.tag as u64))
+                    % self.population,
+            );
+            ctx.send(
+                next,
+                ((ttl - 1) << 16) | (envelope.tag & 0xFFFF),
+                envelope.payload,
+            );
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+            self.recorder.on_timer(ctx, token);
+        }
+    }
+
+    fn mesh_trace(engine: &mut dyn Engine, population: u64) -> HashMap<NodeId, Vec<(u64, u32)>> {
+        let recorder = Recorder::new();
+        let reporter = NodeId(population);
+        for id in 0..population {
+            engine.add_node(
+                NodeId(id),
+                Box::new(Forwarder {
+                    population,
+                    reporter,
+                    recorder: recorder.clone(),
+                }),
+            );
+        }
+        engine.add_node(reporter, Box::new(recorder.clone()));
+        engine.crash(NodeId(3));
+        for i in 0..40u32 {
+            let src = NodeId(1000 + i as u64);
+            let dst = NodeId(i as u64 % population);
+            engine.post(
+                SimTime::from_millis(i as u64 * 3),
+                src,
+                dst,
+                (5 << 16) | i,
+                vec![0u8; 16],
+            );
+        }
+        for i in 0..10u64 {
+            engine.schedule_timer(
+                SimTime::from_millis(100 + i),
+                NodeId(i % population),
+                7_000 + i,
+            );
+        }
+        engine.run();
+        recorder.take()
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_sequential() {
+        let mut sequential = Simulation::new(42);
+        let expected = mesh_trace(&mut sequential, 25);
+        assert!(!expected.is_empty());
+        for shards in [1, 2, 4, 8] {
+            let mut engine = ShardedEngine::new(42, shards);
+            let observed = mesh_trace(&mut engine, 25);
+            assert_eq!(observed, expected, "trace diverged with {shards} shards");
+            assert_eq!(Engine::stats(&engine), Engine::stats(&sequential));
+        }
+    }
+
+    #[test]
+    fn sharded_loss_matches_sequential() {
+        let run = |engine: &mut dyn Engine| {
+            engine.set_loss_probability(0.25);
+            let recorder = Recorder::new();
+            for id in 0..10 {
+                engine.add_node(NodeId(id), Box::new(recorder.clone()));
+            }
+            for i in 0..500u32 {
+                engine.post(
+                    SimTime::from_millis(i as u64),
+                    NodeId(100 + (i % 7) as u64),
+                    NodeId((i % 10) as u64),
+                    i,
+                    vec![],
+                );
+            }
+            engine.run();
+            (recorder.take(), engine.stats())
+        };
+        let mut sequential = Simulation::new(9);
+        let expected = run(&mut sequential);
+        assert!(expected.1.lost > 50);
+        let mut sharded = ShardedEngine::new(9, 4);
+        assert_eq!(run(&mut sharded), expected);
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_resumable() {
+        let recorder = Recorder::new();
+        let mut engine = ShardedEngine::new(5, 3);
+        engine.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        engine.add_node(NodeId(1), Box::new(recorder.clone()));
+        engine.post(SimTime::ZERO, NodeId(0), NodeId(1), 1, vec![]);
+        engine.post(SimTime::from_secs(10), NodeId(0), NodeId(1), 2, vec![]);
+        engine.run_until(SimTime::from_secs(1));
+        assert_eq!(engine.now(), SimTime::from_secs(1));
+        assert_eq!(recorder.log.lock().unwrap()[&NodeId(1)].len(), 1);
+        engine.run();
+        assert_eq!(recorder.take()[&NodeId(1)].len(), 2);
+    }
+
+    #[test]
+    fn lookahead_tracks_the_slowest_floor() {
+        let mut engine = ShardedEngine::new(1, 2);
+        engine.set_default_latency(LatencyModel::Constant(SimTime::from_millis(40)));
+        assert_eq!(engine.lookahead(), SimTime::from_millis(40));
+        engine.set_link_latency(
+            NodeId(0),
+            NodeId(1),
+            LatencyModel::Uniform {
+                low: SimTime::from_millis(2),
+                high: SimTime::from_millis(9),
+            },
+        );
+        assert_eq!(engine.lookahead(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive floor")]
+    fn zero_latency_links_are_rejected_rather_than_misordered() {
+        // A zero-latency link admits same-instant cross-shard deliveries,
+        // which would silently break the bit-identity contract — the
+        // engine must refuse instead.
+        let mut engine = ShardedEngine::new(1, 2);
+        engine.set_default_latency(LatencyModel::Constant(SimTime::ZERO));
+        engine.add_node(NodeId(0), Box::new(Recorder::new()));
+        engine.post(SimTime::ZERO, NodeId(1), NodeId(0), 1, vec![]);
+        engine.run();
+    }
+}

@@ -40,13 +40,20 @@ impl CorpusGenerator {
     /// Panics if `topics` is empty, any vocabulary is empty, or
     /// `terms_per_document` is zero.
     pub fn new(topics: Vec<(String, Vec<String>)>, terms_per_document: usize) -> Self {
-        assert!(!topics.is_empty(), "corpus generator needs at least one topic");
+        assert!(
+            !topics.is_empty(),
+            "corpus generator needs at least one topic"
+        );
         assert!(
             topics.iter().all(|(_, v)| !v.is_empty()),
             "every topic needs a non-empty vocabulary"
         );
         assert!(terms_per_document > 0, "documents need at least one term");
-        Self { topics, terms_per_document, zipf_exponent: 0.9 }
+        Self {
+            topics,
+            terms_per_document,
+            zipf_exponent: 0.9,
+        }
     }
 
     /// Number of topics.
@@ -55,7 +62,11 @@ impl CorpusGenerator {
     }
 
     /// Generates `documents_per_topic` documents for every topic.
-    pub fn generate<R: Rng + ?Sized>(&self, documents_per_topic: usize, rng: &mut R) -> Vec<Document> {
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        documents_per_topic: usize,
+        rng: &mut R,
+    ) -> Vec<Document> {
         let mut documents = Vec::with_capacity(documents_per_topic * self.topics.len());
         let mut next_id = 0u64;
         for (topic, vocabulary) in &self.topics {

@@ -21,7 +21,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { results_per_page: 10, rate_limit: RateLimiterConfig::default() }
+        Self {
+            results_per_page: 10,
+            rate_limit: RateLimiterConfig::default(),
+        }
     }
 }
 
@@ -80,7 +83,12 @@ pub struct SearchEngine {
 impl SearchEngine {
     /// Creates an engine over a pre-built index.
     pub fn new(index: Index, config: EngineConfig) -> Self {
-        Self { index, limiter: RateLimiter::new(config.rate_limit), config, log: Vec::new() }
+        Self {
+            index,
+            limiter: RateLimiter::new(config.rate_limit),
+            config,
+            log: Vec::new(),
+        }
     }
 
     /// The engine configuration.
@@ -105,7 +113,12 @@ impl SearchEngine {
         now_s: f64,
     ) -> Result<ResultPage, EngineError> {
         let admitted = self.limiter.submit(client.0, now_s) == RateLimitDecision::Admitted;
-        self.log.push(LoggedRequest { client, query: query.to_owned(), at_s: now_s, admitted });
+        self.log.push(LoggedRequest {
+            client,
+            query: query.to_owned(),
+            at_s: now_s,
+            admitted,
+        });
         if !admitted {
             return Err(EngineError::RateLimited);
         }
@@ -144,7 +157,10 @@ impl SearchEngine {
 
     /// Counts of admitted and rejected requests for `client`.
     pub fn client_counts(&self, client: ClientAddr) -> (u64, u64) {
-        (self.limiter.admitted(client.0), self.limiter.rejected(client.0))
+        (
+            self.limiter.admitted(client.0),
+            self.limiter.rejected(client.0),
+        )
     }
 }
 
@@ -155,9 +171,21 @@ mod tests {
 
     fn engine() -> SearchEngine {
         let docs = vec![
-            Document { id: DocId(0), topic: "health".into(), text: "flu fever treatment doctor".into() },
-            Document { id: DocId(1), topic: "health".into(), text: "diabetes insulin glucose".into() },
-            Document { id: DocId(2), topic: "travel".into(), text: "cheap flights geneva booking".into() },
+            Document {
+                id: DocId(0),
+                topic: "health".into(),
+                text: "flu fever treatment doctor".into(),
+            },
+            Document {
+                id: DocId(1),
+                topic: "health".into(),
+                text: "diabetes insulin glucose".into(),
+            },
+            Document {
+                id: DocId(2),
+                topic: "travel".into(),
+                text: "cheap flights geneva booking".into(),
+            },
         ];
         SearchEngine::new(Index::build(&docs), EngineConfig::default())
     }
@@ -175,22 +203,36 @@ mod tests {
     #[test]
     fn empty_query_is_an_error() {
         let mut e = engine();
-        assert_eq!(e.submit(ClientAddr(1), "the of", 0.0), Err(EngineError::EmptyQuery));
+        assert_eq!(
+            e.submit(ClientAddr(1), "the of", 0.0),
+            Err(EngineError::EmptyQuery)
+        );
     }
 
     #[test]
     fn rate_limiting_blocks_abusive_clients() {
         let mut e = SearchEngine::new(
-            Index::build(&[Document { id: DocId(0), topic: String::new(), text: "hello world".into() }]),
+            Index::build(&[Document {
+                id: DocId(0),
+                topic: String::new(),
+                text: "hello world".into(),
+            }]),
             EngineConfig {
                 results_per_page: 10,
-                rate_limit: RateLimiterConfig { max_requests: 3, window_s: 60.0, block_s: None },
+                rate_limit: RateLimiterConfig {
+                    max_requests: 3,
+                    window_s: 60.0,
+                    block_s: None,
+                },
             },
         );
         for i in 0..3 {
             assert!(e.submit(ClientAddr(9), "hello", i as f64).is_ok());
         }
-        assert_eq!(e.submit(ClientAddr(9), "hello", 3.0), Err(EngineError::RateLimited));
+        assert_eq!(
+            e.submit(ClientAddr(9), "hello", 3.0),
+            Err(EngineError::RateLimited)
+        );
         assert!(e.is_blocked(ClientAddr(9), 4.0));
         // Another client is unaffected.
         assert!(e.submit(ClientAddr(10), "hello", 3.0).is_ok());
@@ -201,7 +243,9 @@ mod tests {
     #[test]
     fn or_queries_are_supported() {
         let mut e = engine();
-        let page = e.submit(ClientAddr(2), "flu fever OR cheap flights", 0.0).unwrap();
+        let page = e
+            .submit(ClientAddr(2), "flu fever OR cheap flights", 0.0)
+            .unwrap();
         let ids: Vec<u64> = page.results.iter().map(|r| r.doc.0).collect();
         assert!(ids.contains(&0));
         assert!(ids.contains(&2));

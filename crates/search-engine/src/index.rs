@@ -44,7 +44,10 @@ impl Index {
             *counts.entry(t.clone()).or_insert(0) += 1;
         }
         for (term, count) in counts {
-            self.postings.entry(term).or_default().push((document.id, count));
+            self.postings
+                .entry(term)
+                .or_default()
+                .push((document.id, count));
         }
         self.doc_lengths.insert(document.id, terms.len() as u32);
         self.documents += 1;
@@ -88,8 +91,10 @@ impl Index {
                 }
             }
         }
-        let mut results: Vec<SearchResult> =
-            scores.into_iter().map(|(doc, score)| SearchResult { doc, score }).collect();
+        let mut results: Vec<SearchResult> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchResult { doc, score })
+            .collect();
         // Deterministic ordering: score desc, then doc id.
         results.sort_by(|a, b| {
             b.score
@@ -114,10 +119,8 @@ impl Index {
         if disjuncts.len() <= 1 {
             return self.search(aggregated_query, limit);
         }
-        let per_disjunct: Vec<Vec<SearchResult>> = disjuncts
-            .iter()
-            .map(|q| self.search(q, limit))
-            .collect();
+        let per_disjunct: Vec<Vec<SearchResult>> =
+            disjuncts.iter().map(|q| self.search(q, limit)).collect();
         let mut merged = Vec::with_capacity(limit);
         let mut seen = std::collections::HashSet::new();
         let mut rank = 0usize;
@@ -160,7 +163,11 @@ mod tests {
     use crate::corpus::DocId;
 
     fn doc(id: u64, text: &str) -> Document {
-        Document { id: DocId(id), topic: String::new(), text: text.to_owned() }
+        Document {
+            id: DocId(id),
+            topic: String::new(),
+            text: text.to_owned(),
+        }
     }
 
     fn sample_index() -> Index {
@@ -213,14 +220,20 @@ mod tests {
         let results = index.search_or("flu fever OR hotel barcelona", 6);
         let ids: Vec<u64> = results.iter().map(|r| r.doc.0).collect();
         // Results of both disjuncts appear in the page.
-        assert!(ids.iter().any(|&i| i == 0 || i == 4), "health results missing: {ids:?}");
-        assert!(ids.iter().any(|&i| i == 3), "travel results missing: {ids:?}");
+        assert!(
+            ids.iter().any(|&i| i == 0 || i == 4),
+            "health results missing: {ids:?}"
+        );
+        assert!(ids.contains(&3), "travel results missing: {ids:?}");
     }
 
     #[test]
     fn or_query_with_single_disjunct_equals_plain_search() {
         let index = sample_index();
-        assert_eq!(index.search_or("flu fever", 5), index.search("flu fever", 5));
+        assert_eq!(
+            index.search_or("flu fever", 5),
+            index.search("flu fever", 5)
+        );
     }
 
     #[test]
@@ -235,7 +248,10 @@ mod tests {
             .map(|r| r.doc)
             .collect();
         let kept = exact.iter().filter(|d| polluted.contains(d)).count();
-        assert!(kept < exact.len(), "obfuscation should displace some exact results");
+        assert!(
+            kept < exact.len(),
+            "obfuscation should displace some exact results"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl Default for RateLimiterConfig {
         // traffic of 100 users with k = 3 (~10,500 req/hour) trips the
         // limiter almost immediately, while CYCLOSA's ~94 req/hour per node
         // stays well below it.
-        Self { max_requests: 600, window_s: 3_600.0, block_s: None }
+        Self {
+            max_requests: 600,
+            window_s: 3_600.0,
+            block_s: None,
+        }
     }
 }
 
@@ -77,7 +81,10 @@ impl RateLimiter {
     pub fn new(config: RateLimiterConfig) -> Self {
         assert!(config.max_requests > 0, "max_requests must be positive");
         assert!(config.window_s > 0.0, "window must be positive");
-        Self { config, clients: HashMap::new() }
+        Self {
+            config,
+            clients: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -162,7 +169,11 @@ mod tests {
     use super::*;
 
     fn limiter(max: u32, window: f64, block: Option<f64>) -> RateLimiter {
-        RateLimiter::new(RateLimiterConfig { max_requests: max, window_s: window, block_s: block })
+        RateLimiter::new(RateLimiterConfig {
+            max_requests: max,
+            window_s: window,
+            block_s: block,
+        })
     }
 
     #[test]
@@ -232,7 +243,10 @@ mod tests {
                 spread_rejected += 1;
             }
         }
-        assert!(central_rejected > total_requests / 2, "central proxy should be blocked");
+        assert!(
+            central_rejected > total_requests / 2,
+            "central proxy should be blocked"
+        );
         assert_eq!(spread_rejected, 0, "spread load must stay under the limit");
     }
 

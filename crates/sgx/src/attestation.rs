@@ -104,7 +104,11 @@ impl Quote {
         })
     }
 
-    fn signed_payload(measurement: &Measurement, platform_id: &[u8; 16], report_data: &[u8]) -> Vec<u8> {
+    fn signed_payload(
+        measurement: &Measurement,
+        platform_id: &[u8; 16],
+        report_data: &[u8],
+    ) -> Vec<u8> {
         let mut payload = Vec::with_capacity(32 + 16 + REPORT_DATA_LEN);
         payload.extend_from_slice(b"cyclosa-quote-v1");
         payload.extend_from_slice(measurement.as_bytes());
@@ -124,7 +128,12 @@ pub fn generate_quote<T>(enclave: &Enclave<T>, report_data: &[u8]) -> Quote {
     let platform_id = enclave.platform_id();
     let payload = Quote::signed_payload(&measurement, &platform_id, &data);
     let signature = HmacSha256::mac(&enclave.quoting_key(), &payload);
-    Quote { measurement, platform_id, report_data: data, signature }
+    Quote {
+        measurement,
+        platform_id,
+        report_data: data,
+        signature,
+    }
 }
 
 /// The verdict issued by the attestation service for one quote.
@@ -181,10 +190,15 @@ impl AttestationService {
 
     /// Verifies that a quote was produced by a genuine provisioned platform.
     pub fn verify_genuine(&self, quote: &Quote) -> QuoteVerdict {
-        let Some((_, key)) = self.provisioned.iter().find(|(id, _)| *id == quote.platform_id) else {
+        let Some((_, key)) = self
+            .provisioned
+            .iter()
+            .find(|(id, _)| *id == quote.platform_id)
+        else {
             return QuoteVerdict::Rejected(AttestationError::UnknownPlatform);
         };
-        let payload = Quote::signed_payload(&quote.measurement, &quote.platform_id, &quote.report_data);
+        let payload =
+            Quote::signed_payload(&quote.measurement, &quote.platform_id, &quote.report_data);
         if HmacSha256::verify(key, &payload, &quote.signature) {
             QuoteVerdict::Genuine
         } else {
@@ -284,7 +298,10 @@ mod tests {
         let quote = generate_quote(&enclave, b"report");
         let parsed = Quote::from_bytes(&quote.to_bytes()).unwrap();
         assert_eq!(parsed, quote);
-        assert_eq!(Quote::from_bytes(&[0u8; 3]).unwrap_err(), AttestationError::Malformed);
+        assert_eq!(
+            Quote::from_bytes(&[0u8; 3]).unwrap_err(),
+            AttestationError::Malformed
+        );
     }
 
     #[test]
@@ -306,7 +323,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(AttestationError::UnknownMeasurement.to_string().contains("allow-list"));
-        assert!(AttestationError::InvalidSignature.to_string().contains("signature"));
+        assert!(AttestationError::UnknownMeasurement
+            .to_string()
+            .contains("allow-list"));
+        assert!(AttestationError::InvalidSignature
+            .to_string()
+            .contains("signature"));
     }
 }

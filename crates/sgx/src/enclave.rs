@@ -10,6 +10,7 @@
 
 use crate::measurement::Measurement;
 use cyclosa_crypto::hkdf;
+use cyclosa_runtime::metrics::{Counter, Histogram, Registry};
 
 /// Page size used for EPC accounting (SGX uses 4 KiB pages).
 pub const PAGE_SIZE: usize = 4096;
@@ -53,7 +54,13 @@ impl CostModel {
     /// A cost model with no transition or paging costs, useful to isolate
     /// algorithmic costs in ablation benchmarks.
     pub fn free() -> Self {
-        Self { ecall_ns: 0, ocall_ns: 0, page_fault_ns: 0, epc_limit_bytes: usize::MAX, per_byte_ns: 0.0 }
+        Self {
+            ecall_ns: 0,
+            ocall_ns: 0,
+            page_fault_ns: 0,
+            epc_limit_bytes: usize::MAX,
+            per_byte_ns: 0.0,
+        }
     }
 
     /// Simulated cost in nanoseconds of an ecall that touches
@@ -128,6 +135,33 @@ pub struct TransitionStats {
     pub peak_resident_bytes: usize,
 }
 
+/// Metric handles recording enclave transitions, attachable to any
+/// [`Enclave`] via [`Enclave::attach_metrics`].
+///
+/// Recording is purely observational: it never changes costs, statistics or
+/// control flow, so instrumented and uninstrumented runs are identical.
+#[derive(Debug, Clone)]
+pub struct TransitionMetrics {
+    /// Calls into the enclave.
+    pub ecalls: Counter,
+    /// Calls out of the enclave.
+    pub ocalls: Counter,
+    /// Distribution of per-transition simulated costs (ns).
+    pub transition_ns: Histogram,
+}
+
+impl TransitionMetrics {
+    /// Registers the transition metrics under `<prefix>.ecalls`,
+    /// `<prefix>.ocalls` and `<prefix>.transition_ns`.
+    pub fn register(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            ecalls: registry.counter(&format!("{prefix}.ecalls")),
+            ocalls: registry.counter(&format!("{prefix}.ocalls")),
+            transition_ns: registry.histogram(&format!("{prefix}.transition_ns")),
+        }
+    }
+}
+
 /// A simulated SGX platform (one physical machine with SGX support).
 ///
 /// The platform owns the hardware root sealing key and the quoting key that
@@ -156,7 +190,12 @@ impl Platform {
         let id_full = hkdf::derive(b"sgx-platform-id", &seed_bytes, b"platform id", 16);
         let mut platform_id = [0u8; 16];
         platform_id.copy_from_slice(&id_full);
-        Self { platform_id, root_seal_key, quoting_key, cost }
+        Self {
+            platform_id,
+            root_seal_key,
+            quoting_key,
+            cost,
+        }
     }
 
     /// The platform's (public) identifier.
@@ -196,6 +235,7 @@ impl Platform {
             cost: self.cost,
             status: EnclaveStatus::Created,
             stats: TransitionStats::default(),
+            metrics: None,
             state: Some(initial_state),
         }
     }
@@ -211,6 +251,7 @@ pub struct Enclave<T> {
     cost: CostModel,
     status: EnclaveStatus,
     stats: TransitionStats,
+    metrics: Option<TransitionMetrics>,
     state: Option<T>,
 }
 
@@ -233,6 +274,12 @@ impl<T> Enclave<T> {
     /// Transition statistics accumulated so far.
     pub fn stats(&self) -> TransitionStats {
         self.stats
+    }
+
+    /// Attaches shared metric handles; every subsequent ecall/ocall is
+    /// counted and its simulated cost recorded in the histogram.
+    pub fn attach_metrics(&mut self, metrics: TransitionMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The sealing key bound to this platform and measurement. Only the
@@ -282,10 +329,19 @@ impl<T> Enclave<T> {
             EnclaveStatus::Destroyed => return Err(EnclaveError::Destroyed),
             EnclaveStatus::Initialized => {}
         }
-        let cost = self.cost.ecall_cost(touched_bytes, self.stats.resident_bytes);
+        let cost = self
+            .cost
+            .ecall_cost(touched_bytes, self.stats.resident_bytes);
         self.stats.ecalls += 1;
         self.stats.simulated_ns += cost;
-        let state = self.state.as_mut().expect("state present while initialized");
+        if let Some(metrics) = &self.metrics {
+            metrics.ecalls.inc();
+            metrics.transition_ns.record(cost);
+        }
+        let state = self
+            .state
+            .as_mut()
+            .expect("state present while initialized");
         let value = body(state);
         Ok((value, cost))
     }
@@ -302,6 +358,10 @@ impl<T> Enclave<T> {
         let cost = self.cost.ocall_cost(transferred_bytes);
         self.stats.ocalls += 1;
         self.stats.simulated_ns += cost;
+        if let Some(metrics) = &self.metrics {
+            metrics.ocalls.inc();
+            metrics.transition_ns.record(cost);
+        }
         Ok(cost)
     }
 
@@ -344,12 +404,38 @@ mod tests {
             EnclaveError::NotInitialized
         );
         enclave.initialize().unwrap();
-        let (value, cost) = enclave.ecall(128, |c| {
-            c.value += 1;
-            c.value
-        }).unwrap();
+        let (value, cost) = enclave
+            .ecall(128, |c| {
+                c.value += 1;
+                c.value
+            })
+            .unwrap();
         assert_eq!(value, 1);
         assert!(cost >= CostModel::default().ecall_ns);
+    }
+
+    #[test]
+    fn attached_metrics_observe_transitions() {
+        let registry = Registry::new();
+        let mut enclave = make_enclave();
+        enclave.attach_metrics(TransitionMetrics::register(&registry, "enclave"));
+        enclave.initialize().unwrap();
+        for _ in 0..3 {
+            enclave.ecall(128, |c| c.value += 1).unwrap();
+        }
+        enclave.ocall(512).unwrap();
+        assert_eq!(registry.counter("enclave.ecalls").get(), 3);
+        assert_eq!(registry.counter("enclave.ocalls").get(), 1);
+        let histogram = registry.histogram("enclave.transition_ns").snapshot();
+        assert_eq!(histogram.count, 4);
+        // Every transition costs at least the base ecall/ocall price; the
+        // log-linear buckets may report up to 1/32 below the true value.
+        let floor = (CostModel::default().ocall_ns as f64 * (1.0 - 1.0 / 32.0)) as u64;
+        assert!(
+            histogram.p50 >= floor,
+            "p50 {} below {floor}",
+            histogram.p50
+        );
     }
 
     #[test]
@@ -358,7 +444,10 @@ mod tests {
         enclave.initialize().unwrap();
         enclave.destroy();
         assert_eq!(enclave.status(), EnclaveStatus::Destroyed);
-        assert_eq!(enclave.ecall(0, |c| c.value).unwrap_err(), EnclaveError::Destroyed);
+        assert_eq!(
+            enclave.ecall(0, |c| c.value).unwrap_err(),
+            EnclaveError::Destroyed
+        );
         assert_eq!(enclave.ocall(0).unwrap_err(), EnclaveError::Destroyed);
         assert_eq!(enclave.initialize().unwrap_err(), EnclaveError::Destroyed);
     }
@@ -386,7 +475,10 @@ mod tests {
         let over = cost.paging_cost(PAGE_SIZE * 100, cost.epc_limit_bytes * 2);
         let expected = (100.0 * 0.5 * cost.page_fault_ns as f64) as u64;
         let diff = over.abs_diff(expected);
-        assert!(diff < cost.page_fault_ns, "paging cost {over} vs expected {expected}");
+        assert!(
+            diff < cost.page_fault_ns,
+            "paging cost {over} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -429,7 +521,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(EnclaveError::NotInitialized.to_string().contains("initialized"));
+        assert!(EnclaveError::NotInitialized
+            .to_string()
+            .contains("initialized"));
         assert!(EnclaveError::Destroyed.to_string().contains("destroyed"));
     }
 }

@@ -60,7 +60,10 @@ pub struct SignerId([u8; 32]);
 impl SignerId {
     /// Derives a signer identity from a signer name.
     pub fn from_name(name: &str) -> Self {
-        Self(Sha256::digest_parts(&[b"cyclosa-mrsigner-v1", name.as_bytes()]))
+        Self(Sha256::digest_parts(&[
+            b"cyclosa-mrsigner-v1",
+            name.as_bytes(),
+        ]))
     }
 
     /// Raw bytes of the signer identity.
@@ -103,7 +106,10 @@ mod tests {
 
     #[test]
     fn signer_identity_from_name() {
-        assert_eq!(SignerId::from_name("cyclosa"), SignerId::from_name("cyclosa"));
+        assert_eq!(
+            SignerId::from_name("cyclosa"),
+            SignerId::from_name("cyclosa")
+        );
         assert_ne!(SignerId::from_name("cyclosa"), SignerId::from_name("other"));
     }
 }

@@ -78,7 +78,11 @@ pub fn seal<T>(enclave: &Enclave<T>, label: &[u8], plaintext: &[u8]) -> SealedBl
     let mut nonce = [0u8; 12];
     nonce.copy_from_slice(&digest[..12]);
     let ciphertext = aead.seal(&nonce, plaintext, label);
-    SealedBlob { nonce, ciphertext, label: label.to_vec() }
+    SealedBlob {
+        nonce,
+        ciphertext,
+        label: label.to_vec(),
+    }
 }
 
 /// Unseals a blob previously produced by [`seal`] on the same platform with
@@ -106,7 +110,11 @@ mod tests {
     fn seal_unseal_roundtrip() {
         let platform = Platform::new(5);
         let enclave = platform.create_enclave(b"cyclosa", ());
-        let blob = seal(&enclave, b"past-queries", b"cheap flights geneva\nweather lyon");
+        let blob = seal(
+            &enclave,
+            b"past-queries",
+            b"cheap flights geneva\nweather lyon",
+        );
         assert!(!blob.is_empty());
         assert_eq!(blob.label(), b"past-queries");
         let opened = unseal(&enclave, &blob).unwrap();
@@ -118,7 +126,10 @@ mod tests {
         let enclave_a = Platform::new(1).create_enclave(b"cyclosa", ());
         let enclave_b = Platform::new(2).create_enclave(b"cyclosa", ());
         let blob = seal(&enclave_a, b"state", b"secret table");
-        assert_eq!(unseal(&enclave_b, &blob).unwrap_err(), SealError::Unsealable);
+        assert_eq!(
+            unseal(&enclave_b, &blob).unwrap_err(),
+            SealError::Unsealable
+        );
     }
 
     #[test]
@@ -127,7 +138,10 @@ mod tests {
         let enclave_a = platform.create_enclave(b"cyclosa-v1", ());
         let enclave_b = platform.create_enclave(b"cyclosa-v2", ());
         let blob = seal(&enclave_a, b"state", b"secret table");
-        assert_eq!(unseal(&enclave_b, &blob).unwrap_err(), SealError::Unsealable);
+        assert_eq!(
+            unseal(&enclave_b, &blob).unwrap_err(),
+            SealError::Unsealable
+        );
     }
 
     #[test]

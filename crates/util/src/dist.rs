@@ -37,7 +37,10 @@ impl Zipf {
             total += 1.0 / ((rank + 1) as f64).powf(exponent);
             cumulative.push(total);
         }
-        Self { cumulative, exponent }
+        Self {
+            cumulative,
+            exponent,
+        }
     }
 
     /// Number of ranks in the distribution.
@@ -218,7 +221,11 @@ mod tests {
         let mut rng = rng();
         let samples: Vec<f64> = (0..50_000).map(|_| exp.sample(&mut rng)).collect();
         let summary = Summary::from_samples(&samples);
-        assert!((summary.mean - 2.0).abs() < 0.1, "mean was {}", summary.mean);
+        assert!(
+            (summary.mean - 2.0).abs() < 0.1,
+            "mean was {}",
+            summary.mean
+        );
         assert!(samples.iter().all(|&x| x >= 0.0));
     }
 
@@ -242,7 +249,9 @@ mod tests {
     #[test]
     fn normal_mean_and_spread() {
         let mut rng = rng();
-        let samples: Vec<f64> = (0..50_000).map(|_| normal_with(&mut rng, 5.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| normal_with(&mut rng, 5.0, 2.0))
+            .collect();
         let summary = Summary::from_samples(&samples);
         assert!((summary.mean - 5.0).abs() < 0.05);
         assert!((summary.std_dev - 2.0).abs() < 0.05);

@@ -1,0 +1,300 @@
+//! A minimal JSON value model and serializer.
+//!
+//! The benchmark harness emits machine-readable reports with `--json`. The
+//! build environment has no networked crate registry, so instead of
+//! depending on `serde`, report types implement the tiny [`ToJson`] trait —
+//! usually through the [`impl_to_json!`](crate::impl_to_json) macro, which
+//! generates a field-by-field object conversion:
+//!
+//! ```
+//! use cyclosa_util::impl_to_json;
+//! use cyclosa_util::json::ToJson;
+//!
+//! struct Row { name: String, score: f64, wins: u64 }
+//! impl_to_json!(Row { name, score, wins });
+//!
+//! let row = Row { name: "cyclosa".into(), score: 0.5, wins: 3 };
+//! assert_eq!(row.to_json().pretty(), "{\n  \"name\": \"cyclosa\",\n  \"score\": 0.5,\n  \"wins\": 3\n}");
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number (non-finite values serialize as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    // Whole floats keep a decimal point so consumers can tell floats from
+    // integers (serde_json's behaviour for f64).
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') {
+        s.push_str(".0");
+    }
+    s
+}
+
+impl Json {
+    fn write_into(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => out.push_str(&number_to_string(*v)),
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_into(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    escape_into(out, key);
+                    out.push_str(": ");
+                    value.write_into(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty-prints with two-space indentation (the `serde_json`
+    /// `to_string_pretty` layout).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {
+        $(impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        })*
+    };
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {
+        $(impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::I64(*self as i64)
+            }
+        })*
+    };
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+/// Implements [`ToJson`](crate::json::ToJson) for a struct as an object of
+/// its named fields, in declaration order.
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::json::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(true.to_json().pretty(), "true");
+        assert_eq!(42u64.to_json().pretty(), "42");
+        assert_eq!((-3i64).to_json().pretty(), "-3");
+        assert_eq!(1.5f64.to_json().pretty(), "1.5");
+        assert_eq!(2.0f64.to_json().pretty(), "2.0");
+        assert_eq!(f64::NAN.to_json().pretty(), "null");
+        assert_eq!("a\"b\nc".to_json().pretty(), "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let value = Json::Obj(vec![
+            ("empty".into(), Json::Arr(vec![])),
+            ("pair".into(), (1u64, 0.5f64).to_json()),
+        ]);
+        assert_eq!(
+            value.pretty(),
+            "{\n  \"empty\": [],\n  \"pair\": [\n    1,\n    0.5\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn derive_macro_preserves_field_order() {
+        struct Report {
+            name: String,
+            values: Vec<u64>,
+            ratio: f64,
+        }
+        crate::impl_to_json!(Report {
+            name,
+            values,
+            ratio
+        });
+        let report = Report {
+            name: "x".into(),
+            values: vec![1, 2],
+            ratio: 0.25,
+        };
+        let text = report.to_json().pretty();
+        let name_at = text.find("\"name\"").unwrap();
+        let values_at = text.find("\"values\"").unwrap();
+        let ratio_at = text.find("\"ratio\"").unwrap();
+        assert!(name_at < values_at && values_at < ratio_at);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!("\u{1}".to_json().pretty(), "\"\\u0001\"");
+    }
+}

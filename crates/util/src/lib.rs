@@ -14,6 +14,8 @@
 //!   by the benchmark harness to report the paper's figures.
 //! * [`smoothing`] — the exponential-smoothing aggregation used by both the
 //!   linkability assessment (paper §V-A2) and SimAttack (paper §VII-E).
+//! * [`json`] — a dependency-free JSON value model used by the benchmark
+//!   harness for its `--json` report output.
 //!
 //! # Example
 //!
@@ -31,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod json;
 pub mod rng;
 pub mod smoothing;
 pub mod stats;
 
+pub use json::{Json, ToJson};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use smoothing::exponential_smoothing;
 pub use stats::{Cdf, Histogram, Summary};

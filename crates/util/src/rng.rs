@@ -38,7 +38,10 @@ pub trait Rng {
     ///
     /// Panics if `low >= high`.
     fn gen_range(&mut self, low: u64, high: u64) -> u64 {
-        assert!(low < high, "gen_range requires low < high ({low} >= {high})");
+        assert!(
+            low < high,
+            "gen_range requires low < high ({low} >= {high})"
+        );
         let span = high - low;
         // Rejection sampling to avoid modulo bias.
         let zone = u64::MAX - (u64::MAX % span);
@@ -126,7 +129,7 @@ pub trait Rng {
     /// Returns `None` when the weights are empty or sum to zero.
     fn sample_weighted(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
-        if !(total > 0.0) {
+        if total <= 0.0 {
             return None;
         }
         let mut target = self.next_f64() * total;
@@ -186,7 +189,10 @@ impl Xoshiro256StarStar {
     ///
     /// Panics if the state is all zeroes (the only forbidden state).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all zero"
+        );
         Self { s }
     }
 
@@ -303,7 +309,11 @@ mod tests {
         let mut sorted = items.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(items, (0..100).collect::<Vec<_>>(), "shuffle left order intact");
+        assert_ne!(
+            items,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left order intact"
+        );
     }
 
     #[test]

@@ -136,7 +136,7 @@ mod tests {
     fn result_bounded_by_extremes() {
         let sims = [0.15, 0.6, 0.33, 0.92, 0.4];
         let score = exponential_smoothing(&sims, 0.4);
-        assert!(score >= 0.15 && score <= 0.92);
+        assert!((0.15..=0.92).contains(&score));
     }
 
     #[test]

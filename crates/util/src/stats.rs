@@ -187,7 +187,13 @@ impl Histogram {
     pub fn new(low: f64, high: f64, buckets: usize) -> Self {
         assert!(buckets > 0, "histogram needs at least one bucket");
         assert!(low < high, "histogram range must be non-empty");
-        Self { low, high, counts: vec![0; buckets], underflow: 0, overflow: 0 }
+        Self {
+            low,
+            high,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.

@@ -29,7 +29,11 @@ pub struct AnnotationConfig {
 
 impl Default for AnnotationConfig {
     fn default() -> Self {
-        Self { workers_per_query: 5, worker_error_rate: 0.08, max_queries: 10_000 }
+        Self {
+            workers_per_query: 5,
+            worker_error_rate: 0.08,
+            max_queries: 10_000,
+        }
     }
 }
 
@@ -58,7 +62,10 @@ impl AnnotationCampaign {
         config: AnnotationConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(config.workers_per_query >= 1, "campaign needs at least one worker");
+        assert!(
+            config.workers_per_query >= 1,
+            "campaign needs at least one worker"
+        );
         let mut annotated = Vec::with_capacity(queries.len().min(config.max_queries));
         for labeled in queries.iter().take(config.max_queries) {
             let votes: Vec<bool> = (0..config.workers_per_query)
@@ -96,7 +103,10 @@ impl AnnotationCampaign {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().filter(|q| q.annotated_sensitive).count() as f64
+        self.queries
+            .iter()
+            .filter(|q| q.annotated_sensitive)
+            .count() as f64
             / self.queries.len() as f64
     }
 
@@ -147,7 +157,8 @@ mod tests {
     fn five_votes_are_collected_per_query() {
         let queries = testing_queries();
         let mut rng = Xoshiro256StarStar::seed_from_u64(8);
-        let campaign = AnnotationCampaign::run(&queries[..50], AnnotationConfig::default(), &mut rng);
+        let campaign =
+            AnnotationCampaign::run(&queries[..50], AnnotationConfig::default(), &mut rng);
         assert!(campaign.queries.iter().all(|q| q.votes.len() == 5));
     }
 
@@ -155,7 +166,10 @@ mod tests {
     fn max_queries_truncates_the_campaign() {
         let queries = testing_queries();
         let mut rng = Xoshiro256StarStar::seed_from_u64(9);
-        let config = AnnotationConfig { max_queries: 25, ..AnnotationConfig::default() };
+        let config = AnnotationConfig {
+            max_queries: 25,
+            ..AnnotationConfig::default()
+        };
         let campaign = AnnotationCampaign::run(&queries, config, &mut rng);
         assert_eq!(campaign.len(), 25);
         assert_eq!(campaign.labels().len(), 25);
@@ -165,7 +179,10 @@ mod tests {
     fn perfect_workers_reproduce_ground_truth_exactly() {
         let queries = testing_queries();
         let mut rng = Xoshiro256StarStar::seed_from_u64(10);
-        let config = AnnotationConfig { worker_error_rate: 0.0, ..AnnotationConfig::default() };
+        let config = AnnotationConfig {
+            worker_error_rate: 0.0,
+            ..AnnotationConfig::default()
+        };
         let campaign = AnnotationCampaign::run(&queries[..200], config, &mut rng);
         assert_eq!(campaign.agreement_with_ground_truth(), 1.0);
         let truth_fraction = queries[..200].iter().filter(|q| q.sensitive).count() as f64 / 200.0;
@@ -184,7 +201,10 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let config = AnnotationConfig { workers_per_query: 0, ..AnnotationConfig::default() };
+        let config = AnnotationConfig {
+            workers_per_query: 0,
+            ..AnnotationConfig::default()
+        };
         let _ = AnnotationCampaign::run(&[], config, &mut rng);
     }
 }

@@ -28,4 +28,4 @@ pub mod topics;
 
 pub use annotation::{AnnotationCampaign, AnnotationConfig};
 pub use generator::{LabeledQuery, QueryLog, UserTrace, WorkloadConfig, WorkloadGenerator};
-pub use topics::{sensitive_corpus, seed_queries, synthetic_lexicon, Topic, TopicCatalog};
+pub use topics::{seed_queries, sensitive_corpus, synthetic_lexicon, Topic, TopicCatalog};

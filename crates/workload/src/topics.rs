@@ -30,72 +30,318 @@ pub struct TopicCatalog {
 }
 
 const HEALTH: &[&str] = &[
-    "diabetes", "insulin", "glucose", "chemotherapy", "tumor", "oncology", "migraine", "asthma",
-    "inhaler", "depression", "anxiety", "therapy", "antidepressant", "hiv", "std", "symptoms",
-    "treatment", "diagnosis", "prescription", "dosage", "cardiology", "arrhythmia", "biopsy",
-    "dermatology", "psoriasis", "arthritis", "ibuprofen", "vaccine", "allergy", "fertility",
-    "pregnancy", "contraception", "hepatitis", "cholesterol", "hypertension", "insomnia",
+    "diabetes",
+    "insulin",
+    "glucose",
+    "chemotherapy",
+    "tumor",
+    "oncology",
+    "migraine",
+    "asthma",
+    "inhaler",
+    "depression",
+    "anxiety",
+    "therapy",
+    "antidepressant",
+    "hiv",
+    "std",
+    "symptoms",
+    "treatment",
+    "diagnosis",
+    "prescription",
+    "dosage",
+    "cardiology",
+    "arrhythmia",
+    "biopsy",
+    "dermatology",
+    "psoriasis",
+    "arthritis",
+    "ibuprofen",
+    "vaccine",
+    "allergy",
+    "fertility",
+    "pregnancy",
+    "contraception",
+    "hepatitis",
+    "cholesterol",
+    "hypertension",
+    "insomnia",
 ];
 
 const POLITICS: &[&str] = &[
-    "election", "senate", "congress", "ballot", "referendum", "campaign", "candidate", "democrat",
-    "republican", "socialist", "conservative", "liberal", "immigration", "asylum", "protest",
-    "impeachment", "lobbying", "parliament", "coalition", "minister", "legislation", "veto",
-    "primaries", "caucus", "gerrymandering", "populism", "sanctions", "diplomacy", "treaty",
+    "election",
+    "senate",
+    "congress",
+    "ballot",
+    "referendum",
+    "campaign",
+    "candidate",
+    "democrat",
+    "republican",
+    "socialist",
+    "conservative",
+    "liberal",
+    "immigration",
+    "asylum",
+    "protest",
+    "impeachment",
+    "lobbying",
+    "parliament",
+    "coalition",
+    "minister",
+    "legislation",
+    "veto",
+    "primaries",
+    "caucus",
+    "gerrymandering",
+    "populism",
+    "sanctions",
+    "diplomacy",
+    "treaty",
 ];
 
 const RELIGION: &[&str] = &[
-    "church", "mosque", "synagogue", "temple", "prayer", "scripture", "bible", "quran", "torah",
-    "pastor", "imam", "rabbi", "baptism", "ramadan", "easter", "pilgrimage", "atheism", "faith",
-    "communion", "sermon", "monastery", "meditation", "karma", "theology", "convert", "worship",
+    "church",
+    "mosque",
+    "synagogue",
+    "temple",
+    "prayer",
+    "scripture",
+    "bible",
+    "quran",
+    "torah",
+    "pastor",
+    "imam",
+    "rabbi",
+    "baptism",
+    "ramadan",
+    "easter",
+    "pilgrimage",
+    "atheism",
+    "faith",
+    "communion",
+    "sermon",
+    "monastery",
+    "meditation",
+    "karma",
+    "theology",
+    "convert",
+    "worship",
 ];
 
 const SEXUALITY: &[&str] = &[
-    "erotic", "fetish", "lingerie", "escort", "swinger", "orientation", "bisexual", "transgender",
-    "kink", "bdsm", "sexting", "libido", "intimacy", "seduction", "nudity", "webcam", "hookup",
-    "polyamory", "aphrodisiac", "tantra", "burlesque", "strip", "adultery", "dominatrix",
+    "erotic",
+    "fetish",
+    "lingerie",
+    "escort",
+    "swinger",
+    "orientation",
+    "bisexual",
+    "transgender",
+    "kink",
+    "bdsm",
+    "sexting",
+    "libido",
+    "intimacy",
+    "seduction",
+    "nudity",
+    "webcam",
+    "hookup",
+    "polyamory",
+    "aphrodisiac",
+    "tantra",
+    "burlesque",
+    "strip",
+    "adultery",
+    "dominatrix",
 ];
 
 const TRAVEL: &[&str] = &[
-    "flights", "hotel", "booking", "hostel", "itinerary", "luggage", "visa", "passport", "resort",
-    "beach", "cruise", "backpacking", "airline", "airport", "train", "roadtrip", "camping",
-    "sightseeing", "museum", "tour", "paris", "geneva", "barcelona", "zurich", "lisbon", "tokyo",
+    "flights",
+    "hotel",
+    "booking",
+    "hostel",
+    "itinerary",
+    "luggage",
+    "visa",
+    "passport",
+    "resort",
+    "beach",
+    "cruise",
+    "backpacking",
+    "airline",
+    "airport",
+    "train",
+    "roadtrip",
+    "camping",
+    "sightseeing",
+    "museum",
+    "tour",
+    "paris",
+    "geneva",
+    "barcelona",
+    "zurich",
+    "lisbon",
+    "tokyo",
 ];
 
 const SHOPPING: &[&str] = &[
-    "coupon", "discount", "deal", "sneakers", "laptop", "headphones", "furniture", "mattress",
-    "jacket", "handbag", "jewelry", "watch", "returns", "refund", "delivery", "marketplace",
-    "auction", "wishlist", "checkout", "voucher", "clearance", "outlet", "brand", "review",
+    "coupon",
+    "discount",
+    "deal",
+    "sneakers",
+    "laptop",
+    "headphones",
+    "furniture",
+    "mattress",
+    "jacket",
+    "handbag",
+    "jewelry",
+    "watch",
+    "returns",
+    "refund",
+    "delivery",
+    "marketplace",
+    "auction",
+    "wishlist",
+    "checkout",
+    "voucher",
+    "clearance",
+    "outlet",
+    "brand",
+    "review",
 ];
 
 const SPORTS: &[&str] = &[
-    "football", "basketball", "tennis", "marathon", "cycling", "playoffs", "transfer", "league",
-    "championship", "olympics", "score", "fixture", "goalkeeper", "quarterback", "homerun",
-    "skiing", "snowboard", "climbing", "swimming", "triathlon", "stadium", "coach", "referee",
+    "football",
+    "basketball",
+    "tennis",
+    "marathon",
+    "cycling",
+    "playoffs",
+    "transfer",
+    "league",
+    "championship",
+    "olympics",
+    "score",
+    "fixture",
+    "goalkeeper",
+    "quarterback",
+    "homerun",
+    "skiing",
+    "snowboard",
+    "climbing",
+    "swimming",
+    "triathlon",
+    "stadium",
+    "coach",
+    "referee",
 ];
 
 const TECHNOLOGY: &[&str] = &[
-    "laptop", "smartphone", "android", "linux", "windows", "driver", "firmware", "router",
-    "bandwidth", "programming", "python", "javascript", "database", "compiler", "encryption",
-    "firewall", "malware", "backup", "cloud", "server", "graphics", "processor", "keyboard",
+    "laptop",
+    "smartphone",
+    "android",
+    "linux",
+    "windows",
+    "driver",
+    "firmware",
+    "router",
+    "bandwidth",
+    "programming",
+    "python",
+    "javascript",
+    "database",
+    "compiler",
+    "encryption",
+    "firewall",
+    "malware",
+    "backup",
+    "cloud",
+    "server",
+    "graphics",
+    "processor",
+    "keyboard",
 ];
 
 const ENTERTAINMENT: &[&str] = &[
-    "movie", "trailer", "netflix", "series", "episode", "actor", "actress", "soundtrack",
-    "concert", "festival", "album", "lyrics", "playlist", "celebrity", "gossip", "premiere",
-    "boxoffice", "streaming", "podcast", "comedy", "thriller", "documentary", "anime",
+    "movie",
+    "trailer",
+    "netflix",
+    "series",
+    "episode",
+    "actor",
+    "actress",
+    "soundtrack",
+    "concert",
+    "festival",
+    "album",
+    "lyrics",
+    "playlist",
+    "celebrity",
+    "gossip",
+    "premiere",
+    "boxoffice",
+    "streaming",
+    "podcast",
+    "comedy",
+    "thriller",
+    "documentary",
+    "anime",
 ];
 
 const FINANCE: &[&str] = &[
-    "mortgage", "refinance", "savings", "dividend", "portfolio", "broker", "etf", "pension",
-    "budget", "invoice", "taxes", "deduction", "audit", "insurance", "premium", "loan",
-    "interest", "credit", "debit", "bankruptcy", "crypto", "bitcoin", "exchange", "inflation",
+    "mortgage",
+    "refinance",
+    "savings",
+    "dividend",
+    "portfolio",
+    "broker",
+    "etf",
+    "pension",
+    "budget",
+    "invoice",
+    "taxes",
+    "deduction",
+    "audit",
+    "insurance",
+    "premium",
+    "loan",
+    "interest",
+    "credit",
+    "debit",
+    "bankruptcy",
+    "crypto",
+    "bitcoin",
+    "exchange",
+    "inflation",
 ];
 
 const FOOD: &[&str] = &[
-    "recipe", "pasta", "risotto", "fondue", "sourdough", "barbecue", "vegan", "vegetarian",
-    "gluten", "dessert", "chocolate", "espresso", "restaurant", "reservation", "takeaway",
-    "brunch", "smoothie", "casserole", "marinade", "airfryer", "paella", "tapas", "sushi", "ramen",
+    "recipe",
+    "pasta",
+    "risotto",
+    "fondue",
+    "sourdough",
+    "barbecue",
+    "vegan",
+    "vegetarian",
+    "gluten",
+    "dessert",
+    "chocolate",
+    "espresso",
+    "restaurant",
+    "reservation",
+    "takeaway",
+    "brunch",
+    "smoothie",
+    "casserole",
+    "marinade",
+    "airfryer",
+    "paella",
+    "tapas",
+    "sushi",
+    "ramen",
 ];
 
 /// Terms that are evidence of a sensitive topic in some readings but appear
@@ -113,17 +359,61 @@ impl TopicCatalog {
     pub fn default_catalog() -> Self {
         Self {
             topics: vec![
-                Topic { name: "health", sensitive: true, terms: HEALTH },
-                Topic { name: "politics", sensitive: true, terms: POLITICS },
-                Topic { name: "religion", sensitive: true, terms: RELIGION },
-                Topic { name: "sexuality", sensitive: true, terms: SEXUALITY },
-                Topic { name: "travel", sensitive: false, terms: TRAVEL },
-                Topic { name: "shopping", sensitive: false, terms: SHOPPING },
-                Topic { name: "sports", sensitive: false, terms: SPORTS },
-                Topic { name: "technology", sensitive: false, terms: TECHNOLOGY },
-                Topic { name: "entertainment", sensitive: false, terms: ENTERTAINMENT },
-                Topic { name: "finance", sensitive: false, terms: FINANCE },
-                Topic { name: "food", sensitive: false, terms: FOOD },
+                Topic {
+                    name: "health",
+                    sensitive: true,
+                    terms: HEALTH,
+                },
+                Topic {
+                    name: "politics",
+                    sensitive: true,
+                    terms: POLITICS,
+                },
+                Topic {
+                    name: "religion",
+                    sensitive: true,
+                    terms: RELIGION,
+                },
+                Topic {
+                    name: "sexuality",
+                    sensitive: true,
+                    terms: SEXUALITY,
+                },
+                Topic {
+                    name: "travel",
+                    sensitive: false,
+                    terms: TRAVEL,
+                },
+                Topic {
+                    name: "shopping",
+                    sensitive: false,
+                    terms: SHOPPING,
+                },
+                Topic {
+                    name: "sports",
+                    sensitive: false,
+                    terms: SPORTS,
+                },
+                Topic {
+                    name: "technology",
+                    sensitive: false,
+                    terms: TECHNOLOGY,
+                },
+                Topic {
+                    name: "entertainment",
+                    sensitive: false,
+                    terms: ENTERTAINMENT,
+                },
+                Topic {
+                    name: "finance",
+                    sensitive: false,
+                    terms: FINANCE,
+                },
+                Topic {
+                    name: "food",
+                    sensitive: false,
+                    terms: FOOD,
+                },
             ],
         }
     }
@@ -153,7 +443,12 @@ impl TopicCatalog {
     pub fn as_corpus_topics(&self) -> Vec<(String, Vec<String>)> {
         self.topics
             .iter()
-            .map(|t| (t.name.to_owned(), t.terms.iter().map(|s| s.to_string()).collect()))
+            .map(|t| {
+                (
+                    t.name.to_owned(),
+                    t.terms.iter().map(|s| s.to_string()).collect(),
+                )
+            })
             .collect()
     }
 }
@@ -201,7 +496,11 @@ pub fn ambiguous_terms(topic: &str) -> &'static [&'static str] {
 /// A small corpus of documents about the sensitive subject (the stand-in
 /// for the 2 M adult-video titles the paper trains its LDA model on).
 /// Returns raw texts; the categorizer trains LDA on them.
-pub fn sensitive_corpus(catalog: &TopicCatalog, documents: usize, rng: &mut impl cyclosa_util::rng::Rng) -> Vec<String> {
+pub fn sensitive_corpus(
+    catalog: &TopicCatalog,
+    documents: usize,
+    rng: &mut impl cyclosa_util::rng::Rng,
+) -> Vec<String> {
     let sexuality = catalog.topic("sexuality").expect("catalogue has sexuality");
     let ambiguous = AMBIGUOUS_SEXUALITY;
     let mut corpus = Vec::with_capacity(documents);
@@ -224,7 +523,11 @@ pub fn sensitive_corpus(catalog: &TopicCatalog, documents: usize, rng: &mut impl
 
 /// Trend-style seed queries used to prefill the fake-query table at
 /// bootstrap (paper §V-D cites Google Trends). All seeds are non-sensitive.
-pub fn seed_queries(catalog: &TopicCatalog, count: usize, rng: &mut impl cyclosa_util::rng::Rng) -> Vec<String> {
+pub fn seed_queries(
+    catalog: &TopicCatalog,
+    count: usize,
+    rng: &mut impl cyclosa_util::rng::Rng,
+) -> Vec<String> {
     let topics = catalog.non_sensitive_topics();
     let mut seeds = Vec::with_capacity(count);
     for _ in 0..count {
@@ -263,9 +566,16 @@ mod tests {
         let catalog = TopicCatalog::default_catalog();
         let lexicon = synthetic_lexicon(&catalog);
         let health = catalog.topic("health").unwrap();
-        let covered = health.terms.iter().filter(|t| lexicon.word_in_domain(t, "health")).count();
+        let covered = health
+            .terms
+            .iter()
+            .filter(|t| lexicon.word_in_domain(t, "health"))
+            .count();
         assert!(covered > health.terms.len() / 2, "coverage too low");
-        assert!(covered < health.terms.len() * 7 / 10, "coverage should be incomplete");
+        assert!(
+            covered < health.terms.len() * 7 / 10,
+            "coverage should be incomplete"
+        );
         // Ambiguous terms are present but not exclusive.
         assert!(lexicon.word_in_domain("adult", "sexuality"));
         assert!(!lexicon.word_exclusively_in_domain("adult", "sexuality"));
@@ -277,12 +587,21 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let corpus = sensitive_corpus(&catalog, 50, &mut rng);
         assert_eq!(corpus.len(), 50);
-        let sexuality: std::collections::HashSet<&str> =
-            catalog.topic("sexuality").unwrap().terms.iter().copied().collect();
-        let ambiguous: std::collections::HashSet<&str> = AMBIGUOUS_SEXUALITY.iter().copied().collect();
+        let sexuality: std::collections::HashSet<&str> = catalog
+            .topic("sexuality")
+            .unwrap()
+            .terms
+            .iter()
+            .copied()
+            .collect();
+        let ambiguous: std::collections::HashSet<&str> =
+            AMBIGUOUS_SEXUALITY.iter().copied().collect();
         for doc in &corpus {
             for term in doc.split_whitespace() {
-                assert!(sexuality.contains(term) || ambiguous.contains(term), "stray term {term}");
+                assert!(
+                    sexuality.contains(term) || ambiguous.contains(term),
+                    "stray term {term}"
+                );
             }
         }
     }
@@ -300,7 +619,10 @@ mod tests {
             .collect();
         for seed in &seeds {
             for term in seed.split_whitespace() {
-                assert!(!sensitive_terms.contains(term), "sensitive term {term} in seed");
+                assert!(
+                    !sensitive_terms.contains(term),
+                    "sensitive term {term} in seed"
+                );
             }
         }
     }

@@ -26,7 +26,11 @@ fn main() {
     let catalog = TopicCatalog::default_catalog();
     let generator = WorkloadGenerator::new(
         catalog.clone(),
-        WorkloadConfig { users: 40, mean_queries_per_user: 50, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            users: 40,
+            mean_queries_per_user: 50,
+            ..WorkloadConfig::default()
+        },
     );
     let log = generator.generate(&mut rng);
     let (train, test) = log.train_test_split(2.0 / 3.0);
@@ -52,17 +56,35 @@ fn main() {
     let protection = ProtectionConfig::with_k_max(k);
     let lexicon = synthetic_lexicon(&catalog);
     let corpus = sensitive_corpus(&catalog, 200, &mut rng);
-    let categorizer =
-        build_categorizer(&lexicon, &["health", "politics", "religion", "sexuality"], &corpus, &protection, &mut rng);
+    let categorizer = build_categorizer(
+        &lexicon,
+        &["health", "politics", "religion", "sexuality"],
+        &corpus,
+        &protection,
+        &mut rng,
+    );
     let mut cyclosa = Cyclosa::new(protection, categorizer, CategorizerMethod::Combined);
-    cyclosa.seed_fake_pool(seed_queries(&catalog, 100, &mut rng).iter().map(|s| s.as_str()));
+    cyclosa.seed_fake_pool(
+        seed_queries(&catalog, 100, &mut rng)
+            .iter()
+            .map(|s| s.as_str()),
+    );
     for trace in &train {
-        cyclosa.register_user_history(trace.user, trace.queries.iter().map(|q| q.query.text.as_str()));
+        cyclosa.register_user_history(
+            trace.user,
+            trace.queries.iter().map(|q| q.query.text.as_str()),
+        );
     }
 
-    println!("\n{:<10} {:>18} {:>15} {:>16}", "mechanism", "re-identification", "correctness", "completeness");
-    let mechanisms: Vec<(&str, &mut dyn Mechanism)> =
-        vec![("TOR", &mut tor), ("X-SEARCH", &mut xsearch), ("CYCLOSA", &mut cyclosa)];
+    println!(
+        "\n{:<10} {:>18} {:>15} {:>16}",
+        "mechanism", "re-identification", "correctness", "completeness"
+    );
+    let mechanisms: Vec<(&str, &mut dyn Mechanism)> = vec![
+        ("TOR", &mut tor),
+        ("X-SEARCH", &mut xsearch),
+        ("CYCLOSA", &mut cyclosa),
+    ];
     for (name, mechanism) in mechanisms {
         let mut attack_rng = Xoshiro256StarStar::seed_from_u64(77);
         let reid = evaluate_reidentification(mechanism, &train, &test_queries, &mut attack_rng);

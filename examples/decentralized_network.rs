@@ -16,8 +16,11 @@ fn main() {
     // 1. Spin up 30 nodes and let the gossip-based peer sampling converge.
     let mut nodes: Vec<CyclosaNode> = (0..30).map(|i| CyclosaNode::builder(i).build()).collect();
     converge_peer_views(&mut nodes, 15, 99);
-    let mean_view: f64 =
-        nodes.iter().map(|n| n.peer_sampling().view().len() as f64).sum::<f64>() / nodes.len() as f64;
+    let mean_view: f64 = nodes
+        .iter()
+        .map(|n| n.peer_sampling().view().len() as f64)
+        .sum::<f64>()
+        / nodes.len() as f64;
     println!("gossip converged: mean view size = {mean_view:.1} peers");
 
     // 2. Provision every platform at the attestation service and allow the
@@ -28,14 +31,16 @@ fn main() {
     for node in &nodes {
         service.provision_platform(node.platform());
     }
-    let (mut left, mut right) = {
+    let (left, right) = {
         let mut iter = nodes.iter_mut();
         (iter.next().unwrap(), iter.next().unwrap())
     };
     let (mut client_channel, mut relay_channel) =
-        attested_channel_pair(&mut left, &mut right, &service).expect("attestation succeeds");
+        attested_channel_pair(left, right, &service).expect("attestation succeeds");
     let record = client_channel.seal(b"swiss federal elections 2026 polls", b"fwd");
-    let received = relay_channel.open(&record, b"fwd").expect("record authentic");
+    let received = relay_channel
+        .open(&record, b"fwd")
+        .expect("record authentic");
     let forwarded = right.relay_query(std::str::from_utf8(&received).unwrap());
     println!(
         "relayed one query through an attested channel: {:?} (relay table now holds {} entries)",

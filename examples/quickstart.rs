@@ -19,7 +19,13 @@ fn main() {
     let lexicon = synthetic_lexicon(&catalog);
     let corpus = sensitive_corpus(&catalog, 200, &mut rng);
     let protection = ProtectionConfig::default(); // kmax = 7
-    let categorizer = build_categorizer(&lexicon, &["health", "sexuality"], &corpus, &protection, &mut rng);
+    let categorizer = build_categorizer(
+        &lexicon,
+        &["health", "sexuality"],
+        &corpus,
+        &protection,
+        &mut rng,
+    );
 
     // 2. Create the node (its SGX enclave is created and initialized here).
     let mut node = CyclosaNode::builder(1)
@@ -36,15 +42,21 @@ fn main() {
     node.bootstrap_peers((2..60).map(PeerId));
 
     // 4. The user's recent history drives the linkability assessment.
-    node.record_own_history(["zurich train timetable", "zurich tram map", "coop opening hours"]);
+    node.record_own_history([
+        "zurich train timetable",
+        "zurich tram map",
+        "coop opening hours",
+    ]);
 
     // 5. Protect a few queries.
     for query in [
-        "museum opening hours basel",       // fresh, non-sensitive: little protection needed
-        "zurich train timetable tomorrow",  // linkable to the history: proportional protection
-        "hiv test anonymous clinic",        // semantically sensitive: maximum protection
+        "museum opening hours basel", // fresh, non-sensitive: little protection needed
+        "zurich train timetable tomorrow", // linkable to the history: proportional protection
+        "hiv test anonymous clinic",  // semantically sensitive: maximum protection
     ] {
-        let plan = node.plan_query(query, &mut rng).expect("node is bootstrapped");
+        let plan = node
+            .plan_query(query, &mut rng)
+            .expect("node is bootstrapped");
         println!("query: {query:?}");
         println!(
             "  semantic = {}, linkability = {:.2}, k = {}",

@@ -30,7 +30,11 @@ fn main() {
         "cheap flights geneva paris",
     ] {
         print!("  {query:?}:");
-        for method in [CategorizerMethod::WordNet, CategorizerMethod::Lda, CategorizerMethod::Combined] {
+        for method in [
+            CategorizerMethod::WordNet,
+            CategorizerMethod::Lda,
+            CategorizerMethod::Combined,
+        ] {
             print!("  {method}={}", categorizer.is_sensitive(query, method));
         }
         println!();
@@ -39,7 +43,11 @@ fn main() {
     // Then a workload-scale precision/recall evaluation.
     let generator = WorkloadGenerator::new(
         catalog.clone(),
-        WorkloadConfig { users: 60, mean_queries_per_user: 60, ..WorkloadConfig::default() },
+        WorkloadConfig {
+            users: 60,
+            mean_queries_per_user: 60,
+            ..WorkloadConfig::default()
+        },
     );
     let log = generator.generate(&mut rng);
     let (_, test) = log.train_test_split(2.0 / 3.0);
@@ -47,10 +55,19 @@ fn main() {
     let ground_truth: Vec<bool> = queries.iter().map(|q| q.topic == "sexuality").collect();
 
     println!("\nworkload evaluation over {} test queries:", queries.len());
-    println!("{:<16} {:>10} {:>8} {:>8}", "method", "precision", "recall", "F1");
-    for method in [CategorizerMethod::WordNet, CategorizerMethod::Lda, CategorizerMethod::Combined] {
-        let detections: Vec<bool> =
-            queries.iter().map(|q| categorizer.is_sensitive(&q.query.text, method)).collect();
+    println!(
+        "{:<16} {:>10} {:>8} {:>8}",
+        "method", "precision", "recall", "F1"
+    );
+    for method in [
+        CategorizerMethod::WordNet,
+        CategorizerMethod::Lda,
+        CategorizerMethod::Combined,
+    ] {
+        let detections: Vec<bool> = queries
+            .iter()
+            .map(|q| categorizer.is_sensitive(&q.query.text, method))
+            .collect();
         let quality = DetectionQuality::evaluate(&detections, &ground_truth);
         println!(
             "{:<16} {:>10.2} {:>8.2} {:>8.2}",

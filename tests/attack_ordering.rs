@@ -32,18 +32,39 @@ fn reidentification_ordering_matches_the_paper() {
     let cyclosa = rate(&report, "CYCLOSA");
 
     // Indistinguishability-only mechanisms leak the most.
-    assert!(tmn > tor, "TrackMeNot ({tmn}) must leak more than TOR ({tor})");
-    assert!(goopir > tor, "GooPIR ({goopir}) must leak more than TOR ({tor})");
+    assert!(
+        tmn > tor,
+        "TrackMeNot ({tmn}) must leak more than TOR ({tor})"
+    );
+    assert!(
+        goopir > tor,
+        "GooPIR ({goopir}) must leak more than TOR ({tor})"
+    );
     // Combining unlinkability and indistinguishability drops the rate
     // drastically below plain anonymization.
     assert!(peas < tor, "PEAS ({peas}) must beat TOR ({tor})");
-    assert!(xsearch < tor / 2.0, "X-SEARCH ({xsearch}) must clearly beat TOR ({tor})");
+    assert!(
+        xsearch < tor / 2.0,
+        "X-SEARCH ({xsearch}) must clearly beat TOR ({tor})"
+    );
     // CYCLOSA is the most robust mechanism.
-    assert!(cyclosa < xsearch, "CYCLOSA ({cyclosa}) must beat X-SEARCH ({xsearch})");
-    assert!(cyclosa < peas, "CYCLOSA ({cyclosa}) must beat PEAS ({peas})");
-    assert!(cyclosa < 10.0, "CYCLOSA's rate should stay in the single digits");
+    assert!(
+        cyclosa < xsearch,
+        "CYCLOSA ({cyclosa}) must beat X-SEARCH ({xsearch})"
+    );
+    assert!(
+        cyclosa < peas,
+        "CYCLOSA ({cyclosa}) must beat PEAS ({peas})"
+    );
+    assert!(
+        cyclosa < 10.0,
+        "CYCLOSA's rate should stay in the single digits"
+    );
     // TOR lands in the ballpark the paper reports (~36 %).
-    assert!((20.0..50.0).contains(&tor), "TOR rate {tor} out of expected range");
+    assert!(
+        (20.0..50.0).contains(&tor),
+        "TOR rate {tor} out of expected range"
+    );
 }
 
 #[test]
@@ -83,7 +104,10 @@ fn adaptive_protection_spares_non_sensitive_queries() {
     // Not every query needs the maximum protection, but sensitive ones do.
     assert!(report.fraction_k_max > 0.10 && report.fraction_k_max < 0.80);
     assert!(report.mean_k < 7.0);
-    assert!(report.cdf.last().unwrap().1 > 99.9, "CDF must reach 100% at kmax");
+    assert!(
+        report.cdf.last().unwrap().1 > 99.9,
+        "CDF must reach 100% at kmax"
+    );
     // The CDF is non-decreasing.
     for pair in report.cdf.windows(2) {
         assert!(pair[1].1 >= pair[0].1);
@@ -119,10 +143,23 @@ fn table1_and_table2_have_the_expected_shape() {
     // The trade-off of Table II: the lexicon alone over-triggers (lower
     // precision); LDA and the combination are more precise while keeping
     // recall high.
-    assert!(wordnet.precision < lda.precision, "WordNet precision should be the lowest");
+    assert!(
+        wordnet.precision < lda.precision,
+        "WordNet precision should be the lowest"
+    );
     assert!(combined.precision >= wordnet.precision);
     for row in &t2.rows {
-        assert!(row.recall > 0.6, "{} recall too low: {}", row.tool, row.recall);
-        assert!(row.precision > 0.3, "{} precision too low: {}", row.tool, row.precision);
+        assert!(
+            row.recall > 0.6,
+            "{} recall too low: {}",
+            row.tool,
+            row.recall
+        );
+        assert!(
+            row.precision > 0.3,
+            "{} precision too low: {}",
+            row.tool,
+            row.precision
+        );
     }
 }

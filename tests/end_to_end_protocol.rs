@@ -64,7 +64,9 @@ fn sensitive_query_is_relayed_through_attested_peers_with_exact_results() {
     let query = "hiv treatment options";
     let plan = {
         let node0 = &mut nodes[0];
-        node0.plan_query(query, &mut rng).expect("bootstrapped node plans")
+        node0
+            .plan_query(query, &mut rng)
+            .expect("bootstrapped node plans")
     };
     assert_eq!(plan.assessment.k, 3, "sensitive query gets kmax fakes");
     assert_eq!(plan.assignments().len(), 4);
@@ -90,7 +92,9 @@ fn sensitive_query_is_relayed_through_attested_peers_with_exact_results() {
         let (mut client_channel, mut relay_channel) =
             attested_channel_pair(client, relay, &service).expect("attestation succeeds");
         let record = client_channel.seal(assignment.query.as_bytes(), b"forward");
-        let received = relay_channel.open(&record, b"forward").expect("authentic record");
+        let received = relay_channel
+            .open(&record, b"forward")
+            .expect("authentic record");
         let forwarded = relay.relay_query(std::str::from_utf8(&received).unwrap());
         // The relay contacts the engine under its own identity.
         let page = engine
@@ -130,7 +134,12 @@ fn non_sensitive_fresh_query_is_not_over_protected() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(3);
     let mut nodes = build_nodes(5, 7, &mut rng);
     converge_peer_views(&mut nodes, 10, 6);
-    let plan = nodes[0].plan_query("laptop discount coupon", &mut rng).unwrap();
-    assert_eq!(plan.assessment.k, 0, "fresh non-sensitive query needs no fakes");
+    let plan = nodes[0]
+        .plan_query("laptop discount coupon", &mut rng)
+        .unwrap();
+    assert_eq!(
+        plan.assessment.k, 0,
+        "fresh non-sensitive query needs no fakes"
+    );
     assert_eq!(plan.assignments().len(), 1);
 }

@@ -1,13 +1,16 @@
 //! Integration test of the system-side experiments: rate limiting blocks
 //! the centralized proxy but not the decentralized deployment (Fig. 8d),
-//! the relay sustains higher load than the X-SEARCH proxy (Fig. 8c), and
-//! end-to-end latencies stay sub-second while TOR does not (Fig. 8a).
+//! the relay sustains higher load than the X-SEARCH proxy (Fig. 8c),
+//! end-to-end latencies stay sub-second while TOR does not (Fig. 8a), and
+//! the sharded runtime scales the population while reproducing the
+//! sequential results.
 
 use cyclosa::deployment::{
     relay_service_time_ns, run_end_to_end_latency, run_load_experiment, throughput_latency_curve,
     xsearch_service_time_ns, EndToEndConfig, LoadExperimentConfig,
 };
 use cyclosa_baselines::latency::LatencyProfile;
+use cyclosa_bench::scalability::{run_scale_point, scalability_sweep, ScaleConfig};
 use cyclosa_sgx::enclave::CostModel;
 use cyclosa_util::rng::Xoshiro256StarStar;
 use cyclosa_util::stats::Summary;
@@ -63,10 +66,49 @@ fn cyclosa_latency_is_sub_second_and_an_order_of_magnitude_below_tor() {
 
     let profile = LatencyProfile::default();
     let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-    let tor: Vec<f64> = (0..80).map(|_| profile.tor(&mut rng).as_secs_f64()).collect();
+    let tor: Vec<f64> = (0..80)
+        .map(|_| profile.tor(&mut rng).as_secs_f64())
+        .collect();
     let tor_median = Summary::from_samples(&tor).median;
     assert!(
         tor_median / cyclosa_median > 10.0,
         "TOR ({tor_median}) should be at least 10x slower than CYCLOSA ({cyclosa_median})"
     );
+}
+
+#[test]
+fn scalability_sweep_covers_shard_counts_with_stable_event_counts() {
+    let config = ScaleConfig {
+        rounds: 3,
+        ..ScaleConfig::default()
+    };
+    let report = scalability_sweep(&[2_000], &[1, 2, 4], &config);
+    assert_eq!(report.points.len(), 3);
+    let events = report.points[0].events;
+    assert!(events > 10_000, "only {events} events processed");
+    for point in &report.points {
+        assert_eq!(
+            point.events, events,
+            "event count changed with {} shards",
+            point.shards
+        );
+        assert!(point.delivered > 0);
+        assert!(point.sim_seconds > 1.0);
+    }
+}
+
+#[test]
+fn large_population_runs_on_at_least_four_shards() {
+    // A scaled-down twin of the 100k-node bench bin (kept small so the
+    // test suite stays fast; `cargo run --release -p cyclosa-bench --bin
+    // scale` exercises the full 1k → 100k sweep).
+    let config = ScaleConfig {
+        rounds: 2,
+        ..ScaleConfig::default()
+    };
+    let point = run_scale_point(10_000, 4, &config);
+    assert_eq!(point.shards, 4);
+    assert_eq!(point.nodes, 10_000);
+    assert!(point.events > 50_000, "only {} events", point.events);
+    assert!(point.events_per_second > 0.0);
 }

@@ -1,0 +1,206 @@
+//! A tiny, dependency-free, offline stand-in for the subset of the
+//! [Criterion](https://docs.rs/criterion) API used by this workspace.
+//!
+//! The real crate is not vendored into the build environment, so this shim
+//! keeps the benchmark sources compiling and runnable: it performs a short
+//! warm-up, times the routine with `std::time::Instant`, and prints a
+//! `name ... time: [<mean> ns/iter]` line per benchmark. It makes no
+//! statistical claims beyond that.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How a batched input is sized (accepted and ignored — the shim always
+/// re-runs the setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to derive a rate in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Self {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let mut batch = 1u64;
+        while self.elapsed < self.target {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        while self.elapsed < self.target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters_done == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+fn report(group: Option<&str>, name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+    let ns = bencher.ns_per_iter();
+    let mut line = format!(
+        "{label:<40} time: [{ns:>12.1} ns/iter] ({} iters)",
+        bencher.iters_done
+    );
+    if let Some(tp) = throughput {
+        let per_second = if ns > 0.0 { 1e9 / ns } else { 0.0 };
+        match tp {
+            Throughput::Bytes(bytes) => {
+                let mib = per_second * bytes as f64 / (1024.0 * 1024.0);
+                line.push_str(&format!("  thrpt: {mib:.1} MiB/s"));
+            }
+            Throughput::Elements(elements) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.0} elem/s",
+                    per_second * elements as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.measurement_time);
+        f(&mut bencher);
+        report(Some(&self.name), name, &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let millis = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Self {
+            measurement_time: Duration::from_millis(millis),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement_time);
+        f(&mut bencher);
+        report(None, name, &bencher, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
