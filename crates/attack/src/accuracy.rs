@@ -60,12 +60,7 @@ fn result_sets(
                 .results
                 .iter()
                 .map(|r| r.doc)
-                .filter(|doc| {
-                    !engine
-                        .index()
-                        .matching_terms(*doc, original_query)
-                        .is_empty()
-                })
+                .filter(|doc| engine.index().matches_any_term(*doc, original_query))
                 .collect()
         }
     };

@@ -130,6 +130,11 @@ fn attack_outcome(attack: &SimAttack, query: &LabeledQuery, outcome: &Protection
 /// Runs the full Fig. 5 evaluation of one mechanism: builds the adversary
 /// from the training traces, protects every testing query, attacks the
 /// observation and aggregates the re-identification rate.
+///
+/// When evaluating several mechanisms against the same training set, build
+/// the adversary once and use [`evaluate_reidentification_with`]: the
+/// adversary's inverted index over the training profiles is by far the most
+/// expensive part of the setup.
 pub fn evaluate_reidentification(
     mechanism: &mut dyn Mechanism,
     training: &[UserTrace],
@@ -137,6 +142,18 @@ pub fn evaluate_reidentification(
     rng: &mut Xoshiro256StarStar,
 ) -> ReidentificationReport {
     let attack = SimAttack::from_training(training);
+    evaluate_reidentification_with(&attack, mechanism, testing, rng)
+}
+
+/// [`evaluate_reidentification`] against a prebuilt adversary, so one
+/// trained [`SimAttack`] (and its inverted profile index) is reused across
+/// every mechanism of a figure.
+pub fn evaluate_reidentification_with(
+    attack: &SimAttack,
+    mechanism: &mut dyn Mechanism,
+    testing: &[LabeledQuery],
+    rng: &mut Xoshiro256StarStar,
+) -> ReidentificationReport {
     let mut engine_requests = 0usize;
     let mut successful = 0usize;
     let mut any_exposed_real = false;
@@ -150,7 +167,7 @@ pub fn evaluate_reidentification(
         {
             any_exposed_real = true;
         }
-        if attack_outcome(&attack, query, &outcome) {
+        if attack_outcome(attack, query, &outcome) {
             successful += 1;
         }
     }

@@ -24,5 +24,7 @@ pub mod evaluation;
 pub mod simattack;
 
 pub use accuracy::{evaluate_accuracy, AccuracyReport};
-pub use evaluation::{evaluate_reidentification, ReidentificationReport};
+pub use evaluation::{
+    evaluate_reidentification, evaluate_reidentification_with, ReidentificationReport,
+};
 pub use simattack::SimAttack;

@@ -6,19 +6,64 @@
 //! profile similarity against every user profile; if the best score exceeds
 //! a confidence threshold (0.5) and a single profile attains it, the query
 //! is attributed to that user.
+//!
+//! # Inverted profile index
+//!
+//! The textbook formulation scans every profile per query —
+//! `O(queries × users × terms)` with a fresh tokenization of the query for
+//! each profile. This implementation instead maintains an **inverted
+//! index** over the adversary's knowledge base:
+//!
+//! * one shared [`TermInterner`] assigns a dense
+//!   [`TermId`](cyclosa_nlp::text::TermId) to every term ever seen in
+//!   training or attacked queries;
+//! * postings `TermId → [(user, past-query)]` list, for every term, the
+//!   training queries containing it;
+//! * per past-query norms come cached from the [`IdVector`]s the profiles
+//!   already store.
+//!
+//! `reidentify` then tokenizes the query **once**, walks only the postings
+//! of its terms, and scores only the *candidate* profiles that share at
+//! least one term with the query. Profiles sharing no term score exactly
+//! `0.0` — below any threshold in `[0, 1]` and unable to create a tie
+//! (ties require a positive score) — so skipping them cannot change the
+//! attribution decision: the index returns **bit-identical decisions** to
+//! the reference scan (retained as [`SimAttack::reidentify_scan`] and
+//! pinned by `tests/kernel_equivalence.rs`), at `O(matching postings)`
+//! cost per query.
 
 use cyclosa_mechanism::UserId;
+use cyclosa_nlp::kernel::IdVector;
 use cyclosa_nlp::profile::UserProfile;
+use cyclosa_nlp::text::TermInterner;
+use cyclosa_util::smoothing::exponential_smoothing;
 use cyclosa_workload::generator::UserTrace;
 use std::collections::HashMap;
 
 /// The confidence threshold used by the paper.
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
 
+/// One entry of a term's postings list: a training query of one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Posting {
+    /// Dense index of the user (insertion order into the adversary).
+    user: u32,
+    /// Index of the past query within that user's profile.
+    query: u32,
+}
+
 /// The SimAttack adversary.
 #[derive(Debug, Default)]
 pub struct SimAttack {
+    interner: TermInterner,
     profiles: HashMap<UserId, UserProfile>,
+    /// Users in learning order; positions are the dense user indexes the
+    /// postings refer to.
+    users: Vec<UserId>,
+    user_index: HashMap<UserId, u32>,
+    /// `postings[term.index()]` lists the training queries containing the
+    /// term. Indexed by `TermId`, grown lazily as training terms appear.
+    postings: Vec<Vec<Posting>>,
     threshold: f64,
 }
 
@@ -26,10 +71,7 @@ impl SimAttack {
     /// Creates an adversary with an empty knowledge base and the default
     /// confidence threshold.
     pub fn new() -> Self {
-        Self {
-            profiles: HashMap::new(),
-            threshold: DEFAULT_THRESHOLD,
-        }
+        Self::with_threshold(DEFAULT_THRESHOLD)
     }
 
     /// Creates an adversary with a custom confidence threshold.
@@ -43,7 +85,11 @@ impl SimAttack {
             "threshold must be in [0, 1]"
         );
         Self {
+            interner: TermInterner::new(),
             profiles: HashMap::new(),
+            users: Vec::new(),
+            user_index: HashMap::new(),
+            postings: Vec::new(),
             threshold,
         }
     }
@@ -58,11 +104,43 @@ impl SimAttack {
         attack
     }
 
-    /// Adds (or extends) the profile of one user from a training trace.
+    /// Adds (or extends) the profile of one user from a training trace,
+    /// updating the inverted index incrementally.
     pub fn learn_user(&mut self, trace: &UserTrace) {
-        let profile = self.profiles.entry(trace.user).or_default();
+        let user_idx = match self.user_index.get(&trace.user) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.users.len() as u32;
+                self.users.push(trace.user);
+                self.user_index.insert(trace.user, idx);
+                self.profiles.insert(
+                    trace.user,
+                    UserProfile::with_interner(self.interner.clone()),
+                );
+                idx
+            }
+        };
+        let profile = self
+            .profiles
+            .get_mut(&trace.user)
+            .expect("profile inserted above");
         for q in &trace.queries {
+            let before = profile.len();
             profile.record_query(&q.query.text);
+            if profile.len() == before {
+                continue; // no content terms — not recorded
+            }
+            let vector = &profile.past_vectors()[before];
+            let query_idx = before as u32;
+            for (id, _) in vector.iter() {
+                if id.index() >= self.postings.len() {
+                    self.postings.resize_with(id.index() + 1, Vec::new);
+                }
+                self.postings[id.index()].push(Posting {
+                    user: user_idx,
+                    query: query_idx,
+                });
+            }
         }
     }
 
@@ -76,9 +154,76 @@ impl SimAttack {
         self.threshold
     }
 
+    /// The shared term interner (clone it to build query vectors or other
+    /// structures speaking the same term ids).
+    pub fn interner(&self) -> &TermInterner {
+        &self.interner
+    }
+
+    /// Tokenizes and vectorizes a query once against the adversary's
+    /// interner; the result can be passed to [`SimAttack::reidentify_vector`]
+    /// any number of times.
+    pub fn prepare(&self, query: &str) -> IdVector {
+        IdVector::binary_from_query(&self.interner, query)
+    }
+
     /// The profile similarity of `query` with a specific user, if known.
+    /// The query is tokenized and vectorized once.
     pub fn similarity_to(&self, user: UserId, query: &str) -> Option<f64> {
-        self.profiles.get(&user).map(|p| p.similarity(query))
+        let profile = self.profiles.get(&user)?;
+        Some(profile.similarity_vector(&self.prepare(query)))
+    }
+
+    /// The smoothed similarity scores of every candidate profile sharing at
+    /// least one term with `vector`, as `(dense user index, score)` pairs
+    /// sorted by user index. Profiles not listed score exactly 0.
+    fn candidate_scores(&self, vector: &IdVector) -> Vec<(u32, f64)> {
+        // Count shared terms per (user, past query). Both sides are binary
+        // vectors, so the dot product is the (exact, small-integer) overlap
+        // count.
+        let mut overlap: HashMap<(u32, u32), u32> = HashMap::new();
+        for (id, _) in vector.iter() {
+            if let Some(posts) = self.postings.get(id.index()) {
+                for p in posts {
+                    *overlap.entry((p.user, p.query)).or_insert(0) += 1;
+                }
+            }
+        }
+        if overlap.is_empty() {
+            return Vec::new();
+        }
+        // Group per user, deterministically.
+        let mut matched: Vec<((u32, u32), u32)> = overlap.into_iter().collect();
+        matched.sort_unstable_by_key(|&(key, _)| key);
+
+        let mut scores: Vec<(u32, f64)> = Vec::new();
+        let mut i = 0usize;
+        while i < matched.len() {
+            let user = matched[i].0 .0;
+            let profile = &self.profiles[&self.users[user as usize]];
+            // Norms are cached inside each past-query vector at recording
+            // time.
+            let past = profile.past_vectors();
+            // Reconstruct the full similarity list the reference scan feeds
+            // into the smoothing: matched past queries get their cosine,
+            // every other past query contributes an exact 0.0.
+            let mut sims: Vec<f64> = Vec::with_capacity(past.len());
+            while i < matched.len() && matched[i].0 .0 == user {
+                let (_, query_idx) = matched[i].0;
+                let count = matched[i].1;
+                let denom = vector.norm() * past[query_idx as usize].norm();
+                let sim = if denom == 0.0 {
+                    0.0
+                } else {
+                    (count as f64 / denom).clamp(-1.0, 1.0)
+                };
+                sims.push(sim);
+                i += 1;
+            }
+            sims.resize(past.len(), 0.0);
+            scores.push((user, exponential_smoothing(&sims, profile.alpha())));
+        }
+        scores
     }
 
     /// Attempts to re-identify the user behind an anonymous query.
@@ -86,16 +231,54 @@ impl SimAttack {
     /// Returns `Some(user)` when exactly one profile scores above the
     /// threshold with the maximum similarity, `None` otherwise (no
     /// confident, unique attribution — the attack abstains).
+    ///
+    /// The query is tokenized once and only candidate profiles (sharing at
+    /// least one term) are scored — see the module documentation for why
+    /// this cannot change the decision relative to the full scan.
     pub fn reidentify(&self, query: &str) -> Option<UserId> {
-        let mut best: Option<(UserId, f64)> = None;
+        self.reidentify_vector(&self.prepare(query))
+    }
+
+    /// [`SimAttack::reidentify`] for an already-prepared query vector.
+    pub fn reidentify_vector(&self, vector: &IdVector) -> Option<UserId> {
+        let mut best: Option<(u32, f64)> = None;
         let mut tie = false;
-        for (&user, profile) in &self.profiles {
-            let score = profile.similarity(query);
+        for (user, score) in self.candidate_scores(vector) {
             match best {
                 None => best = Some((user, score)),
                 Some((_, best_score)) => {
                     if score > best_score {
                         best = Some((user, score));
+                        tie = false;
+                    } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                        tie = true;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((user, score)) if score > self.threshold && !tie => {
+                Some(self.users[user as usize])
+            }
+            _ => None,
+        }
+    }
+
+    /// The reference full-scan implementation of [`SimAttack::reidentify`]:
+    /// every profile is scored (re-vectorizing the query through the shared
+    /// interner once, not per profile). Kept as the specification the
+    /// inverted index is benchmarked and equivalence-tested against.
+    pub fn reidentify_scan(&self, query: &str) -> Option<UserId> {
+        let vector = self.prepare(query);
+        let mut best: Option<(UserId, f64)> = None;
+        let mut tie = false;
+        for user in &self.users {
+            let score = self.profiles[user].similarity_vector(&vector);
+            match best {
+                None => best = Some((*user, score)),
+                Some((_, best_score)) => {
+                    if score > best_score {
+                        best = Some((*user, score));
                         tie = false;
                     } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
                         tie = true;
@@ -117,26 +300,38 @@ impl SimAttack {
     /// Returns `(user, index of the disjunct believed to be that user's
     /// real query)`.
     pub fn reidentify_group(&self, disjuncts: &[&str]) -> Option<(UserId, usize)> {
-        let mut best: Option<(UserId, usize, f64)> = None;
+        // Candidate scores per disjunct via the inverted index; pairs that
+        // never appear score exactly 0 and can neither win (the threshold
+        // is ≥ 0 and wins are strict) nor tie (ties require score > 0).
+        let mut scored: Vec<(u32, usize, f64)> = Vec::new();
+        for (i, disjunct) in disjuncts.iter().enumerate() {
+            let vector = self.prepare(disjunct);
+            for (user, score) in self.candidate_scores(&vector) {
+                scored.push((user, i, score));
+            }
+        }
+        // Deterministic order: user-major, then disjunct (the reference
+        // nesting: profiles outer, disjuncts inner).
+        scored.sort_unstable_by_key(|&(user, i, _)| (user, i));
+        let mut best: Option<(u32, usize, f64)> = None;
         let mut tie = false;
-        for (&user, profile) in &self.profiles {
-            for (i, disjunct) in disjuncts.iter().enumerate() {
-                let score = profile.similarity(disjunct);
-                match best {
-                    None => best = Some((user, i, score)),
-                    Some((_, _, best_score)) => {
-                        if score > best_score {
-                            best = Some((user, i, score));
-                            tie = false;
-                        } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
-                            tie = true;
-                        }
+        for (user, i, score) in scored {
+            match best {
+                None => best = Some((user, i, score)),
+                Some((_, _, best_score)) => {
+                    if score > best_score {
+                        best = Some((user, i, score));
+                        tie = false;
+                    } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                        tie = true;
                     }
                 }
             }
         }
         match best {
-            Some((user, i, score)) if score > self.threshold && !tie => Some((user, i)),
+            Some((user, i, score)) if score > self.threshold && !tie => {
+                Some((self.users[user as usize], i))
+            }
             _ => None,
         }
     }
@@ -152,7 +347,7 @@ impl SimAttack {
         let profile = self.profiles.get(&user)?;
         let mut best: Option<(usize, f64)> = None;
         for (i, candidate) in candidates.iter().enumerate() {
-            let score = profile.similarity(candidate);
+            let score = profile.similarity_vector(&profile.prepare(candidate));
             if best.map(|(_, s)| score > s).unwrap_or(true) {
                 best = Some((i, score));
             }
@@ -249,6 +444,56 @@ mod tests {
     }
 
     #[test]
+    fn index_and_scan_agree() {
+        let attack = adversary();
+        for query in [
+            "diabetes insulin dosage",
+            "hotel booking barcelona",
+            "hotel california lyrics",
+            "quantum entanglement tutorial",
+            "insulin glucose",
+            "train marathon",
+            "",
+            "the of and",
+        ] {
+            assert_eq!(
+                attack.reidentify(query),
+                attack.reidentify_scan(query),
+                "query: {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_scores_match_profile_similarity() {
+        let attack = adversary();
+        for query in ["insulin glucose", "train milan", "football plan basket"] {
+            let vector = attack.prepare(query);
+            let scores = attack.candidate_scores(&vector);
+            for (user_idx, score) in scores {
+                let user = attack.users[user_idx as usize];
+                let expected = attack.similarity_to(user, query).unwrap();
+                assert_eq!(
+                    score.to_bits(),
+                    expected.to_bits(),
+                    "user {user:?}, query {query:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_term_across_users_creates_tie_abstention() {
+        // Both users' profiles are exactly the query: identical maximal
+        // scores above the threshold — the attack must abstain.
+        let mut attack = SimAttack::new();
+        attack.learn_user(&trace(0, &["diabetes insulin"]));
+        attack.learn_user(&trace(1, &["diabetes insulin"]));
+        assert_eq!(attack.reidentify("diabetes insulin"), None);
+        assert_eq!(attack.reidentify_scan("diabetes insulin"), None);
+    }
+
+    #[test]
     fn pick_real_query_prefers_profile_consistent_candidate() {
         let attack = adversary();
         let candidates = [
@@ -280,6 +525,20 @@ mod tests {
         // With a low threshold even a single shared term suffices.
         assert_eq!(lenient.reidentify("insulin syringes"), Some(UserId(0)));
         assert!((lenient.threshold() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_learning_extends_profiles_and_index() {
+        let mut attack = SimAttack::new();
+        attack.learn_user(&trace(0, &["diabetes insulin dosage"]));
+        assert_eq!(attack.reidentify("glucose monitor reviews"), None);
+        // Learning more queries for the same user extends the same profile.
+        attack.learn_user(&trace(0, &["glucose monitor reviews"]));
+        assert_eq!(attack.known_users(), 1);
+        assert_eq!(
+            attack.reidentify("glucose monitor reviews"),
+            Some(UserId(0))
+        );
     }
 
     #[test]

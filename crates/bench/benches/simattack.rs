@@ -1,5 +1,8 @@
 //! Benchmarks of the SimAttack adversary (cost of one re-identification
-//! attempt against the full profile set).
+//! attempt against the full profile set), comparing the inverted profile
+//! index against the full kernel scan it replaced. For the parameterized
+//! sweep (10²–10⁴ users) and the machine-readable record, see the
+//! `attack_bench` bin.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cyclosa_attack::simattack::SimAttack;
@@ -15,8 +18,17 @@ fn bench_simattack(c: &mut Criterion) {
     group.bench_function("reidentify_known_query", |b| {
         b.iter(|| attack.reidentify(black_box(&repeated)));
     });
+    group.bench_function("reidentify_known_query_scan", |b| {
+        b.iter(|| attack.reidentify_scan(black_box(&repeated)));
+    });
     group.bench_function("reidentify_unknown_query", |b| {
         b.iter(|| attack.reidentify(black_box("completely unrelated fresh query")));
+    });
+    group.bench_function("reidentify_unknown_query_scan", |b| {
+        b.iter(|| attack.reidentify_scan(black_box("completely unrelated fresh query")));
+    });
+    group.bench_function("prepare_query_vector", |b| {
+        b.iter(|| attack.prepare(black_box(&repeated)));
     });
     group.finish();
 }

@@ -1,0 +1,433 @@
+//! `attack_bench` — micro-benchmarks of the NLP term kernel and the
+//! SimAttack inverted index, with a machine-readable perf record.
+//!
+//! ```text
+//! attack_bench [--users 100,1000,10000] [--queries-per-user N]
+//!              [--budget-ms N] [--seed N] [--json] [--out PATH]
+//! ```
+//!
+//! Covers the four hot paths of the re-identification pipeline:
+//! tokenization, the cosine kernel (interned merge-join vs. string-keyed
+//! reference), profile updates, and `reidentify` at 10²–10⁴ users (inverted
+//! index vs. the seed's full profile scan). With `--json` the results —
+//! ns/op plus the speedup of each optimized path over its reference — are
+//! written to `BENCH_attack.json` (override with `--out`) so the perf
+//! trajectory of the attack pipeline is recorded per run.
+
+use criterion::{measure, Measurement};
+use cyclosa_attack::simattack::SimAttack;
+use cyclosa_mechanism::{Query, QueryId, UserId};
+use cyclosa_nlp::kernel::{cosine_similarity_ids, IdVector};
+use cyclosa_nlp::profile::DEFAULT_SMOOTHING_ALPHA;
+use cyclosa_nlp::text::{tokenize, TermInterner};
+use cyclosa_nlp::vector::{cosine_similarity, TermVector};
+use cyclosa_util::json::{Json, ToJson};
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use cyclosa_util::smoothing::exponential_smoothing;
+use cyclosa_workload::generator::{LabeledQuery, UserTrace};
+use cyclosa_workload::topics::TopicCatalog;
+use std::time::Duration;
+
+/// The seed implementation's cost model, reconstructed: string-keyed
+/// `BTreeMap` vectors and a full profile scan that re-tokenizes the query
+/// once **per profile** — exactly what `SimAttack::reidentify` did before
+/// the interned kernel and the inverted index. This is the "vs. seed"
+/// baseline recorded in `BENCH_attack.json`.
+struct SeedSimAttack {
+    profiles: Vec<(UserId, Vec<TermVector>)>,
+    threshold: f64,
+}
+
+impl SeedSimAttack {
+    fn from_training(traces: &[UserTrace]) -> Self {
+        let profiles = traces
+            .iter()
+            .map(|t| {
+                let vectors = t
+                    .queries
+                    .iter()
+                    .map(|q| TermVector::binary_from_query(&q.query.text))
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                (t.user, vectors)
+            })
+            .collect();
+        Self {
+            profiles,
+            threshold: 0.5,
+        }
+    }
+
+    fn reidentify(&self, query: &str) -> Option<UserId> {
+        let mut best: Option<(UserId, f64)> = None;
+        let mut tie = false;
+        for (user, past) in &self.profiles {
+            // The seed re-vectorized the query inside every profile probe.
+            let vector = TermVector::binary_from_query(query);
+            let score = if vector.is_empty() || past.is_empty() {
+                0.0
+            } else {
+                let similarities: Vec<f64> =
+                    past.iter().map(|p| cosine_similarity(&vector, p)).collect();
+                exponential_smoothing(&similarities, DEFAULT_SMOOTHING_ALPHA)
+            };
+            match best {
+                None => best = Some((*user, score)),
+                Some((_, best_score)) => {
+                    if score > best_score {
+                        best = Some((*user, score));
+                        tie = false;
+                    } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                        tie = true;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((user, score)) if score > self.threshold && !tie => Some(user),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Options {
+    users: Vec<usize>,
+    queries_per_user: usize,
+    budget: Duration,
+    seed: u64,
+    json: bool,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            users: vec![100, 1000, 10000],
+            queries_per_user: 20,
+            budget: Duration::from_millis(150),
+            seed: 2018,
+            json: false,
+            out: "BENCH_attack.json".to_owned(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--users" => {
+                let value = args.next().ok_or("--users needs a comma-separated list")?;
+                options.users = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad user count {s:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.users.is_empty() {
+                    return Err("--users needs at least one count".into());
+                }
+                if options.users.contains(&0) {
+                    return Err("--users counts must be positive".into());
+                }
+            }
+            "--queries-per-user" => {
+                let value = args.next().ok_or("--queries-per-user needs a value")?;
+                options.queries_per_user = value
+                    .parse()
+                    .map_err(|_| "bad --queries-per-user".to_owned())?;
+                if options.queries_per_user == 0 {
+                    return Err("--queries-per-user must be positive".into());
+                }
+            }
+            "--budget-ms" => {
+                let value = args.next().ok_or("--budget-ms needs a value")?;
+                let ms: u64 = value.parse().map_err(|_| "bad --budget-ms".to_owned())?;
+                options.budget = Duration::from_millis(ms);
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = value.parse().map_err(|_| "bad --seed".to_owned())?;
+            }
+            "--json" => options.json = true,
+            "--out" => {
+                options.out = args.next().ok_or("--out needs a path")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: attack_bench [--users N,N,...] [--queries-per-user N] \
+                     [--budget-ms N] [--seed N] [--json] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// One recorded benchmark: the optimized path, optionally with the
+/// reference path it replaces.
+#[derive(Debug)]
+struct BenchEntry {
+    name: String,
+    ns_per_op: f64,
+    iters: u64,
+    baseline_ns_per_op: Option<f64>,
+    speedup: Option<f64>,
+}
+
+impl ToJson for BenchEntry {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("ns_per_op".to_owned(), Json::F64(self.ns_per_op)),
+            ("iters".to_owned(), Json::U64(self.iters)),
+        ];
+        if let Some(baseline) = self.baseline_ns_per_op {
+            fields.push(("baseline_ns_per_op".to_owned(), Json::F64(baseline)));
+        }
+        if let Some(speedup) = self.speedup {
+            fields.push(("speedup".to_owned(), Json::F64(speedup)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+fn entry(name: &str, optimized: Measurement, baseline: Option<Measurement>) -> BenchEntry {
+    let speedup = baseline.map(|b| {
+        if optimized.ns_per_iter > 0.0 {
+            b.ns_per_iter / optimized.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    });
+    let e = BenchEntry {
+        name: name.to_owned(),
+        ns_per_op: optimized.ns_per_iter,
+        iters: optimized.iters,
+        baseline_ns_per_op: baseline.map(|b| b.ns_per_iter),
+        speedup,
+    };
+    match (e.baseline_ns_per_op, e.speedup) {
+        (Some(b), Some(s)) => println!(
+            "{:<32} {:>12.1} ns/op   (reference: {:>12.1} ns/op, speedup {:>6.1}x)",
+            e.name, e.ns_per_op, b, s
+        ),
+        _ => println!("{:<32} {:>12.1} ns/op", e.name, e.ns_per_op),
+    }
+    e
+}
+
+/// Synthesizes a training workload: each user queries mostly within a home
+/// topic (which is what makes profiles distinguishable and SimAttack a
+/// meaningful attack), drawing 2–4 terms per query.
+fn synthesize_traces(
+    catalog: &TopicCatalog,
+    users: usize,
+    queries_per_user: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<UserTrace> {
+    let topics = catalog.topics();
+    (0..users)
+        .map(|u| {
+            let home = &topics[u % topics.len()];
+            let queries = (0..queries_per_user)
+                .map(|i| {
+                    let terms = 2 + rng.gen_index(3);
+                    let mut text = String::new();
+                    for t in 0..terms {
+                        if t > 0 {
+                            text.push(' ');
+                        }
+                        // One term in five comes from a foreign topic, the
+                        // rest from the user's home vocabulary.
+                        let vocabulary = if rng.gen_index(5) == 0 {
+                            topics[rng.gen_index(topics.len())].terms
+                        } else {
+                            home.terms
+                        };
+                        text.push_str(vocabulary[rng.gen_index(vocabulary.len())]);
+                    }
+                    LabeledQuery {
+                        query: Query::new(
+                            QueryId(u as u64 * 1_000_000 + i as u64),
+                            UserId(u as u32),
+                            text,
+                        ),
+                        topic: home.name.to_owned(),
+                        sensitive: home.sensitive,
+                    }
+                })
+                .collect();
+            UserTrace {
+                user: UserId(u as u32),
+                queries,
+            }
+        })
+        .collect()
+}
+
+/// Attack queries: a mix of exact repeats of training queries (candidates
+/// everywhere) and fresh off-profile queries.
+fn attack_queries(traces: &[UserTrace], count: usize, rng: &mut Xoshiro256StarStar) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                let trace = &traces[rng.gen_index(traces.len())];
+                let q = &trace.queries[rng.gen_index(trace.queries.len())];
+                q.query.text.clone()
+            } else {
+                format!("completely fresh query number {i}")
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let catalog = TopicCatalog::default_catalog();
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let budget = options.budget;
+
+    // --- tokenize ----------------------------------------------------------
+    let mut rng = Xoshiro256StarStar::seed_from_u64(options.seed);
+    let sample_traces = synthesize_traces(&catalog, 64, options.queries_per_user, &mut rng);
+    let sample_queries = attack_queries(&sample_traces, 256, &mut rng);
+    let mut cursor = 0usize;
+    let tokenize_measure = measure(budget, || {
+        cursor = (cursor + 1) % sample_queries.len();
+        tokenize(&sample_queries[cursor])
+    });
+    entries.push(entry("tokenize", tokenize_measure, None));
+
+    // --- cosine: interned merge-join kernel vs. string-keyed reference -----
+    let interner = TermInterner::new();
+    let id_pairs: Vec<(IdVector, IdVector)> = (0..128)
+        .map(|i| {
+            let a = &sample_queries[i % sample_queries.len()];
+            let b = &sample_queries[(i * 7 + 1) % sample_queries.len()];
+            (
+                IdVector::binary_from_query(&interner, a),
+                IdVector::binary_from_query(&interner, b),
+            )
+        })
+        .collect();
+    let string_pairs: Vec<(TermVector, TermVector)> = (0..128)
+        .map(|i| {
+            let a = &sample_queries[i % sample_queries.len()];
+            let b = &sample_queries[(i * 7 + 1) % sample_queries.len()];
+            (
+                TermVector::binary_from_query(a),
+                TermVector::binary_from_query(b),
+            )
+        })
+        .collect();
+    let mut cursor = 0usize;
+    let kernel_cosine = measure(budget, || {
+        cursor = (cursor + 1) % id_pairs.len();
+        let (a, b) = &id_pairs[cursor];
+        cosine_similarity_ids(a, b)
+    });
+    let mut cursor = 0usize;
+    let reference_cosine = measure(budget, || {
+        cursor = (cursor + 1) % string_pairs.len();
+        let (a, b) = &string_pairs[cursor];
+        cosine_similarity(a, b)
+    });
+    entries.push(entry("cosine", kernel_cosine, Some(reference_cosine)));
+
+    // --- profile update ----------------------------------------------------
+    let mut profile = cyclosa_nlp::profile::UserProfile::new();
+    let mut cursor = 0usize;
+    let profile_update = measure(budget, || {
+        cursor = (cursor + 1) % sample_queries.len();
+        profile.record_query(&sample_queries[cursor]);
+    });
+    entries.push(entry("profile_update", profile_update, None));
+
+    // --- reidentify: inverted index vs. full profile scan ------------------
+    for &users in &options.users {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(options.seed ^ users as u64);
+        let traces = synthesize_traces(&catalog, users, options.queries_per_user, &mut rng);
+        let attack = SimAttack::from_training(&traces);
+        let seed_attack = SeedSimAttack::from_training(&traces);
+        let queries = attack_queries(&traces, 256, &mut rng);
+
+        // Sanity: the index, the kernel scan and the reconstructed seed
+        // implementation must agree before we time them.
+        for q in queries.iter().take(32) {
+            let indexed = attack.reidentify(q);
+            assert_eq!(indexed, attack.reidentify_scan(q), "index/scan: {q:?}");
+            assert_eq!(indexed, seed_attack.reidentify(q), "index/seed: {q:?}");
+        }
+
+        let mut cursor = 0usize;
+        let indexed = measure(budget, || {
+            cursor = (cursor + 1) % queries.len();
+            attack.reidentify(&queries[cursor])
+        });
+        // The "vs. seed" baseline: a full scan over string-keyed vectors
+        // with per-profile re-tokenization. A single pass at large user
+        // counts is already expensive, so the shared doubling-batch loop
+        // simply completes fewer iterations.
+        let mut cursor = 0usize;
+        let seed = measure(budget, || {
+            cursor = (cursor + 1) % queries.len();
+            seed_attack.reidentify(&queries[cursor])
+        });
+        entries.push(entry(
+            &format!("reidentify/users={users}"),
+            indexed,
+            Some(seed),
+        ));
+        // The kernel-based full scan, recorded separately: it isolates the
+        // inverted index's contribution from the interned kernel's.
+        let mut cursor = 0usize;
+        let scanned = measure(budget, || {
+            cursor = (cursor + 1) % queries.len();
+            attack.reidentify_scan(&queries[cursor])
+        });
+        entries.push(entry(
+            &format!("reidentify_scan/users={users}"),
+            scanned,
+            None,
+        ));
+    }
+
+    if options.json {
+        let report = Json::Obj(vec![
+            ("bench".to_owned(), Json::Str("attack".to_owned())),
+            ("seed".to_owned(), Json::U64(options.seed)),
+            (
+                "queries_per_user".to_owned(),
+                Json::U64(options.queries_per_user as u64),
+            ),
+            (
+                "budget_ms".to_owned(),
+                Json::U64(options.budget.as_millis() as u64),
+            ),
+            (
+                "entries".to_owned(),
+                Json::Arr(entries.iter().map(|e| e.to_json()).collect()),
+            ),
+        ]);
+        match std::fs::write(&options.out, report.pretty() + "\n") {
+            Ok(()) => eprintln!("# wrote {}", options.out),
+            Err(err) => {
+                eprintln!("error: cannot write {}: {err}", options.out);
+                std::process::exit(1);
+            }
+        }
+    }
+}

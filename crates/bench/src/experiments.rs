@@ -8,7 +8,8 @@ use cyclosa::deployment::{
 };
 use cyclosa::sensitivity::build_categorizer;
 use cyclosa_attack::accuracy::evaluate_accuracy;
-use cyclosa_attack::evaluation::evaluate_reidentification;
+use cyclosa_attack::evaluation::{evaluate_reidentification, evaluate_reidentification_with};
+use cyclosa_attack::simattack::SimAttack;
 use cyclosa_baselines::latency::LatencyProfile;
 use cyclosa_mechanism::{Mechanism, MechanismProperties};
 use cyclosa_net::time::SimTime;
@@ -262,11 +263,15 @@ pub struct Fig5Report {
 
 /// Regenerates Fig. 5 (re-identification rate per mechanism, k = 7).
 pub fn fig5(setup: &ExperimentSetup, k: usize) -> Fig5Report {
+    // One adversary (and one inverted profile index) serves every
+    // mechanism: the attack's knowledge base depends only on the training
+    // traces, not on the mechanism under attack.
+    let attack = SimAttack::from_training(&setup.train);
     let mut rows = Vec::new();
     let mut run = |name: &str, mechanism: &mut dyn Mechanism, label: u64| {
         let mut rng = setup.rng(0xF15 ^ label);
         let report =
-            evaluate_reidentification(mechanism, &setup.train, &setup.test_queries, &mut rng);
+            evaluate_reidentification_with(&attack, mechanism, &setup.test_queries, &mut rng);
         rows.push(Fig5Row {
             mechanism: name.to_owned(),
             rate_percent: report.rate_percent(),

@@ -330,7 +330,7 @@ impl CyclosaNode {
         query: &str,
         rng: &mut Xoshiro256StarStar,
     ) -> Result<QueryPlan, NodeError> {
-        if cyclosa_nlp::text::tokenize(query).is_empty() {
+        if !cyclosa_nlp::text::has_content_terms(query) {
             return Err(NodeError::EmptyQuery);
         }
         let assessment = self.analyzer.assess(query);

@@ -13,6 +13,10 @@ use std::collections::VecDeque;
 pub struct PastQueryTable {
     capacity: usize,
     queries: VecDeque<String>,
+    /// Running byte footprint of `queries` (kept incrementally so the EPC
+    /// accounting probe is O(1) even for tables holding millions of
+    /// entries).
+    resident: usize,
 }
 
 impl PastQueryTable {
@@ -26,6 +30,7 @@ impl PastQueryTable {
         Self {
             capacity,
             queries: VecDeque::with_capacity(capacity.min(4096)),
+            resident: 0,
         }
     }
 
@@ -44,9 +49,10 @@ impl PastQueryTable {
         self.queries.is_empty()
     }
 
-    /// Approximate memory footprint in bytes (for EPC accounting).
+    /// Approximate memory footprint in bytes (for EPC accounting). O(1):
+    /// the footprint is maintained incrementally on record/evict.
     pub fn resident_bytes(&self) -> usize {
-        self.queries.iter().map(|q| q.len() + 24).sum()
+        self.resident
     }
 
     /// Records a query, evicting the oldest entry when full. Empty queries
@@ -56,8 +62,11 @@ impl PastQueryTable {
             return;
         }
         if self.queries.len() == self.capacity {
-            self.queries.pop_front();
+            if let Some(evicted) = self.queries.pop_front() {
+                self.resident -= evicted.len() + 24;
+            }
         }
+        self.resident += query.len() + 24;
         self.queries.push_back(query.to_owned());
     }
 
@@ -150,6 +159,16 @@ mod tests {
         assert_eq!(table.resident_bytes(), 0);
         table.record("0123456789");
         assert_eq!(table.resident_bytes(), 10 + 24);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_eviction() {
+        let mut table = PastQueryTable::new(2);
+        table.record_all(["aaaa", "bb", "cccccc"]);
+        // "aaaa" evicted; the counter must match a fresh recount.
+        let recount: usize = table.iter().map(|q| q.len() + 24).sum();
+        assert_eq!(table.resident_bytes(), recount);
+        assert_eq!(table.resident_bytes(), (2 + 24) + (6 + 24));
     }
 
     #[test]

@@ -95,18 +95,25 @@ impl SensitivityAnalyzer {
     }
 
     /// Assesses one query and picks the adaptive number of fake queries.
+    ///
+    /// The query is tokenized **once**; the resulting terms feed both the
+    /// semantic assessment (every dictionary probe) and, vectorized against
+    /// the history's interner, the linkability assessment.
     pub fn assess(&self, query: &str) -> SensitivityAssessment {
-        let semantic = self.categorizer.is_sensitive(query, self.method);
+        let terms = cyclosa_nlp::text::tokenize(query);
+        let semantic = self.categorizer.is_sensitive_terms(&terms, self.method);
         let matched_topics = if semantic {
             self.categorizer
-                .matching_topics(query, self.method)
+                .matching_topics_terms(&terms, self.method)
                 .into_iter()
                 .map(|t| t.to_owned())
                 .collect()
         } else {
             Vec::new()
         };
-        let linkability = self.local_history.similarity(query);
+        let linkability = self
+            .local_history
+            .similarity_vector(&self.local_history.prepare_terms(&terms));
         let k = if semantic {
             self.k_max
         } else {

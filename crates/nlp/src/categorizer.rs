@@ -78,31 +78,52 @@ impl QueryCategorizer {
     /// Returns `true` when `query` is semantically sensitive according to
     /// the given `method`.
     pub fn is_sensitive(&self, query: &str, method: CategorizerMethod) -> bool {
-        if tokenize(query).is_empty() {
+        self.is_sensitive_terms(&tokenize(query), method)
+    }
+
+    /// [`QueryCategorizer::is_sensitive`] over already-tokenized content
+    /// terms — the query is tokenized once and probed against every
+    /// dictionary.
+    pub fn is_sensitive_terms<S: AsRef<str>>(
+        &self,
+        terms: &[S],
+        method: CategorizerMethod,
+    ) -> bool {
+        if terms.is_empty() {
             return false;
         }
         match method {
             CategorizerMethod::WordNet => self
                 .lexicon_dictionaries
                 .iter()
-                .any(|d| d.matches_query(query)),
-            CategorizerMethod::Lda => self.lda_dictionaries.iter().any(|d| d.matches_query(query)),
+                .any(|d| d.matches_terms(terms)),
+            CategorizerMethod::Lda => self.lda_dictionaries.iter().any(|d| d.matches_terms(terms)),
             CategorizerMethod::Combined => {
-                self.lda_dictionaries.iter().any(|d| d.matches_query(query))
+                self.lda_dictionaries.iter().any(|d| d.matches_terms(terms))
                     || self
                         .lexicon_dictionaries
                         .iter()
-                        .any(|d| d.matches_query_strongly(query))
+                        .any(|d| d.matches_terms_strongly(terms))
             }
         }
     }
 
     /// The sensitive topics matched by `query` under `method`.
     pub fn matching_topics(&self, query: &str, method: CategorizerMethod) -> Vec<&str> {
+        self.matching_topics_terms(&tokenize(query), method)
+    }
+
+    /// [`QueryCategorizer::matching_topics`] over already-tokenized content
+    /// terms.
+    pub fn matching_topics_terms<S: AsRef<str>>(
+        &self,
+        terms: &[S],
+        method: CategorizerMethod,
+    ) -> Vec<&str> {
         let mut topics = Vec::new();
         let lexicon_matches = |d: &TopicDictionary| match method {
-            CategorizerMethod::WordNet => d.matches_query(query),
-            CategorizerMethod::Combined => d.matches_query_strongly(query),
+            CategorizerMethod::WordNet => d.matches_terms(terms),
+            CategorizerMethod::Combined => d.matches_terms_strongly(terms),
             CategorizerMethod::Lda => false,
         };
         if method != CategorizerMethod::Lda {
@@ -114,7 +135,7 @@ impl QueryCategorizer {
         }
         if method != CategorizerMethod::WordNet {
             for d in &self.lda_dictionaries {
-                if d.matches_query(query) {
+                if d.matches_terms(terms) {
                     topics.push(d.topic());
                 }
             }

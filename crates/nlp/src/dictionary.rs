@@ -66,12 +66,26 @@ impl TopicDictionary {
 
     /// Returns `true` if any content term of `query` is in the dictionary.
     pub fn matches_query(&self, query: &str) -> bool {
-        tokenize(query).iter().any(|t| self.contains(t))
+        self.matches_terms(&tokenize(query))
     }
 
     /// Returns `true` if any content term of `query` is strong evidence.
     pub fn matches_query_strongly(&self, query: &str) -> bool {
-        tokenize(query).iter().any(|t| self.contains_strong(t))
+        self.matches_terms_strongly(&tokenize(query))
+    }
+
+    /// [`TopicDictionary::matches_query`] over already-tokenized content
+    /// terms — lets callers tokenize a query once and probe many
+    /// dictionaries. Terms are expected lowercase, as produced by
+    /// [`tokenize`].
+    pub fn matches_terms<S: AsRef<str>>(&self, terms: &[S]) -> bool {
+        terms.iter().any(|t| self.terms.contains(t.as_ref()))
+    }
+
+    /// [`TopicDictionary::matches_query_strongly`] over already-tokenized
+    /// content terms.
+    pub fn matches_terms_strongly<S: AsRef<str>>(&self, terms: &[S]) -> bool {
+        terms.iter().any(|t| self.strong_terms.contains(t.as_ref()))
     }
 
     /// Builds a dictionary from the words a lexicon links to `domain`.

@@ -12,7 +12,19 @@
 //! polysemy/ambiguity that makes a purely lexicon-based categorizer
 //! imprecise (Table II: WordNet alone reaches precision 0.53).
 
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
+
+/// Lowercases only when needed: dictionary probes sit on the per-term hot
+/// path of the sensitivity analysis, and query terms arrive already
+/// lowercased from the tokenizer.
+fn lowered(word: &str) -> Cow<'_, str> {
+    if word.chars().any(char::is_uppercase) {
+        Cow::Owned(word.to_lowercase())
+    } else {
+        Cow::Borrowed(word)
+    }
+}
 
 /// A set of synonymous words tagged with the domains they belong to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +79,7 @@ impl Lexicon {
     /// The synsets containing `word`.
     pub fn synsets_of(&self, word: &str) -> Vec<&Synset> {
         self.word_index
-            .get(&word.to_lowercase())
+            .get(lowered(word).as_ref())
             .map(|ids| ids.iter().map(|&i| &self.synsets[i]).collect())
             .unwrap_or_default()
     }
@@ -82,23 +94,23 @@ impl Lexicon {
 
     /// Returns `true` when `word` is linked to `domain`.
     pub fn word_in_domain(&self, word: &str, domain: &str) -> bool {
-        self.domains_of(word)
-            .contains(domain.to_lowercase().as_str())
+        self.domains_of(word).contains(lowered(domain).as_ref())
     }
 
     /// Returns `true` when `word`'s only domains are `domain` (the word is
     /// unambiguous evidence for that domain).
     pub fn word_exclusively_in_domain(&self, word: &str, domain: &str) -> bool {
+        let domain = lowered(domain);
         let domains = self.domains_of(word);
-        !domains.is_empty() && domains.iter().all(|d| *d == domain.to_lowercase())
+        !domains.is_empty() && domains.iter().all(|d| *d == domain)
     }
 
     /// All words linked to `domain` (the raw dictionary of that domain).
     pub fn words_in_domain(&self, domain: &str) -> BTreeSet<&str> {
-        let domain = domain.to_lowercase();
+        let domain = lowered(domain);
         self.synsets
             .iter()
-            .filter(|s| s.domains.contains(&domain))
+            .filter(|s| s.domains.iter().any(|d| *d == domain))
             .flat_map(|s| s.words.iter().map(|w| w.as_str()))
             .collect()
     }

@@ -5,9 +5,13 @@
 //! they need:
 //!
 //! * [`text`] — tokenization, normalization and stop-word removal for Web
-//!   search queries.
-//! * [`vector`] — sparse term vectors and the cosine similarity used by the
-//!   linkability assessment and by SimAttack.
+//!   search queries, plus the shared [`text::TermInterner`] issuing dense
+//!   [`text::TermId`]s.
+//! * [`vector`] — string-keyed sparse term vectors (the readable reference
+//!   implementation of the cosine similarity).
+//! * [`kernel`] — the interned-term production kernel: sorted
+//!   `(TermId, weight)` vectors with merge-join dot/cosine, used by every
+//!   hot path.
 //! * [`lexicon`] — a WordNet-like lexical database: synonym sets (synsets)
 //!   mapped to domain labels, with a generator for synthetic lexica (the
 //!   real WordNet + eXtended WordNet Domains cannot be bundled).
@@ -26,6 +30,7 @@
 
 pub mod categorizer;
 pub mod dictionary;
+pub mod kernel;
 pub mod lda;
 pub mod lexicon;
 pub mod profile;
@@ -34,8 +39,9 @@ pub mod vector;
 
 pub use categorizer::{CategorizerMethod, QueryCategorizer};
 pub use dictionary::TopicDictionary;
+pub use kernel::{cosine_similarity_ids, IdVector};
 pub use lda::{LdaModel, LdaTrainingConfig};
 pub use lexicon::{Lexicon, Synset};
 pub use profile::UserProfile;
-pub use text::{normalize, tokenize, Vocabulary};
+pub use text::{normalize, tokenize, TermId, TermInterner, Vocabulary};
 pub use vector::{cosine_similarity, TermVector};

@@ -12,8 +12,15 @@
 //! The score is: cosine similarity between the query vector and every past
 //! query of the profile, similarities ranked, then aggregated with
 //! exponential smoothing so that the closest past queries dominate.
+//!
+//! Profiles store past queries as interned-id vectors ([`IdVector`]) over a
+//! [`TermInterner`]. Profiles that must be compared against the same query
+//! (e.g. all profiles held by one SimAttack adversary) share one interner;
+//! the query is then tokenized and vectorized **once** ([`UserProfile::prepare`])
+//! and the prepared vector is scored against any number of profiles.
 
-use crate::vector::{cosine_similarity, TermVector};
+use crate::kernel::{cosine_similarity_ids, IdVector};
+use crate::text::{TermId, TermInterner};
 use cyclosa_util::smoothing::exponential_smoothing;
 
 /// Default smoothing factor used by both the defence and the attack.
@@ -26,7 +33,8 @@ pub const DEFAULT_SMOOTHING_ALPHA: f64 = 0.7;
 /// A user profile: the collection of past queries attributed to one user.
 #[derive(Debug, Clone)]
 pub struct UserProfile {
-    queries: Vec<TermVector>,
+    interner: TermInterner,
+    queries: Vec<IdVector>,
     raw_queries: Vec<String>,
     alpha: f64,
 }
@@ -38,9 +46,18 @@ impl Default for UserProfile {
 }
 
 impl UserProfile {
-    /// Creates an empty profile with the default smoothing factor.
+    /// Creates an empty profile with its own interner and the default
+    /// smoothing factor.
     pub fn new() -> Self {
+        Self::with_interner(TermInterner::new())
+    }
+
+    /// Creates an empty profile over a shared interner (cheap clone) with
+    /// the default smoothing factor. All profiles scored against the same
+    /// prepared query vector must share one interner.
+    pub fn with_interner(interner: TermInterner) -> Self {
         Self {
+            interner,
             queries: Vec::new(),
             raw_queries: Vec::new(),
             alpha: DEFAULT_SMOOTHING_ALPHA,
@@ -55,9 +72,8 @@ impl UserProfile {
     pub fn with_alpha(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         Self {
-            queries: Vec::new(),
-            raw_queries: Vec::new(),
             alpha,
+            ..Self::new()
         }
     }
 
@@ -70,9 +86,19 @@ impl UserProfile {
         profile
     }
 
+    /// The interner this profile's vectors are keyed by.
+    pub fn interner(&self) -> &TermInterner {
+        &self.interner
+    }
+
+    /// The smoothing factor used by [`UserProfile::similarity`].
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
     /// Records one past query into the profile.
     pub fn record_query(&mut self, query: &str) {
-        let vector = TermVector::binary_from_query(query);
+        let vector = IdVector::binary_from_query(&self.interner, query);
         if vector.is_empty() {
             return;
         }
@@ -96,18 +122,47 @@ impl UserProfile {
         &self.raw_queries
     }
 
+    /// The past queries as id vectors, in recording order — the postings
+    /// source for inverted attack indexes.
+    pub fn past_vectors(&self) -> &[IdVector] {
+        &self.queries
+    }
+
+    /// Tokenizes and vectorizes `query` once against this profile's
+    /// interner. The result can be scored against every profile sharing the
+    /// interner via [`UserProfile::similarity_vector`].
+    pub fn prepare(&self, query: &str) -> IdVector {
+        IdVector::binary_from_query(&self.interner, query)
+    }
+
+    /// Vectorizes already-tokenized content terms (as produced by
+    /// [`crate::text::tokenize`]) against this profile's interner.
+    pub fn prepare_terms<S: AsRef<str>>(&self, terms: &[S]) -> IdVector {
+        IdVector::binary_from_ids(
+            terms
+                .iter()
+                .map(|t| self.interner.intern(t.as_ref()))
+                .collect(),
+        )
+    }
+
     /// The similarity in `[0, 1]` between `query` and this profile:
     /// exponential smoothing over the ranked cosine similarities with every
     /// past query. Returns 0 for an empty profile or an empty query.
     pub fn similarity(&self, query: &str) -> f64 {
-        let vector = TermVector::binary_from_query(query);
+        self.similarity_vector(&self.prepare(query))
+    }
+
+    /// [`UserProfile::similarity`] for an already-prepared query vector
+    /// (see [`UserProfile::prepare`]).
+    pub fn similarity_vector(&self, vector: &IdVector) -> f64 {
         if vector.is_empty() || self.queries.is_empty() {
             return 0.0;
         }
         let similarities: Vec<f64> = self
             .queries
             .iter()
-            .map(|past| cosine_similarity(&vector, past))
+            .map(|past| cosine_similarity_ids(vector, past))
             .collect();
         exponential_smoothing(&similarities, self.alpha)
     }
@@ -115,11 +170,17 @@ impl UserProfile {
     /// The maximum cosine similarity between `query` and any single past
     /// query (a cruder linkability signal, exposed for ablations).
     pub fn max_similarity(&self, query: &str) -> f64 {
-        let vector = TermVector::binary_from_query(query);
+        let vector = self.prepare(query);
         self.queries
             .iter()
-            .map(|past| cosine_similarity(&vector, past))
+            .map(|past| cosine_similarity_ids(&vector, past))
             .fold(0.0, f64::max)
+    }
+
+    /// Interns `term` into this profile's interner (exposed so callers can
+    /// pre-intern shared vocabulary).
+    pub fn intern(&self, term: &str) -> TermId {
+        self.interner.intern(term)
     }
 }
 
@@ -198,6 +259,7 @@ mod tests {
         profile.record_query("real query terms");
         assert_eq!(profile.len(), 1);
         assert_eq!(profile.raw_queries(), ["real query terms"]);
+        assert_eq!(profile.past_vectors().len(), 1);
     }
 
     #[test]
@@ -211,6 +273,7 @@ mod tests {
     fn with_alpha_validates_range() {
         let p = UserProfile::with_alpha(0.9);
         assert!(p.is_empty());
+        assert!((p.alpha() - 0.9).abs() < 1e-12);
     }
 
     #[test]
@@ -223,5 +286,30 @@ mod tests {
     fn from_iterator_collects_queries() {
         let profile: UserProfile = ["a query", "another query"].into_iter().collect();
         assert_eq!(profile.len(), 2);
+    }
+
+    #[test]
+    fn prepared_vector_scores_like_raw_query() {
+        let profile = health_profile();
+        let q = "insulin pump battery";
+        let prepared = profile.prepare(q);
+        assert_eq!(profile.similarity(q), profile.similarity_vector(&prepared));
+        let terms: Vec<String> = crate::text::tokenize(q);
+        let from_terms = profile.prepare_terms(&terms);
+        assert_eq!(prepared, from_terms);
+    }
+
+    #[test]
+    fn shared_interner_profiles_agree_on_ids() {
+        let interner = TermInterner::new();
+        let mut a = UserProfile::with_interner(interner.clone());
+        let mut b = UserProfile::with_interner(interner.clone());
+        a.record_query("diabetes insulin");
+        b.record_query("insulin pump");
+        assert!(a.interner().ptr_eq(b.interner()));
+        // The shared id of "insulin" appears in both profiles' vectors.
+        let id = interner.id_of("insulin").unwrap();
+        assert_eq!(a.past_vectors()[0].weight(id), 1.0);
+        assert_eq!(b.past_vectors()[0].weight(id), 1.0);
     }
 }

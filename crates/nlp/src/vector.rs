@@ -1,10 +1,17 @@
-//! Sparse term vectors and cosine similarity.
+//! Sparse string-keyed term vectors and cosine similarity — the
+//! **reference implementation**.
 //!
 //! The paper represents a query "in a binary vector where each element of
 //! the vector is a term in the query" and compares it to past queries with
 //! cosine similarity (paper §V-A2, §VII-E). [`TermVector`] supports both the
 //! binary representation used for queries and weighted (e.g. TF or TF-IDF)
 //! vectors used by the search-engine ranking.
+//!
+//! Hot paths (profiles, SimAttack, the search-engine index) use the
+//! interned-id kernel in [`crate::kernel`] instead; this string-keyed
+//! implementation is retained as the readable specification the kernel is
+//! tested against (`tests/kernel_equivalence.rs` asserts bit-identical
+//! binary cosines and 1e-12-close weighted cosines).
 
 use crate::text::tokenize;
 use std::collections::BTreeMap;

@@ -72,14 +72,19 @@ impl CorpusGenerator {
         for (topic, vocabulary) in &self.topics {
             let zipf = Zipf::new(vocabulary.len(), self.zipf_exponent);
             for _ in 0..documents_per_topic {
-                let mut terms = Vec::with_capacity(self.terms_per_document);
-                for _ in 0..self.terms_per_document {
-                    terms.push(vocabulary[zipf.sample(rng)].clone());
+                // Build the text in place: no per-term String clones and no
+                // intermediate Vec, same output as `terms.join(" ")`.
+                let mut text = String::with_capacity(self.terms_per_document * 8);
+                for i in 0..self.terms_per_document {
+                    if i > 0 {
+                        text.push(' ');
+                    }
+                    text.push_str(&vocabulary[zipf.sample(rng)]);
                 }
                 documents.push(Document {
                     id: DocId(next_id),
                     topic: topic.clone(),
-                    text: terms.join(" "),
+                    text,
                 });
                 next_id += 1;
             }

@@ -122,7 +122,7 @@ impl SearchEngine {
         if !admitted {
             return Err(EngineError::RateLimited);
         }
-        if cyclosa_nlp::text::tokenize(query).is_empty() {
+        if !cyclosa_nlp::text::has_content_terms(query) {
             return Err(EngineError::EmptyQuery);
         }
         Ok(ResultPage {

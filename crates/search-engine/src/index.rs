@@ -1,7 +1,15 @@
 //! Inverted index with TF-IDF ranking and OR-query support.
+//!
+//! The index speaks the workspace-wide interned-term idiom: terms are
+//! interned into a shared [`TermInterner`] and the postings are a plain
+//! vector indexed by [`TermId`] instead of a string-keyed map. Query
+//! execution tokenizes the query once, looks every term up without
+//! interning, and walks the matching postings lists — scores are
+//! bit-identical to the historical string-keyed implementation (same
+//! accumulation order, same smoothed IDF).
 
 use crate::corpus::{DocId, Document};
-use cyclosa_nlp::text::tokenize;
+use cyclosa_nlp::text::{for_each_term, tokenize, TermId, TermInterner};
 use std::collections::HashMap;
 
 /// One ranked search result.
@@ -16,40 +24,72 @@ pub struct SearchResult {
 /// An inverted index over a document corpus.
 #[derive(Debug, Clone, Default)]
 pub struct Index {
-    /// term → list of (document, term frequency).
-    postings: HashMap<String, Vec<(DocId, u32)>>,
+    /// Shared term interner (clone of whatever interner the index was built
+    /// with — possibly shared with profiles and attack indexes).
+    interner: TermInterner,
+    /// `postings[term.index()]` → list of (document, term frequency), in
+    /// document-insertion order.
+    postings: Vec<Vec<(DocId, u32)>>,
+    /// Number of distinct terms with at least one posting.
+    distinct_terms: usize,
     /// document → length in terms (for normalization).
     doc_lengths: HashMap<DocId, u32>,
     documents: usize,
 }
 
 impl Index {
-    /// Builds an index over `documents`.
+    /// Builds an index over `documents` with a private interner.
     pub fn build(documents: &[Document]) -> Self {
-        let mut index = Self::default();
+        Self::build_with_interner(TermInterner::new(), documents)
+    }
+
+    /// Builds an index over `documents`, interning terms into `interner`
+    /// (cheap clone — share it with the other subsystems that should agree
+    /// on term ids).
+    pub fn build_with_interner(interner: TermInterner, documents: &[Document]) -> Self {
+        let mut index = Self {
+            interner,
+            ..Self::default()
+        };
         for doc in documents {
             index.add_document(doc);
         }
         index
     }
 
+    /// The interner the index's term ids refer to.
+    pub fn interner(&self) -> &TermInterner {
+        &self.interner
+    }
+
     /// Adds a single document to the index.
     pub fn add_document(&mut self, document: &Document) {
-        let terms = tokenize(&document.text);
-        if terms.is_empty() {
+        let mut ids = self.interner.tokenize_ids(&document.text);
+        if ids.is_empty() {
             return;
         }
-        let mut counts: HashMap<String, u32> = HashMap::new();
-        for t in &terms {
-            *counts.entry(t.clone()).or_insert(0) += 1;
+        let length = ids.len() as u32;
+        // Sorted run-length counting replaces the per-document hash map.
+        ids.sort_unstable();
+        let max_id = ids.last().expect("non-empty").index();
+        if max_id >= self.postings.len() {
+            self.postings.resize_with(max_id + 1, Vec::new);
         }
-        for (term, count) in counts {
-            self.postings
-                .entry(term)
-                .or_default()
-                .push((document.id, count));
+        let mut run = 0usize;
+        while run < ids.len() {
+            let id = ids[run];
+            let mut count = 0u32;
+            while run < ids.len() && ids[run] == id {
+                count += 1;
+                run += 1;
+            }
+            let list = &mut self.postings[id.index()];
+            if list.is_empty() {
+                self.distinct_terms += 1;
+            }
+            list.push((document.id, count));
         }
-        self.doc_lengths.insert(document.id, terms.len() as u32);
+        self.doc_lengths.insert(document.id, length);
         self.documents += 1;
     }
 
@@ -65,31 +105,40 @@ impl Index {
 
     /// Number of distinct indexed terms.
     pub fn vocabulary_size(&self) -> usize {
-        self.postings.len()
+        self.distinct_terms
     }
 
     /// Inverse document frequency of a term (smoothed).
-    fn idf(&self, term: &str) -> f64 {
-        let df = self.postings.get(term).map(|p| p.len()).unwrap_or(0);
+    fn idf(&self, id: Option<TermId>) -> f64 {
+        let df = id
+            .and_then(|id| self.postings.get(id.index()))
+            .map(|p| p.len())
+            .unwrap_or(0);
         ((self.documents as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0
     }
 
     /// Ranks documents for a conjunctive (single) query: documents matching
-    /// more query terms with higher TF-IDF weight come first.
+    /// more query terms with higher TF-IDF weight come first. The query is
+    /// tokenized once; terms are looked up without interning.
     pub fn search(&self, query: &str, limit: usize) -> Vec<SearchResult> {
-        let terms = tokenize(query);
-        if terms.is_empty() || self.documents == 0 {
+        if self.documents == 0 {
             return Vec::new();
         }
         let mut scores: HashMap<DocId, f64> = HashMap::new();
-        for term in &terms {
-            let idf = self.idf(term);
-            if let Some(postings) = self.postings.get(term) {
+        let mut any_term = false;
+        for_each_term(query, |term| {
+            any_term = true;
+            let id = self.interner.id_of(term);
+            let idf = self.idf(id);
+            if let Some(postings) = id.and_then(|id| self.postings.get(id.index())) {
                 for &(doc, tf) in postings {
                     let length = self.doc_lengths[&doc].max(1) as f64;
                     *scores.entry(doc).or_insert(0.0) += (tf as f64 / length) * idf;
                 }
             }
+        });
+        if !any_term {
+            return Vec::new();
         }
         let mut results: Vec<SearchResult> = scores
             .into_iter()
@@ -142,18 +191,42 @@ impl Index {
         merged
     }
 
+    /// Returns `true` when `doc` contains `id`.
+    fn doc_has_term(&self, doc: DocId, id: TermId) -> bool {
+        self.postings
+            .get(id.index())
+            .map(|p| p.iter().any(|(d, _)| *d == doc))
+            .unwrap_or(false)
+    }
+
     /// Returns the set of terms of `query` that occur in document `doc` —
     /// used by the client-side filtering of OR-based mechanisms.
     pub fn matching_terms(&self, doc: DocId, query: &str) -> Vec<String> {
         tokenize(query)
             .into_iter()
             .filter(|t| {
-                self.postings
-                    .get(t)
-                    .map(|p| p.iter().any(|(d, _)| *d == doc))
+                self.interner
+                    .id_of(t)
+                    .map(|id| self.doc_has_term(doc, id))
                     .unwrap_or(false)
             })
             .collect()
+    }
+
+    /// Returns `true` when at least one content term of `query` occurs in
+    /// `doc` — the allocation-free predicate behind the client-side result
+    /// filtering (`!matching_terms(..).is_empty()` without building the
+    /// term list).
+    pub fn matches_any_term(&self, doc: DocId, query: &str) -> bool {
+        let mut hit = false;
+        for_each_term(query, |t| {
+            if !hit {
+                if let Some(id) = self.interner.id_of(t) {
+                    hit = self.doc_has_term(doc, id);
+                }
+            }
+        });
+        hit
     }
 }
 
@@ -263,11 +336,43 @@ mod tests {
     }
 
     #[test]
+    fn matches_any_term_agrees_with_matching_terms() {
+        let index = sample_index();
+        for (doc, query) in [
+            (DocId(0), "flu booking fever"),
+            (DocId(3), "flu fever"),
+            (DocId(3), "beach holiday"),
+            (DocId(5), ""),
+            (DocId(5), "unknownterm"),
+        ] {
+            assert_eq!(
+                index.matches_any_term(doc, query),
+                !index.matching_terms(doc, query).is_empty(),
+                "doc {doc:?}, query {query:?}"
+            );
+        }
+    }
+
+    #[test]
     fn index_statistics() {
         let index = sample_index();
         assert_eq!(index.len(), 6);
         assert!(!index.is_empty());
         assert!(index.vocabulary_size() > 10);
         assert!(Index::default().is_empty());
+    }
+
+    #[test]
+    fn shared_interner_is_visible() {
+        let interner = TermInterner::new();
+        interner.intern("pre-existing");
+        let index =
+            Index::build_with_interner(interner.clone(), &[doc(0, "flu symptoms treatment")]);
+        assert!(index.interner().ptr_eq(&interner));
+        // Document terms were interned into the shared interner…
+        assert!(interner.id_of("flu").is_some());
+        // …and ids issued before the build stay valid.
+        assert_eq!(interner.id_of("pre-existing"), Some(TermId(0)));
+        assert_eq!(index.vocabulary_size(), 3);
     }
 }

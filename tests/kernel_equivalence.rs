@@ -1,0 +1,261 @@
+//! Equivalence suite for the interned-term kernel and the inverted
+//! SimAttack index: the optimized paths must reproduce the string-keyed
+//! reference implementations — bit-identically for binary vectors and for
+//! every attribution decision on the seeded synthetic AOL workload.
+
+use cyclosa_attack::simattack::SimAttack;
+use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+use cyclosa_mechanism::UserId;
+use cyclosa_nlp::kernel::{cosine_similarity_ids, IdVector};
+use cyclosa_nlp::profile::DEFAULT_SMOOTHING_ALPHA;
+use cyclosa_nlp::text::{is_stop_word, normalize, tokenize, TermInterner};
+use cyclosa_nlp::vector::{cosine_similarity, TermVector};
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use cyclosa_util::smoothing::exponential_smoothing;
+
+/// A deterministic random query over a small shared vocabulary (overlap
+/// between queries is what exercises the merge-join).
+fn random_query(rng: &mut Xoshiro256StarStar, terms: usize) -> String {
+    let mut query = String::new();
+    for i in 0..terms {
+        if i > 0 {
+            query.push(' ');
+        }
+        // 60 distinct terms; repeats within a query are likely on purpose.
+        query.push_str(&format!("term{}", rng.gen_index(60)));
+    }
+    query
+}
+
+#[test]
+fn binary_cosine_is_bit_identical_to_reference() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xC05);
+    let interner = TermInterner::new();
+    for round in 0..2000 {
+        let (na, nb) = (1 + rng.gen_index(6), 1 + rng.gen_index(6));
+        let a = random_query(&mut rng, na);
+        let b = random_query(&mut rng, nb);
+        let reference = cosine_similarity(
+            &TermVector::binary_from_query(&a),
+            &TermVector::binary_from_query(&b),
+        );
+        let kernel = cosine_similarity_ids(
+            &IdVector::binary_from_query(&interner, &a),
+            &IdVector::binary_from_query(&interner, &b),
+        );
+        assert_eq!(
+            reference.to_bits(),
+            kernel.to_bits(),
+            "round {round}: {a:?} vs {b:?} — {reference} != {kernel}"
+        );
+    }
+}
+
+#[test]
+fn weighted_cosine_agrees_with_reference_within_1e12() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xC06);
+    let interner = TermInterner::new();
+    for round in 0..2000 {
+        // Term-frequency vectors: repeats give integer weights > 1.
+        let (na, nb) = (2 + rng.gen_index(10), 2 + rng.gen_index(10));
+        let a = random_query(&mut rng, na);
+        let b = random_query(&mut rng, nb);
+        let reference =
+            cosine_similarity(&TermVector::tf_from_text(&a), &TermVector::tf_from_text(&b));
+        let kernel = cosine_similarity_ids(
+            &IdVector::tf_from_text(&interner, &a),
+            &IdVector::tf_from_text(&interner, &b),
+        );
+        assert!(
+            (reference - kernel).abs() < 1e-12,
+            "round {round}: {a:?} vs {b:?} — {reference} != {kernel}"
+        );
+    }
+}
+
+#[test]
+fn single_pass_tokenizer_matches_normalize_split_reference() {
+    let reference = |query: &str| -> Vec<String> {
+        normalize(query)
+            .split_whitespace()
+            .filter(|t| t.len() > 1 && !is_stop_word(t))
+            .map(|t| t.to_owned())
+            .collect()
+    };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x70C);
+    let alphabet: Vec<char> = "abcXYZ012 \t!?.,-_()&éß€的 the of and is".chars().collect();
+    for _ in 0..2000 {
+        let len = rng.gen_index(40);
+        let query: String = (0..len)
+            .map(|_| alphabet[rng.gen_index(alphabet.len())])
+            .collect();
+        assert_eq!(tokenize(&query), reference(&query), "query: {query:?}");
+    }
+}
+
+/// The seed's SimAttack scan, reconstructed verbatim: string-keyed vectors,
+/// query re-vectorized per profile, full scan with the 0.5-threshold /
+/// unique-max rule.
+struct SeedScan {
+    profiles: Vec<(UserId, Vec<TermVector>)>,
+    threshold: f64,
+}
+
+impl SeedScan {
+    fn similarity(&self, past: &[TermVector], query: &str) -> f64 {
+        let vector = TermVector::binary_from_query(query);
+        if vector.is_empty() || past.is_empty() {
+            return 0.0;
+        }
+        let similarities: Vec<f64> = past.iter().map(|p| cosine_similarity(&vector, p)).collect();
+        exponential_smoothing(&similarities, DEFAULT_SMOOTHING_ALPHA)
+    }
+
+    fn reidentify(&self, query: &str) -> Option<UserId> {
+        let mut best: Option<(UserId, f64)> = None;
+        let mut tie = false;
+        for (user, past) in &self.profiles {
+            let score = self.similarity(past, query);
+            match best {
+                None => best = Some((*user, score)),
+                Some((_, best_score)) => {
+                    if score > best_score {
+                        best = Some((*user, score));
+                        tie = false;
+                    } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                        tie = true;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((user, score)) if score > self.threshold && !tie => Some(user),
+            _ => None,
+        }
+    }
+}
+
+#[test]
+fn simattack_decisions_are_identical_on_the_seeded_workload() {
+    let setup = ExperimentSetup::new(ExperimentScale::Small, 2018);
+    let attack = SimAttack::from_training(&setup.train);
+    let seed = SeedScan {
+        profiles: setup
+            .train
+            .iter()
+            .map(|t| {
+                (
+                    t.user,
+                    t.queries
+                        .iter()
+                        .map(|q| TermVector::binary_from_query(&q.query.text))
+                        .filter(|v| !v.is_empty())
+                        .collect(),
+                )
+            })
+            .collect(),
+        threshold: 0.5,
+    };
+
+    let mut index_successes = 0usize;
+    let mut scan_successes = 0usize;
+    for q in &setup.test_queries {
+        let indexed = attack.reidentify(&q.query.text);
+        let kernel_scan = attack.reidentify_scan(&q.query.text);
+        let seed_scan = seed.reidentify(&q.query.text);
+        assert_eq!(indexed, kernel_scan, "index vs kernel scan: {:?}", q.query);
+        assert_eq!(indexed, seed_scan, "index vs seed scan: {:?}", q.query);
+        if indexed == Some(q.query.user) {
+            index_successes += 1;
+        }
+        if seed_scan == Some(q.query.user) {
+            scan_successes += 1;
+        }
+    }
+    // Identical decisions imply byte-identical precision/recall numbers in
+    // the Fig. 5/6 output; the success counters double-check the aggregate.
+    assert_eq!(index_successes, scan_successes);
+    // The attack must actually attribute something at this scale, otherwise
+    // the equivalence above is vacuous.
+    assert!(index_successes > 0, "no query was re-identified");
+}
+
+#[test]
+fn simattack_scores_are_bit_identical_for_candidates() {
+    let setup = ExperimentSetup::new(ExperimentScale::Small, 7);
+    let attack = SimAttack::from_training(&setup.train);
+    let seed_profiles: Vec<(UserId, Vec<TermVector>)> = setup
+        .train
+        .iter()
+        .map(|t| {
+            (
+                t.user,
+                t.queries
+                    .iter()
+                    .map(|q| TermVector::binary_from_query(&q.query.text))
+                    .filter(|v| !v.is_empty())
+                    .collect(),
+            )
+        })
+        .collect();
+    let seed = SeedScan {
+        profiles: seed_profiles.clone(),
+        threshold: 0.5,
+    };
+    for q in setup.test_queries.iter().take(100) {
+        for (user, past) in &seed_profiles {
+            let reference = seed.similarity(past, &q.query.text);
+            let kernel = attack.similarity_to(*user, &q.query.text).unwrap();
+            assert_eq!(
+                reference.to_bits(),
+                kernel.to_bits(),
+                "user {user:?}, query {:?}",
+                q.query.text
+            );
+        }
+    }
+}
+
+#[test]
+fn group_reidentification_matches_reference_rule() {
+    let setup = ExperimentSetup::new(ExperimentScale::Small, 99);
+    let attack = SimAttack::from_training(&setup.train);
+    let users: Vec<UserId> = setup.train.iter().map(|t| t.user).collect();
+    let texts: Vec<&str> = setup
+        .test_queries
+        .iter()
+        .map(|q| q.query.text.as_str())
+        .collect();
+    for window in texts.windows(3).take(60) {
+        let disjuncts: Vec<&str> = window.to_vec();
+        // Reference: score every (user, disjunct) pair through the public
+        // similarity API and apply the unique-max/threshold rule.
+        let mut best: Option<(UserId, usize, f64)> = None;
+        let mut tie = false;
+        for &user in &users {
+            for (i, d) in disjuncts.iter().enumerate() {
+                let score = attack.similarity_to(user, d).unwrap();
+                match best {
+                    None => best = Some((user, i, score)),
+                    Some((_, _, best_score)) => {
+                        if score > best_score {
+                            best = Some((user, i, score));
+                            tie = false;
+                        } else if (score - best_score).abs() < 1e-12 && score > 0.0 {
+                            tie = true;
+                        }
+                    }
+                }
+            }
+        }
+        let reference = match best {
+            Some((user, i, score)) if score > attack.threshold() && !tie => Some((user, i)),
+            _ => None,
+        };
+        assert_eq!(
+            attack.reidentify_group(&disjuncts),
+            reference,
+            "disjuncts: {disjuncts:?}"
+        );
+    }
+}

@@ -32,6 +32,44 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// The result of timing one routine with [`measure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Iterations executed within the measurement budget.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Times `routine` repeatedly (after one untimed warm-up call) until
+/// `budget` is spent, doubling the batch size between timed batches — the
+/// same loop [`Bencher::iter`] uses, exposed so non-`criterion_main`
+/// consumers (e.g. JSON-emitting benchmark binaries) share the shim's
+/// measurement methodology.
+pub fn measure<O, R: FnMut() -> O>(budget: Duration, mut routine: R) -> Measurement {
+    black_box(routine());
+    let mut elapsed = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut batch = 1u64;
+    while elapsed < budget {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        elapsed += start.elapsed();
+        iters += batch;
+        batch = (batch * 2).min(1 << 20);
+    }
+    Measurement {
+        iters,
+        ns_per_iter: if iters == 0 {
+            0.0
+        } else {
+            elapsed.as_nanos() as f64 / iters as f64
+        },
+    }
+}
+
 /// The per-benchmark timing driver handed to `bench_function` closures.
 pub struct Bencher {
     iters_done: u64,
