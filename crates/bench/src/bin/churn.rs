@@ -1,0 +1,282 @@
+//! `churn` — the robustness-under-failure curves: end-to-end latency and
+//! SimAttack re-identification accuracy as a function of the relay failure
+//! rate, with the client-side healing path active.
+//!
+//! ```text
+//! churn [--relays N] [--k N] [--queries N] [--rates 0,0.1,...] [--seed N]
+//!       [--recover] [--shards N] [--scale small|default|paper]
+//!       [--json] [--out PATH]
+//! ```
+//!
+//! For every failure rate the bin (1) runs the churn latency experiment of
+//! `cyclosa-chaos` (relays failing mid-run as deterministic membership
+//! events, the client blacklisting unresponsive relays and resubmitting)
+//! and (2) attacks the churn-thinned observable footprint of the CYCLOSA
+//! mechanism with the Fig. 5 harness. Before timing anything it re-checks
+//! that a sharded run reproduces the sequential outcome bit for bit. With
+//! `--json` the curves land in `BENCH_churn.json`.
+
+use cyclosa_attack::evaluation::evaluate_reidentification_with;
+use cyclosa_attack::simattack::SimAttack;
+use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+use cyclosa_chaos::experiment::{run_churn_experiment, run_churn_experiment_sharded, ChurnConfig};
+use cyclosa_chaos::ChurnedMechanism;
+use cyclosa_util::json::{Json, ToJson};
+use cyclosa_util::stats::Summary;
+
+#[derive(Debug)]
+struct Options {
+    relays: usize,
+    k: usize,
+    queries: usize,
+    rates: Vec<f64>,
+    seed: u64,
+    recover: bool,
+    shards: usize,
+    scale: ExperimentScale,
+    json: bool,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            relays: 50,
+            k: 3,
+            queries: 120,
+            rates: vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.5],
+            seed: 2018,
+            recover: false,
+            shards: 4,
+            scale: ExperimentScale::Small,
+            json: false,
+            out: "BENCH_churn.json".to_owned(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--relays" => {
+                let value = args.next().ok_or("--relays needs a value")?;
+                options.relays = value.parse().map_err(|_| "bad --relays".to_owned())?;
+            }
+            "--k" => {
+                let value = args.next().ok_or("--k needs a value")?;
+                options.k = value.parse().map_err(|_| "bad --k".to_owned())?;
+            }
+            "--queries" => {
+                let value = args.next().ok_or("--queries needs a value")?;
+                options.queries = value.parse().map_err(|_| "bad --queries".to_owned())?;
+            }
+            "--rates" => {
+                let value = args.next().ok_or("--rates needs a comma-separated list")?;
+                options.rates = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad rate {s:?}"))
+                            .and_then(|r| {
+                                if (0.0..=1.0).contains(&r) {
+                                    Ok(r)
+                                } else {
+                                    Err(format!("rate {r} outside [0, 1]"))
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.rates.is_empty() {
+                    return Err("--rates needs at least one rate".into());
+                }
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = value.parse().map_err(|_| "bad --seed".to_owned())?;
+            }
+            "--recover" => options.recover = true,
+            "--shards" => {
+                let value = args.next().ok_or("--shards needs a value")?;
+                options.shards = value.parse().map_err(|_| "bad --shards".to_owned())?;
+                if options.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+            }
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                options.scale = value.parse()?;
+            }
+            "--json" => options.json = true,
+            "--out" => {
+                options.out = args.next().ok_or("--out needs a path")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: churn [--relays N] [--k N] [--queries N] [--rates R,R,...] \
+                     [--seed N] [--recover] [--shards N] [--scale small|default|paper] \
+                     [--json] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if options.relays <= options.k {
+        return Err("--relays must exceed --k".into());
+    }
+    Ok(options)
+}
+
+/// One point of the robustness curve.
+struct CurvePoint {
+    failure_rate: f64,
+    median_s: f64,
+    p95_s: f64,
+    answered: usize,
+    unanswered: usize,
+    retries: u64,
+    failed_relays: usize,
+    attack_rate_percent: f64,
+    attack_engine_requests: usize,
+}
+
+impl ToJson for CurvePoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("failure_rate".to_owned(), Json::F64(self.failure_rate)),
+            ("latency_median_s".to_owned(), Json::F64(self.median_s)),
+            ("latency_p95_s".to_owned(), Json::F64(self.p95_s)),
+            ("answered".to_owned(), Json::U64(self.answered as u64)),
+            ("unanswered".to_owned(), Json::U64(self.unanswered as u64)),
+            ("retries".to_owned(), Json::U64(self.retries)),
+            (
+                "failed_relays".to_owned(),
+                Json::U64(self.failed_relays as u64),
+            ),
+            (
+                "attack_rate_percent".to_owned(),
+                Json::F64(self.attack_rate_percent),
+            ),
+            (
+                "attack_engine_requests".to_owned(),
+                Json::U64(self.attack_engine_requests as u64),
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Shared attack fixtures: one workload, one trained adversary, reused
+    // across every failure rate (only the churn filter varies).
+    let setup = ExperimentSetup::new(options.scale, options.seed);
+    let adversary = SimAttack::from_training(&setup.train);
+    const PRIVACY_K: usize = 7;
+
+    // Determinism smoke: before reporting anything, the sharded engine
+    // must reproduce the sequential run bit for bit under churn.
+    {
+        let config = ChurnConfig {
+            relays: options.relays.min(25),
+            k: options.k.min(3),
+            queries: options.queries.min(30),
+            seed: options.seed,
+            failure_rate: 0.3,
+            recover: options.recover,
+            ..ChurnConfig::default()
+        };
+        let sequential = run_churn_experiment(&config);
+        let sharded = run_churn_experiment_sharded(&config, options.shards);
+        assert_eq!(
+            sequential, sharded,
+            "sharded churn run diverged from the sequential simulation"
+        );
+    }
+
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>9}  {:>7}  {:>12}",
+        "failure", "median(s)", "p95(s)", "answered", "retries", "attack(%)"
+    );
+    let mut points = Vec::new();
+    for &rate in &options.rates {
+        let config = ChurnConfig {
+            relays: options.relays,
+            k: options.k,
+            queries: options.queries,
+            seed: options.seed,
+            failure_rate: rate,
+            recover: options.recover,
+            ..ChurnConfig::default()
+        };
+        let outcome = run_churn_experiment(&config);
+        let summary = Summary::from_samples(&outcome.latencies);
+
+        let mut mechanism =
+            ChurnedMechanism::new(setup.cyclosa(PRIVACY_K), rate, options.seed ^ 0xC4A0);
+        let mut rng = setup.rng(0xC4A0 ^ (rate * 1000.0) as u64);
+        let report = evaluate_reidentification_with(
+            &adversary,
+            &mut mechanism,
+            &setup.test_queries,
+            &mut rng,
+        );
+
+        println!(
+            "{:>8.2}  {:>10.3}  {:>10.3}  {:>6}/{:<3}  {:>7}  {:>12.2}",
+            rate,
+            summary.median,
+            summary.p95,
+            outcome.answered,
+            outcome.answered + outcome.unanswered,
+            outcome.retries,
+            report.rate_percent()
+        );
+        points.push(CurvePoint {
+            failure_rate: rate,
+            median_s: summary.median,
+            p95_s: summary.p95,
+            answered: outcome.answered,
+            unanswered: outcome.unanswered,
+            retries: outcome.retries,
+            failed_relays: outcome.failed_relays,
+            attack_rate_percent: report.rate_percent(),
+            attack_engine_requests: report.engine_requests,
+        });
+    }
+
+    if options.json {
+        let report = Json::Obj(vec![
+            ("bench".to_owned(), Json::Str("churn".to_owned())),
+            ("seed".to_owned(), Json::U64(options.seed)),
+            ("relays".to_owned(), Json::U64(options.relays as u64)),
+            ("k".to_owned(), Json::U64(options.k as u64)),
+            ("queries".to_owned(), Json::U64(options.queries as u64)),
+            ("recover".to_owned(), Json::Bool(options.recover)),
+            (
+                "shards_checked".to_owned(),
+                Json::U64(options.shards as u64),
+            ),
+            (
+                "points".to_owned(),
+                Json::Arr(points.iter().map(|p| p.to_json()).collect()),
+            ),
+        ]);
+        match std::fs::write(&options.out, report.pretty() + "\n") {
+            Ok(()) => eprintln!("# wrote {}", options.out),
+            Err(err) => {
+                eprintln!("error: cannot write {}: {err}", options.out);
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Privacy under churn: what the search engine observes when relays fail.
+//!
+//! When a relay dies before forwarding, the request it carried simply
+//! never reaches the engine. For CYCLOSA that means: fake queries on dead
+//! relays vanish (thinning the dilution that drives the unlinkability
+//! denominator down), while the *real* query is eventually resubmitted
+//! through a live relay by the client-side healing path — so it always
+//! arrives. [`ChurnedMechanism`] applies exactly that filter on top of any
+//! [`Mechanism`], which lets the existing Fig. 5 evaluation harness
+//! produce the paper's attack-accuracy-vs-failure-rate robustness curve.
+
+use cyclosa_mechanism::{Mechanism, MechanismProperties, ProtectionOutcome, Query};
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+
+/// A mechanism whose observable footprint is thinned by relay failures.
+///
+/// Each request that does not carry the real query is dropped with
+/// probability `failure_rate` (its relay died before forwarding). The
+/// drops are sampled from a dedicated RNG stream owned by the wrapper, so
+/// wrapping a mechanism never perturbs the inner mechanism's own draws —
+/// the surviving requests are textually identical to the failure-free run.
+#[derive(Debug)]
+pub struct ChurnedMechanism<M> {
+    inner: M,
+    failure_rate: f64,
+    churn_rng: Xoshiro256StarStar,
+}
+
+impl<M: Mechanism> ChurnedMechanism<M> {
+    /// Wraps `inner`, dropping non-real requests with probability
+    /// `failure_rate`, sampling from a stream derived from `churn_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_rate` is not in `[0, 1]`.
+    pub fn new(inner: M, failure_rate: f64, churn_seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&failure_rate),
+            "failure rate must be in [0, 1]"
+        );
+        Self {
+            inner,
+            failure_rate,
+            churn_rng: Xoshiro256StarStar::seed_from_u64(churn_seed ^ 0xC4A0_5EED),
+        }
+    }
+
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Mechanism> Mechanism for ChurnedMechanism<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        self.inner.properties()
+    }
+
+    fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
+        let mut outcome = self.inner.protect(query, rng);
+        let failure_rate = self.failure_rate;
+        if failure_rate > 0.0 {
+            // The real query always survives: the client resubmits it
+            // through a fresh relay until it lands (the healing path of
+            // `crate::experiment`). Fakes are fire-and-forget.
+            outcome
+                .observed
+                .retain(|r| r.carries_real_query || !self.churn_rng.gen_bool(failure_rate));
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_mechanism::{ObservedRequest, QueryId, ResultsDelivery, SourceIdentity, UserId};
+
+    /// Emits the real query plus nine fakes, all anonymous.
+    struct TenRequests;
+    impl Mechanism for TenRequests {
+        fn name(&self) -> &'static str {
+            "TEN"
+        }
+        fn properties(&self) -> MechanismProperties {
+            MechanismProperties {
+                unlinkability: true,
+                indistinguishability: true,
+                accuracy: true,
+                scalability: true,
+            }
+        }
+        fn protect(&mut self, query: &Query, _rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
+            let mut observed = vec![ObservedRequest {
+                source: SourceIdentity::Anonymous,
+                text: query.text.clone(),
+                carries_real_query: true,
+            }];
+            for i in 0..9 {
+                observed.push(ObservedRequest {
+                    source: SourceIdentity::Anonymous,
+                    text: format!("fake number {i}"),
+                    carries_real_query: false,
+                });
+            }
+            ProtectionOutcome {
+                observed,
+                delivery: ResultsDelivery::ExactQuery,
+                relay_messages: 20,
+            }
+        }
+    }
+
+    fn query() -> Query {
+        Query::new(QueryId(1), UserId(0), "the real query")
+    }
+
+    #[test]
+    fn real_query_always_survives() {
+        let mut churned = ChurnedMechanism::new(TenRequests, 1.0, 9);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let outcome = churned.protect(&query(), &mut rng);
+        assert_eq!(outcome.observed.len(), 1);
+        assert!(outcome.observed[0].carries_real_query);
+    }
+
+    #[test]
+    fn fakes_are_thinned_at_roughly_the_failure_rate() {
+        let mut churned = ChurnedMechanism::new(TenRequests, 0.3, 2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut fakes = 0usize;
+        for _ in 0..400 {
+            fakes += churned.protect(&query(), &mut rng).observed.len() - 1;
+        }
+        let survival = fakes as f64 / (400.0 * 9.0);
+        assert!((survival - 0.7).abs() < 0.05, "survival {survival}");
+    }
+
+    #[test]
+    fn churn_does_not_perturb_the_inner_mechanism_stream() {
+        // With the same caller RNG, the surviving requests of a churned run
+        // must be a subsequence of the failure-free observation.
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(3);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(3);
+        let full = TenRequests.protect(&query(), &mut rng_a);
+        let mut churned = ChurnedMechanism::new(TenRequests, 0.5, 4);
+        let thinned = churned.protect(&query(), &mut rng_b);
+        let full_texts: Vec<&str> = full.observed.iter().map(|r| r.text.as_str()).collect();
+        let mut cursor = 0;
+        for request in &thinned.observed {
+            let position = full_texts[cursor..]
+                .iter()
+                .position(|t| *t == request.text)
+                .expect("thinned requests must come from the full run in order");
+            cursor += position + 1;
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "caller RNG in lockstep");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate")]
+    fn invalid_failure_rate_rejected() {
+        let _ = ChurnedMechanism::new(TenRequests, 1.2, 0);
+    }
+}

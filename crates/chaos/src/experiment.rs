@@ -1,0 +1,516 @@
+//! The robustness-under-failure experiment: the end-to-end latency
+//! deployment of `cyclosa::deployment` re-run **under churn**, with the
+//! client-side healing path the paper describes (clients blacklist
+//! unresponsive proxies and resubmit through a fresh relay).
+//!
+//! The experiment is generic over the execution engine and, like every
+//! other experiment in the reproduction, bit-identical across engines and
+//! shard counts for a given seed — mid-run relay failures included,
+//! because faults are deterministic membership events and all client
+//! randomness comes from seed-derived streams.
+
+use crate::churn::churn_stream;
+use crate::plan::{ChaosPlan, FaultKind};
+use cyclosa::deployment::relay_service_time_ns;
+use cyclosa_net::engine::Engine;
+use cyclosa_net::latency::LatencyModel;
+use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
+use cyclosa_net::time::SimTime;
+use cyclosa_net::NodeId;
+use cyclosa_runtime::ShardedEngine;
+use cyclosa_sgx::enclave::CostModel;
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+const TAG_FORWARD: u32 = 1;
+const TAG_ENGINE_QUERY: u32 = 2;
+const TAG_ENGINE_RESPONSE: u32 = 3;
+const TAG_RESPONSE: u32 = 4;
+
+/// Model tag of the relay-failure sampling stream (see
+/// [`crate::churn::churn_stream`]).
+const TAG_RELAY_FAILURES: u64 = 0xFA11;
+
+/// Configuration of the churn latency experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Number of relay nodes at the start of the run.
+    pub relays: usize,
+    /// Fake queries per user query.
+    pub k: usize,
+    /// User queries to issue (one every 500 ms of simulated time).
+    pub queries: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Fraction of the relay population that fails during the run.
+    pub failure_rate: f64,
+    /// Whether failed relays recover (crash + recover) or depart for good
+    /// (leave).
+    pub recover: bool,
+    /// Downtime before a failed relay recovers (only with `recover`).
+    pub downtime: SimTime,
+    /// How long the client waits for the real query's response before
+    /// blacklisting the relay and resubmitting through a fresh one.
+    pub retry_timeout: SimTime,
+    /// Maximum resubmissions per query.
+    pub max_retries: u32,
+    /// SGX transition cost model of the relays.
+    pub cost: CostModel,
+    /// Client-side serialization delay per outgoing request.
+    pub client_uplink_per_request: SimTime,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            relays: 50,
+            k: 3,
+            queries: 200,
+            seed: 2018,
+            failure_rate: 0.2,
+            recover: false,
+            downtime: SimTime::from_secs(20),
+            retry_timeout: SimTime::from_secs(3),
+            max_retries: 5,
+            cost: CostModel::default(),
+            client_uplink_per_request: SimTime::from_millis(45),
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// The simulated span over which queries are issued (and failures
+    /// sampled).
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_millis(500 * self.queries as u64 + 500)
+    }
+
+    /// Samples the deterministic relay-failure plan of this configuration:
+    /// `round(failure_rate · relays)` distinct relays fail at uniform times
+    /// in the middle 80 % of the run, each either leaving for good or
+    /// crash-recovering after `downtime`.
+    ///
+    /// The draws come from a dedicated churn stream, so the plan never
+    /// perturbs the run's link RNGs.
+    pub fn failure_plan(&self) -> ChaosPlan {
+        let mut plan = ChaosPlan::new();
+        let victims = (self.relays as f64 * self.failure_rate).round() as usize;
+        if victims == 0 {
+            return plan;
+        }
+        let mut picker = churn_stream(self.seed, TAG_RELAY_FAILURES, u64::MAX);
+        let mut indices: Vec<usize> = (0..self.relays).collect();
+        picker.shuffle(&mut indices);
+        let horizon = self.horizon().as_nanos();
+        let (t0, t1) = (horizon / 10, horizon * 9 / 10);
+        for &index in indices.iter().take(victims) {
+            let node = NodeId(index as u64 + 1);
+            let mut rng = churn_stream(self.seed, TAG_RELAY_FAILURES, node.0);
+            let at = SimTime::from_nanos(rng.gen_range(t0, t1));
+            if self.recover {
+                plan.push(at, FaultKind::Crash(node));
+                plan.push(at + self.downtime, FaultKind::Recover(node));
+            } else {
+                plan.push(at, FaultKind::Leave(node));
+            }
+        }
+        plan
+    }
+}
+
+/// What one churn run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// Per-query end-to-end latencies (seconds) of the real-query path,
+    /// in completion order. Queries whose real query had to be resubmitted
+    /// include the retry delay.
+    pub latencies: Vec<f64>,
+    /// Queries answered before the run drained.
+    pub answered: usize,
+    /// Queries that exhausted their retries without an answer.
+    pub unanswered: usize,
+    /// Real-query resubmissions performed by the healing path.
+    pub retries: u64,
+    /// Relays the failure plan took down.
+    pub failed_relays: usize,
+    /// Raw engine counters (losses, drops on dead relays, membership).
+    pub stats: SimulationStats,
+}
+
+#[derive(Default)]
+struct ClientSink {
+    latencies: Vec<f64>,
+    answered: usize,
+    retries: u64,
+}
+
+struct RelayBehavior {
+    engine: NodeId,
+    processing: SimTime,
+    pending: Vec<Envelope>,
+}
+
+impl NodeBehavior for RelayBehavior {
+    fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+        match envelope.tag {
+            TAG_FORWARD => {
+                self.pending.push(envelope);
+                ctx.set_timer(self.processing, (self.pending.len() - 1) as u64);
+            }
+            TAG_ENGINE_RESPONSE => {
+                if let Some(client) = parse_client(&envelope.payload) {
+                    ctx.send(client, TAG_RESPONSE, envelope.payload);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if let Some(envelope) = self.pending.get(token as usize) {
+            ctx.send(self.engine, TAG_ENGINE_QUERY, envelope.payload.clone());
+        }
+    }
+}
+
+struct EngineBehavior {
+    processing: LatencyModel,
+    rng: Xoshiro256StarStar,
+    pending: Vec<(NodeId, Vec<u8>)>,
+}
+
+impl NodeBehavior for EngineBehavior {
+    fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+        if envelope.tag != TAG_ENGINE_QUERY {
+            return;
+        }
+        let delay = self.processing.sample(&mut self.rng);
+        self.pending.push((envelope.src, envelope.payload));
+        ctx.set_timer(delay, (self.pending.len() - 1) as u64);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if let Some((relay, payload)) = self.pending.get(token as usize).cloned() {
+            ctx.send(relay, TAG_ENGINE_RESPONSE, payload);
+        }
+    }
+}
+
+struct ClientBehavior {
+    relays: Vec<NodeId>,
+    k: usize,
+    queries: usize,
+    rng: Xoshiro256StarStar,
+    retry_timeout: SimTime,
+    max_retries: u32,
+    uplink_per_request: SimTime,
+    sent_at: Vec<Option<SimTime>>,
+    answered: Vec<bool>,
+    attempts: Vec<u32>,
+    /// The relay currently entrusted with each query's *real* request —
+    /// the one blacklisted and replaced if no answer arrives in time.
+    real_relay: Vec<Option<NodeId>>,
+    /// Relays the client has given up on (paper §IV: unresponsive proxies
+    /// are blacklisted client-side).
+    blacklist: HashSet<NodeId>,
+    outbox: Vec<(NodeId, Vec<u8>)>,
+    sink: Arc<Mutex<ClientSink>>,
+}
+
+const OUTBOX_BASE: u64 = 1 << 40;
+const RETRY_BASE: u64 = 1 << 41;
+
+impl ClientBehavior {
+    fn ensure(&mut self, seq: usize) {
+        if self.sent_at.len() <= seq {
+            self.sent_at.resize(seq + 1, None);
+            self.answered.resize(seq + 1, false);
+            self.attempts.resize(seq + 1, 0);
+            self.real_relay.resize(seq + 1, None);
+        }
+    }
+
+    /// Relays the client is still willing to use.
+    fn usable(&self) -> Vec<NodeId> {
+        self.relays
+            .iter()
+            .copied()
+            .filter(|r| !self.blacklist.contains(r))
+            .collect()
+    }
+
+    fn defer_send(&mut self, ctx: &mut Context<'_>, relay: NodeId, payload: Vec<u8>, slot: u64) {
+        self.outbox.push((relay, payload));
+        let delay = SimTime::from_nanos(self.uplink_per_request.as_nanos() * (slot + 1));
+        ctx.set_timer(delay, OUTBOX_BASE + (self.outbox.len() - 1) as u64);
+    }
+
+    fn launch(&mut self, ctx: &mut Context<'_>, seq: usize) {
+        self.ensure(seq);
+        let usable = self.usable();
+        if usable.is_empty() {
+            return;
+        }
+        let picks = self.rng.sample_indices(usable.len(), self.k + 1);
+        let real_slot = self.rng.gen_index(picks.len());
+        self.sent_at[seq] = Some(ctx.now());
+        for (slot, relay_index) in picks.into_iter().enumerate() {
+            let flag = if slot == real_slot { "R" } else { "F" };
+            let payload = format!(
+                "{}|{}|{}|query number {} terms",
+                ctx.self_id().0,
+                seq,
+                flag,
+                seq
+            );
+            if slot == real_slot {
+                self.real_relay[seq] = Some(usable[relay_index]);
+            }
+            self.defer_send(ctx, usable[relay_index], payload.into_bytes(), slot as u64);
+        }
+        ctx.set_timer(self.retry_timeout, RETRY_BASE + seq as u64);
+    }
+
+    fn retry(&mut self, ctx: &mut Context<'_>, seq: usize) {
+        if self.answered[seq] || self.attempts[seq] >= self.max_retries {
+            return;
+        }
+        // The entrusted relay never answered: blacklist it and resubmit the
+        // real query through a fresh relay.
+        if let Some(dead) = self.real_relay[seq].take() {
+            self.blacklist.insert(dead);
+        }
+        let usable = self.usable();
+        if usable.is_empty() {
+            return;
+        }
+        self.attempts[seq] += 1;
+        self.sink.lock().expect("sink poisoned").retries += 1;
+        let replacement = usable[self.rng.gen_index(usable.len())];
+        self.real_relay[seq] = Some(replacement);
+        let payload = format!("{}|{}|R|query number {} terms", ctx.self_id().0, seq, seq);
+        self.defer_send(ctx, replacement, payload.into_bytes(), 0);
+        ctx.set_timer(self.retry_timeout, RETRY_BASE + seq as u64);
+    }
+}
+
+impl NodeBehavior for ClientBehavior {
+    fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+        if envelope.tag != TAG_RESPONSE {
+            return;
+        }
+        let text = String::from_utf8_lossy(&envelope.payload).to_string();
+        let mut parts = text.splitn(4, '|');
+        let _client = parts.next();
+        let seq: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(usize::MAX);
+        let flag = parts.next().unwrap_or("");
+        if flag != "R" || seq >= self.queries {
+            return;
+        }
+        self.ensure(seq);
+        if self.answered[seq] {
+            return;
+        }
+        if let Some(sent) = self.sent_at[seq] {
+            self.answered[seq] = true;
+            let mut sink = self.sink.lock().expect("sink poisoned");
+            sink.answered += 1;
+            sink.latencies
+                .push(ctx.now().saturating_sub(sent).as_secs_f64());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token >= RETRY_BASE {
+            self.retry(ctx, (token - RETRY_BASE) as usize);
+        } else if token >= OUTBOX_BASE {
+            if let Some((relay, payload)) = self.outbox.get((token - OUTBOX_BASE) as usize).cloned()
+            {
+                ctx.send(relay, TAG_FORWARD, payload);
+            }
+        } else {
+            self.launch(ctx, token as usize);
+        }
+    }
+}
+
+fn parse_client(payload: &[u8]) -> Option<NodeId> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let id: u64 = text.split('|').next()?.parse().ok()?;
+    Some(NodeId(id))
+}
+
+/// Runs the churn latency experiment on any engine, applying the
+/// configuration's deterministic failure plan and returning the healed
+/// latency distribution.
+pub fn run_churn_experiment_on<E: Engine>(
+    engine_impl: &mut E,
+    config: &ChurnConfig,
+) -> ChurnOutcome {
+    assert!(config.relays > config.k, "need at least k + 1 relays");
+    engine_impl.set_default_latency(LatencyModel::wan());
+    let engine = NodeId(0);
+    let relays: Vec<NodeId> = (1..=config.relays as u64).map(NodeId).collect();
+    let client = NodeId(config.relays as u64 + 1);
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed ^ 0xC4A0);
+    engine_impl.add_node(
+        engine,
+        Box::new(EngineBehavior {
+            processing: LatencyModel::search_engine_processing(),
+            rng: rng.fork(1),
+            pending: Vec::new(),
+        }),
+    );
+    let processing = SimTime::from_nanos(relay_service_time_ns(&config.cost, 512));
+    for &relay in &relays {
+        engine_impl.add_node(
+            relay,
+            Box::new(RelayBehavior {
+                engine,
+                processing,
+                pending: Vec::new(),
+            }),
+        );
+    }
+    let sink = Arc::new(Mutex::new(ClientSink::default()));
+    engine_impl.add_node(
+        client,
+        Box::new(ClientBehavior {
+            relays: relays.clone(),
+            k: config.k,
+            queries: config.queries,
+            rng: rng.fork(2),
+            retry_timeout: config.retry_timeout,
+            max_retries: config.max_retries,
+            uplink_per_request: config.client_uplink_per_request,
+            sent_at: Vec::new(),
+            answered: Vec::new(),
+            attempts: Vec::new(),
+            real_relay: Vec::new(),
+            blacklist: HashSet::new(),
+            outbox: Vec::new(),
+            sink: sink.clone(),
+        }),
+    );
+    for i in 0..config.queries {
+        engine_impl.schedule_timer(SimTime::from_millis(500 * i as u64), client, i as u64);
+    }
+
+    // Inject the faults: a recovering plan re-registers nothing (state is
+    // retained through crash/recover); a leaving plan needs no spawner
+    // either, because departed relays stay gone.
+    let plan = config.failure_plan();
+    let failed_relays = plan
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::Crash(_) | FaultKind::Leave(_)))
+        .count();
+    plan.apply(engine_impl);
+
+    engine_impl.run();
+    let sink = sink.lock().expect("sink poisoned");
+    ChurnOutcome {
+        latencies: sink.latencies.clone(),
+        answered: sink.answered,
+        unanswered: config.queries - sink.answered,
+        retries: sink.retries,
+        failed_relays,
+        stats: engine_impl.stats(),
+    }
+}
+
+/// [`run_churn_experiment_on`] on the sequential simulator.
+pub fn run_churn_experiment(config: &ChurnConfig) -> ChurnOutcome {
+    let mut simulation = Simulation::new(config.seed);
+    run_churn_experiment_on(&mut simulation, config)
+}
+
+/// [`run_churn_experiment_on`] on the sharded parallel engine. Same seed ⇒
+/// same outcome as the sequential run, bit for bit, for any shard count.
+pub fn run_churn_experiment_sharded(config: &ChurnConfig, shards: usize) -> ChurnOutcome {
+    let mut engine = ShardedEngine::new(config.seed, shards);
+    run_churn_experiment_on(&mut engine, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_util::stats::Summary;
+
+    fn small(failure_rate: f64, recover: bool) -> ChurnConfig {
+        ChurnConfig {
+            relays: 20,
+            k: 3,
+            queries: 40,
+            failure_rate,
+            recover,
+            ..ChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn failure_free_run_answers_every_query() {
+        let outcome = run_churn_experiment(&small(0.0, false));
+        assert_eq!(outcome.answered, 40);
+        assert_eq!(outcome.unanswered, 0);
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.failed_relays, 0);
+        let median = Summary::from_samples(&outcome.latencies).median;
+        assert!(median > 0.3 && median < 2.0, "median {median}");
+    }
+
+    #[test]
+    fn healing_keeps_answering_under_heavy_relay_failures() {
+        let outcome = run_churn_experiment(&small(0.4, false));
+        assert_eq!(outcome.failed_relays, 8);
+        assert!(outcome.stats.left == 8, "permanent failures leave");
+        assert!(
+            outcome.answered as f64 >= 0.95 * 40.0,
+            "only {} of 40 answered",
+            outcome.answered
+        );
+        assert!(
+            outcome.retries > 0,
+            "heavy churn must exercise the retry path"
+        );
+    }
+
+    #[test]
+    fn recovering_relays_crash_and_come_back() {
+        let outcome = run_churn_experiment(&small(0.3, true));
+        assert_eq!(outcome.stats.crashed, 6);
+        assert_eq!(outcome.stats.recovered, 6);
+        assert!(outcome.answered >= 38);
+    }
+
+    #[test]
+    fn churn_raises_the_tail_not_the_floor() {
+        let calm = run_churn_experiment(&small(0.0, false));
+        let stormy = run_churn_experiment(&small(0.4, false));
+        let calm_max = calm.latencies.iter().cloned().fold(0.0, f64::max);
+        let stormy_max = stormy.latencies.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            stormy_max > calm_max,
+            "retried queries must stretch the tail ({stormy_max} vs {calm_max})"
+        );
+    }
+
+    #[test]
+    fn sharded_churn_run_is_bit_identical_to_sequential() {
+        let config = small(0.35, true);
+        let sequential = run_churn_experiment(&config);
+        assert!(sequential.retries > 0 || sequential.answered == 40);
+        for shards in [2, 4] {
+            assert_eq!(
+                run_churn_experiment_sharded(&config, shards),
+                sequential,
+                "outcome diverged with {shards} shards"
+            );
+        }
+    }
+}

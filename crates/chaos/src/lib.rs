@@ -1,0 +1,44 @@
+//! `cyclosa-chaos` — churn and fault injection for the CYCLOSA
+//! reproduction.
+//!
+//! CYCLOSA's headline claim is that a fully decentralized search network
+//! stays accurate and responsive **while peers fail and churn**. This
+//! crate is the scenario layer that puts that claim under load, on top of
+//! the deterministic dynamic-membership events of
+//! `cyclosa_net::engine::Engine` (joins, leaves, crashes, recoveries and
+//! loss-probability steps scheduled against simulated time, executing
+//! bit-identically on the sequential simulator and the sharded engine):
+//!
+//! * [`churn`] — the [`churn::ChurnModel`] family: exponential up/down
+//!   sessions, correlated failure bursts, loss storms and trace-driven
+//!   schedules, each sampled from dedicated per-model RNG streams so
+//!   churn never perturbs the run's link randomness.
+//! * [`plan`] — [`plan::ChaosPlan`], the scripted fault schedule a model
+//!   samples into (or that tests write by hand), applicable to any
+//!   [`cyclosa_net::engine::Engine`].
+//! * [`experiment`] — the robustness-under-failure latency experiment:
+//!   the end-to-end deployment re-run under relay failures, with the
+//!   client-side healing path (blacklist the unresponsive relay, resubmit
+//!   through a fresh one) the paper describes.
+//! * [`attack`] — [`attack::ChurnedMechanism`], which thins a mechanism's
+//!   observable footprint the way relay failures do, so the Fig. 5
+//!   harness produces attack accuracy as a function of the failure rate.
+//!
+//! The `churn` binary of `cyclosa-bench` sweeps failure rates through
+//! both halves and writes the robustness curves to `BENCH_churn.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod churn;
+pub mod experiment;
+pub mod plan;
+
+pub use attack::ChurnedMechanism;
+pub use churn::{churn_stream, ChurnModel};
+pub use experiment::{
+    run_churn_experiment, run_churn_experiment_on, run_churn_experiment_sharded, ChurnConfig,
+    ChurnOutcome,
+};
+pub use plan::{ChaosPlan, FaultEvent, FaultKind};

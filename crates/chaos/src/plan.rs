@@ -1,0 +1,270 @@
+//! Scripted fault scenarios: [`ChaosPlan`].
+//!
+//! A plan is an ordered list of [`FaultEvent`]s — crashes, leaves,
+//! recoveries, joins and loss-probability steps pinned to simulated times —
+//! that can be applied to **any** [`Engine`] before (or between) runs. The
+//! faults then fire deterministically *during* the run through the
+//! engine's membership events, so the same plan produces bit-identical
+//! executions on the sequential simulator and on the sharded engine for
+//! any shard count.
+
+use cyclosa_net::engine::Engine;
+use cyclosa_net::sim::NodeBehavior;
+use cyclosa_net::time::SimTime;
+use cyclosa_net::NodeId;
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop the node, keeping its state for a later [`FaultKind::Recover`].
+    Crash(NodeId),
+    /// Remove the node and drop its state; a later [`FaultKind::Join`]
+    /// brings it back from scratch.
+    Leave(NodeId),
+    /// Clear the node's crashed mark.
+    Recover(NodeId),
+    /// (Re-)join the population under this id with a behaviour supplied by
+    /// the spawner passed to [`ChaosPlan::apply_with_spawner`].
+    Join(NodeId),
+    /// Step the global loss probability to this value.
+    SetLoss(f64),
+}
+
+impl FaultKind {
+    /// The node a fault targets, if any (`SetLoss` is global).
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            FaultKind::Crash(n)
+            | FaultKind::Leave(n)
+            | FaultKind::Recover(n)
+            | FaultKind::Join(n) => Some(n),
+            FaultKind::SetLoss(_) => None,
+        }
+    }
+}
+
+/// A fault pinned to a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule against one experiment.
+///
+/// Build one by hand with the `*_at` methods, or sample one from a
+/// [`crate::churn::ChurnModel`]. Events are kept sorted by time (stable
+/// for equal times, so same-instant faults apply in insertion order —
+/// which the engines' per-node membership sequences then preserve).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from events in any order with a single stable sort —
+    /// the O(n log n) bulk counterpart of repeated [`ChaosPlan::push`]
+    /// calls (which insert in place and are quadratic over large samples).
+    /// Same-instant events keep their relative order in `events`.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events }
+    }
+
+    /// The scheduled faults, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the plan contains any [`FaultKind::Join`] events (which
+    /// require a spawner to apply).
+    pub fn has_joins(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Join(_)))
+    }
+
+    /// Adds one fault, keeping the schedule sorted (stable at equal times).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        let index = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(index, FaultEvent { at, kind });
+        self
+    }
+
+    /// Schedules a crash (fail-stop, state retained).
+    pub fn crash_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.push(at, FaultKind::Crash(node));
+        self
+    }
+
+    /// Schedules a permanent departure (state dropped).
+    pub fn leave_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.push(at, FaultKind::Leave(node));
+        self
+    }
+
+    /// Schedules a recovery from a crash.
+    pub fn recover_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.push(at, FaultKind::Recover(node));
+        self
+    }
+
+    /// Schedules a (re-)join under `node`.
+    pub fn join_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.push(at, FaultKind::Join(node));
+        self
+    }
+
+    /// Schedules a loss-probability step.
+    pub fn set_loss_at(mut self, at: SimTime, p: f64) -> Self {
+        self.push(at, FaultKind::SetLoss(p));
+        self
+    }
+
+    /// Merges another plan's events into this one.
+    pub fn merge(mut self, other: ChaosPlan) -> Self {
+        for event in other.events {
+            self.push(event.at, event.kind);
+        }
+        self
+    }
+
+    /// The fraction of `population` nodes hit by at least one crash or
+    /// leave (the x-axis of the robustness curves).
+    pub fn failure_fraction(&self, population: usize) -> f64 {
+        if population == 0 {
+            return 0.0;
+        }
+        let mut failed: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash(n) | FaultKind::Leave(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        failed.sort_unstable_by_key(|n| n.0);
+        failed.dedup();
+        failed.len() as f64 / population as f64
+    }
+
+    /// Applies every fault to `engine` as deterministic scheduled events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains [`FaultKind::Join`] events — those need
+    /// a behaviour, so use [`ChaosPlan::apply_with_spawner`] instead.
+    pub fn apply<E: Engine + ?Sized>(&self, engine: &mut E) {
+        assert!(
+            !self.has_joins(),
+            "plan contains join events; use apply_with_spawner"
+        );
+        self.apply_with_spawner(engine, |node| {
+            unreachable!("no join events, so no behaviour is ever spawned for {node:?}")
+        });
+    }
+
+    /// Applies every fault to `engine`, creating the behaviour of each
+    /// joining node with `spawn`.
+    pub fn apply_with_spawner<E: Engine + ?Sized>(
+        &self,
+        engine: &mut E,
+        mut spawn: impl FnMut(NodeId) -> Box<dyn NodeBehavior + Send>,
+    ) {
+        for event in &self.events {
+            match event.kind {
+                FaultKind::Crash(node) => engine.schedule_crash(event.at, node),
+                FaultKind::Leave(node) => engine.schedule_leave(event.at, node),
+                FaultKind::Recover(node) => engine.schedule_recover(event.at, node),
+                FaultKind::Join(node) => engine.schedule_join(event.at, node, spawn(node)),
+                FaultKind::SetLoss(p) => engine.schedule_loss_probability(event.at, p),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_stay_sorted_and_stable() {
+        let plan = ChaosPlan::new()
+            .crash_at(SimTime::from_secs(5), NodeId(1))
+            .recover_at(SimTime::from_secs(2), NodeId(1))
+            .leave_at(SimTime::from_secs(5), NodeId(2));
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(
+            times,
+            vec![2_000_000_000, 5_000_000_000, 5_000_000_000],
+            "sorted by time"
+        );
+        // Equal-time events keep insertion order: the crash was added first.
+        assert_eq!(plan.events()[1].kind, FaultKind::Crash(NodeId(1)));
+        assert_eq!(plan.events()[2].kind, FaultKind::Leave(NodeId(2)));
+    }
+
+    #[test]
+    fn failure_fraction_counts_distinct_crashed_or_left_nodes() {
+        let plan = ChaosPlan::new()
+            .crash_at(SimTime::from_secs(1), NodeId(1))
+            .crash_at(SimTime::from_secs(2), NodeId(1))
+            .leave_at(SimTime::from_secs(3), NodeId(2))
+            .recover_at(SimTime::from_secs(4), NodeId(3))
+            .set_loss_at(SimTime::from_secs(5), 0.2);
+        assert!((plan.failure_fraction(10) - 0.2).abs() < 1e-12);
+        assert_eq!(ChaosPlan::new().failure_fraction(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "join events")]
+    fn apply_refuses_plans_with_joins() {
+        use cyclosa_net::sim::Simulation;
+        let mut simulation = Simulation::new(1);
+        ChaosPlan::new()
+            .join_at(SimTime::from_secs(1), NodeId(7))
+            .apply(&mut simulation);
+    }
+
+    #[test]
+    fn apply_schedules_every_fault_kind() {
+        use cyclosa_net::sim::{Context, Envelope, Simulation};
+        struct Quiet;
+        impl NodeBehavior for Quiet {
+            fn on_message(&mut self, _: &mut Context<'_>, _: Envelope) {}
+        }
+        let mut simulation = Simulation::new(2);
+        simulation.add_node(NodeId(1), Box::new(Quiet));
+        simulation.add_node(NodeId(2), Box::new(Quiet));
+        ChaosPlan::new()
+            .crash_at(SimTime::from_secs(1), NodeId(1))
+            .recover_at(SimTime::from_secs(2), NodeId(1))
+            .leave_at(SimTime::from_secs(3), NodeId(2))
+            .join_at(SimTime::from_secs(4), NodeId(3))
+            .set_loss_at(SimTime::from_secs(5), 0.5)
+            .apply_with_spawner(&mut simulation, |_| Box::new(Quiet));
+        simulation.run();
+        let stats = simulation.stats();
+        assert_eq!(
+            (stats.crashed, stats.recovered, stats.left, stats.joined),
+            (1, 1, 1, 1)
+        );
+    }
+}

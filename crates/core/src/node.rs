@@ -123,6 +123,8 @@ pub struct NodeStats {
     pub fakes_generated: u64,
     /// Queries relayed on behalf of other users.
     pub queries_relayed: u64,
+    /// Relays replaced after failing to answer (the churn healing path).
+    pub relays_reselected: u64,
 }
 
 /// Builder for [`CyclosaNode`].
@@ -392,6 +394,59 @@ impl CyclosaNode {
         })
     }
 
+    /// Heals a [`QueryPlan`] after `failed` stopped answering: the dead
+    /// relay is blacklisted in the peer view (paper §IV: clients blacklist
+    /// unresponsive proxies) and every assignment it carried is handed to a
+    /// fresh relay drawn from the remaining view, distinct from the plan's
+    /// other relays when enough peers are known.
+    ///
+    /// Returns the replacement relay when the plan referenced `failed`, or
+    /// `None` when it did not (the peer is still blacklisted either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::NoPeersAvailable`] when the plan needs a
+    /// replacement but no usable peer remains in the view.
+    pub fn reselect_relay(
+        &mut self,
+        plan: &mut QueryPlan,
+        failed: PeerId,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<Option<PeerId>, NodeError> {
+        self.peer_sampling.blacklist(failed);
+        if !plan.assignments.iter().any(|a| a.relay == failed) {
+            return Ok(None);
+        }
+        let in_use: Vec<PeerId> = plan
+            .assignments
+            .iter()
+            .map(|a| a.relay)
+            .filter(|r| *r != failed)
+            .collect();
+        // Prefer a relay not already carrying part of this plan; fall back
+        // to any live peer when the view is too small to keep them distinct.
+        let candidates: Vec<PeerId> = self
+            .peer_sampling
+            .view()
+            .peers()
+            .into_iter()
+            .filter(|p| !in_use.contains(p))
+            .collect();
+        let replacement = if candidates.is_empty() {
+            let fallback = self.peer_sampling.random_peers(rng, 1);
+            *fallback.first().ok_or(NodeError::NoPeersAvailable)?
+        } else {
+            candidates[rng.gen_index(candidates.len())]
+        };
+        for assignment in plan.assignments.iter_mut() {
+            if assignment.relay == failed {
+                assignment.relay = replacement;
+            }
+        }
+        self.stats.relays_reselected += 1;
+        Ok(Some(replacement))
+    }
+
     /// Handles a query received as a relay: stores it in the in-enclave
     /// past-query table and returns the text to forward to the search
     /// engine (the node never learns whether it is real or fake).
@@ -607,6 +662,71 @@ mod tests {
         for fake in plan.fake_queries() {
             assert!(seeds.contains(&fake), "fake {fake} not from the table");
         }
+    }
+
+    #[test]
+    fn reselect_relay_heals_the_plan_and_blacklists_the_dead_relay() {
+        let mut node = node(20, 5);
+        node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(20);
+        let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        assert!(plan.assignments().len() >= 2);
+        let failed = plan.real_assignment().relay;
+        let replacement = node
+            .reselect_relay(&mut plan, failed, &mut rng)
+            .unwrap()
+            .expect("the failed relay was part of the plan");
+        assert_ne!(replacement, failed);
+        assert!(
+            plan.assignments().iter().all(|a| a.relay != failed),
+            "no assignment may still point at the dead relay"
+        );
+        let relays: std::collections::HashSet<_> =
+            plan.assignments().iter().map(|a| a.relay).collect();
+        assert_eq!(relays.len(), plan.assignments().len(), "still distinct");
+        assert!(
+            !node.peer_sampling().view().contains(failed),
+            "dead relay must leave the view"
+        );
+        assert_eq!(node.stats().relays_reselected, 1);
+    }
+
+    #[test]
+    fn reselect_relay_is_a_noop_for_relays_outside_the_plan() {
+        let mut node = node(21, 3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let mut plan = node.plan_query("cheap flights geneva", &mut rng).unwrap();
+        let before = plan.clone();
+        // PeerId(129) is in the view but (most likely) not in this plan;
+        // pick one definitely outside the plan instead.
+        let outside = (100..130)
+            .map(PeerId)
+            .find(|p| plan.assignments().iter().all(|a| a.relay != *p))
+            .expect("view is larger than the plan");
+        assert_eq!(node.reselect_relay(&mut plan, outside, &mut rng), Ok(None));
+        assert_eq!(plan, before, "plan untouched");
+        assert!(!node.peer_sampling().view().contains(outside));
+    }
+
+    #[test]
+    fn reselect_relay_fails_only_when_the_view_is_exhausted() {
+        let mut node = CyclosaNode::builder(22).build();
+        node.bootstrap_with_seed_queries(["seed query one", "seed query two"]);
+        node.bootstrap_peers([PeerId(100), PeerId(101)]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+        let mut plan = node.plan_query("anything at all", &mut rng).unwrap();
+        // Kill every relay the node knows, one after the other.
+        let mut last_error = None;
+        for peer in [PeerId(100), PeerId(101)] {
+            if let Err(e) = node.reselect_relay(&mut plan, peer, &mut rng) {
+                last_error = Some(e);
+            }
+        }
+        assert_eq!(
+            last_error,
+            Some(NodeError::NoPeersAvailable),
+            "an empty view must surface as NoPeersAvailable"
+        );
     }
 
     #[test]

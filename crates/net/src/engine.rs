@@ -26,6 +26,13 @@
 //!   that node's (deterministic) behaviour, never on global event
 //!   interleaving. [`LinkTable`] encapsulates this discipline and is shared
 //!   by both engines so they cannot drift apart.
+//! * **Deterministic dynamic membership** — joins, leaves, crashes and
+//!   recoveries scheduled against a simulated time are ordinary events of
+//!   class [`EventClass::Membership`], keyed by a per-node membership
+//!   sequence ([`MembershipLedger`]), so churn participates in the same
+//!   total order as deliveries and timers. Loss-probability changes are a
+//!   piecewise-constant function of send time ([`LossSchedule`]), never of
+//!   event interleaving.
 //!
 //! # FIFO contract
 //!
@@ -44,10 +51,46 @@ use std::collections::HashMap;
 /// Classes of events, ordered within the same `(time, node)` slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventClass {
+    /// A membership change (join/leave/crash/recover). Membership sorts
+    /// first in its `(time, node)` slot: a node joining at `t` receives
+    /// deliveries at `t`, a node leaving or crashing at `t` no longer does.
+    Membership,
     /// A message delivery (runs `on_message`).
     Deliver,
     /// A timer firing (runs `on_timer`).
     Timer,
+}
+
+/// The kinds of deterministic membership change an engine can execute at a
+/// scheduled simulated time (the fault-injection surface of
+/// `cyclosa-chaos`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MembershipChange {
+    /// A new node (or a departed node with a fresh behaviour) enters the
+    /// population. The behaviour is stashed at schedule time and installed
+    /// when the event fires.
+    Join,
+    /// The node departs permanently: its behaviour (and therefore all of
+    /// its state) is dropped. A later `Join` brings it back from scratch.
+    Leave,
+    /// The node fail-stops but keeps its state, exactly like
+    /// [`Engine::crash`] — messages to it are dropped and its timers stop
+    /// firing until a `Recover`.
+    Crash,
+    /// The node resumes from a crash with its state intact.
+    Recover,
+}
+
+impl MembershipChange {
+    /// Stable discriminant used in the `b` slot of the event key.
+    fn discriminant(self) -> u64 {
+        match self {
+            MembershipChange::Join => 0,
+            MembershipChange::Leave => 1,
+            MembershipChange::Crash => 2,
+            MembershipChange::Recover => 3,
+        }
+    }
 }
 
 /// The deterministic total-order key of an event.
@@ -79,6 +122,10 @@ pub enum EventKind {
         /// The application token passed back to `on_timer`.
         token: u64,
     },
+    /// Apply a membership change to `key.node`. For `Join` the behaviour is
+    /// looked up in the engine's [`MembershipLedger`] under the membership
+    /// sequence carried in `key.a`.
+    Membership(MembershipChange),
 }
 
 /// An event plus its deterministic ordering key.
@@ -179,14 +226,137 @@ impl LinkTable {
     }
 }
 
+/// Per-node membership sequencing plus the behaviours of scheduled joins,
+/// shared by both engines so their membership event keys cannot drift
+/// apart.
+///
+/// Every membership change of a node gets the node's next membership
+/// sequence number (in schedule-call order, which is deterministic program
+/// order), so keys are unique and totally ordered. Join behaviours are
+/// stashed under `(node, sequence)` and taken out when the event fires —
+/// a node may leave and rejoin any number of times, each join with its own
+/// fresh behaviour.
+pub struct MembershipLedger<B> {
+    sequences: HashMap<NodeId, u64>,
+    pending_joins: HashMap<(NodeId, u64), B>,
+}
+
+impl<B> Default for MembershipLedger<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B> MembershipLedger<B> {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self {
+            sequences: HashMap::new(),
+            pending_joins: HashMap::new(),
+        }
+    }
+
+    /// Assigns the deterministic event key of the next membership change of
+    /// `node` firing at `at`.
+    pub fn next_key(&mut self, at: SimTime, node: NodeId, change: MembershipChange) -> EventKey {
+        let sequence = self.sequences.entry(node).or_insert(0);
+        let key = EventKey {
+            at,
+            node,
+            class: EventClass::Membership,
+            a: *sequence,
+            b: change.discriminant(),
+        };
+        *sequence += 1;
+        key
+    }
+
+    /// Stashes the behaviour of a scheduled join under its membership
+    /// sequence (taken from `key.a` of the join's event key).
+    pub fn stash_join(&mut self, node: NodeId, sequence: u64, behavior: B) {
+        self.pending_joins.insert((node, sequence), behavior);
+    }
+
+    /// Takes the behaviour of the join event with the given sequence.
+    pub fn take_join(&mut self, node: NodeId, sequence: u64) -> Option<B> {
+        self.pending_joins.remove(&(node, sequence))
+    }
+}
+
+/// A piecewise-constant loss-probability timeline.
+///
+/// The effective probability of a send is a pure function of its send
+/// time, so scheduled loss changes (the "loss storms" of `cyclosa-chaos`)
+/// stay bit-identical across engines and shard counts: every shard holds
+/// the same schedule and evaluates it at the same deterministic send
+/// times.
+#[derive(Debug, Clone, Default)]
+pub struct LossSchedule {
+    base: f64,
+    /// `(from, probability)` steps sorted by time; a later entry scheduled
+    /// at the same instant overrides an earlier one.
+    changes: Vec<(SimTime, f64)>,
+}
+
+impl LossSchedule {
+    /// A schedule with a constant base probability of zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the base probability in force before the first scheduled change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_base(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.base = p;
+    }
+
+    /// Schedules the probability to become `p` at `at` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn schedule(&mut self, at: SimTime, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        // Insert after every entry with time <= at, so same-instant
+        // schedules apply in call order.
+        let index = self.changes.partition_point(|(t, _)| *t <= at);
+        self.changes.insert(index, (at, p));
+    }
+
+    /// The effective loss probability at `at`.
+    pub fn at(&self, at: SimTime) -> f64 {
+        match self.changes.partition_point(|(t, _)| *t <= at) {
+            0 => self.base,
+            n => self.changes[n - 1].1,
+        }
+    }
+}
+
 /// The scheduling surface shared by the sequential [`crate::sim::Simulation`]
 /// and the sharded engine of `cyclosa-runtime`.
 ///
 /// Node behaviours only ever see a [`crate::sim::Context`], so any
 /// [`NodeBehavior`] implementation runs unchanged on every `Engine`.
-/// Configuration methods (`add_node`, `set_*`, `crash`, `post`,
-/// `schedule_timer`) must be called before [`Engine::run`]; engines are not
-/// required to support reconfiguration while events are in flight.
+/// Configuration methods (`add_node`, `set_*`, `crash`, `recover`, `post`,
+/// `schedule_*`) are called from the driving thread before [`Engine::run`]
+/// (or between runs) — but the `schedule_join` / `schedule_leave` /
+/// `schedule_crash` / `schedule_recover` / `schedule_loss_probability`
+/// family takes effect at a chosen *simulated* time, so membership and
+/// link quality evolve deterministically **while the run is in flight**.
+/// Membership changes are ordinary events with a total-order
+/// [`EventKey`] (class [`EventClass::Membership`], sorting first in its
+/// `(time, node)` slot), which is what keeps executions bit-identical
+/// across engines and shard counts even under churn.
 pub trait Engine {
     /// Registers a node behaviour under `id`.
     fn add_node(&mut self, id: NodeId, behavior: Box<dyn NodeBehavior + Send>);
@@ -203,6 +373,31 @@ pub trait Engine {
     /// Marks a node as crashed: messages to it are dropped, its timers stop
     /// firing.
     fn crash(&mut self, node: NodeId);
+
+    /// Clears a node's crashed mark: it resumes receiving messages and
+    /// firing newly scheduled timers, with its state intact. A no-op for
+    /// nodes that are not crashed.
+    fn recover(&mut self, node: NodeId);
+
+    /// Schedules `behavior` to join the population as `node` at simulated
+    /// time `at`. If the node already exists when the event fires, the new
+    /// behaviour replaces the old one (a rejoin from scratch).
+    fn schedule_join(&mut self, at: SimTime, node: NodeId, behavior: Box<dyn NodeBehavior + Send>);
+
+    /// Schedules `node` to leave the population at simulated time `at`,
+    /// dropping its behaviour and state.
+    fn schedule_leave(&mut self, at: SimTime, node: NodeId);
+
+    /// Schedules `node` to crash (fail-stop, state retained) at simulated
+    /// time `at`.
+    fn schedule_crash(&mut self, at: SimTime, node: NodeId);
+
+    /// Schedules `node` to recover from a crash at simulated time `at`.
+    fn schedule_recover(&mut self, at: SimTime, node: NodeId);
+
+    /// Schedules the global loss probability to become `p` at simulated
+    /// time `at` (a deterministic "loss storm" step; see [`LossSchedule`]).
+    fn schedule_loss_probability(&mut self, at: SimTime, p: f64);
 
     /// Injects a message from outside the simulation, delivered at `at`
     /// plus the sampled link latency.
@@ -250,12 +445,60 @@ mod tests {
             class: EventClass::Timer,
             ..base
         };
+        let membership = EventKey {
+            class: EventClass::Membership,
+            ..base
+        };
         assert!(base < later);
         assert!(base < other_node);
         assert!(
             base < timer,
             "deliveries sort before timers in the same slot"
         );
+        assert!(
+            membership < base,
+            "membership changes sort before deliveries in the same slot"
+        );
+    }
+
+    #[test]
+    fn membership_ledger_assigns_unique_ordered_keys() {
+        let mut ledger: MembershipLedger<&'static str> = MembershipLedger::new();
+        let at = SimTime::from_secs(1);
+        let leave = ledger.next_key(at, NodeId(7), MembershipChange::Leave);
+        let join = ledger.next_key(at, NodeId(7), MembershipChange::Join);
+        assert_eq!(leave.class, EventClass::Membership);
+        assert_eq!((leave.a, join.a), (0, 1), "per-node sequence increments");
+        assert!(leave < join, "same-slot membership events keep call order");
+        // An unrelated node has its own sequence space.
+        let other = ledger.next_key(at, NodeId(8), MembershipChange::Crash);
+        assert_eq!(other.a, 0);
+        // Join behaviours are stashed and taken by exact sequence.
+        ledger.stash_join(NodeId(7), join.a, "behaviour");
+        assert_eq!(ledger.take_join(NodeId(7), join.a), Some("behaviour"));
+        assert_eq!(ledger.take_join(NodeId(7), join.a), None);
+    }
+
+    #[test]
+    fn loss_schedule_is_piecewise_constant_in_send_time() {
+        let mut schedule = LossSchedule::new();
+        schedule.set_base(0.1);
+        schedule.schedule(SimTime::from_secs(10), 0.8);
+        schedule.schedule(SimTime::from_secs(20), 0.0);
+        assert_eq!(schedule.at(SimTime::ZERO), 0.1);
+        assert_eq!(schedule.at(SimTime::from_secs(9)), 0.1);
+        assert_eq!(schedule.at(SimTime::from_secs(10)), 0.8, "steps inclusive");
+        assert_eq!(schedule.at(SimTime::from_secs(19)), 0.8);
+        assert_eq!(schedule.at(SimTime::from_secs(500)), 0.0);
+        // A same-instant re-schedule applies in call order.
+        schedule.schedule(SimTime::from_secs(10), 0.5);
+        assert_eq!(schedule.at(SimTime::from_secs(10)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn loss_schedule_rejects_invalid_probability() {
+        LossSchedule::new().schedule(SimTime::ZERO, 1.5);
     }
 
     #[test]

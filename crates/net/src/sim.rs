@@ -12,7 +12,10 @@
 //! [`LinkTable`], which makes an execution a pure function of the seed —
 //! the sharded engine of `cyclosa-runtime` reproduces it bit for bit.
 
-use crate::engine::{Engine, EventClass, EventKey, EventKind, LinkTable, ScheduledEvent};
+use crate::engine::{
+    Engine, EventClass, EventKey, EventKind, LinkTable, LossSchedule, MembershipChange,
+    MembershipLedger, ScheduledEvent,
+};
 use crate::latency::LatencyModel;
 use crate::time::SimTime;
 use crate::NodeId;
@@ -123,6 +126,14 @@ pub struct SimulationStats {
     pub timers_fired: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Nodes that joined the population mid-run.
+    pub joined: u64,
+    /// Nodes that left the population mid-run (state dropped).
+    pub left: u64,
+    /// Nodes that recovered from a crash mid-run.
+    pub recovered: u64,
+    /// Nodes that crashed through a scheduled membership event.
+    pub crashed: u64,
 }
 
 impl SimulationStats {
@@ -134,6 +145,10 @@ impl SimulationStats {
         self.dropped_dead += other.dropped_dead;
         self.timers_fired += other.timers_fired;
         self.bytes_delivered += other.bytes_delivered;
+        self.joined += other.joined;
+        self.left += other.left;
+        self.recovered += other.recovered;
+        self.crashed += other.crashed;
     }
 }
 
@@ -145,9 +160,10 @@ pub struct Simulation {
     crashed: HashSet<NodeId>,
     default_latency: LatencyModel,
     link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
-    loss_probability: f64,
+    loss: LossSchedule,
     links: LinkTable,
     timer_sequences: HashMap<NodeId, u64>,
+    membership: MembershipLedger<Box<dyn NodeBehavior>>,
     rng: Xoshiro256StarStar,
     stats: SimulationStats,
 }
@@ -174,9 +190,10 @@ impl Simulation {
             crashed: HashSet::new(),
             default_latency: LatencyModel::wan(),
             link_latency: HashMap::new(),
-            loss_probability: 0.0,
+            loss: LossSchedule::new(),
             links: LinkTable::new(seed),
             timer_sequences: HashMap::new(),
+            membership: MembershipLedger::new(),
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             stats: SimulationStats::default(),
         }
@@ -203,17 +220,62 @@ impl Simulation {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "loss probability must be in [0, 1]"
-        );
-        self.loss_probability = p;
+        self.loss.set_base(p);
+    }
+
+    /// Schedules the loss probability to become `p` at simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn schedule_loss_probability(&mut self, at: SimTime, p: f64) {
+        self.loss.schedule(at, p);
     }
 
     /// Marks a node as crashed: messages to it are dropped, its timers stop
     /// firing.
     pub fn crash(&mut self, node: NodeId) {
         self.crashed.insert(node);
+    }
+
+    /// Clears a node's crashed mark; its state is intact and it resumes
+    /// receiving messages.
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Schedules `behavior` to join the population as `node` at simulated
+    /// time `at` (see [`Engine::schedule_join`]).
+    pub fn schedule_join(&mut self, at: SimTime, node: NodeId, behavior: Box<dyn NodeBehavior>) {
+        let key = self.membership.next_key(at, node, MembershipChange::Join);
+        self.membership.stash_join(node, key.a, behavior);
+        self.queue.push(Reverse(ScheduledEvent {
+            key,
+            kind: EventKind::Membership(MembershipChange::Join),
+        }));
+    }
+
+    /// Schedules `node` to leave the population at simulated time `at`.
+    pub fn schedule_leave(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_membership(at, node, MembershipChange::Leave);
+    }
+
+    /// Schedules `node` to crash (state retained) at simulated time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_membership(at, node, MembershipChange::Crash);
+    }
+
+    /// Schedules `node` to recover from a crash at simulated time `at`.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_membership(at, node, MembershipChange::Recover);
+    }
+
+    fn schedule_membership(&mut self, at: SimTime, node: NodeId, change: MembershipChange) {
+        let key = self.membership.next_key(at, node, change);
+        self.queue.push(Reverse(ScheduledEvent {
+            key,
+            kind: EventKind::Membership(change),
+        }));
     }
 
     /// Current simulated time.
@@ -272,9 +334,10 @@ impl Simulation {
 
     fn enqueue_send(&mut self, at: SimTime, envelope: Envelope) {
         let model = self.link_model(envelope.src, envelope.dst);
+        let loss = self.loss.at(at);
         match self
             .links
-            .prepare(at, envelope.src, envelope.dst, model, self.loss_probability)
+            .prepare(at, envelope.src, envelope.dst, model, loss)
         {
             None => self.stats.lost += 1,
             Some((deliver_at, sequence)) => {
@@ -324,6 +387,28 @@ impl Simulation {
                         .on_timer(&mut ctx, token);
                 }
             }
+            EventKind::Membership(change) => match change {
+                MembershipChange::Join => {
+                    if let Some(behavior) = self.membership.take_join(node, event.key.a) {
+                        self.nodes.insert(node, behavior);
+                        self.crashed.remove(&node);
+                        self.stats.joined += 1;
+                    }
+                }
+                MembershipChange::Leave => {
+                    self.nodes.remove(&node);
+                    self.crashed.remove(&node);
+                    self.stats.left += 1;
+                }
+                MembershipChange::Crash => {
+                    self.crashed.insert(node);
+                    self.stats.crashed += 1;
+                }
+                MembershipChange::Recover => {
+                    self.crashed.remove(&node);
+                    self.stats.recovered += 1;
+                }
+            },
         }
         for action in actions {
             match action {
@@ -382,6 +467,30 @@ impl Engine for Simulation {
 
     fn crash(&mut self, node: NodeId) {
         Simulation::crash(self, node);
+    }
+
+    fn recover(&mut self, node: NodeId) {
+        Simulation::recover(self, node);
+    }
+
+    fn schedule_join(&mut self, at: SimTime, node: NodeId, behavior: Box<dyn NodeBehavior + Send>) {
+        Simulation::schedule_join(self, at, node, behavior);
+    }
+
+    fn schedule_leave(&mut self, at: SimTime, node: NodeId) {
+        Simulation::schedule_leave(self, at, node);
+    }
+
+    fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        Simulation::schedule_crash(self, at, node);
+    }
+
+    fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        Simulation::schedule_recover(self, at, node);
+    }
+
+    fn schedule_loss_probability(&mut self, at: SimTime, p: f64) {
+        Simulation::schedule_loss_probability(self, at, p);
     }
 
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
@@ -536,6 +645,98 @@ mod tests {
         assert!(log.borrow().is_empty());
         assert_eq!(sim.stats().dropped_dead, 1);
         assert_eq!(sim.stats().timers_fired, 0);
+    }
+
+    #[test]
+    fn scheduled_crash_and_recover_bound_the_outage_window() {
+        let mut sim = Simulation::new(11);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        sim.schedule_crash(SimTime::from_secs(1), NodeId(1));
+        sim.schedule_recover(SimTime::from_secs(2), NodeId(1));
+        // Delivered before the crash, dropped during it, delivered after.
+        for (ms, tag) in [(0, 1u32), (1_500, 2), (2_500, 3)] {
+            sim.post(SimTime::from_millis(ms), NodeId(0), NodeId(1), tag, vec![]);
+        }
+        sim.run();
+        let tags: Vec<u32> = log.borrow().iter().map(|(_, tag, _)| *tag).collect();
+        assert_eq!(tags, vec![1, 3]);
+        assert_eq!(sim.stats().dropped_dead, 1);
+        assert_eq!(sim.stats().crashed, 1);
+        assert_eq!(sim.stats().recovered, 1);
+    }
+
+    #[test]
+    fn scheduled_leave_drops_state_and_join_replaces_it() {
+        let mut sim = Simulation::new(12);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        let (log, rec) = recorder();
+        let (rejoined_log, rejoined_rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        sim.schedule_leave(SimTime::from_secs(1), NodeId(1));
+        sim.schedule_join(SimTime::from_secs(2), NodeId(1), Box::new(rejoined_rec));
+        for (ms, tag) in [(0, 1u32), (1_500, 2), (2_500, 3)] {
+            sim.post(SimTime::from_millis(ms), NodeId(0), NodeId(1), tag, vec![]);
+        }
+        sim.run();
+        let old: Vec<u32> = log.borrow().iter().map(|(_, tag, _)| *tag).collect();
+        let new: Vec<u32> = rejoined_log
+            .borrow()
+            .iter()
+            .map(|(_, tag, _)| *tag)
+            .collect();
+        assert_eq!(
+            old,
+            vec![1],
+            "the departed behaviour sees only pre-leave traffic"
+        );
+        assert_eq!(
+            new,
+            vec![3],
+            "the rejoined behaviour sees only post-join traffic"
+        );
+        assert_eq!(sim.stats().left, 1);
+        assert_eq!(sim.stats().joined, 1);
+    }
+
+    #[test]
+    fn scheduled_join_makes_a_brand_new_node_reachable() {
+        let mut sim = Simulation::new(13);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        let (log, rec) = recorder();
+        sim.schedule_join(SimTime::from_secs(1), NodeId(42), Box::new(rec));
+        sim.post(SimTime::ZERO, NodeId(0), NodeId(42), 1, vec![]);
+        sim.post(SimTime::from_secs(2), NodeId(0), NodeId(42), 2, vec![]);
+        sim.run();
+        let tags: Vec<u32> = log.borrow().iter().map(|(_, tag, _)| *tag).collect();
+        assert_eq!(tags, vec![2], "pre-join traffic is dropped dead");
+        assert_eq!(sim.stats().dropped_dead, 1);
+    }
+
+    #[test]
+    fn scheduled_loss_probability_takes_effect_at_send_time() {
+        let mut sim = Simulation::new(14);
+        let (log, rec) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec));
+        // Lossless before 1 s, total loss afterwards.
+        sim.schedule_loss_probability(SimTime::from_secs(1), 1.0);
+        for i in 0..100u64 {
+            sim.post(
+                SimTime::from_millis(i * 50),
+                NodeId(0),
+                NodeId(1),
+                0,
+                vec![],
+            );
+        }
+        sim.run();
+        assert_eq!(
+            log.borrow().len(),
+            20,
+            "only sends before the storm survive"
+        );
+        assert_eq!(sim.stats().lost, 80);
     }
 
     #[test]

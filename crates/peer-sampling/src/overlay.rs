@@ -145,6 +145,8 @@ impl NodeBehavior for GossipBehavior {
 pub struct EngineGossipOverlay {
     handles: Vec<(PeerId, Arc<Mutex<PeerSamplingNode>>)>,
     dead: HashSet<PeerId>,
+    config: EngineGossipConfig,
+    seed: u64,
 }
 
 impl EngineGossipOverlay {
@@ -185,6 +187,8 @@ impl EngineGossipOverlay {
         Self {
             handles,
             dead: HashSet::new(),
+            config,
+            seed,
         }
     }
 
@@ -194,6 +198,77 @@ impl EngineGossipOverlay {
     pub fn kill<E: Engine + ?Sized>(&mut self, engine: &mut E, peer: PeerId) {
         engine.crash(NodeId(peer.0));
         self.dead.insert(peer);
+    }
+
+    /// Schedules `peer` to crash at simulated time `at` — a deterministic
+    /// mid-run failure (the rest of the overlay repairs itself through the
+    /// blacklist-on-silence rule).
+    pub fn schedule_kill<E: Engine + ?Sized>(&mut self, engine: &mut E, peer: PeerId, at: SimTime) {
+        engine.schedule_crash(at, NodeId(peer.0));
+        self.dead.insert(peer);
+    }
+
+    /// Schedules `peer` to recover at simulated time `at`, state intact,
+    /// and re-arms its round timer so gossip resumes: its stale view heals
+    /// as fresh descriptors flow in, and the rest of the population
+    /// re-learns it from the descriptors it pushes.
+    pub fn revive<E: Engine + ?Sized>(&mut self, engine: &mut E, peer: PeerId, at: SimTime) {
+        engine.schedule_recover(at, NodeId(peer.0));
+        // Timers of crashed nodes are dropped at fire time, so the round
+        // chain broke at the crash — restart it one period after recovery
+        // (membership sorts before timers in the same slot, so even an
+        // `at`-aligned timer would find the node alive).
+        engine.schedule_timer(at + self.config.round_period, NodeId(peer.0), 0);
+        self.dead.remove(&peer);
+    }
+
+    /// Schedules `peer` to leave at `at` and rejoin at `rejoin_at` with a
+    /// **fresh** protocol state, bootstrapped on its ring successor among
+    /// the currently alive population (the directory-assisted re-entry of
+    /// the paper's bootstrap, §V-D). The rejoined node runs
+    /// `config.rounds` new gossip rounds; its first fires one round period
+    /// after the rejoin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is not part of the overlay or no other peer is
+    /// alive to bootstrap from.
+    pub fn schedule_rejoin<E: Engine + ?Sized>(
+        &mut self,
+        engine: &mut E,
+        peer: PeerId,
+        at: SimTime,
+        rejoin_at: SimTime,
+    ) {
+        let position = self
+            .handles
+            .iter()
+            .position(|(id, _)| *id == peer)
+            .expect("peer must be part of the overlay");
+        let successor = (1..self.handles.len())
+            .map(|offset| self.handles[(position + offset) % self.handles.len()].0)
+            .find(|candidate| !self.dead.contains(candidate) && *candidate != peer)
+            .expect("need an alive peer to bootstrap the rejoin from");
+        engine.schedule_leave(at, NodeId(peer.0));
+        let mut node = PeerSamplingNode::new(peer, self.config.protocol);
+        node.bootstrap([successor]);
+        let handle = Arc::new(Mutex::new(node));
+        self.handles[position].1 = handle.clone();
+        engine.schedule_join(
+            rejoin_at,
+            NodeId(peer.0),
+            Box::new(GossipBehavior {
+                node: handle,
+                rng: node_rng(self.seed, peer.0),
+                rounds_left: self.config.rounds,
+                round_period: self.config.round_period,
+                awaiting: None,
+            }),
+        );
+        engine.schedule_timer(rejoin_at + self.config.round_period, NodeId(peer.0), 0);
+        // Dead only for the `[at, rejoin_at)` window; the overlay is
+        // inspected after the run, when the peer is back.
+        self.dead.remove(&peer);
     }
 
     /// Number of alive nodes.
@@ -302,6 +377,108 @@ mod tests {
             "dead references still at {:.2}",
             metrics.dead_references
         );
+    }
+
+    #[test]
+    fn revived_nodes_resume_gossip_and_heal_their_views() {
+        let mut simulation = Simulation::new(17);
+        let config = EngineGossipConfig {
+            rounds: 120,
+            ..EngineGossipConfig::default()
+        };
+        let mut overlay = EngineGossipOverlay::ring(&mut simulation, 50, config, 17);
+        // Ten nodes crash mid-run and recover 30 s later.
+        for i in 0..10 {
+            overlay.schedule_kill(&mut simulation, PeerId(i), SimTime::from_secs(20));
+            overlay.revive(&mut simulation, PeerId(i), SimTime::from_secs(50));
+        }
+        simulation.run();
+        let metrics = overlay.metrics();
+        assert_eq!(metrics.nodes, 50, "revived nodes count as alive again");
+        assert!(metrics.connected, "the healed overlay must reconnect");
+        assert!(
+            metrics.dead_references < 0.05,
+            "dead references at {:.2} after healing",
+            metrics.dead_references
+        );
+        // The revived nodes gossiped again: their views are full.
+        for (id, peers) in overlay.views() {
+            if id.0 < 10 {
+                assert!(
+                    peers.len() >= 10,
+                    "revived node {id:?} still has a starved view ({})",
+                    peers.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejoined_nodes_restart_from_a_live_successor() {
+        let mut simulation = Simulation::new(23);
+        let config = EngineGossipConfig {
+            rounds: 120,
+            ..EngineGossipConfig::default()
+        };
+        let mut overlay = EngineGossipOverlay::ring(&mut simulation, 40, config, 23);
+        for i in 0..5 {
+            overlay.schedule_rejoin(
+                &mut simulation,
+                PeerId(i),
+                SimTime::from_secs(15),
+                SimTime::from_secs(45),
+            );
+        }
+        simulation.run();
+        let metrics = overlay.metrics();
+        assert_eq!(metrics.nodes, 40);
+        assert!(metrics.connected);
+        for (id, peers) in overlay.views() {
+            if id.0 < 5 {
+                assert!(
+                    peers.len() >= 10,
+                    "rejoined node {id:?} failed to repopulate its view ({})",
+                    peers.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churned_overlay_is_bit_identical_across_engines() {
+        let run = |engine: &mut dyn Engine| {
+            let config = EngineGossipConfig {
+                rounds: 60,
+                ..EngineGossipConfig::default()
+            };
+            let mut overlay = EngineGossipOverlay::ring(engine, 40, config, 31);
+            for i in 0..4 {
+                overlay.schedule_kill(engine, PeerId(i), SimTime::from_secs(10));
+                overlay.revive(engine, PeerId(i), SimTime::from_secs(25));
+            }
+            overlay.schedule_rejoin(
+                engine,
+                PeerId(20),
+                SimTime::from_secs(12),
+                SimTime::from_secs(30),
+            );
+            engine.run();
+            let mut views = overlay.views();
+            for (_, peers) in &mut views {
+                peers.sort_unstable();
+            }
+            views
+        };
+        let mut sequential = Simulation::new(31);
+        let expected = run(&mut sequential);
+        for shards in [2, 4, 8] {
+            let mut engine = ShardedEngine::new(31, shards);
+            assert_eq!(
+                run(&mut engine),
+                expected,
+                "churned views diverged with {shards} shards"
+            );
+        }
     }
 
     #[test]

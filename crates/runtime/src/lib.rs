@@ -29,4 +29,4 @@ pub mod shard;
 
 pub use cyclosa_net::engine::Engine;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use shard::{shard_of, ShardedEngine};
+pub use shard::{shard_of, EngineConfigError, ShardedEngine};

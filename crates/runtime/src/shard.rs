@@ -41,7 +41,10 @@
 //! assert_eq!(engine.stats().delivered, 2);
 //! ```
 
-use cyclosa_net::engine::{Engine, EventClass, EventKey, EventKind, LinkTable, ScheduledEvent};
+use cyclosa_net::engine::{
+    Engine, EventClass, EventKey, EventKind, LinkTable, LossSchedule, MembershipChange,
+    MembershipLedger, ScheduledEvent,
+};
 use cyclosa_net::latency::LatencyModel;
 use cyclosa_net::sim::{Action, Context, Envelope, NodeBehavior, SimulationStats};
 use cyclosa_net::time::SimTime;
@@ -55,10 +58,50 @@ use std::sync::{Barrier, Mutex};
 /// The shard that owns `node` in an engine with `shards` shards.
 ///
 /// Uses a SplitMix64 hash of the id so that dense id ranges spread evenly.
+/// Nodes joining mid-run hash exactly like seed nodes — membership never
+/// changes the partitioning function.
 pub fn shard_of(node: NodeId, shards: usize) -> usize {
     debug_assert!(shards > 0);
     (SplitMix64::new(node.0).next_u64() % shards as u64) as usize
 }
+
+/// A configuration the sharded engine cannot execute.
+///
+/// Returned by the fallible construction/validation surface
+/// ([`ShardedEngine::try_new`], [`ShardedEngine::validate`],
+/// [`ShardedEngine::try_run`]); the infallible [`Engine`] methods panic
+/// with the same message instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineConfigError {
+    /// The engine was asked for zero worker shards.
+    ZeroShards,
+    /// Some configured latency model has no positive floor, so no
+    /// conservative window width is safe (a zero-latency link admits
+    /// same-instant cross-shard deliveries that cannot be ordered
+    /// deterministically).
+    ZeroLatencyFloor {
+        /// The offending model.
+        model: LatencyModel,
+    },
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineConfigError::ZeroShards => write!(f, "an engine needs at least one shard"),
+            EngineConfigError::ZeroLatencyFloor { model } => write!(
+                f,
+                "sharded execution requires every configured latency model to have a \
+                 positive floor (a zero-latency link admits same-instant cross-shard \
+                 deliveries, which no conservative window can order deterministically); \
+                 {model:?} has floor 0 — use the sequential Simulation for zero-latency \
+                 topologies"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
 
 /// One shard: a slice of the node population plus everything needed to run
 /// their events locally (heap, per-link state for links originating here,
@@ -72,8 +115,9 @@ struct Shard {
     links: LinkTable,
     default_latency: LatencyModel,
     link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
-    loss_probability: f64,
+    loss: LossSchedule,
     timer_sequences: HashMap<NodeId, u64>,
+    membership: MembershipLedger<Box<dyn NodeBehavior + Send>>,
     clock: SimTime,
     processed: u64,
     stats: SimulationStats,
@@ -90,8 +134,9 @@ impl Shard {
             links: LinkTable::new(seed),
             default_latency: LatencyModel::wan(),
             link_latency: HashMap::new(),
-            loss_probability: 0.0,
+            loss: LossSchedule::new(),
             timer_sequences: HashMap::new(),
+            membership: MembershipLedger::new(),
             clock: SimTime::ZERO,
             processed: 0,
             stats: SimulationStats::default(),
@@ -114,9 +159,10 @@ impl Shard {
     /// the sender's deterministic order.
     fn prepare_send(&mut self, at: SimTime, envelope: Envelope) -> Option<ScheduledEvent> {
         let model = self.link_model(envelope.src, envelope.dst);
+        let loss = self.loss.at(at);
         match self
             .links
-            .prepare(at, envelope.src, envelope.dst, model, self.loss_probability)
+            .prepare(at, envelope.src, envelope.dst, model, loss)
         {
             None => {
                 self.stats.lost += 1;
@@ -148,6 +194,14 @@ impl Shard {
         self.queue.push(Reverse(ScheduledEvent {
             key,
             kind: EventKind::Timer { token },
+        }));
+    }
+
+    fn schedule_membership(&mut self, at: SimTime, node: NodeId, change: MembershipChange) {
+        let key = self.membership.next_key(at, node, change);
+        self.queue.push(Reverse(ScheduledEvent {
+            key,
+            kind: EventKind::Membership(change),
         }));
     }
 
@@ -188,6 +242,28 @@ impl Shard {
                             .on_timer(&mut ctx, token);
                     }
                 }
+                EventKind::Membership(change) => match change {
+                    MembershipChange::Join => {
+                        if let Some(behavior) = self.membership.take_join(node, event.key.a) {
+                            self.nodes.insert(node, behavior);
+                            self.crashed.remove(&node);
+                            self.stats.joined += 1;
+                        }
+                    }
+                    MembershipChange::Leave => {
+                        self.nodes.remove(&node);
+                        self.crashed.remove(&node);
+                        self.stats.left += 1;
+                    }
+                    MembershipChange::Crash => {
+                        self.crashed.insert(node);
+                        self.stats.crashed += 1;
+                    }
+                    MembershipChange::Recover => {
+                        self.crashed.remove(&node);
+                        self.stats.recovered += 1;
+                    }
+                },
             }
             for action in actions.drain(..) {
                 match action {
@@ -238,13 +314,74 @@ impl ShardedEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero.
+    /// Panics if `shards` is zero. Use [`ShardedEngine::try_new`] for a
+    /// typed error instead.
     pub fn new(seed: u64, shards: usize) -> Self {
-        assert!(shards > 0, "an engine needs at least one shard");
-        Self {
+        Self::try_new(seed, shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an engine with `shards` worker shards, seeded with `seed`,
+    /// returning [`EngineConfigError::ZeroShards`] instead of panicking on
+    /// an empty worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `shards` is zero.
+    pub fn try_new(seed: u64, shards: usize) -> Result<Self, EngineConfigError> {
+        if shards == 0 {
+            return Err(EngineConfigError::ZeroShards);
+        }
+        Ok(Self {
             shards: (0..shards).map(|i| Shard::new(i, shards, seed)).collect(),
             clock: SimTime::ZERO,
+        })
+    }
+
+    /// Checks that the current latency configuration admits a positive
+    /// conservative lookahead, i.e. that the engine can actually run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineConfigError::ZeroLatencyFloor`] naming the first
+    /// configured model whose floor is zero.
+    pub fn validate(&self) -> Result<(), EngineConfigError> {
+        let shard = &self.shards[0];
+        if shard.default_latency.floor() == SimTime::ZERO {
+            return Err(EngineConfigError::ZeroLatencyFloor {
+                model: shard.default_latency,
+            });
         }
+        for model in shard.link_latency.values() {
+            if model.floor() == SimTime::ZERO {
+                return Err(EngineConfigError::ZeroLatencyFloor { model: *model });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until no events remain, like [`Engine::run`], but returns the
+    /// configuration error instead of panicking when the latency
+    /// configuration admits no safe window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedEngine::validate`] failures.
+    pub fn try_run(&mut self) -> Result<u64, EngineConfigError> {
+        self.validate()?;
+        Ok(self.run_windows(None))
+    }
+
+    /// Runs until the clock reaches `deadline`, like [`Engine::run_until`],
+    /// but with a typed configuration error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedEngine::validate`] failures.
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<(), EngineConfigError> {
+        self.validate()?;
+        self.run_windows(Some(deadline));
+        self.clock = self.clock.max(deadline);
+        Ok(())
     }
 
     /// Number of worker shards.
@@ -284,12 +421,9 @@ impl ShardedEngine {
 
     fn run_windows(&mut self, deadline: Option<SimTime>) -> u64 {
         let lookahead = self.lookahead();
-        assert!(
+        debug_assert!(
             lookahead > SimTime::ZERO,
-            "sharded execution requires every configured latency model to have a \
-             positive floor (a zero-latency link admits same-instant cross-shard \
-             deliveries, which no conservative window can order deterministically); \
-             use the sequential Simulation for zero-latency topologies"
+            "callers must validate() before running windows"
         );
         let num_shards = self.shards.len();
         let processed_before: u64 = self.shards.iter().map(|s| s.processed).sum();
@@ -398,17 +532,51 @@ impl Engine for ShardedEngine {
     }
 
     fn set_loss_probability(&mut self, p: f64) {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "loss probability must be in [0, 1]"
-        );
         for shard in &mut self.shards {
-            shard.loss_probability = p;
+            shard.loss.set_base(p);
         }
     }
 
     fn crash(&mut self, node: NodeId) {
         self.shard_mut(node).crashed.insert(node);
+    }
+
+    fn recover(&mut self, node: NodeId) {
+        self.shard_mut(node).crashed.remove(&node);
+    }
+
+    fn schedule_join(&mut self, at: SimTime, node: NodeId, behavior: Box<dyn NodeBehavior + Send>) {
+        // Joined nodes hash to shards exactly like seed nodes; the whole
+        // membership event is local to the owning shard and rides that
+        // shard's windows in total event order.
+        let shard = self.shard_mut(node);
+        let key = shard.membership.next_key(at, node, MembershipChange::Join);
+        shard.membership.stash_join(node, key.a, behavior);
+        shard.queue.push(Reverse(ScheduledEvent {
+            key,
+            kind: EventKind::Membership(MembershipChange::Join),
+        }));
+    }
+
+    fn schedule_leave(&mut self, at: SimTime, node: NodeId) {
+        self.shard_mut(node)
+            .schedule_membership(at, node, MembershipChange::Leave);
+    }
+
+    fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.shard_mut(node)
+            .schedule_membership(at, node, MembershipChange::Crash);
+    }
+
+    fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.shard_mut(node)
+            .schedule_membership(at, node, MembershipChange::Recover);
+    }
+
+    fn schedule_loss_probability(&mut self, at: SimTime, p: f64) {
+        for shard in &mut self.shards {
+            shard.loss.schedule(at, p);
+        }
     }
 
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
@@ -435,12 +603,12 @@ impl Engine for ShardedEngine {
     }
 
     fn run(&mut self) -> u64 {
-        self.run_windows(None)
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn run_until(&mut self, deadline: SimTime) {
-        self.run_windows(Some(deadline));
-        self.clock = self.clock.max(deadline);
+        self.try_run_until(deadline)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn stats(&self) -> SimulationStats {
@@ -641,6 +809,76 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedEngine::new(1, 0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_shards_as_typed_error() {
+        assert_eq!(
+            ShardedEngine::try_new(1, 0).err(),
+            Some(EngineConfigError::ZeroShards)
+        );
+        assert!(ShardedEngine::try_new(1, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_and_try_run_report_zero_floor_as_typed_error() {
+        let mut engine = ShardedEngine::new(1, 2);
+        assert!(engine.validate().is_ok());
+        engine.set_link_latency(NodeId(0), NodeId(1), LatencyModel::Constant(SimTime::ZERO));
+        let expected = EngineConfigError::ZeroLatencyFloor {
+            model: LatencyModel::Constant(SimTime::ZERO),
+        };
+        assert_eq!(engine.validate(), Err(expected));
+        assert_eq!(engine.try_run().err(), Some(expected));
+        assert_eq!(
+            engine.try_run_until(SimTime::from_secs(1)).err(),
+            Some(expected)
+        );
+        assert!(expected.to_string().contains("positive floor"));
+    }
+
+    #[test]
+    fn scheduled_membership_matches_sequential_with_mixed_traffic() {
+        let run = |engine: &mut dyn Engine| {
+            let recorder = Recorder::new();
+            for id in 0..12 {
+                engine.add_node(NodeId(id), Box::new(recorder.clone()));
+            }
+            // Node 3 crashes and recovers; node 5 leaves; node 20 joins.
+            engine.schedule_crash(SimTime::from_millis(120), NodeId(3));
+            engine.schedule_recover(SimTime::from_millis(320), NodeId(3));
+            engine.schedule_leave(SimTime::from_millis(200), NodeId(5));
+            engine.schedule_join(
+                SimTime::from_millis(250),
+                NodeId(20),
+                Box::new(recorder.clone()),
+            );
+            for i in 0..400u32 {
+                engine.post(
+                    SimTime::from_millis(i as u64),
+                    NodeId(100 + (i % 3) as u64),
+                    NodeId((i % 21) as u64),
+                    i,
+                    vec![],
+                );
+            }
+            engine.run();
+            (recorder.take(), engine.stats())
+        };
+        let mut sequential = Simulation::new(33);
+        let expected = run(&mut sequential);
+        assert_eq!(expected.1.crashed, 1);
+        assert_eq!(expected.1.recovered, 1);
+        assert_eq!(expected.1.left, 1);
+        assert_eq!(expected.1.joined, 1);
+        assert!(
+            expected.0.contains_key(&NodeId(20)),
+            "joined node got traffic"
+        );
+        for shards in [1, 2, 4, 8] {
+            let mut sharded = ShardedEngine::new(33, shards);
+            assert_eq!(run(&mut sharded), expected, "diverged with {shards} shards");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 pub use cyclosa as core;
 pub use cyclosa_attack as attack;
 pub use cyclosa_baselines as baselines;
+pub use cyclosa_chaos as chaos;
 pub use cyclosa_crypto as crypto;
 pub use cyclosa_mechanism as mechanism;
 pub use cyclosa_net as net;

@@ -1,0 +1,241 @@
+//! The churn-determinism suite: dynamic membership — joins, leaves,
+//! crashes, recoveries and loss storms scheduled *during* a run — must
+//! keep the sharded engine bit-identical to the sequential `Simulation`
+//! for 1/2/4/8 shards, whether driven through the raw `Engine` surface, a
+//! sampled `ChaosPlan`, or the full robustness experiment of
+//! `cyclosa-chaos`.
+
+use cyclosa::deployment::{run_end_to_end_latency_on, DeploymentMetrics, EndToEndConfig};
+use cyclosa_chaos::experiment::{run_churn_experiment, run_churn_experiment_sharded, ChurnConfig};
+use cyclosa_chaos::{ChaosPlan, ChurnModel};
+use cyclosa_net::engine::Engine;
+use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
+use cyclosa_net::time::SimTime;
+use cyclosa_net::NodeId;
+use cyclosa_runtime::ShardedEngine;
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+type Trace = HashMap<NodeId, Vec<(u64, u32, usize)>>;
+
+/// Forwards every message to a pseudo-random peer until the hop budget in
+/// the tag runs out, recording everything it sees (same shape as the
+/// runtime determinism suite).
+struct ChattyNode {
+    population: u64,
+    log: Arc<Mutex<Trace>>,
+}
+
+impl NodeBehavior for ChattyNode {
+    fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+        self.log
+            .lock()
+            .unwrap()
+            .entry(ctx.self_id())
+            .or_default()
+            .push((ctx.now().as_nanos(), envelope.tag, envelope.payload.len()));
+        let hops = envelope.tag >> 20;
+        if hops == 0 {
+            return;
+        }
+        let me = ctx.self_id().0;
+        let next = (me.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ envelope.tag as u64) % self.population;
+        ctx.send(
+            NodeId(next),
+            ((hops - 1) << 20) | (envelope.tag & 0xFFFFF),
+            envelope.payload,
+        );
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        self.log
+            .lock()
+            .unwrap()
+            .entry(ctx.self_id())
+            .or_default()
+            .push((ctx.now().as_nanos(), token as u32, 0));
+    }
+}
+
+/// Deploys a chatty population and a randomized mid-run membership script:
+/// leaves, rejoins of departed nodes, brand-new joins, crash/recover
+/// cycles and a loss storm — everything the membership machinery offers.
+fn churned_trace(engine: &mut dyn Engine, case_seed: u64) -> (Trace, u64, SimulationStats) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(case_seed);
+    let population = 16 + rng.gen_range(0, 12);
+    let log = Arc::new(Mutex::new(Trace::new()));
+    let spawn = |log: &Arc<Mutex<Trace>>| -> Box<dyn NodeBehavior + Send> {
+        Box::new(ChattyNode {
+            population: population + 2,
+            log: log.clone(),
+        })
+    };
+    for id in 0..population {
+        engine.add_node(NodeId(id), spawn(&log));
+    }
+    // A node leaves and a fresh behaviour rejoins under the same id.
+    let churner = rng.gen_range(0, population);
+    engine.schedule_leave(SimTime::from_millis(200), NodeId(churner));
+    engine.schedule_join(SimTime::from_millis(700), NodeId(churner), spawn(&log));
+    // Two brand-new nodes join mid-run (they hash to shards like any seed
+    // node, so cross-shard traffic reaches them immediately).
+    engine.schedule_join(SimTime::from_millis(300), NodeId(population), spawn(&log));
+    engine.schedule_join(
+        SimTime::from_millis(450),
+        NodeId(population + 1),
+        spawn(&log),
+    );
+    // A crash/recover cycle and an unrelated permanent leave.
+    let crasher = rng.gen_range(0, population);
+    engine.schedule_crash(SimTime::from_millis(250), NodeId(crasher));
+    engine.schedule_recover(SimTime::from_millis(800), NodeId(crasher));
+    engine.schedule_leave(
+        SimTime::from_millis(600),
+        NodeId(rng.gen_range(0, population)),
+    );
+    // A loss storm in the middle of the run.
+    engine.schedule_loss_probability(SimTime::from_millis(350), 0.4);
+    engine.schedule_loss_probability(SimTime::from_millis(650), 0.0);
+    // Traffic spanning the whole script, targeting joined ids too.
+    let injections = 30 + rng.gen_index(30);
+    for i in 0..injections {
+        let hops = rng.gen_range(1, 6) as u32;
+        engine.post(
+            SimTime::from_millis(rng.gen_range(0, 1200)),
+            NodeId(5_000 + i as u64),
+            NodeId(rng.gen_range(0, population + 2)),
+            (hops << 20) | i as u32,
+            vec![0u8; rng.gen_index(32)],
+        );
+    }
+    for i in 0..8u64 {
+        engine.schedule_timer(
+            SimTime::from_millis(rng.gen_range(0, 1500)),
+            NodeId(rng.gen_range(0, population + 2)),
+            i,
+        );
+    }
+    let events = engine.run();
+    let trace = std::mem::take(&mut *log.lock().unwrap());
+    (trace, events, engine.stats())
+}
+
+#[test]
+fn mid_run_membership_is_bit_identical_across_shard_counts() {
+    for case in 0..5u64 {
+        let engine_seed = 9_000 + case;
+        let mut sequential = Simulation::new(engine_seed);
+        let expected = churned_trace(&mut sequential, case);
+        assert!(!expected.0.is_empty());
+        let stats = expected.2;
+        assert!(
+            stats.joined >= 3 && stats.left >= 1 && stats.crashed >= 1 && stats.recovered >= 1,
+            "case {case}: membership script not fully exercised: {stats:?}"
+        );
+        for shards in [1, 2, 4, 8] {
+            let mut engine = ShardedEngine::new(engine_seed, shards);
+            let observed = churned_trace(&mut engine, case);
+            assert_eq!(
+                observed, expected,
+                "case {case}: churned trace diverged with {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_experiment_outcome_is_bit_identical_for_1_2_4_8_shards() {
+    for (case, config) in [
+        ChurnConfig {
+            relays: 24,
+            k: 3,
+            queries: 40,
+            failure_rate: 0.25,
+            recover: false,
+            ..ChurnConfig::default()
+        },
+        ChurnConfig {
+            relays: 30,
+            k: 5,
+            queries: 30,
+            failure_rate: 0.4,
+            recover: true,
+            seed: 909,
+            ..ChurnConfig::default()
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let sequential = run_churn_experiment(&config);
+        assert!(
+            sequential.answered > 0,
+            "case {case}: experiment produced no samples"
+        );
+        assert!(
+            sequential.failed_relays > 0,
+            "case {case}: no churn was injected"
+        );
+        for shards in [1, 2, 4, 8] {
+            assert_eq!(
+                run_churn_experiment_sharded(&config, shards),
+                sequential,
+                "case {case}: churn outcome diverged with {shards} shards"
+            );
+        }
+    }
+}
+
+/// A sampled `ChaosPlan` (correlated bursts + loss storms) applied on top
+/// of the stock end-to-end latency experiment: relays die and links decay
+/// mid-run, and the sharded engines still reproduce the sequential latency
+/// samples exactly.
+#[test]
+fn chaos_plan_over_latency_experiment_is_bit_identical() {
+    let config = EndToEndConfig {
+        relays: 25,
+        k: 3,
+        queries: 40,
+        ..EndToEndConfig::default()
+    };
+    let relays: Vec<NodeId> = (1..=config.relays as u64).map(NodeId).collect();
+    let horizon = SimTime::from_secs(25);
+    let plan = ChurnModel::FailureBursts {
+        mean_interval: SimTime::from_secs(8),
+        burst_fraction: 0.15,
+        recover_after: Some(SimTime::from_secs(5)),
+    }
+    .sample(&relays, horizon, 40)
+    .merge(
+        ChurnModel::LossStorms {
+            mean_interval: SimTime::from_secs(9),
+            duration: SimTime::from_secs(2),
+            storm_loss: 0.3,
+            base_loss: 0.0,
+        }
+        .sample(&[], horizon, 41),
+    );
+    assert!(plan.failure_fraction(config.relays) > 0.0);
+    fn run<E: Engine>(
+        engine: &mut E,
+        plan: &ChaosPlan,
+        config: &EndToEndConfig,
+    ) -> (Vec<f64>, SimulationStats) {
+        plan.apply(engine);
+        let latencies = run_end_to_end_latency_on(engine, config, &DeploymentMetrics::detached());
+        (latencies, engine.stats())
+    }
+    let mut sequential = Simulation::new(config.seed);
+    let expected = run(&mut sequential, &plan, &config);
+    assert!(!expected.0.is_empty());
+    assert!(expected.1.crashed > 0, "bursts must crash relays");
+    for shards in [1, 2, 4, 8] {
+        let mut engine = ShardedEngine::new(config.seed, shards);
+        assert_eq!(
+            run(&mut engine, &plan, &config),
+            expected,
+            "chaos-plan latencies diverged with {shards} shards"
+        );
+    }
+}

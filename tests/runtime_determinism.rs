@@ -8,7 +8,7 @@
 
 use cyclosa::deployment::{run_end_to_end_latency, run_end_to_end_latency_sharded, EndToEndConfig};
 use cyclosa_net::engine::Engine;
-use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation};
+use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_runtime::ShardedEngine;
@@ -139,6 +139,71 @@ fn sharded_trace_matches_sequential_for_any_shard_count() {
             );
             assert_eq!(events, expected_events);
             assert_eq!(engine.stats(), sequential.stats());
+        }
+    }
+}
+
+/// Satellite coverage for `set_loss_probability` + `crash`: the chatty
+/// workload re-run with lossy links, pre-run crashes and additional
+/// mid-run faults must stay bit-identical between the sequential
+/// simulation and every shard count.
+#[test]
+fn lossy_links_and_mid_run_faults_stay_bit_identical() {
+    let deploy = |engine: &mut dyn Engine, case_seed: u64| -> (Trace, u64, SimulationStats) {
+        engine.set_loss_probability(0.2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(case_seed ^ 0x10_55);
+        let population = 14 + rng.gen_range(0, 10);
+        let log = Arc::new(Mutex::new(Trace::new()));
+        for id in 0..population {
+            engine.add_node(
+                NodeId(id),
+                Box::new(ChattyNode {
+                    population,
+                    log: log.clone(),
+                }),
+            );
+        }
+        // A pre-run crash plus mid-run faults: a crash that recovers and a
+        // permanent leave, all as deterministic scheduled events.
+        engine.crash(NodeId(rng.gen_range(0, population)));
+        engine.schedule_crash(
+            SimTime::from_millis(150),
+            NodeId(rng.gen_range(0, population)),
+        );
+        engine.schedule_recover(
+            SimTime::from_millis(900),
+            NodeId(rng.gen_range(0, population)),
+        );
+        engine.schedule_leave(
+            SimTime::from_millis(400),
+            NodeId(rng.gen_range(0, population)),
+        );
+        for i in 0..40u64 {
+            let hops = rng.gen_range(1, 6) as u32;
+            engine.post(
+                SimTime::from_millis(rng.gen_range(0, 1500)),
+                NodeId(population + i),
+                NodeId(rng.gen_range(0, population)),
+                (hops << 20) | i as u32,
+                random_payload(&mut rng),
+            );
+        }
+        let events = engine.run();
+        let trace = std::mem::take(&mut *log.lock().unwrap());
+        (trace, events, engine.stats())
+    };
+    for case in 0..4u64 {
+        let engine_seed = 7_000 + case;
+        let mut sequential = Simulation::new(engine_seed);
+        let expected = deploy(&mut sequential, case);
+        assert!(expected.2.lost > 0, "case {case}: loss path not exercised");
+        for shards in [1, 2, 4, 8] {
+            let mut engine = ShardedEngine::new(engine_seed, shards);
+            let observed = deploy(&mut engine, case);
+            assert_eq!(
+                observed, expected,
+                "case {case}: lossy faulty trace diverged with {shards} shards"
+            );
         }
     }
 }
