@@ -5,22 +5,28 @@
 //! ```text
 //! churn [--relays N] [--k N] [--queries N] [--rates 0,0.1,...] [--seed N]
 //!       [--recover] [--shards N] [--scale small|default|paper]
-//!       [--json] [--out PATH]
+//!       [--gate POINTS] [--json] [--out PATH]
 //! ```
 //!
 //! For every failure rate the bin (1) runs the churn latency experiment of
-//! `cyclosa-chaos` (relays failing mid-run as deterministic membership
-//! events, the client blacklisting unresponsive relays and resubmitting)
-//! and (2) attacks the churn-thinned observable footprint of the CYCLOSA
-//! mechanism with the Fig. 5 harness. Before timing anything it re-checks
-//! that a sharded run reproduces the sequential outcome bit for bit. With
-//! `--json` the curves land in `BENCH_churn.json`.
+//! `cyclosa-chaos` with the adaptive-k healing path active (relays failing
+//! mid-run as deterministic membership events, the client blacklisting
+//! unresponsive relays and resubmitting the real query *plus* the topped-up
+//! fake shortfall) and (2) attacks the observable footprint of **both**
+//! mechanism wrappers with the Fig. 5 harness: fixed-k (`ChurnedMechanism`,
+//! fakes thin at the failure rate) against adaptive-k
+//! (`AdaptiveChurnedMechanism`, every swallowed fake is redrawn and
+//! resubmitted). Before timing anything it re-checks that a sharded run
+//! reproduces the sequential outcome bit for bit. With `--json` the curves
+//! land in `BENCH_churn.json`; with `--gate P` the bin exits non-zero when
+//! the adaptive attack accuracy at the highest failure rate exceeds the
+//! failure-free baseline by more than `P` points.
 
 use cyclosa_attack::evaluation::evaluate_reidentification_with;
 use cyclosa_attack::simattack::SimAttack;
 use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
 use cyclosa_chaos::experiment::{run_churn_experiment, run_churn_experiment_sharded, ChurnConfig};
-use cyclosa_chaos::ChurnedMechanism;
+use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism};
 use cyclosa_util::json::{Json, ToJson};
 use cyclosa_util::stats::Summary;
 
@@ -34,6 +40,7 @@ struct Options {
     recover: bool,
     shards: usize,
     scale: ExperimentScale,
+    gate: Option<f64>,
     json: bool,
     out: String,
 }
@@ -49,6 +56,7 @@ impl Default for Options {
             recover: false,
             shards: 4,
             scale: ExperimentScale::Small,
+            gate: None,
             json: false,
             out: "BENCH_churn.json".to_owned(),
         }
@@ -109,6 +117,14 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--scale needs a value")?;
                 options.scale = value.parse()?;
             }
+            "--gate" => {
+                let value = args.next().ok_or("--gate needs a value in points")?;
+                let points: f64 = value.parse().map_err(|_| "bad --gate".to_owned())?;
+                if !points.is_finite() || points < 0.0 {
+                    return Err("--gate must be a non-negative number of points".into());
+                }
+                options.gate = Some(points);
+            }
             "--json" => options.json = true,
             "--out" => {
                 options.out = args.next().ok_or("--out needs a path")?;
@@ -117,7 +133,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: churn [--relays N] [--k N] [--queries N] [--rates R,R,...] \
                      [--seed N] [--recover] [--shards N] [--scale small|default|paper] \
-                     [--json] [--out PATH]"
+                     [--gate POINTS] [--json] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -130,7 +146,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
-/// One point of the robustness curve.
+/// One point of the robustness curves (fixed-k and adaptive-k).
 struct CurvePoint {
     failure_rate: f64,
     median_s: f64,
@@ -138,9 +154,14 @@ struct CurvePoint {
     answered: usize,
     unanswered: usize,
     retries: u64,
+    experiment_fakes_topped_up: u64,
     failed_relays: usize,
     attack_rate_percent: f64,
     attack_engine_requests: usize,
+    attack_rate_adaptive_percent: f64,
+    attack_adaptive_engine_requests: usize,
+    adaptive_fakes_topped_up: u64,
+    adaptive_degraded_queries: u64,
 }
 
 impl ToJson for CurvePoint {
@@ -153,6 +174,10 @@ impl ToJson for CurvePoint {
             ("unanswered".to_owned(), Json::U64(self.unanswered as u64)),
             ("retries".to_owned(), Json::U64(self.retries)),
             (
+                "experiment_fakes_topped_up".to_owned(),
+                Json::U64(self.experiment_fakes_topped_up),
+            ),
+            (
                 "failed_relays".to_owned(),
                 Json::U64(self.failed_relays as u64),
             ),
@@ -163,6 +188,22 @@ impl ToJson for CurvePoint {
             (
                 "attack_engine_requests".to_owned(),
                 Json::U64(self.attack_engine_requests as u64),
+            ),
+            (
+                "attack_rate_adaptive_percent".to_owned(),
+                Json::F64(self.attack_rate_adaptive_percent),
+            ),
+            (
+                "attack_adaptive_engine_requests".to_owned(),
+                Json::U64(self.attack_adaptive_engine_requests as u64),
+            ),
+            (
+                "adaptive_fakes_topped_up".to_owned(),
+                Json::U64(self.adaptive_fakes_topped_up),
+            ),
+            (
+                "adaptive_degraded_queries".to_owned(),
+                Json::U64(self.adaptive_degraded_queries),
             ),
         ])
     }
@@ -204,8 +245,15 @@ fn main() {
     }
 
     println!(
-        "{:>8}  {:>10}  {:>10}  {:>9}  {:>7}  {:>12}",
-        "failure", "median(s)", "p95(s)", "answered", "retries", "attack(%)"
+        "{:>8}  {:>10}  {:>10}  {:>9}  {:>7}  {:>9}  {:>12}  {:>12}",
+        "failure",
+        "median(s)",
+        "p95(s)",
+        "answered",
+        "retries",
+        "topped",
+        "fixed(%)",
+        "adaptive(%)"
     );
     let mut points = Vec::new();
     for &rate in &options.rates {
@@ -216,30 +264,45 @@ fn main() {
             seed: options.seed,
             failure_rate: rate,
             recover: options.recover,
+            adaptive: true,
             ..ChurnConfig::default()
         };
         let outcome = run_churn_experiment(&config);
         let summary = Summary::from_samples(&outcome.latencies);
+        assert_eq!(
+            outcome.clamped_samples, 0,
+            "negative round trips must never be recorded"
+        );
 
-        let mut mechanism =
+        // Fixed-k: fakes on dead relays simply vanish.
+        let mut fixed =
             ChurnedMechanism::new(setup.cyclosa(PRIVACY_K), rate, options.seed ^ 0xC4A0);
         let mut rng = setup.rng(0xC4A0 ^ (rate * 1000.0) as u64);
-        let report = evaluate_reidentification_with(
+        let fixed_report =
+            evaluate_reidentification_with(&adversary, &mut fixed, &setup.test_queries, &mut rng);
+
+        // Adaptive-k: every swallowed fake is redrawn and resubmitted.
+        let mut adaptive =
+            AdaptiveChurnedMechanism::new(setup.cyclosa(PRIVACY_K), rate, options.seed ^ 0xADA7);
+        let mut rng = setup.rng(0xADA7 ^ (rate * 1000.0) as u64);
+        let adaptive_report = evaluate_reidentification_with(
             &adversary,
-            &mut mechanism,
+            &mut adaptive,
             &setup.test_queries,
             &mut rng,
         );
 
         println!(
-            "{:>8.2}  {:>10.3}  {:>10.3}  {:>6}/{:<3}  {:>7}  {:>12.2}",
+            "{:>8.2}  {:>10.3}  {:>10.3}  {:>6}/{:<3}  {:>7}  {:>9}  {:>12.2}  {:>12.2}",
             rate,
             summary.median,
             summary.p95,
             outcome.answered,
             outcome.answered + outcome.unanswered,
             outcome.retries,
-            report.rate_percent()
+            outcome.fakes_topped_up,
+            fixed_report.rate_percent(),
+            adaptive_report.rate_percent()
         );
         points.push(CurvePoint {
             failure_rate: rate,
@@ -248,9 +311,14 @@ fn main() {
             answered: outcome.answered,
             unanswered: outcome.unanswered,
             retries: outcome.retries,
+            experiment_fakes_topped_up: outcome.fakes_topped_up,
             failed_relays: outcome.failed_relays,
-            attack_rate_percent: report.rate_percent(),
-            attack_engine_requests: report.engine_requests,
+            attack_rate_percent: fixed_report.rate_percent(),
+            attack_engine_requests: fixed_report.engine_requests,
+            attack_rate_adaptive_percent: adaptive_report.rate_percent(),
+            attack_adaptive_engine_requests: adaptive_report.engine_requests,
+            adaptive_fakes_topped_up: adaptive.fakes_topped_up(),
+            adaptive_degraded_queries: adaptive.degraded_queries(),
         });
     }
 
@@ -277,6 +345,40 @@ fn main() {
                 eprintln!("error: cannot write {}: {err}", options.out);
                 std::process::exit(1);
             }
+        }
+    }
+
+    // Privacy regression gate: the whole point of adaptive-k repair is
+    // that attack accuracy under heavy churn stays near the failure-free
+    // baseline. Compare the adaptive curve at the highest swept failure
+    // rate against the true failure-free point — a lowest-nonzero stand-in
+    // would silently loosen the budget.
+    if let Some(gate) = options.gate {
+        let Some(baseline) = points.iter().find(|p| p.failure_rate == 0.0) else {
+            eprintln!("error: --gate needs the failure-free baseline; include 0 in --rates");
+            std::process::exit(2);
+        };
+        let stressed = points
+            .iter()
+            .max_by(|a, b| a.failure_rate.total_cmp(&b.failure_rate))
+            .expect("at least one rate");
+        let drift = stressed.attack_rate_adaptive_percent - baseline.attack_rate_percent;
+        eprintln!(
+            "# gate: adaptive {:.2}% at failure {:.2} vs baseline {:.2}% at failure {:.2} \
+             (drift {:+.2} points, budget {:.2})",
+            stressed.attack_rate_adaptive_percent,
+            stressed.failure_rate,
+            baseline.attack_rate_percent,
+            baseline.failure_rate,
+            drift,
+            gate
+        );
+        if drift > gate {
+            eprintln!(
+                "error: adaptive-k attack accuracy drifted {drift:.2} points above the \
+                 failure-free baseline (budget {gate:.2})"
+            );
+            std::process::exit(1);
         }
     }
 }

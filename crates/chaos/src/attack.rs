@@ -8,8 +8,20 @@
 //! arrives. [`ChurnedMechanism`] applies exactly that filter on top of any
 //! [`Mechanism`], which lets the existing Fig. 5 evaluation harness
 //! produce the paper's attack-accuracy-vs-failure-rate robustness curve.
+//!
+//! [`AdaptiveChurnedMechanism`] models the *repaired* protocol
+//! (`CyclosaNode::reselect_relay` plan repair): every fake the churn
+//! swallows is redrawn from the mechanism's own fake pool
+//! ([`FakeReplenisher`]) and resubmitted through a fresh relay — which can
+//! itself fail, so top-ups are retried a bounded number of rounds. Sweeping
+//! both wrappers through the Fig. 5 harness plots fixed-k against
+//! adaptive-k attack accuracy across failure rates; the adaptive curve
+//! stays near the failure-free baseline.
 
-use cyclosa_mechanism::{Mechanism, MechanismProperties, ProtectionOutcome, Query};
+use cyclosa_mechanism::{
+    FakeReplenisher, Mechanism, MechanismProperties, ObservedRequest, ProtectionOutcome, Query,
+    SourceIdentity,
+};
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
 
 /// A mechanism whose observable footprint is thinned by relay failures.
@@ -75,6 +87,142 @@ impl<M: Mechanism> Mechanism for ChurnedMechanism<M> {
     }
 }
 
+/// A mechanism whose footprint is thinned by relay failures **and repaired
+/// by adaptive-k top-ups**: each fake the churn drops is redrawn from the
+/// inner mechanism's fake pool and resubmitted through a fresh relay, for
+/// up to `max_topup_rounds` rounds (each resubmission can die too). This
+/// is the attack-model twin of the `CyclosaNode::reselect_relay` plan
+/// repair: the engine keeps observing (close to) the assessed `k` fakes
+/// per real query no matter how many relays failed.
+///
+/// Both the drop sampling and the top-up draws run on dedicated RNG
+/// streams owned by the wrapper, so the inner mechanism's own draws — and
+/// therefore the surviving original requests — are textually identical to
+/// the failure-free run.
+#[derive(Debug)]
+pub struct AdaptiveChurnedMechanism<M> {
+    inner: M,
+    failure_rate: f64,
+    churn_rng: Xoshiro256StarStar,
+    topup_rng: Xoshiro256StarStar,
+    max_topup_rounds: u32,
+    fakes_topped_up: u64,
+    degraded_queries: u64,
+}
+
+impl<M: Mechanism + FakeReplenisher> AdaptiveChurnedMechanism<M> {
+    /// Default bound on top-up rounds per query, mirroring the healing
+    /// path's `max_retries` in the latency experiment.
+    pub const DEFAULT_TOPUP_ROUNDS: u32 = 5;
+
+    /// Wraps `inner` with drop probability `failure_rate` and adaptive
+    /// top-ups, sampling both from streams derived from `churn_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_rate` is not in `[0, 1]`.
+    pub fn new(inner: M, failure_rate: f64, churn_seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&failure_rate),
+            "failure rate must be in [0, 1]"
+        );
+        Self {
+            inner,
+            failure_rate,
+            churn_rng: Xoshiro256StarStar::seed_from_u64(churn_seed ^ 0xC4A0_5EED),
+            topup_rng: Xoshiro256StarStar::seed_from_u64(churn_seed ^ 0x70FF_5EED),
+            max_topup_rounds: Self::DEFAULT_TOPUP_ROUNDS,
+            fakes_topped_up: 0,
+            degraded_queries: 0,
+        }
+    }
+
+    /// Overrides the bound on top-up rounds per query.
+    pub fn with_max_topup_rounds(mut self, rounds: u32) -> Self {
+        self.max_topup_rounds = rounds;
+        self
+    }
+
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Replacement fakes drawn so far (resubmissions included).
+    pub fn fakes_topped_up(&self) -> u64 {
+        self.fakes_topped_up
+    }
+
+    /// Queries that still went out below their fake target after the last
+    /// top-up round (bounded retries exhausted or fake pool empty).
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries
+    }
+}
+
+impl<M: Mechanism + FakeReplenisher> Mechanism for AdaptiveChurnedMechanism<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        self.inner.properties()
+    }
+
+    fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
+        let mut outcome = self.inner.protect(query, rng);
+        let failure_rate = self.failure_rate;
+        if failure_rate <= 0.0 {
+            return outcome;
+        }
+        let target = outcome
+            .observed
+            .iter()
+            .filter(|r| !r.carries_real_query)
+            .count();
+        // The real query always survives (resubmitted by the healing
+        // path); original fakes die with their relays.
+        outcome
+            .observed
+            .retain(|r| r.carries_real_query || !self.churn_rng.gen_bool(failure_rate));
+        let mut live = outcome
+            .observed
+            .iter()
+            .filter(|r| !r.carries_real_query)
+            .count();
+        // Adaptive repair: redraw the shortfall and resubmit through fresh
+        // relays; a resubmitted fake can die too, hence bounded rounds.
+        let mut rounds = 0;
+        while live < target && rounds < self.max_topup_rounds {
+            rounds += 1;
+            let replacements =
+                self.inner
+                    .replenish_fakes(target - live, &query.text, &mut self.topup_rng);
+            if replacements.is_empty() {
+                break;
+            }
+            for text in replacements {
+                self.fakes_topped_up += 1;
+                // Two client→relay messages per resubmission attempt
+                // (request out, response back), like the original paths.
+                outcome.relay_messages = outcome.relay_messages.saturating_add(2);
+                if !self.churn_rng.gen_bool(failure_rate) {
+                    outcome.observed.push(ObservedRequest {
+                        source: SourceIdentity::Anonymous,
+                        text,
+                        carries_real_query: false,
+                    });
+                    live += 1;
+                }
+            }
+        }
+        if live < target {
+            self.degraded_queries += 1;
+        }
+        outcome
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +260,19 @@ mod tests {
                 delivery: ResultsDelivery::ExactQuery,
                 relay_messages: 20,
             }
+        }
+    }
+
+    impl FakeReplenisher for TenRequests {
+        fn replenish_fakes(
+            &mut self,
+            count: usize,
+            _reference: &str,
+            rng: &mut Xoshiro256StarStar,
+        ) -> Vec<String> {
+            (0..count)
+                .map(|_| format!("topup number {}", rng.next_u64() % 1000))
+                .collect()
         }
     }
 
@@ -165,5 +326,72 @@ mod tests {
     #[should_panic(expected = "failure rate")]
     fn invalid_failure_rate_rejected() {
         let _ = ChurnedMechanism::new(TenRequests, 1.2, 0);
+    }
+
+    #[test]
+    fn adaptive_top_ups_restore_the_fake_complement() {
+        let mut adaptive = AdaptiveChurnedMechanism::new(TenRequests, 0.5, 7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let mut fakes = 0usize;
+        for _ in 0..200 {
+            fakes += adaptive.protect(&query(), &mut rng).observed.len() - 1;
+        }
+        let mean = fakes as f64 / 200.0;
+        // Residual shortfall after 5 bounded rounds at 50 % loss is 0.5^6
+        // per slot — the complement stays essentially full.
+        assert!(mean > 8.5, "mean surviving fakes {mean}");
+        assert!(adaptive.fakes_topped_up() > 0, "repair path not exercised");
+    }
+
+    #[test]
+    fn adaptive_gives_up_after_bounded_rounds_at_total_failure() {
+        let mut adaptive = AdaptiveChurnedMechanism::new(TenRequests, 1.0, 8);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let outcome = adaptive.protect(&query(), &mut rng);
+        assert_eq!(outcome.observed.len(), 1, "only the real query survives");
+        assert!(outcome.observed[0].carries_real_query);
+        assert_eq!(adaptive.degraded_queries(), 1);
+        assert_eq!(
+            adaptive.fakes_topped_up(),
+            u64::from(AdaptiveChurnedMechanism::<TenRequests>::DEFAULT_TOPUP_ROUNDS) * 9,
+            "every round redraws the full shortfall"
+        );
+    }
+
+    #[test]
+    fn adaptive_zero_failure_rate_is_a_passthrough() {
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(9);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(9);
+        let plain = TenRequests.protect(&query(), &mut rng_a);
+        let mut adaptive = AdaptiveChurnedMechanism::new(TenRequests, 0.0, 9);
+        let repaired = adaptive.protect(&query(), &mut rng_b);
+        assert_eq!(plain, repaired);
+        assert_eq!(adaptive.fakes_topped_up(), 0);
+        assert_eq!(adaptive.degraded_queries(), 0);
+    }
+
+    #[test]
+    fn adaptive_does_not_perturb_the_inner_mechanism_stream() {
+        // Surviving *original* requests are a subsequence of the
+        // failure-free observation; top-ups only ever append.
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(10);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(10);
+        let full = TenRequests.protect(&query(), &mut rng_a);
+        let mut adaptive = AdaptiveChurnedMechanism::new(TenRequests, 0.5, 11);
+        let repaired = adaptive.protect(&query(), &mut rng_b);
+        let full_texts: Vec<&str> = full.observed.iter().map(|r| r.text.as_str()).collect();
+        let mut cursor = 0;
+        for request in repaired
+            .observed
+            .iter()
+            .filter(|r| !r.text.starts_with("topup"))
+        {
+            let position = full_texts[cursor..]
+                .iter()
+                .position(|t| *t == request.text)
+                .expect("surviving originals must come from the full run in order");
+            cursor += position + 1;
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "caller RNG in lockstep");
     }
 }

@@ -55,6 +55,12 @@ pub struct ChurnConfig {
     pub retry_timeout: SimTime,
     /// Maximum resubmissions per query.
     pub max_retries: u32,
+    /// Adaptive-k plan repair: when a resubmission fires, the client also
+    /// re-assesses the fake complement of that query (fakes on relays it
+    /// has meanwhile blacklisted are presumed lost) and resubmits the
+    /// shortfall through fresh relays, so the dilution target keeps
+    /// holding through churn instead of only at plan time.
+    pub adaptive: bool,
     /// SGX transition cost model of the relays.
     pub cost: CostModel,
     /// Client-side serialization delay per outgoing request.
@@ -73,6 +79,7 @@ impl Default for ChurnConfig {
             downtime: SimTime::from_secs(20),
             retry_timeout: SimTime::from_secs(3),
             max_retries: 5,
+            adaptive: false,
             cost: CostModel::default(),
             client_uplink_per_request: SimTime::from_millis(45),
         }
@@ -132,6 +139,12 @@ pub struct ChurnOutcome {
     pub unanswered: usize,
     /// Real-query resubmissions performed by the healing path.
     pub retries: u64,
+    /// Replacement fakes resubmitted by the adaptive-k repair (0 when the
+    /// run was not adaptive).
+    pub fakes_topped_up: u64,
+    /// Latency samples whose round-trip came out negative and were clamped
+    /// to zero — always 0 unless an event-ordering bug slipped in.
+    pub clamped_samples: u64,
     /// Relays the failure plan took down.
     pub failed_relays: usize,
     /// Raw engine counters (losses, drops on dead relays, membership).
@@ -143,6 +156,8 @@ struct ClientSink {
     latencies: Vec<f64>,
     answered: usize,
     retries: u64,
+    fakes_topped_up: u64,
+    clamped_samples: u64,
 }
 
 struct RelayBehavior {
@@ -204,6 +219,7 @@ struct ClientBehavior {
     rng: Xoshiro256StarStar,
     retry_timeout: SimTime,
     max_retries: u32,
+    adaptive: bool,
     uplink_per_request: SimTime,
     sent_at: Vec<Option<SimTime>>,
     answered: Vec<bool>,
@@ -211,6 +227,10 @@ struct ClientBehavior {
     /// The relay currently entrusted with each query's *real* request —
     /// the one blacklisted and replaced if no answer arrives in time.
     real_relay: Vec<Option<NodeId>>,
+    /// The relays each query's fakes were entrusted to — the adaptive
+    /// repair re-assesses this set against the blacklist on every retry
+    /// and resubmits the shortfall.
+    fake_relays: Vec<Vec<NodeId>>,
     /// Relays the client has given up on (paper §IV: unresponsive proxies
     /// are blacklisted client-side).
     blacklist: HashSet<NodeId>,
@@ -228,6 +248,7 @@ impl ClientBehavior {
             self.answered.resize(seq + 1, false);
             self.attempts.resize(seq + 1, 0);
             self.real_relay.resize(seq + 1, None);
+            self.fake_relays.resize(seq + 1, Vec::new());
         }
     }
 
@@ -266,6 +287,8 @@ impl ClientBehavior {
             );
             if slot == real_slot {
                 self.real_relay[seq] = Some(usable[relay_index]);
+            } else {
+                self.fake_relays[seq].push(usable[relay_index]);
             }
             self.defer_send(ctx, usable[relay_index], payload.into_bytes(), slot as u64);
         }
@@ -287,11 +310,60 @@ impl ClientBehavior {
         }
         self.attempts[seq] += 1;
         self.sink.lock().expect("sink poisoned").retries += 1;
-        let replacement = usable[self.rng.gen_index(usable.len())];
+        // Keep the plan's relays distinct (the core repair's
+        // `draw_distinct_relay` rule): prefer a replacement not already
+        // carrying one of this query's fakes, falling back to any usable
+        // relay only when the population is too depleted to avoid it.
+        let fakes = &self.fake_relays[seq];
+        let distinct: Vec<NodeId> = usable
+            .iter()
+            .copied()
+            .filter(|r| !fakes.contains(r))
+            .collect();
+        let pool = if distinct.is_empty() {
+            &usable
+        } else {
+            &distinct
+        };
+        let replacement = pool[self.rng.gen_index(pool.len())];
         self.real_relay[seq] = Some(replacement);
         let payload = format!("{}|{}|R|query number {} terms", ctx.self_id().0, seq, seq);
         self.defer_send(ctx, replacement, payload.into_bytes(), 0);
+        if self.adaptive {
+            self.top_up_fakes(ctx, seq, replacement);
+        }
         ctx.set_timer(self.retry_timeout, RETRY_BASE + seq as u64);
+    }
+
+    /// The adaptive-k repair: fakes entrusted to meanwhile-blacklisted
+    /// relays are presumed lost with them, so the resubmission carries the
+    /// shortfall too — fresh fake requests through distinct relays not
+    /// already serving this query.
+    fn top_up_fakes(&mut self, ctx: &mut Context<'_>, seq: usize, real_replacement: NodeId) {
+        let blacklist = &self.blacklist;
+        self.fake_relays[seq].retain(|r| !blacklist.contains(r));
+        let shortfall = self.k.saturating_sub(self.fake_relays[seq].len());
+        if shortfall == 0 {
+            return;
+        }
+        let in_use = &self.fake_relays[seq];
+        let candidates: Vec<NodeId> = self
+            .usable()
+            .into_iter()
+            .filter(|r| *r != real_replacement && !in_use.contains(r))
+            .collect();
+        let picks = self
+            .rng
+            .sample_indices(candidates.len(), shortfall.min(candidates.len()));
+        let mut topped_up = 0;
+        for (slot, index) in picks.into_iter().enumerate() {
+            let relay = candidates[index];
+            let payload = format!("{}|{}|F|query number {} terms", ctx.self_id().0, seq, seq);
+            self.defer_send(ctx, relay, payload.into_bytes(), slot as u64 + 1);
+            self.fake_relays[seq].push(relay);
+            topped_up += 1;
+        }
+        self.sink.lock().expect("sink poisoned").fakes_topped_up += topped_up;
     }
 }
 
@@ -319,8 +391,23 @@ impl NodeBehavior for ClientBehavior {
             self.answered[seq] = true;
             let mut sink = self.sink.lock().expect("sink poisoned");
             sink.answered += 1;
-            sink.latencies
-                .push(ctx.now().saturating_sub(sent).as_secs_f64());
+            // A response can never precede its send; a negative round trip
+            // means the event order broke. Surface it instead of silently
+            // recording zero.
+            match ctx.now().checked_sub(sent) {
+                Some(round_trip) => sink.latencies.push(round_trip.as_secs_f64()),
+                None => {
+                    debug_assert!(
+                        false,
+                        "response at {} precedes send at {} for query {}",
+                        ctx.now(),
+                        sent,
+                        seq
+                    );
+                    sink.clamped_samples += 1;
+                    sink.latencies.push(0.0);
+                }
+            }
         }
     }
 
@@ -387,11 +474,13 @@ pub fn run_churn_experiment_on<E: Engine>(
             rng: rng.fork(2),
             retry_timeout: config.retry_timeout,
             max_retries: config.max_retries,
+            adaptive: config.adaptive,
             uplink_per_request: config.client_uplink_per_request,
             sent_at: Vec::new(),
             answered: Vec::new(),
             attempts: Vec::new(),
             real_relay: Vec::new(),
+            fake_relays: Vec::new(),
             blacklist: HashSet::new(),
             outbox: Vec::new(),
             sink: sink.clone(),
@@ -419,6 +508,8 @@ pub fn run_churn_experiment_on<E: Engine>(
         answered: sink.answered,
         unanswered: config.queries - sink.answered,
         retries: sink.retries,
+        fakes_topped_up: sink.fakes_topped_up,
+        clamped_samples: sink.clamped_samples,
         failed_relays,
         stats: engine_impl.stats(),
     }
@@ -512,5 +603,46 @@ mod tests {
                 "outcome diverged with {shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn no_latency_sample_is_ever_clamped() {
+        for (rate, recover) in [(0.0, false), (0.4, false), (0.3, true)] {
+            let outcome = run_churn_experiment(&small(rate, recover));
+            assert_eq!(
+                outcome.clamped_samples, 0,
+                "negative round trip at rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_healing_resubmits_topped_up_fakes() {
+        let fixed = run_churn_experiment(&small(0.4, false));
+        let adaptive = run_churn_experiment(&ChurnConfig {
+            adaptive: true,
+            ..small(0.4, false)
+        });
+        assert_eq!(fixed.fakes_topped_up, 0, "fixed-k runs never top up");
+        assert!(
+            adaptive.fakes_topped_up > 0,
+            "heavy churn must exercise the adaptive repair"
+        );
+        assert!(
+            adaptive.answered as f64 >= 0.95 * 40.0,
+            "only {} of 40 answered with adaptive healing",
+            adaptive.answered
+        );
+    }
+
+    #[test]
+    fn adaptive_run_without_failures_tops_nothing_up() {
+        let outcome = run_churn_experiment(&ChurnConfig {
+            adaptive: true,
+            ..small(0.0, false)
+        });
+        assert_eq!(outcome.fakes_topped_up, 0);
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.answered, 40);
     }
 }

@@ -22,7 +22,10 @@
 //!   through a fresh one) the paper describes.
 //! * [`attack`] — [`attack::ChurnedMechanism`], which thins a mechanism's
 //!   observable footprint the way relay failures do, so the Fig. 5
-//!   harness produces attack accuracy as a function of the failure rate.
+//!   harness produces attack accuracy as a function of the failure rate,
+//!   and [`attack::AdaptiveChurnedMechanism`], its adaptive-k twin that
+//!   redraws and resubmits every fake the churn swallows (the plan-repair
+//!   model) — sweep both for the fixed-vs-adaptive robustness curves.
 //!
 //! The `churn` binary of `cyclosa-bench` sweeps failure rates through
 //! both halves and writes the robustness curves to `BENCH_churn.json`.
@@ -35,7 +38,7 @@ pub mod churn;
 pub mod experiment;
 pub mod plan;
 
-pub use attack::ChurnedMechanism;
+pub use attack::{AdaptiveChurnedMechanism, ChurnedMechanism};
 pub use churn::{churn_stream, ChurnModel};
 pub use experiment::{
     run_churn_experiment, run_churn_experiment_on, run_churn_experiment_sharded, ChurnConfig,

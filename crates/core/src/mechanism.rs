@@ -16,8 +16,8 @@ use crate::config::ProtectionConfig;
 use crate::past_queries::PastQueryTable;
 use crate::sensitivity::SensitivityAnalyzer;
 use cyclosa_mechanism::{
-    Mechanism, MechanismProperties, ObservedRequest, ProtectionOutcome, Query, ResultsDelivery,
-    SourceIdentity, UserId,
+    FakeReplenisher, Mechanism, MechanismProperties, ObservedRequest, ProtectionOutcome, Query,
+    ResultsDelivery, SourceIdentity, UserId,
 };
 use cyclosa_nlp::categorizer::{CategorizerMethod, QueryCategorizer};
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
@@ -148,6 +148,20 @@ impl Cyclosa {
                     .collect()
             }
         }
+    }
+}
+
+impl FakeReplenisher for Cyclosa {
+    /// Top-up fakes come from the same pool the original fakes did (the
+    /// network-wide past-query table), so replacements are exactly as
+    /// plausible as the fakes they stand in for.
+    fn replenish_fakes(
+        &mut self,
+        count: usize,
+        reference: &str,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Vec<String> {
+        self.draw_fakes(count, reference, rng)
     }
 }
 

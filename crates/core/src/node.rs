@@ -87,6 +87,9 @@ pub struct Assignment {
 pub struct QueryPlan {
     /// The sensitivity assessment that determined `k`.
     pub assessment: SensitivityAssessment,
+    /// Index of this plan in the node's planning order (the slot of
+    /// [`NodeStats::achieved_k`] the repair path keeps up to date).
+    sequence: u64,
     assignments: Vec<Assignment>,
 }
 
@@ -112,10 +115,21 @@ impl QueryPlan {
             .filter(|a| !a.is_real)
             .map(|a| a.query.as_str())
     }
+
+    /// Index of this plan in the node's planning order.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Number of fake assignments currently alive in the plan — the `k`
+    /// the plan actually achieves after any churn repairs.
+    pub fn achieved_k(&self) -> usize {
+        self.assignments.iter().filter(|a| !a.is_real).count()
+    }
 }
 
 /// Statistics of a node's activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Queries planned on behalf of the local user.
     pub queries_planned: u64,
@@ -125,6 +139,16 @@ pub struct NodeStats {
     pub queries_relayed: u64,
     /// Relays replaced after failing to answer (the churn healing path).
     pub relays_reselected: u64,
+    /// Fresh fakes drawn by plan repair to top a plan back up to its
+    /// sensitivity target after a relay died carrying fakes.
+    pub fakes_topped_up: u64,
+    /// Repairs that could not restore the full target (view exhausted):
+    /// the query went out with weaker dilution than assessed.
+    pub plans_degraded: u64,
+    /// Per planned query (in planning order): the number of fake
+    /// assignments alive after the latest repair — the privacy level each
+    /// query actually travelled with.
+    pub achieved_k: Vec<usize>,
 }
 
 /// Builder for [`CyclosaNode`].
@@ -253,8 +277,8 @@ impl CyclosaNode {
     }
 
     /// Node activity counters.
-    pub fn stats(&self) -> NodeStats {
-        self.stats
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
     }
 
     /// The SGX platform hosting this node (provision it at the attestation
@@ -354,7 +378,11 @@ impl CyclosaNode {
             .expect("enclave initialized");
 
         // Assign the real query and the fakes to distinct relays; the relay
-        // carrying the real query is chosen uniformly among them.
+        // carrying the real query is chosen uniformly among them. `relays`
+        // always holds at least `fakes.len() + 1` peers (the fake count is
+        // capped at `relays.len() - 1` above), so the loop below places the
+        // real query in every case: `real_position < fakes.len() + 1` and
+        // every other slot in the window consumes one fake.
         let mut assignments = Vec::with_capacity(fakes.len() + 1);
         let real_position = rng.gen_index(fakes.len() + 1);
         let mut fake_iter = fakes.into_iter();
@@ -373,40 +401,57 @@ impl CyclosaNode {
                 });
             }
         }
-        // If the real position exceeded the number of assignments (possible
-        // when fewer fakes were available than planned), append it.
-        if !assignments.iter().any(|a| a.is_real) {
-            let relay = relays[rng.gen_index(relays.len())];
-            assignments.push(Assignment {
-                relay,
-                query: query_owned.clone(),
-                is_real: true,
-            });
-        }
+        debug_assert!(
+            assignments.iter().filter(|a| a.is_real).count() == 1,
+            "the assignment loop must place exactly one real query"
+        );
 
         // The user's own query enters the local linkability history.
         self.analyzer.record_own_query(query);
+        let sequence = self.stats.achieved_k.len() as u64;
+        let fake_count = assignments.iter().filter(|a| !a.is_real).count();
         self.stats.queries_planned += 1;
-        self.stats.fakes_generated += assignments.iter().filter(|a| !a.is_real).count() as u64;
+        self.stats.fakes_generated += fake_count as u64;
+        self.stats.achieved_k.push(fake_count);
         Ok(QueryPlan {
             assessment,
+            sequence,
             assignments,
         })
     }
 
     /// Heals a [`QueryPlan`] after `failed` stopped answering: the dead
     /// relay is blacklisted in the peer view (paper §IV: clients blacklist
-    /// unresponsive proxies) and every assignment it carried is handed to a
-    /// fresh relay drawn from the remaining view, distinct from the plan's
-    /// other relays when enough peers are known.
+    /// unresponsive proxies) and the plan is repaired so the privacy
+    /// target keeps holding *through* churn, not just at plan time:
     ///
-    /// Returns the replacement relay when the plan referenced `failed`, or
-    /// `None` when it did not (the peer is still blacklisted either way).
+    /// * the **real query**, if `failed` carried it, moves to a fresh relay
+    ///   drawn distinct from the plan's surviving relays when enough peers
+    ///   are known (it will be resubmitted there);
+    /// * **fakes** the dead relay carried died with it — they never reached
+    ///   the engine, so they no longer dilute the real query. The repair
+    ///   re-assesses the surviving plan against `assessment.k` and tops the
+    ///   shortfall up with fresh fakes drawn from the enclave past-query
+    ///   table (on a forked RNG stream, so repairs stay deterministic),
+    ///   each assigned to its own relay not already carrying part of the
+    ///   plan.
+    ///
+    /// [`NodeStats::achieved_k`] records, per planned query, the fake count
+    /// the plan holds after the latest repair; [`NodeStats::plans_degraded`]
+    /// counts repairs that could not restore the full target.
+    ///
+    /// Returns the relay now carrying the real query when `failed` carried
+    /// it, the first top-up relay when only fakes were lost (`None` when
+    /// the view was too exhausted to redraw any), or `None` when the plan
+    /// did not reference `failed` at all (the peer is blacklisted either
+    /// way).
     ///
     /// # Errors
     ///
-    /// Returns [`NodeError::NoPeersAvailable`] when the plan needs a
-    /// replacement but no usable peer remains in the view.
+    /// Returns [`NodeError::NoPeersAvailable`] when the *real* query needs a
+    /// replacement but no usable peer remains in the view. A fake-only
+    /// shortfall never errors: the plan degrades (and is counted as such)
+    /// so the query itself stays answerable.
     pub fn reselect_relay(
         &mut self,
         plan: &mut QueryPlan,
@@ -417,14 +462,59 @@ impl CyclosaNode {
         if !plan.assignments.iter().any(|a| a.relay == failed) {
             return Ok(None);
         }
+
+        // Move the real query first: it must survive, on a relay distinct
+        // from every other assignment of the plan when the view allows.
+        let mut primary = None;
+        if plan
+            .assignments
+            .iter()
+            .any(|a| a.is_real && a.relay == failed)
+        {
+            let replacement = self.draw_distinct_relay(plan, failed, rng)?;
+            for assignment in plan.assignments.iter_mut() {
+                if assignment.is_real {
+                    assignment.relay = replacement;
+                }
+            }
+            primary = Some(replacement);
+        }
+        // Fakes on the dead relay are lost in flight; drop them before the
+        // shortfall count so the top-up redraws them afresh.
+        plan.assignments.retain(|a| a.is_real || a.relay != failed);
+
+        let topped_up = self.top_up_fakes(plan, rng);
+        if primary.is_none() {
+            primary = topped_up.first().copied();
+        }
+        let achieved = plan.achieved_k();
+        if achieved < plan.assessment.k {
+            self.stats.plans_degraded += 1;
+        }
+        if let Some(slot) = self.stats.achieved_k.get_mut(plan.sequence as usize) {
+            *slot = achieved;
+        }
+        // Counted only once the repair went through — a NoPeersAvailable
+        // bail-out above replaced nothing.
+        self.stats.relays_reselected += 1;
+        Ok(primary)
+    }
+
+    /// Draws one relay for the real query, preferring peers not already
+    /// carrying part of `plan`; falls back to any live peer only when the
+    /// view is too small to keep the plan's relays distinct.
+    fn draw_distinct_relay(
+        &mut self,
+        plan: &QueryPlan,
+        failed: PeerId,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<PeerId, NodeError> {
         let in_use: Vec<PeerId> = plan
             .assignments
             .iter()
             .map(|a| a.relay)
             .filter(|r| *r != failed)
             .collect();
-        // Prefer a relay not already carrying part of this plan; fall back
-        // to any live peer when the view is too small to keep them distinct.
         let candidates: Vec<PeerId> = self
             .peer_sampling
             .view()
@@ -432,19 +522,59 @@ impl CyclosaNode {
             .into_iter()
             .filter(|p| !in_use.contains(p))
             .collect();
-        let replacement = if candidates.is_empty() {
+        if candidates.is_empty() {
             let fallback = self.peer_sampling.random_peers(rng, 1);
-            *fallback.first().ok_or(NodeError::NoPeersAvailable)?
+            fallback.first().copied().ok_or(NodeError::NoPeersAvailable)
         } else {
-            candidates[rng.gen_index(candidates.len())]
-        };
-        for assignment in plan.assignments.iter_mut() {
-            if assignment.relay == failed {
-                assignment.relay = replacement;
+            Ok(candidates[rng.gen_index(candidates.len())])
+        }
+    }
+
+    /// Re-assesses `plan` against its sensitivity target and tops the fake
+    /// shortfall up: fresh fakes drawn from the enclave past-query table on
+    /// a forked RNG stream, each assigned to a distinct relay not already
+    /// carrying part of the plan. Returns the relays that received top-ups
+    /// (empty when the plan is already at target or the view is exhausted).
+    fn top_up_fakes(&mut self, plan: &mut QueryPlan, rng: &mut Xoshiro256StarStar) -> Vec<PeerId> {
+        let shortfall = plan.assessment.k.saturating_sub(plan.achieved_k());
+        if shortfall == 0 {
+            return Vec::new();
+        }
+        let in_use: Vec<PeerId> = plan.assignments.iter().map(|a| a.relay).collect();
+        let mut candidates: Vec<PeerId> = self
+            .peer_sampling
+            .view()
+            .peers()
+            .into_iter()
+            .filter(|p| !in_use.contains(p))
+            .collect();
+        let draw = shortfall.min(candidates.len());
+        if draw == 0 {
+            return Vec::new();
+        }
+        let (fakes, _) = self
+            .enclave
+            .ecall(64 * draw, {
+                let mut draw_rng = rng.fork(0x70FF);
+                move |state| state.past_queries.draw_fakes(draw, &mut draw_rng)
+            })
+            .expect("enclave initialized");
+        let mut topped_up = Vec::with_capacity(fakes.len());
+        for fake in fakes {
+            let relay = candidates.swap_remove(rng.gen_index(candidates.len()));
+            plan.assignments.push(Assignment {
+                relay,
+                query: fake,
+                is_real: false,
+            });
+            self.stats.fakes_generated += 1;
+            self.stats.fakes_topped_up += 1;
+            topped_up.push(relay);
+            if candidates.is_empty() {
+                break;
             }
         }
-        self.stats.relays_reselected += 1;
-        Ok(Some(replacement))
+        topped_up
     }
 
     /// Handles a query received as a relay: stores it in the in-enclave
@@ -689,6 +819,122 @@ mod tests {
             "dead relay must leave the view"
         );
         assert_eq!(node.stats().relays_reselected, 1);
+    }
+
+    #[test]
+    fn losing_a_fake_relay_tops_the_plan_back_up() {
+        let mut node = node(30, 5);
+        node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(30);
+        let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        let target = plan.achieved_k();
+        assert!(target >= 1, "need at least one fake to kill");
+        assert_eq!(node.stats().achieved_k, vec![target]);
+        let failed = plan
+            .assignments()
+            .iter()
+            .find(|a| !a.is_real)
+            .expect("plan has fakes")
+            .relay;
+        let topped = node
+            .reselect_relay(&mut plan, failed, &mut rng)
+            .unwrap()
+            .expect("the failed relay carried a fake");
+        assert_ne!(topped, failed);
+        assert_eq!(plan.achieved_k(), target, "fake count must be restored");
+        assert!(plan.assignments().iter().all(|a| a.relay != failed));
+        let relays: std::collections::HashSet<_> =
+            plan.assignments().iter().map(|a| a.relay).collect();
+        assert_eq!(relays.len(), plan.assignments().len(), "still distinct");
+        let stats = node.stats();
+        assert_eq!(stats.fakes_topped_up, 1);
+        assert_eq!(stats.plans_degraded, 0);
+        assert_eq!(stats.achieved_k[plan.sequence() as usize], target);
+        // The redrawn fake comes from the enclave table.
+        let seeds = [
+            "trending sneakers deal",
+            "football league fixtures",
+            "netflix series trailer",
+            "cheap flights geneva",
+            "laptop discount coupon",
+            "museum opening hours",
+            "sourdough starter recipe",
+            "marathon training plan",
+        ];
+        for fake in plan.fake_queries() {
+            assert!(
+                seeds.contains(&fake),
+                "topped-up fake {fake} not from table"
+            );
+        }
+    }
+
+    #[test]
+    fn fake_only_shortfall_degrades_without_error_when_view_is_exhausted() {
+        // Exactly as many peers as the plan needs: once a fake's relay
+        // dies, no unused peer remains to top up from — the plan degrades
+        // (counted) instead of failing the whole query.
+        let mut node = CyclosaNode::builder(31)
+            .protection(ProtectionConfig::with_k_max(5))
+            .build();
+        node.bootstrap_with_seed_queries([
+            "trending sneakers deal",
+            "football league fixtures",
+            "netflix series trailer",
+        ]);
+        node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+        node.bootstrap_peers([PeerId(100), PeerId(101), PeerId(102)]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        let before = plan.achieved_k();
+        assert!(before >= 1, "need a fake to lose");
+        let failed = plan
+            .assignments()
+            .iter()
+            .find(|a| !a.is_real)
+            .expect("plan has fakes")
+            .relay;
+        // Exhaust the unused peers so the top-up has nowhere to go.
+        for peer in [PeerId(100), PeerId(101), PeerId(102)] {
+            if plan.assignments().iter().all(|a| a.relay != peer) {
+                node.peer_sampling_mut().blacklist(peer);
+            }
+        }
+        let result = node.reselect_relay(&mut plan, failed, &mut rng).unwrap();
+        assert_eq!(result, None, "nothing to top up from");
+        assert_eq!(plan.achieved_k(), before - 1, "plan degraded by one fake");
+        assert!(node.stats().plans_degraded >= 1);
+        assert_eq!(
+            node.stats().achieved_k[plan.sequence() as usize],
+            before - 1
+        );
+        // The real query is still alive on a live relay.
+        assert!(plan.real_assignment().relay != failed);
+    }
+
+    #[test]
+    fn assignment_loop_always_places_the_real_query() {
+        // The former fallback append after the assignment loop was dead
+        // code: the fake count is capped at `relays.len() - 1`, so the loop
+        // window always covers the drawn real position. Pin that reasoning
+        // across many seeds and view sizes, including starved views.
+        for seed in 0..100u64 {
+            let mut wide = node(1000 + seed, 5);
+            wide.record_own_history(["zurich train timetable", "zurich airport parking"]);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let plan = wide.plan_query("zurich train strike", &mut rng).unwrap();
+            assert_eq!(plan.assignments().iter().filter(|a| a.is_real).count(), 1);
+            assert_eq!(plan.assignments().len(), plan.achieved_k() + 1);
+
+            let mut narrow = CyclosaNode::builder(2000 + seed)
+                .protection(ProtectionConfig::with_k_max(7))
+                .build();
+            narrow.bootstrap_with_seed_queries(["seed query one", "seed query two"]);
+            narrow.record_own_history(["repeat me", "repeat me again"]);
+            narrow.bootstrap_peers([PeerId(100), PeerId(101)]);
+            let plan = narrow.plan_query("repeat me", &mut rng).unwrap();
+            assert_eq!(plan.assignments().iter().filter(|a| a.is_real).count(), 1);
+        }
     }
 
     #[test]

@@ -115,6 +115,24 @@ pub trait Mechanism {
     fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome;
 }
 
+/// A mechanism that can draw *replacement* fake queries after the fact —
+/// the capability behind adaptive-k repair under churn: when a relay dies
+/// carrying a fake, the client redraws the shortfall and resubmits it
+/// through a fresh relay, so the dilution the sensitivity assessment asked
+/// for keeps holding through failures.
+pub trait FakeReplenisher {
+    /// Draws `count` replacement fakes for a top-up. `reference` is the
+    /// user query being protected (dictionary-style generators shape their
+    /// fakes after it); `rng` is the caller's dedicated top-up stream, so
+    /// replenishing never perturbs the mechanism's own draws.
+    fn replenish_fakes(
+        &mut self,
+        count: usize,
+        reference: &str,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Vec<String>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

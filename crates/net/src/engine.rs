@@ -496,6 +496,28 @@ mod tests {
     }
 
     #[test]
+    fn loss_schedule_duplicate_at_is_last_write_wins() {
+        // Several changes scheduled at the same instant: the last call
+        // wins at and after that instant, and earlier duplicates never
+        // resurface — including interleaved with other instants and with
+        // duplicates added after later entries already exist.
+        let mut schedule = LossSchedule::new();
+        schedule.schedule(SimTime::from_secs(5), 0.2);
+        schedule.schedule(SimTime::from_secs(5), 0.9);
+        schedule.schedule(SimTime::from_secs(5), 0.4);
+        assert_eq!(schedule.at(SimTime::from_secs(5)), 0.4);
+        assert_eq!(schedule.at(SimTime::from_secs(6)), 0.4);
+        assert_eq!(schedule.at(SimTime::from_secs(4)), 0.0, "base before");
+        // A later instant exists; re-scheduling the earlier one still only
+        // affects the window up to the later instant.
+        schedule.schedule(SimTime::from_secs(10), 0.7);
+        schedule.schedule(SimTime::from_secs(5), 0.1);
+        assert_eq!(schedule.at(SimTime::from_secs(5)), 0.1);
+        assert_eq!(schedule.at(SimTime::from_secs(9)), 0.1);
+        assert_eq!(schedule.at(SimTime::from_secs(10)), 0.7, "later unchanged");
+    }
+
+    #[test]
     #[should_panic(expected = "loss probability")]
     fn loss_schedule_rejects_invalid_probability() {
         LossSchedule::new().schedule(SimTime::ZERO, 1.5);

@@ -66,6 +66,13 @@ impl SimTime {
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
     }
+
+    /// Checked difference between two instants: `None` when `other` is
+    /// later than `self`. Prefer this over [`SimTime::saturating_sub`]
+    /// when a negative difference would mask an event-ordering bug.
+    pub fn checked_sub(self, other: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(other.0).map(SimTime)
+    }
 }
 
 impl Add for SimTime {
@@ -119,6 +126,8 @@ mod tests {
         assert_eq!(a + b, SimTime::from_millis(13));
         assert_eq!(a - b, SimTime::from_millis(7));
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_millis(7)));
+        assert_eq!(b.checked_sub(a), None, "negative differences surface");
         assert!(a > b);
         let mut c = a;
         c += b;

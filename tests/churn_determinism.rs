@@ -164,6 +164,18 @@ fn churn_experiment_outcome_is_bit_identical_for_1_2_4_8_shards() {
             seed: 909,
             ..ChurnConfig::default()
         },
+        // Adaptive-k healing: resubmissions carry topped-up fakes, and the
+        // repair traffic must shard exactly like everything else.
+        ChurnConfig {
+            relays: 24,
+            k: 4,
+            queries: 40,
+            failure_rate: 0.45,
+            recover: false,
+            adaptive: true,
+            seed: 1213,
+            ..ChurnConfig::default()
+        },
     ]
     .into_iter()
     .enumerate()

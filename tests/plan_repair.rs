@@ -1,0 +1,152 @@
+//! Regression guard for adaptive-k plan repair under churn: after *any*
+//! scripted churn sequence, every query that is still answerable travels
+//! with its full sensitivity target — `assessment.k` distinct live fake
+//! relays — as long as the view can provide them. This pins the tentpole
+//! property that the privacy knob holds *through* churn, not just at plan
+//! time.
+
+use cyclosa::config::ProtectionConfig;
+use cyclosa::node::{CyclosaNode, NodeError, QueryPlan};
+use cyclosa_peer_sampling::PeerId;
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use std::collections::HashSet;
+
+const SEED_QUERIES: [&str; 8] = [
+    "trending sneakers deal",
+    "football league fixtures",
+    "netflix series trailer",
+    "cheap flights geneva",
+    "laptop discount coupon",
+    "museum opening hours",
+    "sourdough starter recipe",
+    "marathon training plan",
+];
+
+fn seeded_node(id: u64, peers: u64) -> CyclosaNode {
+    let mut node = CyclosaNode::builder(id)
+        .protection(ProtectionConfig::with_k_max(5))
+        .build();
+    node.bootstrap_with_seed_queries(SEED_QUERIES);
+    node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+    node.bootstrap_peers((100..100 + peers).map(PeerId));
+    node
+}
+
+/// The invariant every repair must restore: exactly one live real query,
+/// all relays distinct, none of them blacklisted, and the fake complement
+/// back at the assessed `k` whenever the view still has unused peers.
+fn assert_plan_invariants(node: &CyclosaNode, plan: &QueryPlan, dead: &HashSet<PeerId>) {
+    assert_eq!(
+        plan.assignments().iter().filter(|a| a.is_real).count(),
+        1,
+        "every plan carries exactly one real query"
+    );
+    let relays: HashSet<PeerId> = plan.assignments().iter().map(|a| a.relay).collect();
+    assert_eq!(
+        relays.len(),
+        plan.assignments().len(),
+        "assignments must sit on distinct relays"
+    );
+    for relay in &relays {
+        assert!(
+            !dead.contains(relay),
+            "assignment still points at dead relay {relay:?}"
+        );
+    }
+    let target = plan.assessment.k;
+    let unused_live = node
+        .peer_sampling()
+        .view()
+        .peers()
+        .into_iter()
+        .filter(|p| !relays.contains(p))
+        .count();
+    if plan.achieved_k() < target {
+        assert_eq!(
+            unused_live,
+            0,
+            "plan below target ({} < {target}) while {unused_live} unused live peers remain",
+            plan.achieved_k()
+        );
+    }
+}
+
+#[test]
+fn any_scripted_churn_sequence_keeps_every_answered_query_at_target_k() {
+    for case in 0..40u64 {
+        let mut script_rng = Xoshiro256StarStar::seed_from_u64(7_000 + case);
+        let peers = 20 + script_rng.gen_range(0, 20);
+        let mut node = seeded_node(case, peers);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(100 + case);
+
+        // A handful of in-flight queries, repaired concurrently.
+        let mut plans: Vec<QueryPlan> = ["zurich train strike", "cheap flights geneva paris"]
+            .iter()
+            .map(|q| node.plan_query(q, &mut rng).expect("plannable"))
+            .collect();
+        for plan in &plans {
+            assert_eq!(
+                node.stats().achieved_k[plan.sequence() as usize],
+                plan.achieved_k()
+            );
+        }
+
+        // The scripted churn sequence: random relays die one after the
+        // other — sometimes plan relays, sometimes bystanders.
+        let mut dead: HashSet<PeerId> = HashSet::new();
+        let kills = 3 + script_rng.gen_range(0, peers / 2);
+        for _ in 0..kills {
+            let alive: Vec<PeerId> = (100..100 + peers)
+                .map(PeerId)
+                .filter(|p| !dead.contains(p))
+                .collect();
+            if alive.is_empty() {
+                break;
+            }
+            let victim = alive[script_rng.gen_index(alive.len())];
+            dead.insert(victim);
+            for plan in plans.iter_mut() {
+                match node.reselect_relay(plan, victim, &mut rng) {
+                    Ok(_) => assert_plan_invariants(&node, plan, &dead),
+                    Err(NodeError::NoPeersAvailable) => {
+                        assert!(
+                            node.peer_sampling().view().is_empty(),
+                            "case {case}: repair may only fail once the view is exhausted"
+                        );
+                    }
+                    Err(other) => panic!("case {case}: unexpected error {other}"),
+                }
+            }
+        }
+
+        // At send time (post-churn), the achieved-k ledger matches what
+        // each plan actually carries.
+        for plan in &plans {
+            assert_eq!(
+                node.stats().achieved_k[plan.sequence() as usize],
+                plan.achieved_k(),
+                "case {case}: achieved_k ledger out of sync"
+            );
+        }
+    }
+}
+
+#[test]
+fn repairs_are_deterministic_for_a_fixed_seed() {
+    let run = || {
+        let mut node = seeded_node(9, 24);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(909);
+        let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        for victim in [101, 105, 111, 117].map(PeerId) {
+            let _ = node.reselect_relay(&mut plan, victim, &mut rng);
+        }
+        (plan, node.stats().clone())
+    };
+    let (plan_a, stats_a) = run();
+    let (plan_b, stats_b) = run();
+    assert_eq!(
+        plan_a, plan_b,
+        "plan repair must be a pure function of seed"
+    );
+    assert_eq!(stats_a, stats_b);
+}
