@@ -5,6 +5,7 @@
 //! ```text
 //! churn [--relays N] [--k N] [--queries N] [--rates 0,0.1,...] [--seed N]
 //!       [--recover] [--shards N] [--scale small|default|paper]
+//!       [--partition-fractions 0.3,...] [--partition-durations 15,30]
 //!       [--gate POINTS] [--json] [--out PATH]
 //! ```
 //!
@@ -17,16 +18,29 @@
 //! fakes thin at the failure rate) against adaptive-k
 //! (`AdaptiveChurnedMechanism`, every swallowed fake is redrawn and
 //! resubmitted). Before timing anything it re-checks that a sharded run
-//! reproduces the sequential outcome bit for bit. With `--json` the curves
-//! land in `BENCH_churn.json`; with `--gate P` the bin exits non-zero when
-//! the adaptive attack accuracy at the highest failure rate exceeds the
-//! failure-free baseline by more than `P` points.
+//! reproduces the sequential outcome bit for bit.
+//!
+//! On top of the failure-rate curves, the bin sweeps **network
+//! partitions** (minority fraction × partition duration): for every point
+//! it runs the partition latency experiment of `cyclosa-chaos` (a minority
+//! client split away from most relays, re-merged mid-run, blacklist
+//! probation letting `achieved_k` recover) and attacks the
+//! partition-windowed footprint with `PartitionedMechanism` (fixed vs
+//! adaptive). With `--json` everything lands in `BENCH_churn.json`; with
+//! `--gate P` the bin exits non-zero when (a) adaptive attack accuracy at
+//! the highest failure rate exceeds the failure-free baseline by more than
+//! `P` points, or (b) any partition point's post-merge mean `achieved_k`
+//! fails to recover to the failure-free ledger.
 
 use cyclosa_attack::evaluation::evaluate_reidentification_with;
 use cyclosa_attack::simattack::SimAttack;
 use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
 use cyclosa_chaos::experiment::{run_churn_experiment, run_churn_experiment_sharded, ChurnConfig};
-use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism};
+use cyclosa_chaos::partition::{
+    run_partition_experiment, run_partition_experiment_sharded, PartitionConfig, PhaseSummary,
+};
+use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
+use cyclosa_net::time::SimTime;
 use cyclosa_util::json::{Json, ToJson};
 use cyclosa_util::stats::Summary;
 
@@ -40,6 +54,8 @@ struct Options {
     recover: bool,
     shards: usize,
     scale: ExperimentScale,
+    partition_fractions: Vec<f64>,
+    partition_durations_s: Vec<u64>,
     gate: Option<f64>,
     json: bool,
     out: String,
@@ -56,6 +72,8 @@ impl Default for Options {
             recover: false,
             shards: 4,
             scale: ExperimentScale::Small,
+            partition_fractions: vec![0.3],
+            partition_durations_s: vec![15, 30],
             gate: None,
             json: false,
             out: "BENCH_churn.json".to_owned(),
@@ -117,6 +135,46 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--scale needs a value")?;
                 options.scale = value.parse()?;
             }
+            "--partition-fractions" => {
+                let value = args
+                    .next()
+                    .ok_or("--partition-fractions needs a comma-separated list")?;
+                options.partition_fractions = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad fraction {s:?}"))
+                            .and_then(|f| {
+                                if f > 0.0 && f < 1.0 {
+                                    Ok(f)
+                                } else {
+                                    Err(format!("fraction {f} outside (0, 1)"))
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--partition-durations" => {
+                let value = args
+                    .next()
+                    .ok_or("--partition-durations needs a comma-separated list of seconds")?;
+                options.partition_durations_s = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad duration {s:?}"))
+                            .and_then(|d| {
+                                if d > 0 {
+                                    Ok(d)
+                                } else {
+                                    Err("partition durations must be positive".to_owned())
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
             "--gate" => {
                 let value = args.next().ok_or("--gate needs a value in points")?;
                 let points: f64 = value.parse().map_err(|_| "bad --gate".to_owned())?;
@@ -133,6 +191,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: churn [--relays N] [--k N] [--queries N] [--rates R,R,...] \
                      [--seed N] [--recover] [--shards N] [--scale small|default|paper] \
+                     [--partition-fractions F,F,...] [--partition-durations S,S,...] \
                      [--gate POINTS] [--json] [--out PATH]"
                 );
                 std::process::exit(0);
@@ -144,6 +203,71 @@ fn parse_args() -> Result<Options, String> {
         return Err("--relays must exceed --k".into());
     }
     Ok(options)
+}
+
+/// One point of the partition sweep (minority fraction × duration).
+struct PartitionPoint {
+    minority_fraction: f64,
+    /// The duration asked for on the command line.
+    requested_duration_s: u64,
+    /// The duration actually simulated (may be clamped to the horizon).
+    duration_s: f64,
+    split_s: f64,
+    pre: PhaseSummary,
+    during: PhaseSummary,
+    post: PhaseSummary,
+    retries: u64,
+    fakes_topped_up: u64,
+    attack_rate_partitioned_percent: f64,
+    attack_rate_partition_adaptive_percent: f64,
+}
+
+fn phase_json(phase: &PhaseSummary) -> Json {
+    Json::Obj(vec![
+        ("issued".to_owned(), Json::U64(phase.issued as u64)),
+        ("answered".to_owned(), Json::U64(phase.answered as u64)),
+        (
+            "mean_achieved_k".to_owned(),
+            Json::F64(phase.mean_achieved_k),
+        ),
+        (
+            "median_latency_s".to_owned(),
+            Json::F64(phase.median_latency_s),
+        ),
+    ])
+}
+
+impl ToJson for PartitionPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "minority_fraction".to_owned(),
+                Json::F64(self.minority_fraction),
+            ),
+            (
+                "requested_duration_s".to_owned(),
+                Json::U64(self.requested_duration_s),
+            ),
+            ("duration_s".to_owned(), Json::F64(self.duration_s)),
+            ("split_s".to_owned(), Json::F64(self.split_s)),
+            ("pre_split".to_owned(), phase_json(&self.pre)),
+            ("during".to_owned(), phase_json(&self.during)),
+            ("post_merge".to_owned(), phase_json(&self.post)),
+            ("retries".to_owned(), Json::U64(self.retries)),
+            (
+                "fakes_topped_up".to_owned(),
+                Json::U64(self.fakes_topped_up),
+            ),
+            (
+                "attack_rate_partitioned_percent".to_owned(),
+                Json::F64(self.attack_rate_partitioned_percent),
+            ),
+            (
+                "attack_rate_partition_adaptive_percent".to_owned(),
+                Json::F64(self.attack_rate_partition_adaptive_percent),
+            ),
+        ])
+    }
 }
 
 /// One point of the robustness curves (fixed-k and adaptive-k).
@@ -322,6 +446,175 @@ fn main() {
         });
     }
 
+    // Partition sweep: minority fraction × partition duration. The client
+    // rides the minority, the split starts a quarter into the run, and the
+    // blacklist probation lets post-merge queries spread over the healed
+    // population again — the gated property is that the post-merge
+    // achieved_k ledger recovers to the failure-free level.
+    let partition_base = ChurnConfig {
+        relays: options.relays,
+        k: options.k,
+        queries: options.queries,
+        seed: options.seed,
+        failure_rate: 0.0,
+        adaptive: true,
+        blacklist_ttl: Some(SimTime::from_secs(10)),
+        ..ChurnConfig::default()
+    };
+    let horizon = partition_base.horizon();
+    let split_at = SimTime::from_nanos(horizon.as_nanos() / 4);
+    // Keep every window (plus the post-merge settle) inside the query
+    // span so all three phases exist; a clamped duration is reported,
+    // never silently truncated, and a horizon too short for any window at
+    // all skips the sweep loudly instead of clamping the merge into (or
+    // past) the split.
+    let settle = SimTime::from_secs(6);
+    let latest_merge = SimTime::from_nanos(horizon.as_nanos() * 17 / 20).saturating_sub(settle);
+    if latest_merge <= split_at {
+        eprintln!(
+            "# note: skipping the partition sweep — the {}-query horizon ({:.1}s) is too \
+             short to fit a split + merge + {}s settle window",
+            options.queries,
+            horizon.as_secs_f64(),
+            settle.as_secs_f64()
+        );
+    }
+    // Failure-free ledger: what achieved_k looks like when nothing splits.
+    // Only needed (and only computed) when the sweep actually runs.
+    let baseline_mean_achieved_k = if latest_merge > split_at {
+        let calm = run_churn_experiment(&partition_base);
+        Some(
+            calm.answered_queries
+                .iter()
+                .map(|q| q.achieved_k as f64)
+                .sum::<f64>()
+                / calm.answered_queries.len().max(1) as f64,
+        )
+    } else {
+        None
+    };
+    let mut partition_points = Vec::new();
+    if baseline_mean_achieved_k.is_some() {
+        println!(
+            "\n{:>9}  {:>9}  {:>22}  {:>22}  {:>22}",
+            "minority", "duration", "pre (ans/k)", "during (ans/k)", "post (ans/k)"
+        );
+    }
+    let mut seen_windows = Vec::new();
+    for &fraction in &options.partition_fractions {
+        if baseline_mean_achieved_k.is_none() {
+            break;
+        }
+        for &duration_s in &options.partition_durations_s {
+            let mut merge_at = split_at + SimTime::from_secs(duration_s);
+            if merge_at > latest_merge {
+                merge_at = latest_merge;
+                eprintln!(
+                    "# note: partition duration {duration_s}s clamped to {:.1}s to fit \
+                     the {}-query horizon",
+                    merge_at.saturating_sub(split_at).as_secs_f64(),
+                    options.queries
+                );
+            }
+            // Two requested durations that clamp to the same window would
+            // run — and report — the identical experiment twice.
+            if seen_windows.contains(&(fraction.to_bits(), merge_at)) {
+                eprintln!(
+                    "# note: skipping duplicate partition window \
+                     (fraction {fraction}, duration {duration_s}s clamps to an \
+                     already-swept merge time)"
+                );
+                continue;
+            }
+            seen_windows.push((fraction.to_bits(), merge_at));
+            let config = PartitionConfig {
+                base: partition_base,
+                minority_fraction: fraction,
+                client_in_minority: true,
+                engine_partitioned: false,
+                split_at,
+                merge_at,
+                settle,
+            };
+            // Determinism first, as for the rate sweep: the partition
+            // boundary crossing shard boundaries must not break
+            // bit-identity.
+            let outcome = run_partition_experiment(&config);
+            assert_eq!(
+                run_partition_experiment_sharded(&config, options.shards),
+                outcome,
+                "sharded partition run diverged from the sequential simulation"
+            );
+            assert_eq!(outcome.churn.clamped_samples, 0);
+
+            // Attack accuracy across the same window: fakes sent during
+            // the partition die with the probability that their relay sat
+            // on the other side of the boundary.
+            let n = setup.test_queries.len();
+            let as_index = |at: SimTime| {
+                ((n as f64 * at.as_nanos() as f64 / horizon.as_nanos() as f64).round() as usize)
+                    .min(n)
+            };
+            let window = (as_index(split_at), as_index(merge_at));
+            let cross_fraction = 1.0 - fraction;
+            let tag = (fraction * 1000.0) as u64 ^ (duration_s << 10);
+            let mut fixed = PartitionedMechanism::new(
+                setup.cyclosa(PRIVACY_K),
+                cross_fraction,
+                window,
+                false,
+                options.seed ^ 0x5917,
+            );
+            let mut rng = setup.rng(0x5917 ^ tag);
+            let fixed_report = evaluate_reidentification_with(
+                &adversary,
+                &mut fixed,
+                &setup.test_queries,
+                &mut rng,
+            );
+            let mut adaptive = PartitionedMechanism::new(
+                setup.cyclosa(PRIVACY_K),
+                cross_fraction,
+                window,
+                true,
+                options.seed ^ 0xADA7_5917,
+            );
+            let mut rng = setup.rng(0xADA7_5917 ^ tag);
+            let adaptive_report = evaluate_reidentification_with(
+                &adversary,
+                &mut adaptive,
+                &setup.test_queries,
+                &mut rng,
+            );
+
+            let actual_duration_s = merge_at.saturating_sub(split_at).as_secs_f64();
+            println!(
+                "{:>9.2}  {:>8.1}s  {:>12}/{:<6.2}  {:>12}/{:<6.2}  {:>12}/{:<6.2}",
+                fraction,
+                actual_duration_s,
+                outcome.pre_split.answered,
+                outcome.pre_split.mean_achieved_k,
+                outcome.during.answered,
+                outcome.during.mean_achieved_k,
+                outcome.post_merge.answered,
+                outcome.post_merge.mean_achieved_k,
+            );
+            partition_points.push(PartitionPoint {
+                minority_fraction: fraction,
+                requested_duration_s: duration_s,
+                duration_s: actual_duration_s,
+                split_s: split_at.as_secs_f64(),
+                pre: outcome.pre_split,
+                during: outcome.during,
+                post: outcome.post_merge,
+                retries: outcome.churn.retries,
+                fakes_topped_up: outcome.churn.fakes_topped_up,
+                attack_rate_partitioned_percent: fixed_report.rate_percent(),
+                attack_rate_partition_adaptive_percent: adaptive_report.rate_percent(),
+            });
+        }
+    }
+
     if options.json {
         let report = Json::Obj(vec![
             ("bench".to_owned(), Json::Str("churn".to_owned())),
@@ -337,6 +630,14 @@ fn main() {
             (
                 "points".to_owned(),
                 Json::Arr(points.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "partition_baseline_mean_achieved_k".to_owned(),
+                baseline_mean_achieved_k.map_or(Json::Null, Json::F64),
+            ),
+            (
+                "partition_points".to_owned(),
+                Json::Arr(partition_points.iter().map(|p| p.to_json()).collect()),
             ),
         ]);
         match std::fs::write(&options.out, report.pretty() + "\n") {
@@ -379,6 +680,35 @@ fn main() {
                  failure-free baseline (budget {gate:.2})"
             );
             std::process::exit(1);
+        }
+
+        // Partition recovery gate: after the merge, the achieved_k ledger
+        // must be back at the failure-free level — a healing path that
+        // leaves the client stuck on its minority-side blacklist would
+        // show up here.
+        if let Some(ledger_baseline) = baseline_mean_achieved_k {
+            for point in &partition_points {
+                eprintln!(
+                    "# gate: partition {:.2}×{:.1}s post-merge achieved_k {:.3} vs \
+                     failure-free {:.3}",
+                    point.minority_fraction,
+                    point.duration_s,
+                    point.post.mean_achieved_k,
+                    ledger_baseline
+                );
+                if point.post.mean_achieved_k < ledger_baseline - 0.01 {
+                    eprintln!(
+                        "error: post-merge achieved_k ({:.3}) did not recover to the \
+                         failure-free ledger ({:.3}) for minority fraction {:.2}, \
+                         duration {:.1}s",
+                        point.post.mean_achieved_k,
+                        ledger_baseline,
+                        point.minority_fraction,
+                        point.duration_s
+                    );
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }

@@ -17,12 +17,89 @@
 //! both wrappers through the Fig. 5 harness plots fixed-k against
 //! adaptive-k attack accuracy across failure rates; the adaptive curve
 //! stays near the failure-free baseline.
+//!
+//! [`PartitionedMechanism`] is the partition-shaped sibling: instead of a
+//! uniform failure rate it applies a **query-index window** during which
+//! fakes are lost with the probability that their relay sat across the
+//! partition boundary — so the Fig. 5 harness plots the accuracy dip
+//! inside the window and the recovery after the merge.
 
 use cyclosa_mechanism::{
     FakeReplenisher, Mechanism, MechanismProperties, ObservedRequest, ProtectionOutcome, Query,
     SourceIdentity,
 };
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+
+/// The shared drop half of every churn-shaped wrapper: each non-real
+/// request dies with probability `rate` (its relay failed or sat across a
+/// partition boundary), drawn from the wrapper's dedicated stream; the
+/// real query always survives (the client-side healing path resubmits it
+/// until it lands). Returns `(target, live)` fake counts before and after
+/// the thinning. Callers must gate on `rate > 0` so a zero-rate wrapper
+/// draws nothing.
+fn thin_fakes(
+    outcome: &mut ProtectionOutcome,
+    rate: f64,
+    churn_rng: &mut Xoshiro256StarStar,
+) -> (usize, usize) {
+    let count_fakes = |outcome: &ProtectionOutcome| {
+        outcome
+            .observed
+            .iter()
+            .filter(|r| !r.carries_real_query)
+            .count()
+    };
+    let target = count_fakes(outcome);
+    outcome
+        .observed
+        .retain(|r| r.carries_real_query || !churn_rng.gen_bool(rate));
+    let live = count_fakes(outcome);
+    (target, live)
+}
+
+/// The shared repair half (the adaptive-k plan-repair model): redraws the
+/// shortfall against `target` from the mechanism's fake pool and
+/// resubmits each replacement through a fresh relay — which dies with the
+/// same `rate` — for up to `max_rounds` bounded rounds. Returns
+/// `(fakes topped up, live fakes after the last round)`; the query is
+/// degraded when the latter is still below `target`.
+#[allow(clippy::too_many_arguments)]
+fn top_up_fakes<M: FakeReplenisher>(
+    outcome: &mut ProtectionOutcome,
+    inner: &mut M,
+    query_text: &str,
+    target: usize,
+    mut live: usize,
+    rate: f64,
+    churn_rng: &mut Xoshiro256StarStar,
+    topup_rng: &mut Xoshiro256StarStar,
+    max_rounds: u32,
+) -> (u64, usize) {
+    let mut topped_up = 0;
+    let mut rounds = 0;
+    while live < target && rounds < max_rounds {
+        rounds += 1;
+        let replacements = inner.replenish_fakes(target - live, query_text, topup_rng);
+        if replacements.is_empty() {
+            break;
+        }
+        for text in replacements {
+            topped_up += 1;
+            // Two client→relay messages per resubmission attempt (request
+            // out, response back), like the original paths.
+            outcome.relay_messages = outcome.relay_messages.saturating_add(2);
+            if !churn_rng.gen_bool(rate) {
+                outcome.observed.push(ObservedRequest {
+                    source: SourceIdentity::Anonymous,
+                    text,
+                    carries_real_query: false,
+                });
+                live += 1;
+            }
+        }
+    }
+    (topped_up, live)
+}
 
 /// A mechanism whose observable footprint is thinned by relay failures.
 ///
@@ -74,14 +151,9 @@ impl<M: Mechanism> Mechanism for ChurnedMechanism<M> {
 
     fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
         let mut outcome = self.inner.protect(query, rng);
-        let failure_rate = self.failure_rate;
-        if failure_rate > 0.0 {
-            // The real query always survives: the client resubmits it
-            // through a fresh relay until it lands (the healing path of
-            // `crate::experiment`). Fakes are fire-and-forget.
-            outcome
-                .observed
-                .retain(|r| r.carries_real_query || !self.churn_rng.gen_bool(failure_rate));
+        if self.failure_rate > 0.0 {
+            // Fakes are fire-and-forget; no repair in the fixed-k model.
+            thin_fakes(&mut outcome, self.failure_rate, &mut self.churn_rng);
         }
         outcome
     }
@@ -171,51 +243,152 @@ impl<M: Mechanism + FakeReplenisher> Mechanism for AdaptiveChurnedMechanism<M> {
 
     fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
         let mut outcome = self.inner.protect(query, rng);
-        let failure_rate = self.failure_rate;
-        if failure_rate <= 0.0 {
+        if self.failure_rate <= 0.0 {
             return outcome;
         }
-        let target = outcome
-            .observed
-            .iter()
-            .filter(|r| !r.carries_real_query)
-            .count();
-        // The real query always survives (resubmitted by the healing
-        // path); original fakes die with their relays.
-        outcome
-            .observed
-            .retain(|r| r.carries_real_query || !self.churn_rng.gen_bool(failure_rate));
-        let mut live = outcome
-            .observed
-            .iter()
-            .filter(|r| !r.carries_real_query)
-            .count();
-        // Adaptive repair: redraw the shortfall and resubmit through fresh
-        // relays; a resubmitted fake can die too, hence bounded rounds.
-        let mut rounds = 0;
-        while live < target && rounds < self.max_topup_rounds {
-            rounds += 1;
-            let replacements =
-                self.inner
-                    .replenish_fakes(target - live, &query.text, &mut self.topup_rng);
-            if replacements.is_empty() {
-                break;
-            }
-            for text in replacements {
-                self.fakes_topped_up += 1;
-                // Two client→relay messages per resubmission attempt
-                // (request out, response back), like the original paths.
-                outcome.relay_messages = outcome.relay_messages.saturating_add(2);
-                if !self.churn_rng.gen_bool(failure_rate) {
-                    outcome.observed.push(ObservedRequest {
-                        source: SourceIdentity::Anonymous,
-                        text,
-                        carries_real_query: false,
-                    });
-                    live += 1;
-                }
-            }
+        let (target, live) = thin_fakes(&mut outcome, self.failure_rate, &mut self.churn_rng);
+        let (topped_up, live) = top_up_fakes(
+            &mut outcome,
+            &mut self.inner,
+            &query.text,
+            target,
+            live,
+            self.failure_rate,
+            &mut self.churn_rng,
+            &mut self.topup_rng,
+            self.max_topup_rounds,
+        );
+        self.fakes_topped_up += topped_up;
+        if live < target {
+            self.degraded_queries += 1;
         }
+        outcome
+    }
+}
+
+/// A mechanism whose footprint is thinned by a **network partition
+/// window** instead of a uniform failure rate: queries `window.0 ..
+/// window.1` (by protection order — the attack harness submits one query
+/// per step, so the index is the time axis) lose each fake with
+/// probability `cross_fraction`, the chance its relay sits across the
+/// partition boundary. Outside the window the mechanism is a pure
+/// passthrough, so the attack-accuracy curve shows the dip and the
+/// post-merge recovery directly.
+///
+/// With `adaptive` set, the plan-repair model of
+/// [`AdaptiveChurnedMechanism`] runs inside the window too: every
+/// swallowed fake is redrawn ([`FakeReplenisher`]) and resubmitted through
+/// a fresh relay (which may itself be across the boundary), for a bounded
+/// number of rounds.
+///
+/// Both the drop sampling and the top-up draws run on dedicated RNG
+/// streams owned by the wrapper, so the inner mechanism's own draws — and
+/// the entire pre-split and post-merge footprint — are textually identical
+/// to the partition-free run.
+#[derive(Debug)]
+pub struct PartitionedMechanism<M> {
+    inner: M,
+    cross_fraction: f64,
+    window: (usize, usize),
+    adaptive: bool,
+    churn_rng: Xoshiro256StarStar,
+    topup_rng: Xoshiro256StarStar,
+    max_topup_rounds: u32,
+    next_query: usize,
+    fakes_topped_up: u64,
+    degraded_queries: u64,
+}
+
+impl<M: Mechanism + FakeReplenisher> PartitionedMechanism<M> {
+    /// Wraps `inner`: queries with protection index in `window` (half-open)
+    /// lose fakes with probability `cross_fraction`; `adaptive` turns the
+    /// bounded top-up repair on. Sampling streams derive from `churn_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cross_fraction` is not in `[0, 1]` or the window is
+    /// inverted.
+    pub fn new(
+        inner: M,
+        cross_fraction: f64,
+        window: (usize, usize),
+        adaptive: bool,
+        churn_seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cross_fraction),
+            "cross fraction must be in [0, 1]"
+        );
+        assert!(
+            window.0 <= window.1,
+            "partition window must not be inverted"
+        );
+        Self {
+            inner,
+            cross_fraction,
+            window,
+            adaptive,
+            churn_rng: Xoshiro256StarStar::seed_from_u64(churn_seed ^ 0x5911_7EED),
+            topup_rng: Xoshiro256StarStar::seed_from_u64(churn_seed ^ 0x3E4C_7EED),
+            max_topup_rounds: AdaptiveChurnedMechanism::<M>::DEFAULT_TOPUP_ROUNDS,
+            next_query: 0,
+            fakes_topped_up: 0,
+            degraded_queries: 0,
+        }
+    }
+
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Replacement fakes drawn inside the window so far.
+    pub fn fakes_topped_up(&self) -> u64 {
+        self.fakes_topped_up
+    }
+
+    /// In-window queries that went out below their fake target (always the
+    /// in-window count for the non-adaptive wrapper when fakes were lost).
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries
+    }
+}
+
+impl<M: Mechanism + FakeReplenisher> Mechanism for PartitionedMechanism<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        self.inner.properties()
+    }
+
+    fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
+        let index = self.next_query;
+        self.next_query += 1;
+        let mut outcome = self.inner.protect(query, rng);
+        let in_window = index >= self.window.0 && index < self.window.1;
+        if !in_window || self.cross_fraction <= 0.0 {
+            return outcome;
+        }
+        let (target, thinned) = thin_fakes(&mut outcome, self.cross_fraction, &mut self.churn_rng);
+        let live = if self.adaptive {
+            let (topped_up, live) = top_up_fakes(
+                &mut outcome,
+                &mut self.inner,
+                &query.text,
+                target,
+                thinned,
+                self.cross_fraction,
+                &mut self.churn_rng,
+                &mut self.topup_rng,
+                self.max_topup_rounds,
+            );
+            self.fakes_topped_up += topped_up;
+            live
+        } else {
+            thinned
+        };
         if live < target {
             self.degraded_queries += 1;
         }
@@ -368,6 +541,59 @@ mod tests {
         assert_eq!(plain, repaired);
         assert_eq!(adaptive.fakes_topped_up(), 0);
         assert_eq!(adaptive.degraded_queries(), 0);
+    }
+
+    #[test]
+    fn partitioned_mechanism_is_a_passthrough_outside_the_window() {
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(20);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(20);
+        let mut plain = TenRequests;
+        let mut partitioned = PartitionedMechanism::new(TenRequests, 0.9, (2, 4), false, 21);
+        for index in 0..6 {
+            let full = plain.protect(&query(), &mut rng_a);
+            let seen = partitioned.protect(&query(), &mut rng_b);
+            if (2..4).contains(&index) {
+                assert!(
+                    seen.observed.len() < full.observed.len(),
+                    "query {index} inside the window must lose fakes"
+                );
+            } else {
+                assert_eq!(
+                    seen, full,
+                    "query {index} outside the window must pass through"
+                );
+            }
+        }
+        assert_eq!(partitioned.degraded_queries(), 2);
+        assert_eq!(partitioned.fakes_topped_up(), 0, "not adaptive");
+    }
+
+    #[test]
+    fn adaptive_partitioned_mechanism_tops_up_inside_the_window() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+        let mut partitioned = PartitionedMechanism::new(TenRequests, 0.5, (0, 50), true, 23);
+        let mut fakes = 0usize;
+        for _ in 0..50 {
+            fakes += partitioned.protect(&query(), &mut rng).observed.len() - 1;
+        }
+        let mean = fakes as f64 / 50.0;
+        assert!(mean > 8.5, "mean surviving fakes {mean}");
+        assert!(partitioned.fakes_topped_up() > 0);
+    }
+
+    #[test]
+    fn partitioned_mechanism_keeps_the_real_query_at_total_severance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(24);
+        let mut partitioned = PartitionedMechanism::new(TenRequests, 1.0, (0, 1), false, 25);
+        let outcome = partitioned.protect(&query(), &mut rng);
+        assert_eq!(outcome.observed.len(), 1);
+        assert!(outcome.observed[0].carries_real_query);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross fraction")]
+    fn partitioned_mechanism_rejects_invalid_fraction() {
+        let _ = PartitionedMechanism::new(TenRequests, 1.5, (0, 1), false, 0);
     }
 
     #[test]

@@ -20,7 +20,6 @@ use cyclosa_net::NodeId;
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_sgx::enclave::CostModel;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 const TAG_FORWARD: u32 = 1;
@@ -61,6 +60,13 @@ pub struct ChurnConfig {
     /// shortfall through fresh relays, so the dilution target keeps
     /// holding through churn instead of only at plan time.
     pub adaptive: bool,
+    /// How long a blacklist entry stays in force before the client is
+    /// willing to try the relay again. `None` (the default) blacklists
+    /// forever — right for relays that genuinely died, wrong for relays
+    /// that were merely unreachable across a partition. Partition
+    /// experiments set a finite probation so post-merge queries can spread
+    /// over the whole population again and `achieved_k` recovers.
+    pub blacklist_ttl: Option<SimTime>,
     /// SGX transition cost model of the relays.
     pub cost: CostModel,
     /// Client-side serialization delay per outgoing request.
@@ -80,6 +86,7 @@ impl Default for ChurnConfig {
             retry_timeout: SimTime::from_secs(3),
             max_retries: 5,
             adaptive: false,
+            blacklist_ttl: None,
             cost: CostModel::default(),
             client_uplink_per_request: SimTime::from_millis(45),
         }
@@ -87,10 +94,17 @@ impl Default for ChurnConfig {
 }
 
 impl ChurnConfig {
+    /// When the query with sequence number `seq` is issued: one query
+    /// every 500 ms. The single source of the cadence — [`Self::horizon`]
+    /// and the partition experiment's phase attribution derive from it.
+    pub fn issued_at(seq: usize) -> SimTime {
+        SimTime::from_millis(500 * seq as u64)
+    }
+
     /// The simulated span over which queries are issued (and failures
     /// sampled).
     pub fn horizon(&self) -> SimTime {
-        SimTime::from_millis(500 * self.queries as u64 + 500)
+        Self::issued_at(self.queries) + SimTime::from_millis(500)
     }
 
     /// Samples the deterministic relay-failure plan of this configuration:
@@ -126,6 +140,20 @@ impl ChurnConfig {
     }
 }
 
+/// One answered query in the run's privacy ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnsweredQuery {
+    /// The query's sequence number (issued at `seq × 500 ms`).
+    pub seq: usize,
+    /// End-to-end latency of the real-query path, seconds (retries
+    /// included).
+    pub latency_s: f64,
+    /// Fakes this query's plan still held on non-blacklisted relays when
+    /// the answer arrived — the dilution the engine actually observed,
+    /// versus the configured target `k`.
+    pub achieved_k: usize,
+}
+
 /// What one churn run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChurnOutcome {
@@ -133,6 +161,9 @@ pub struct ChurnOutcome {
     /// in completion order. Queries whose real query had to be resubmitted
     /// include the retry delay.
     pub latencies: Vec<f64>,
+    /// The per-query ledger (in completion order): sequence number,
+    /// latency and the `achieved_k` each answered query ended with.
+    pub answered_queries: Vec<AnsweredQuery>,
     /// Queries answered before the run drained.
     pub answered: usize,
     /// Queries that exhausted their retries without an answer.
@@ -154,10 +185,27 @@ pub struct ChurnOutcome {
 #[derive(Default)]
 struct ClientSink {
     latencies: Vec<f64>,
+    answered_queries: Vec<AnsweredQuery>,
     answered: usize,
     retries: u64,
     fakes_topped_up: u64,
     clamped_samples: u64,
+}
+
+/// Whether `relay` is currently barred by the client's blacklist: entries
+/// are permanent without a TTL, and expire `ttl` after they were added
+/// with one (the probation that lets post-partition queries spread over
+/// the healed population again).
+fn on_probation(
+    blacklist: &std::collections::HashMap<NodeId, SimTime>,
+    ttl: Option<SimTime>,
+    relay: NodeId,
+    now: SimTime,
+) -> bool {
+    blacklist.get(&relay).is_some_and(|since| match ttl {
+        None => true,
+        Some(ttl) => now.saturating_sub(*since) < ttl,
+    })
 }
 
 struct RelayBehavior {
@@ -232,8 +280,10 @@ struct ClientBehavior {
     /// and resubmits the shortfall.
     fake_relays: Vec<Vec<NodeId>>,
     /// Relays the client has given up on (paper §IV: unresponsive proxies
-    /// are blacklisted client-side).
-    blacklist: HashSet<NodeId>,
+    /// are blacklisted client-side), with the time each entry was added —
+    /// entries expire after `blacklist_ttl` when one is configured.
+    blacklist: std::collections::HashMap<NodeId, SimTime>,
+    blacklist_ttl: Option<SimTime>,
     outbox: Vec<(NodeId, Vec<u8>)>,
     sink: Arc<Mutex<ClientSink>>,
 }
@@ -252,12 +302,13 @@ impl ClientBehavior {
         }
     }
 
-    /// Relays the client is still willing to use.
-    fn usable(&self) -> Vec<NodeId> {
+    /// Relays the client is still willing to use at `now` (blacklist
+    /// entries past their probation are forgiven).
+    fn usable(&self, now: SimTime) -> Vec<NodeId> {
         self.relays
             .iter()
             .copied()
-            .filter(|r| !self.blacklist.contains(r))
+            .filter(|r| !on_probation(&self.blacklist, self.blacklist_ttl, *r, now))
             .collect()
     }
 
@@ -269,7 +320,7 @@ impl ClientBehavior {
 
     fn launch(&mut self, ctx: &mut Context<'_>, seq: usize) {
         self.ensure(seq);
-        let usable = self.usable();
+        let usable = self.usable(ctx.now());
         if usable.is_empty() {
             return;
         }
@@ -302,9 +353,9 @@ impl ClientBehavior {
         // The entrusted relay never answered: blacklist it and resubmit the
         // real query through a fresh relay.
         if let Some(dead) = self.real_relay[seq].take() {
-            self.blacklist.insert(dead);
+            self.blacklist.insert(dead, ctx.now());
         }
-        let usable = self.usable();
+        let usable = self.usable(ctx.now());
         if usable.is_empty() {
             return;
         }
@@ -340,15 +391,17 @@ impl ClientBehavior {
     /// shortfall too — fresh fake requests through distinct relays not
     /// already serving this query.
     fn top_up_fakes(&mut self, ctx: &mut Context<'_>, seq: usize, real_replacement: NodeId) {
+        let now = ctx.now();
         let blacklist = &self.blacklist;
-        self.fake_relays[seq].retain(|r| !blacklist.contains(r));
+        let ttl = self.blacklist_ttl;
+        self.fake_relays[seq].retain(|r| !on_probation(blacklist, ttl, *r, now));
         let shortfall = self.k.saturating_sub(self.fake_relays[seq].len());
         if shortfall == 0 {
             return;
         }
         let in_use = &self.fake_relays[seq];
         let candidates: Vec<NodeId> = self
-            .usable()
+            .usable(now)
             .into_iter()
             .filter(|r| *r != real_replacement && !in_use.contains(r))
             .collect();
@@ -389,25 +442,36 @@ impl NodeBehavior for ClientBehavior {
         }
         if let Some(sent) = self.sent_at[seq] {
             self.answered[seq] = true;
+            // The dilution this plan actually delivered: fakes still
+            // entrusted to relays the client has not (currently) given up
+            // on. Fakes on blacklisted relays are presumed swallowed.
+            let now = ctx.now();
+            let achieved_k = self.fake_relays[seq]
+                .iter()
+                .filter(|r| !on_probation(&self.blacklist, self.blacklist_ttl, **r, now))
+                .count();
             let mut sink = self.sink.lock().expect("sink poisoned");
             sink.answered += 1;
             // A response can never precede its send; a negative round trip
             // means the event order broke. Surface it instead of silently
             // recording zero.
-            match ctx.now().checked_sub(sent) {
-                Some(round_trip) => sink.latencies.push(round_trip.as_secs_f64()),
+            let latency_s = match now.checked_sub(sent) {
+                Some(round_trip) => round_trip.as_secs_f64(),
                 None => {
                     debug_assert!(
                         false,
-                        "response at {} precedes send at {} for query {}",
-                        ctx.now(),
-                        sent,
-                        seq
+                        "response at {now} precedes send at {sent} for query {seq}"
                     );
                     sink.clamped_samples += 1;
-                    sink.latencies.push(0.0);
+                    0.0
                 }
-            }
+            };
+            sink.latencies.push(latency_s);
+            sink.answered_queries.push(AnsweredQuery {
+                seq,
+                latency_s,
+                achieved_k,
+            });
         }
     }
 
@@ -437,6 +501,18 @@ fn parse_client(payload: &[u8]) -> Option<NodeId> {
 pub fn run_churn_experiment_on<E: Engine>(
     engine_impl: &mut E,
     config: &ChurnConfig,
+) -> ChurnOutcome {
+    run_churn_experiment_on_with(engine_impl, config, &ChaosPlan::new())
+}
+
+/// [`run_churn_experiment_on`] with an extra [`ChaosPlan`] applied on top
+/// of the configuration's own failure plan — the hook the partition
+/// experiment uses to cut link groups around the same client/relay/engine
+/// deployment.
+pub fn run_churn_experiment_on_with<E: Engine>(
+    engine_impl: &mut E,
+    config: &ChurnConfig,
+    extra: &ChaosPlan,
 ) -> ChurnOutcome {
     assert!(config.relays > config.k, "need at least k + 1 relays");
     engine_impl.set_default_latency(LatencyModel::wan());
@@ -481,13 +557,14 @@ pub fn run_churn_experiment_on<E: Engine>(
             attempts: Vec::new(),
             real_relay: Vec::new(),
             fake_relays: Vec::new(),
-            blacklist: HashSet::new(),
+            blacklist: std::collections::HashMap::new(),
+            blacklist_ttl: config.blacklist_ttl,
             outbox: Vec::new(),
             sink: sink.clone(),
         }),
     );
     for i in 0..config.queries {
-        engine_impl.schedule_timer(SimTime::from_millis(500 * i as u64), client, i as u64);
+        engine_impl.schedule_timer(ChurnConfig::issued_at(i), client, i as u64);
     }
 
     // Inject the faults: a recovering plan re-registers nothing (state is
@@ -500,11 +577,13 @@ pub fn run_churn_experiment_on<E: Engine>(
         .filter(|e| matches!(e.kind, FaultKind::Crash(_) | FaultKind::Leave(_)))
         .count();
     plan.apply(engine_impl);
+    extra.apply(engine_impl);
 
     engine_impl.run();
     let sink = sink.lock().expect("sink poisoned");
     ChurnOutcome {
         latencies: sink.latencies.clone(),
+        answered_queries: sink.answered_queries.clone(),
         answered: sink.answered,
         unanswered: config.queries - sink.answered,
         retries: sink.retries,

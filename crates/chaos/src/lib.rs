@@ -20,15 +20,66 @@
 //!   the end-to-end deployment re-run under relay failures, with the
 //!   client-side healing path (blacklist the unresponsive relay, resubmit
 //!   through a fresh one) the paper describes.
+//! * [`partition`] — the network-partition experiment: the same
+//!   deployment cut into disconnected components by link-group loss
+//!   windows ([`plan::ChaosPlan::partition`]) that later re-merge, with
+//!   the per-phase `achieved_k` ledger showing graceful degradation
+//!   inside a minority partition and recovery after the merge.
 //! * [`attack`] — [`attack::ChurnedMechanism`], which thins a mechanism's
 //!   observable footprint the way relay failures do, so the Fig. 5
 //!   harness produces attack accuracy as a function of the failure rate,
 //!   and [`attack::AdaptiveChurnedMechanism`], its adaptive-k twin that
 //!   redraws and resubmits every fake the churn swallows (the plan-repair
 //!   model) — sweep both for the fixed-vs-adaptive robustness curves.
+//!   [`attack::PartitionedMechanism`] does the same for a partition
+//!   window instead of a uniform failure rate.
 //!
-//! The `churn` binary of `cyclosa-bench` sweeps failure rates through
-//! both halves and writes the robustness curves to `BENCH_churn.json`.
+//! The `churn` binary of `cyclosa-bench` sweeps failure rates and
+//! partition windows through both halves and writes the robustness curves
+//! to `BENCH_churn.json`.
+//!
+//! # Example: scheduling membership and partition events on an `Engine`
+//!
+//! A [`plan::ChaosPlan`] scripts faults against simulated time — node
+//! crashes/recoveries *and* link-group partitions — and applies to any
+//! engine; the faults then fire deterministically during the run:
+//!
+//! ```
+//! use cyclosa_chaos::ChaosPlan;
+//! use cyclosa_net::engine::Engine;
+//! use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation};
+//! use cyclosa_net::time::SimTime;
+//! use cyclosa_net::NodeId;
+//!
+//! struct Quiet;
+//! impl NodeBehavior for Quiet {
+//!     fn on_message(&mut self, _: &mut Context<'_>, _: Envelope) {}
+//! }
+//!
+//! let mut engine = Simulation::new(7);
+//! for id in 0..4 {
+//!     engine.add_node(NodeId(id), Box::new(Quiet));
+//! }
+//! // Node 3 crashes at 5 s and recovers at 12 s; nodes {0, 1} are
+//! // partitioned away from {2, 3} between 8 s and 20 s.
+//! let plan = ChaosPlan::new()
+//!     .crash_at(SimTime::from_secs(5), NodeId(3))
+//!     .recover_at(SimTime::from_secs(12), NodeId(3))
+//!     .partition(
+//!         &[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]],
+//!         SimTime::from_secs(8),
+//!         SimTime::from_secs(20),
+//!     );
+//! plan.apply(&mut engine);
+//! // Cross-partition traffic inside the window is lost; the rest flows.
+//! engine.post(SimTime::from_secs(10), NodeId(0), NodeId(2), 0, vec![]);
+//! engine.post(SimTime::from_secs(10), NodeId(0), NodeId(1), 0, vec![]);
+//! engine.post(SimTime::from_secs(25), NodeId(0), NodeId(2), 0, vec![]);
+//! engine.run();
+//! assert_eq!(engine.stats().lost, 1);
+//! assert_eq!(engine.stats().delivered, 2);
+//! assert_eq!((engine.stats().crashed, engine.stats().recovered), (1, 1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,12 +87,17 @@
 pub mod attack;
 pub mod churn;
 pub mod experiment;
+pub mod partition;
 pub mod plan;
 
-pub use attack::{AdaptiveChurnedMechanism, ChurnedMechanism};
+pub use attack::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
 pub use churn::{churn_stream, ChurnModel};
 pub use experiment::{
-    run_churn_experiment, run_churn_experiment_on, run_churn_experiment_sharded, ChurnConfig,
-    ChurnOutcome,
+    run_churn_experiment, run_churn_experiment_on, run_churn_experiment_on_with,
+    run_churn_experiment_sharded, AnsweredQuery, ChurnConfig, ChurnOutcome,
 };
-pub use plan::{ChaosPlan, FaultEvent, FaultKind};
+pub use partition::{
+    run_partition_experiment, run_partition_experiment_on, run_partition_experiment_sharded,
+    PartitionConfig, PartitionOutcome, PhaseSummary,
+};
+pub use plan::{ChaosPlan, FaultEvent, FaultKind, LinkFault};

@@ -2,11 +2,18 @@
 //!
 //! A plan is an ordered list of [`FaultEvent`]s — crashes, leaves,
 //! recoveries, joins and loss-probability steps pinned to simulated times —
-//! that can be applied to **any** [`Engine`] before (or between) runs. The
-//! faults then fire deterministically *during* the run through the
-//! engine's membership events, so the same plan produces bit-identical
-//! executions on the sequential simulator and on the sharded engine for
-//! any shard count.
+//! plus [`LinkFault`] windows (per-link-group loss steps, the partition
+//! primitive) that can be applied to **any** [`Engine`] before (or between)
+//! runs. The faults then fire deterministically *during* the run through
+//! the engine's membership events and loss schedules, so the same plan
+//! produces bit-identical executions on the sequential simulator and on
+//! the sharded engine for any shard count.
+//!
+//! Partitions are first-class: [`ChaosPlan::partition`] splits the
+//! population into disconnected components at `split_at` and re-merges
+//! them at `merge_at`; [`ChaosPlan::partial_partition`] degrades the
+//! boundary instead of severing it, and
+//! [`ChaosPlan::asymmetric_partition`] cuts only one direction.
 
 use cyclosa_net::engine::Engine;
 use cyclosa_net::sim::NodeBehavior;
@@ -52,15 +59,34 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// A scheduled link-group loss step: at `at`, every directed link in
+/// `src_set × dst_set` steps to loss probability `p`. Two opposed events at
+/// `1.0` make a partition; a closing pair at `0.0` is the re-merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// When the step takes effect (a function of send time, like every
+    /// loss schedule).
+    pub at: SimTime,
+    /// Source side of the affected directed links.
+    pub src_set: Vec<NodeId>,
+    /// Destination side of the affected directed links.
+    pub dst_set: Vec<NodeId>,
+    /// The loss probability in force from `at` on.
+    pub p: f64,
+}
+
 /// A deterministic fault schedule against one experiment.
 ///
 /// Build one by hand with the `*_at` methods, or sample one from a
 /// [`crate::churn::ChurnModel`]. Events are kept sorted by time (stable
 /// for equal times, so same-instant faults apply in insertion order —
 /// which the engines' per-node membership sequences then preserve).
+/// Link-group faults ([`LinkFault`]) ride alongside the node-fault events
+/// and are scheduled through [`Engine::schedule_link_loss`] on apply.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChaosPlan {
     events: Vec<FaultEvent>,
+    link_faults: Vec<LinkFault>,
 }
 
 impl ChaosPlan {
@@ -75,7 +101,10 @@ impl ChaosPlan {
     /// Same-instant events keep their relative order in `events`.
     pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by_key(|e| e.at);
-        Self { events }
+        Self {
+            events,
+            link_faults: Vec::new(),
+        }
     }
 
     /// The scheduled faults, sorted by time.
@@ -88,9 +117,15 @@ impl ChaosPlan {
         self.events.len()
     }
 
-    /// Whether the plan schedules no faults at all.
+    /// Whether the plan schedules no faults at all (link-group faults
+    /// included).
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.link_faults.is_empty()
+    }
+
+    /// The scheduled link-group loss steps, sorted by time.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.link_faults
     }
 
     /// Whether the plan contains any [`FaultKind::Join`] events (which
@@ -138,10 +173,131 @@ impl ChaosPlan {
         self
     }
 
-    /// Merges another plan's events into this one.
+    /// Adds one link-group loss step, keeping the link schedule sorted
+    /// (stable at equal times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or either set is empty.
+    pub fn push_link_fault(&mut self, fault: LinkFault) -> &mut Self {
+        assert!(
+            (0.0..=1.0).contains(&fault.p),
+            "loss probability must be in [0, 1]"
+        );
+        assert!(
+            !fault.src_set.is_empty() && !fault.dst_set.is_empty(),
+            "link faults need non-empty src and dst sets"
+        );
+        let index = self.link_faults.partition_point(|f| f.at <= fault.at);
+        self.link_faults.insert(index, fault);
+        self
+    }
+
+    /// Schedules the loss probability of every directed link in
+    /// `src_set × dst_set` to become `p` at `at`.
+    pub fn link_loss_at(
+        mut self,
+        at: SimTime,
+        src_set: &[NodeId],
+        dst_set: &[NodeId],
+        p: f64,
+    ) -> Self {
+        self.push_link_fault(LinkFault {
+            at,
+            src_set: src_set.to_vec(),
+            dst_set: dst_set.to_vec(),
+            p,
+        });
+        self
+    }
+
+    /// Splits the population into the given disjoint `groups` at `split_at`
+    /// and re-merges them at `merge_at`: every directed link between two
+    /// different groups is fully severed (loss `1.0`) for the window, both
+    /// directions, while links inside each group are untouched. Nodes not
+    /// listed in any group keep all of their links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two groups are given, any group is empty, or
+    /// `merge_at <= split_at`.
+    pub fn partition(self, groups: &[&[NodeId]], split_at: SimTime, merge_at: SimTime) -> Self {
+        self.partial_partition(groups, split_at, merge_at, 1.0)
+    }
+
+    /// [`ChaosPlan::partition`] with a boundary that is degraded rather
+    /// than severed: cross-group links lose packets with probability `p`
+    /// during the window (a "partial partition" / brown-out).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`ChaosPlan::partition`], or if `p` is
+    /// not in `[0, 1]`.
+    pub fn partial_partition(
+        mut self,
+        groups: &[&[NodeId]],
+        split_at: SimTime,
+        merge_at: SimTime,
+        p: f64,
+    ) -> Self {
+        assert!(groups.len() >= 2, "a partition needs at least two groups");
+        assert!(
+            merge_at > split_at,
+            "a partition must merge after it splits"
+        );
+        for (i, a) in groups.iter().enumerate() {
+            for b in groups.iter().skip(i + 1) {
+                self = self
+                    .asymmetric_partition(a, b, split_at, merge_at, p)
+                    .asymmetric_partition(b, a, split_at, merge_at, p);
+            }
+        }
+        self
+    }
+
+    /// Cuts only the `src_group → dst_group` direction for the window
+    /// `[split_at, merge_at)` with loss probability `p` (an asymmetric
+    /// split: replies still flow back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either group is empty, `p` is not in `[0, 1]`, or
+    /// `merge_at <= split_at`.
+    pub fn asymmetric_partition(
+        mut self,
+        src_group: &[NodeId],
+        dst_group: &[NodeId],
+        split_at: SimTime,
+        merge_at: SimTime,
+        p: f64,
+    ) -> Self {
+        assert!(
+            merge_at > split_at,
+            "a partition must merge after it splits"
+        );
+        self.push_link_fault(LinkFault {
+            at: split_at,
+            src_set: src_group.to_vec(),
+            dst_set: dst_group.to_vec(),
+            p,
+        });
+        self.push_link_fault(LinkFault {
+            at: merge_at,
+            src_set: src_group.to_vec(),
+            dst_set: dst_group.to_vec(),
+            p: 0.0,
+        });
+        self
+    }
+
+    /// Merges another plan's events (node faults and link faults) into
+    /// this one.
     pub fn merge(mut self, other: ChaosPlan) -> Self {
         for event in other.events {
             self.push(event.at, event.kind);
+        }
+        for fault in other.link_faults {
+            self.push_link_fault(fault);
         }
         self
     }
@@ -197,6 +353,9 @@ impl ChaosPlan {
                 FaultKind::SetLoss(p) => engine.schedule_loss_probability(event.at, p),
             }
         }
+        for fault in &self.link_faults {
+            engine.schedule_link_loss(fault.at, &fault.src_set, &fault.dst_set, fault.p);
+        }
     }
 }
 
@@ -231,6 +390,124 @@ mod tests {
             .set_loss_at(SimTime::from_secs(5), 0.2);
         assert!((plan.failure_fraction(10) - 0.2).abs() < 1e-12);
         assert_eq!(ChaosPlan::new().failure_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn partition_builder_severs_every_cross_group_pair_both_ways() {
+        let a = [NodeId(1), NodeId(2)];
+        let b = [NodeId(3)];
+        let c = [NodeId(4)];
+        let plan = ChaosPlan::new().partition(
+            &[&a, &b, &c],
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+        );
+        // Three group pairs × two directions × (split + merge) = 12 steps.
+        assert_eq!(plan.link_faults().len(), 12);
+        assert!(plan.events().is_empty(), "no node faults involved");
+        assert!(!plan.is_empty(), "link faults count towards is_empty");
+        let splits = plan
+            .link_faults()
+            .iter()
+            .filter(|f| f.at == SimTime::from_secs(10))
+            .count();
+        let merges = plan
+            .link_faults()
+            .iter()
+            .filter(|f| f.at == SimTime::from_secs(30) && f.p == 0.0)
+            .count();
+        assert_eq!((splits, merges), (6, 6));
+        assert!(plan
+            .link_faults()
+            .iter()
+            .all(|f| f.p == 1.0 || f.at == SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn partial_and_asymmetric_partitions_carry_their_probability() {
+        let a = [NodeId(1)];
+        let b = [NodeId(2)];
+        let partial = ChaosPlan::new().partial_partition(
+            &[&a, &b],
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            0.3,
+        );
+        assert!(partial
+            .link_faults()
+            .iter()
+            .filter(|f| f.at == SimTime::from_secs(1))
+            .all(|f| f.p == 0.3));
+        let one_way = ChaosPlan::new().asymmetric_partition(
+            &a,
+            &b,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            1.0,
+        );
+        assert_eq!(one_way.link_faults().len(), 2);
+        assert!(one_way
+            .link_faults()
+            .iter()
+            .all(|f| f.src_set == vec![NodeId(1)] && f.dst_set == vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn merge_carries_link_faults_across() {
+        let partition = ChaosPlan::new().partition(
+            &[&[NodeId(1)], &[NodeId(2)]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(9),
+        );
+        let merged = ChaosPlan::new()
+            .crash_at(SimTime::from_secs(1), NodeId(3))
+            .merge(partition);
+        assert_eq!(merged.events().len(), 1);
+        assert_eq!(merged.link_faults().len(), 4);
+    }
+
+    #[test]
+    fn applied_partition_drops_cross_group_traffic_in_the_window() {
+        use cyclosa_net::sim::{Context, Envelope, Simulation};
+        struct Quiet;
+        impl NodeBehavior for Quiet {
+            fn on_message(&mut self, _: &mut Context<'_>, _: Envelope) {}
+        }
+        let mut simulation = Simulation::new(3);
+        simulation.add_node(NodeId(1), Box::new(Quiet));
+        simulation.add_node(NodeId(2), Box::new(Quiet));
+        ChaosPlan::new()
+            .partition(
+                &[&[NodeId(1)], &[NodeId(2)]],
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+            )
+            .apply(&mut simulation);
+        // One send per second each way: 1–9 s and 20 s+ deliver, 10–19 s drop.
+        for s in [5u64, 15, 25] {
+            simulation.post(SimTime::from_secs(s), NodeId(1), NodeId(2), 0, vec![]);
+            simulation.post(SimTime::from_secs(s), NodeId(2), NodeId(1), 0, vec![]);
+        }
+        simulation.run();
+        let stats = simulation.stats();
+        assert_eq!(stats.lost, 2, "only the in-window cross sends are lost");
+        assert_eq!(stats.delivered, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge after it splits")]
+    fn partition_must_merge_after_split() {
+        let _ = ChaosPlan::new().partition(
+            &[&[NodeId(1)], &[NodeId(2)]],
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two groups")]
+    fn partition_needs_two_groups() {
+        let _ = ChaosPlan::new().partition(&[&[NodeId(1)]], SimTime::ZERO, SimTime::from_secs(1));
     }
 
     #[test]

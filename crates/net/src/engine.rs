@@ -46,7 +46,7 @@ use crate::sim::{Envelope, NodeBehavior, SimulationStats};
 use crate::time::SimTime;
 use crate::NodeId;
 use cyclosa_util::rng::{Rng, SplitMix64, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Classes of events, ordered within the same `(time, node)` slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -342,6 +342,98 @@ impl LossSchedule {
     }
 }
 
+/// A piecewise-constant loss timeline scoped to **link groups**: directed
+/// sets of links `src_set × dst_set`, each with its own [`LossSchedule`]-style
+/// step function of send time.
+///
+/// This is the primitive behind network partitions: scheduling loss `1.0`
+/// on `A × B` and `B × A` at `split_at` (and `0.0` at `merge_at`) cuts the
+/// population into components that later re-merge, while links inside each
+/// component are untouched. Asymmetric and partial (lossy-but-not-severed)
+/// splits fall out of the same surface.
+///
+/// Like the global [`LossSchedule`], the effective probability of a send is
+/// a pure function of its `(send time, src, dst)` triple — never of event
+/// interleaving — so partitions stay bit-identical across engines and
+/// shard counts: every shard holds the same replicated schedule (group
+/// matching is plain data), and a link whose effective probability is zero
+/// draws nothing from its RNG stream on any engine. When several groups
+/// match the same link, their probabilities compose independently
+/// (`1 − Π(1 − pᵢ)`), as does the global schedule on top.
+#[derive(Debug, Clone, Default)]
+pub struct LinkGroupSchedule {
+    groups: Vec<LinkGroup>,
+}
+
+#[derive(Debug, Clone)]
+struct LinkGroup {
+    src: HashSet<NodeId>,
+    dst: HashSet<NodeId>,
+    schedule: LossSchedule,
+}
+
+impl LinkGroupSchedule {
+    /// An empty schedule: no group ever loses anything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the loss probability of every directed link in
+    /// `src_set × dst_set` to become `p` at `at` (inclusive). Repeated calls
+    /// with the same two sets extend that group's step function; a new pair
+    /// of sets opens a new group (composing independently with the others).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or either set is empty.
+    pub fn schedule(&mut self, at: SimTime, src_set: &[NodeId], dst_set: &[NodeId], p: f64) {
+        assert!(
+            !src_set.is_empty() && !dst_set.is_empty(),
+            "link groups need non-empty src and dst sets"
+        );
+        let src: HashSet<NodeId> = src_set.iter().copied().collect();
+        let dst: HashSet<NodeId> = dst_set.iter().copied().collect();
+        if let Some(group) = self
+            .groups
+            .iter_mut()
+            .find(|g| g.src == src && g.dst == dst)
+        {
+            group.schedule.schedule(at, p);
+            return;
+        }
+        let mut schedule = LossSchedule::new();
+        schedule.schedule(at, p);
+        self.groups.push(LinkGroup { src, dst, schedule });
+    }
+
+    /// Whether no group has ever been scheduled (the hot-path fast exit).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group-only loss probability of the directed link `src → dst` at
+    /// send time `at`: `1 − Π(1 − pᵢ)` over every matching group.
+    pub fn at(&self, at: SimTime, src: NodeId, dst: NodeId) -> f64 {
+        let mut survival = 1.0;
+        for group in &self.groups {
+            if group.src.contains(&src) && group.dst.contains(&dst) {
+                survival *= 1.0 - group.schedule.at(at);
+            }
+        }
+        1.0 - survival
+    }
+
+    /// The effective loss probability of one send, composing the global
+    /// schedule's `base` with every matching group independently. Both
+    /// engines funnel their sends through this, so they cannot drift.
+    pub fn combined(&self, base: f64, at: SimTime, src: NodeId, dst: NodeId) -> f64 {
+        if self.groups.is_empty() {
+            return base;
+        }
+        1.0 - (1.0 - base) * (1.0 - self.at(at, src, dst))
+    }
+}
+
 /// The scheduling surface shared by the sequential [`crate::sim::Simulation`]
 /// and the sharded engine of `cyclosa-runtime`.
 ///
@@ -398,6 +490,13 @@ pub trait Engine {
     /// Schedules the global loss probability to become `p` at simulated
     /// time `at` (a deterministic "loss storm" step; see [`LossSchedule`]).
     fn schedule_loss_probability(&mut self, at: SimTime, p: f64);
+
+    /// Schedules the loss probability of every directed link in
+    /// `src_set × dst_set` to become `p` at simulated time `at` — the
+    /// link-group window primitive behind partitions (see
+    /// [`LinkGroupSchedule`]). Composes independently with the global
+    /// schedule and with other groups covering the same link.
+    fn schedule_link_loss(&mut self, at: SimTime, src_set: &[NodeId], dst_set: &[NodeId], p: f64);
 
     /// Injects a message from outside the simulation, delivered at `at`
     /// plus the sampled link latency.
@@ -521,6 +620,75 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn loss_schedule_rejects_invalid_probability() {
         LossSchedule::new().schedule(SimTime::ZERO, 1.5);
+    }
+
+    #[test]
+    fn link_group_schedule_scopes_loss_to_the_group_and_window() {
+        let mut schedule = LinkGroupSchedule::new();
+        assert!(schedule.is_empty());
+        let a = [NodeId(1), NodeId(2)];
+        let b = [NodeId(3), NodeId(4)];
+        schedule.schedule(SimTime::from_secs(10), &a, &b, 1.0);
+        schedule.schedule(SimTime::from_secs(20), &a, &b, 0.0);
+        assert!(!schedule.is_empty());
+        // Outside the window, and for any link not in A × B, nothing is lost.
+        assert_eq!(
+            schedule.at(SimTime::from_secs(5), NodeId(1), NodeId(3)),
+            0.0
+        );
+        assert_eq!(
+            schedule.at(SimTime::from_secs(25), NodeId(1), NodeId(3)),
+            0.0
+        );
+        assert_eq!(
+            schedule.at(SimTime::from_secs(15), NodeId(1), NodeId(2)),
+            0.0,
+            "intra-group links are untouched"
+        );
+        assert_eq!(
+            schedule.at(SimTime::from_secs(15), NodeId(3), NodeId(1)),
+            0.0,
+            "the reverse direction needs its own group"
+        );
+        // Inside the window every A → B link is severed.
+        assert_eq!(
+            schedule.at(SimTime::from_secs(15), NodeId(2), NodeId(4)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn link_group_schedules_compose_independently() {
+        let mut schedule = LinkGroupSchedule::new();
+        schedule.schedule(SimTime::ZERO, &[NodeId(1)], &[NodeId(2)], 0.5);
+        schedule.schedule(SimTime::ZERO, &[NodeId(1), NodeId(9)], &[NodeId(2)], 0.5);
+        // Two matching groups at 0.5: survival 0.25, loss 0.75.
+        let p = schedule.at(SimTime::from_secs(1), NodeId(1), NodeId(2));
+        assert!((p - 0.75).abs() < 1e-12, "composed loss {p}");
+        // The global base composes on top the same way.
+        let combined = schedule.combined(0.2, SimTime::from_secs(1), NodeId(1), NodeId(2));
+        assert!((combined - 0.8).abs() < 1e-12, "combined loss {combined}");
+        // An unscheduled link falls back to the base alone.
+        let base_only = schedule.combined(0.2, SimTime::from_secs(1), NodeId(5), NodeId(6));
+        assert!((base_only - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_group_repeat_schedule_extends_the_same_group() {
+        let mut schedule = LinkGroupSchedule::new();
+        let a = [NodeId(1)];
+        let b = [NodeId(2)];
+        schedule.schedule(SimTime::from_secs(1), &a, &b, 0.8);
+        schedule.schedule(SimTime::from_secs(2), &a, &b, 0.1);
+        // A later step in the same group replaces, not composes.
+        let p = schedule.at(SimTime::from_secs(3), NodeId(1), NodeId(2));
+        assert!((p - 0.1).abs() < 1e-12, "stepped loss {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn link_group_schedule_rejects_empty_sets() {
+        LinkGroupSchedule::new().schedule(SimTime::ZERO, &[], &[NodeId(1)], 0.5);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! the sharded engine of `cyclosa-runtime` reproduces it bit for bit.
 
 use crate::engine::{
-    Engine, EventClass, EventKey, EventKind, LinkTable, LossSchedule, MembershipChange,
-    MembershipLedger, ScheduledEvent,
+    Engine, EventClass, EventKey, EventKind, LinkGroupSchedule, LinkTable, LossSchedule,
+    MembershipChange, MembershipLedger, ScheduledEvent,
 };
 use crate::latency::LatencyModel;
 use crate::time::SimTime;
@@ -161,6 +161,7 @@ pub struct Simulation {
     default_latency: LatencyModel,
     link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
     loss: LossSchedule,
+    link_loss: LinkGroupSchedule,
     links: LinkTable,
     timer_sequences: HashMap<NodeId, u64>,
     membership: MembershipLedger<Box<dyn NodeBehavior>>,
@@ -191,6 +192,7 @@ impl Simulation {
             default_latency: LatencyModel::wan(),
             link_latency: HashMap::new(),
             loss: LossSchedule::new(),
+            link_loss: LinkGroupSchedule::new(),
             links: LinkTable::new(seed),
             timer_sequences: HashMap::new(),
             membership: MembershipLedger::new(),
@@ -230,6 +232,23 @@ impl Simulation {
     /// Panics if `p` is not in `[0, 1]`.
     pub fn schedule_loss_probability(&mut self, at: SimTime, p: f64) {
         self.loss.schedule(at, p);
+    }
+
+    /// Schedules the loss probability of every directed link in
+    /// `src_set × dst_set` to become `p` at simulated time `at` (the
+    /// partition primitive; see [`LinkGroupSchedule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or either set is empty.
+    pub fn schedule_link_loss(
+        &mut self,
+        at: SimTime,
+        src_set: &[NodeId],
+        dst_set: &[NodeId],
+        p: f64,
+    ) {
+        self.link_loss.schedule(at, src_set, dst_set, p);
     }
 
     /// Marks a node as crashed: messages to it are dropped, its timers stop
@@ -334,7 +353,9 @@ impl Simulation {
 
     fn enqueue_send(&mut self, at: SimTime, envelope: Envelope) {
         let model = self.link_model(envelope.src, envelope.dst);
-        let loss = self.loss.at(at);
+        let loss = self
+            .link_loss
+            .combined(self.loss.at(at), at, envelope.src, envelope.dst);
         match self
             .links
             .prepare(at, envelope.src, envelope.dst, model, loss)
@@ -491,6 +512,10 @@ impl Engine for Simulation {
 
     fn schedule_loss_probability(&mut self, at: SimTime, p: f64) {
         Simulation::schedule_loss_probability(self, at, p);
+    }
+
+    fn schedule_link_loss(&mut self, at: SimTime, src_set: &[NodeId], dst_set: &[NodeId], p: f64) {
+        Simulation::schedule_link_loss(self, at, src_set, dst_set, p);
     }
 
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
@@ -737,6 +762,29 @@ mod tests {
             "only sends before the storm survive"
         );
         assert_eq!(sim.stats().lost, 80);
+    }
+
+    #[test]
+    fn scheduled_link_loss_severs_only_the_group_during_the_window() {
+        let mut sim = Simulation::new(15);
+        sim.set_default_latency(LatencyModel::Constant(SimTime::from_millis(10)));
+        let (log_b, rec_b) = recorder();
+        let (log_c, rec_c) = recorder();
+        sim.add_node(NodeId(1), Box::new(rec_b));
+        sim.add_node(NodeId(2), Box::new(rec_c));
+        // A → {1} severed between 1 s and 2 s; A → {2} untouched.
+        sim.schedule_link_loss(SimTime::from_secs(1), &[NodeId(0)], &[NodeId(1)], 1.0);
+        sim.schedule_link_loss(SimTime::from_secs(2), &[NodeId(0)], &[NodeId(1)], 0.0);
+        for (ms, tag) in [(0, 1u32), (1_500, 2), (2_500, 3)] {
+            sim.post(SimTime::from_millis(ms), NodeId(0), NodeId(1), tag, vec![]);
+            sim.post(SimTime::from_millis(ms), NodeId(0), NodeId(2), tag, vec![]);
+        }
+        sim.run();
+        let to_1: Vec<u32> = log_b.borrow().iter().map(|(_, tag, _)| *tag).collect();
+        let to_2: Vec<u32> = log_c.borrow().iter().map(|(_, tag, _)| *tag).collect();
+        assert_eq!(to_1, vec![1, 3], "the in-window send to the group is lost");
+        assert_eq!(to_2, vec![1, 2, 3], "out-of-group traffic is untouched");
+        assert_eq!(sim.stats().lost, 1);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`EngineGossipOverlay`] — the same protocol running over simulated
 //!   network messages on any `cyclosa_net::engine::Engine`, including the
 //!   sharded parallel engine of `cyclosa-runtime` for population-scale
-//!   experiments.
+//!   experiments. The overlay carries the full fault story: scheduled
+//!   kills, revivals and rejoins, live staleness/dead-reference
+//!   histograms, eager re-assessment of stale views, and network
+//!   partitions with directory-assisted merge healing
+//!   ([`EngineGossipOverlay::schedule_partition`]).
 //!
 //! CYCLOSA uses the resulting random views for two purposes: selecting the
 //! `k + 1` relays of each query (load balancing falls out of view

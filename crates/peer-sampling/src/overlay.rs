@@ -13,6 +13,12 @@
 //! sequential simulator and on the sharded parallel engine, for any shard
 //! count.
 //!
+//! Partitions are first-class faults:
+//! [`EngineGossipOverlay::schedule_partition`] severs the links between a
+//! minority component and the rest for a window (nothing crashes), and at
+//! the merge re-introduces a few bridge peers on each side so gossip can
+//! re-join components that have blacklisted every reference to each other.
+//!
 //! The overlay is churn-observable *during* a run, not only at the end:
 //! [`EngineGossipOverlay::ring_with_metrics`] threads a
 //! [`cyclosa_runtime::metrics::Registry`] through every node, recording a
@@ -40,6 +46,12 @@ use std::sync::{Arc, Mutex, RwLock};
 const TAG_PUSH: u32 = 0x9001;
 /// Message tag: pull reply of a gossip exchange.
 const TAG_REPLY: u32 = 0x9002;
+
+/// Timer-token base of merge-bridge reseeds: a timer with token
+/// `BRIDGE_BASE + peer` tells the node to insert a fresh descriptor of
+/// `peer` into its view (the directory-assisted re-introduction after a
+/// partition merges), instead of running a gossip round.
+const BRIDGE_BASE: u64 = 1 << 32;
 
 /// Configuration of the event-driven gossip overlay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,8 +277,15 @@ impl NodeBehavior for GossipBehavior {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         let mut node = self.node.lock().expect("gossip node poisoned");
+        if token >= BRIDGE_BASE {
+            // A merge-bridge reseed: learn the cross-partition peer afresh
+            // so the next rounds gossip the two healed sides back into one
+            // overlay. Not a round — no ageing, no round spend.
+            node.bootstrap([PeerId(token - BRIDGE_BASE)]);
+            return;
+        }
         if let Some((partner, sent, since)) = self.awaiting.take() {
             // The partner gets the full round period to answer — the
             // contract `round_period` is sized against — before it is
@@ -508,6 +527,74 @@ impl EngineGossipOverlay {
         let mut dead = self.dead.write().expect("dead timeline poisoned");
         dead.mark(at, peer, true);
         dead.mark(rejoin_at, peer, false);
+    }
+
+    /// Schedules a network partition: every link between `minority` and
+    /// the rest of the overlay is severed from `split_at` until `merge_at`
+    /// (both directions), via the engine's link-group loss windows. No
+    /// node crashes — each component keeps gossiping internally, cross
+    /// references go stale and are blacklisted on silence, so views end
+    /// the window side-local.
+    ///
+    /// **Merge healing:** gossip alone cannot re-join the components —
+    /// once every cross reference has been blacklisted, neither side holds
+    /// a descriptor of the other, and views only ever spread what views
+    /// contain. So at `merge_at` the first `bridges` nodes of each side
+    /// are re-introduced to a peer on the other side (a fresh descriptor
+    /// inserted through a bridge timer — the directory-assisted re-entry
+    /// of the paper's bootstrap, §V-D, applied to partition repair), and
+    /// ordinary gossip spreads the re-discovered side from there. Pass
+    /// `bridges: 0` to measure the unhealed case. Repair progress shows in
+    /// the live staleness histogram of
+    /// [`EngineGossipOverlay::ring_with_metrics`]: mean view age climbs
+    /// while cross references starve and relaxes back after the merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `merge_at <= split_at`, or `minority` is empty or covers
+    /// the whole overlay.
+    pub fn schedule_partition<E: Engine + ?Sized>(
+        &mut self,
+        engine: &mut E,
+        minority: &[PeerId],
+        split_at: SimTime,
+        merge_at: SimTime,
+        bridges: usize,
+    ) {
+        assert!(
+            merge_at > split_at,
+            "a partition must merge after it splits"
+        );
+        let minority_nodes: Vec<NodeId> = minority.iter().map(|p| NodeId(p.0)).collect();
+        let majority: Vec<PeerId> = self
+            .handles
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| !minority.contains(id))
+            .collect();
+        assert!(
+            !minority.is_empty() && !majority.is_empty(),
+            "a partition needs non-empty sides"
+        );
+        let majority_nodes: Vec<NodeId> = majority.iter().map(|p| NodeId(p.0)).collect();
+        engine.schedule_link_loss(split_at, &minority_nodes, &majority_nodes, 1.0);
+        engine.schedule_link_loss(split_at, &majority_nodes, &minority_nodes, 1.0);
+        engine.schedule_link_loss(merge_at, &minority_nodes, &majority_nodes, 0.0);
+        engine.schedule_link_loss(merge_at, &majority_nodes, &minority_nodes, 0.0);
+        for i in 0..bridges {
+            let minority_bridge = minority[i % minority.len()];
+            let majority_bridge = majority[i % majority.len()];
+            engine.schedule_timer(
+                merge_at,
+                NodeId(minority_bridge.0),
+                BRIDGE_BASE + majority_bridge.0,
+            );
+            engine.schedule_timer(
+                merge_at,
+                NodeId(majority_bridge.0),
+                BRIDGE_BASE + minority_bridge.0,
+            );
+        }
     }
 
     /// Number of alive nodes.
@@ -840,6 +927,150 @@ mod tests {
                 "eager views diverged with {shards} shards"
             );
         }
+    }
+
+    /// Views holding at least one reference across the `boundary` (ids
+    /// below it on one side, at or above on the other).
+    fn cross_side_views(views: &[(PeerId, Vec<PeerId>)], boundary: u64) -> usize {
+        views
+            .iter()
+            .filter(|(id, peers)| {
+                let minority = id.0 < boundary;
+                peers.iter().any(|p| (p.0 < boundary) != minority)
+            })
+            .count()
+    }
+
+    #[test]
+    fn partitioned_overlay_re_merges_only_with_bridge_healing() {
+        let run = |bridges: usize| {
+            let mut simulation = Simulation::new(67);
+            let config = EngineGossipConfig {
+                rounds: 90,
+                ..EngineGossipConfig::default()
+            };
+            let mut overlay = EngineGossipOverlay::ring(&mut simulation, 40, config, 67);
+            let minority: Vec<PeerId> = (0..12).map(PeerId).collect();
+            overlay.schedule_partition(
+                &mut simulation,
+                &minority,
+                SimTime::from_secs(10),
+                SimTime::from_secs(45),
+                bridges,
+            );
+            simulation.run();
+            (overlay.metrics(), overlay.views())
+        };
+        let (unhealed_metrics, unhealed_views) = run(0);
+        let (healed_metrics, healed_views) = run(3);
+        // Without bridges the sides have blacklisted each other away:
+        // gossip alone cannot re-join them after the merge.
+        assert!(
+            !unhealed_metrics.connected,
+            "an unbridged merge must stay split at the overlay level"
+        );
+        assert_eq!(cross_side_views(&unhealed_views, 12), 0);
+        // Three bridge pairs re-introduce the sides; gossip does the rest.
+        assert!(healed_metrics.connected, "bridged merge must reconnect");
+        assert!(
+            cross_side_views(&healed_views, 12) > 20,
+            "healing must spread cross-side references well beyond the bridges ({} views)",
+            cross_side_views(&healed_views, 12)
+        );
+        assert!(healed_metrics.dead_references < 0.05);
+    }
+
+    #[test]
+    fn partition_shows_up_in_the_live_staleness_histogram() {
+        let run = |partitioned: bool| {
+            let mut simulation = Simulation::new(73);
+            let registry = Registry::new();
+            let config = EngineGossipConfig {
+                rounds: 60,
+                ..EngineGossipConfig::default()
+            };
+            let mut overlay =
+                EngineGossipOverlay::ring_with_metrics(&mut simulation, 40, config, 73, &registry);
+            if partitioned {
+                let minority: Vec<PeerId> = (0..12).map(PeerId).collect();
+                overlay.schedule_partition(
+                    &mut simulation,
+                    &minority,
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(40),
+                    3,
+                );
+            }
+            simulation.run();
+            let snapshot = registry.snapshot();
+            let staleness = snapshot
+                .histograms
+                .iter()
+                .find(|(name, _)| name == "overlay.view_staleness_rounds")
+                .expect("staleness histogram registered")
+                .1;
+            (staleness, overlay.metrics())
+        };
+        let (calm, calm_metrics) = run(false);
+        let (split, split_metrics) = run(true);
+        assert!(calm_metrics.connected && split_metrics.connected);
+        assert!(
+            split.max > calm.max,
+            "starved cross references must push view staleness up ({} vs {})",
+            split.max,
+            calm.max
+        );
+    }
+
+    #[test]
+    fn partitioned_overlay_is_bit_identical_across_engines() {
+        let run = |engine: &mut dyn Engine| {
+            let config = EngineGossipConfig {
+                rounds: 50,
+                ..EngineGossipConfig::default()
+            };
+            let mut overlay = EngineGossipOverlay::ring(engine, 30, config, 79);
+            let minority: Vec<PeerId> = (0..9).map(PeerId).collect();
+            overlay.schedule_partition(
+                engine,
+                &minority,
+                SimTime::from_secs(8),
+                SimTime::from_secs(30),
+                2,
+            );
+            engine.run();
+            let mut views = overlay.views();
+            for (_, peers) in &mut views {
+                peers.sort_unstable();
+            }
+            views
+        };
+        let mut sequential = Simulation::new(79);
+        let expected = run(&mut sequential);
+        for shards in [2, 4, 8] {
+            let mut engine = ShardedEngine::new(79, shards);
+            assert_eq!(
+                run(&mut engine),
+                expected,
+                "partitioned views diverged with {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sides")]
+    fn partition_covering_everyone_is_rejected() {
+        let mut simulation = Simulation::new(1);
+        let mut overlay =
+            EngineGossipOverlay::ring(&mut simulation, 4, EngineGossipConfig::default(), 1);
+        let everyone: Vec<PeerId> = (0..4).map(PeerId).collect();
+        overlay.schedule_partition(
+            &mut simulation,
+            &everyone,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            1,
+        );
     }
 
     #[test]

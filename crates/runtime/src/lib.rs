@@ -12,7 +12,12 @@
 //!   minimum link-latency floor. Executions are bit-identical to the
 //!   sequential `cyclosa_net::sim::Simulation` for the same seed, for any
 //!   shard count — so every experiment can scale out without changing its
-//!   results.
+//!   results. The whole fault surface of the `Engine` trait rides along:
+//!   membership events (join/leave/crash/recover) are local to the owning
+//!   shard, while the global and link-group loss schedules (loss storms,
+//!   network partitions) are replicated to every shard and evaluated as
+//!   pure functions of send time — so even a partition boundary that cuts
+//!   across shard boundaries cannot break bit-identity.
 //! * [`metrics`] — counters, gauges and log-linear latency histograms with
 //!   p50/p95/p99 export, cheap enough to thread through relay forwarding,
 //!   enclave transitions and search-engine queries on the hot path.

@@ -42,8 +42,8 @@
 //! ```
 
 use cyclosa_net::engine::{
-    Engine, EventClass, EventKey, EventKind, LinkTable, LossSchedule, MembershipChange,
-    MembershipLedger, ScheduledEvent,
+    Engine, EventClass, EventKey, EventKind, LinkGroupSchedule, LinkTable, LossSchedule,
+    MembershipChange, MembershipLedger, ScheduledEvent,
 };
 use cyclosa_net::latency::LatencyModel;
 use cyclosa_net::sim::{Action, Context, Envelope, NodeBehavior, SimulationStats};
@@ -116,6 +116,7 @@ struct Shard {
     default_latency: LatencyModel,
     link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
     loss: LossSchedule,
+    link_loss: LinkGroupSchedule,
     timer_sequences: HashMap<NodeId, u64>,
     membership: MembershipLedger<Box<dyn NodeBehavior + Send>>,
     clock: SimTime,
@@ -135,6 +136,7 @@ impl Shard {
             default_latency: LatencyModel::wan(),
             link_latency: HashMap::new(),
             loss: LossSchedule::new(),
+            link_loss: LinkGroupSchedule::new(),
             timer_sequences: HashMap::new(),
             membership: MembershipLedger::new(),
             clock: SimTime::ZERO,
@@ -159,7 +161,12 @@ impl Shard {
     /// the sender's deterministic order.
     fn prepare_send(&mut self, at: SimTime, envelope: Envelope) -> Option<ScheduledEvent> {
         let model = self.link_model(envelope.src, envelope.dst);
-        let loss = self.loss.at(at);
+        // Every shard evaluates the same replicated schedules at the same
+        // deterministic send times, so the partition boundary crossing
+        // shard boundaries cannot break bit-identity.
+        let loss = self
+            .link_loss
+            .combined(self.loss.at(at), at, envelope.src, envelope.dst);
         match self
             .links
             .prepare(at, envelope.src, envelope.dst, model, loss)
@@ -579,6 +586,15 @@ impl Engine for ShardedEngine {
         }
     }
 
+    fn schedule_link_loss(&mut self, at: SimTime, src_set: &[NodeId], dst_set: &[NodeId], p: f64) {
+        // Replicated like the global loss schedule: link-group loss is a
+        // pure function of send time, and sends are prepared on the
+        // sender's shard against the shared schedule.
+        for shard in &mut self.shards {
+            shard.link_loss.schedule(at, src_set, dst_set, p);
+        }
+    }
+
     fn post(&mut self, at: SimTime, src: NodeId, dst: NodeId, tag: u32, payload: Vec<u8>) {
         let envelope = Envelope {
             src,
@@ -878,6 +894,51 @@ mod tests {
         for shards in [1, 2, 4, 8] {
             let mut sharded = ShardedEngine::new(33, shards);
             assert_eq!(run(&mut sharded), expected, "diverged with {shards} shards");
+        }
+    }
+
+    #[test]
+    fn partition_crossing_shard_boundaries_matches_sequential() {
+        // A 70/30 split whose boundary cuts across every shard (dense ids
+        // hash all over the shard space): scheduled link-group loss must
+        // reproduce the sequential run bit for bit on 1/2/4/8 shards.
+        let run = |engine: &mut dyn Engine| {
+            let recorder = Recorder::new();
+            let population = 20u64;
+            for id in 0..population {
+                engine.add_node(NodeId(id), Box::new(recorder.clone()));
+            }
+            let minority: Vec<NodeId> = (0..6).map(NodeId).collect();
+            let majority: Vec<NodeId> = (6..population).map(NodeId).collect();
+            let split = SimTime::from_millis(300);
+            let merge = SimTime::from_millis(900);
+            engine.schedule_link_loss(split, &minority, &majority, 1.0);
+            engine.schedule_link_loss(split, &majority, &minority, 1.0);
+            engine.schedule_link_loss(merge, &minority, &majority, 0.0);
+            engine.schedule_link_loss(merge, &majority, &minority, 0.0);
+            for i in 0..600u32 {
+                engine.post(
+                    SimTime::from_millis(i as u64 * 2),
+                    NodeId((i % 20) as u64),
+                    NodeId(((i * 7 + 3) % 20) as u64),
+                    i,
+                    vec![0u8; 4],
+                );
+            }
+            engine.run();
+            (recorder.take(), engine.stats())
+        };
+        let mut sequential = Simulation::new(71);
+        let expected = run(&mut sequential);
+        assert!(expected.1.lost > 0, "the split must swallow traffic");
+        assert!(expected.1.delivered > 0);
+        for shards in [1, 2, 4, 8] {
+            let mut sharded = ShardedEngine::new(71, shards);
+            assert_eq!(
+                run(&mut sharded),
+                expected,
+                "partitioned run diverged with {shards} shards"
+            );
         }
     }
 

@@ -7,6 +7,9 @@
 
 use cyclosa::deployment::{run_end_to_end_latency_on, DeploymentMetrics, EndToEndConfig};
 use cyclosa_chaos::experiment::{run_churn_experiment, run_churn_experiment_sharded, ChurnConfig};
+use cyclosa_chaos::partition::{
+    run_partition_experiment, run_partition_experiment_sharded, PartitionConfig,
+};
 use cyclosa_chaos::{ChaosPlan, ChurnModel};
 use cyclosa_net::engine::Engine;
 use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
@@ -194,6 +197,142 @@ fn churn_experiment_outcome_is_bit_identical_for_1_2_4_8_shards() {
                 run_churn_experiment_sharded(&config, shards),
                 sequential,
                 "case {case}: churn outcome diverged with {shards} shards"
+            );
+        }
+    }
+}
+
+/// A scripted network split that later re-merges, driven through the raw
+/// `Engine` surface over a chatty forwarding population: the partition
+/// boundary deliberately cuts across every shard (dense ids hash all over
+/// the shard space), and the run must stay bit-identical for 1/2/4/8
+/// shards — membership churn *during* the partition window included.
+#[test]
+fn scripted_partition_split_and_remerge_is_bit_identical_across_shards() {
+    fn partitioned_trace(engine: &mut dyn Engine, case_seed: u64) -> (Trace, u64, SimulationStats) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(case_seed ^ 0x5917);
+        let population = 18 + rng.gen_range(0, 8);
+        let log = Arc::new(Mutex::new(Trace::new()));
+        let spawn = |log: &Arc<Mutex<Trace>>| -> Box<dyn NodeBehavior + Send> {
+            Box::new(ChattyNode {
+                population,
+                log: log.clone(),
+            })
+        };
+        for id in 0..population {
+            engine.add_node(NodeId(id), spawn(&log));
+        }
+        // A 70/30 split with a re-merge, plus a crash/recover cycle inside
+        // the window and a node that leaves for good.
+        let boundary = population * 3 / 10;
+        let minority: Vec<NodeId> = (0..boundary).map(NodeId).collect();
+        let majority: Vec<NodeId> = (boundary..population).map(NodeId).collect();
+        let split = SimTime::from_millis(300 + rng.gen_range(0, 100));
+        let merge = SimTime::from_millis(800 + rng.gen_range(0, 100));
+        ChaosPlan::new()
+            .partition(&[&minority, &majority], split, merge)
+            .crash_at(
+                SimTime::from_millis(400),
+                NodeId(rng.gen_range(0, population)),
+            )
+            .recover_at(SimTime::from_millis(700), NodeId(0))
+            .leave_at(
+                SimTime::from_millis(600),
+                NodeId(rng.gen_range(0, population)),
+            )
+            .apply(engine);
+        let injections = 40 + rng.gen_index(20);
+        for i in 0..injections {
+            let hops = rng.gen_range(1, 6) as u32;
+            engine.post(
+                SimTime::from_millis(rng.gen_range(0, 1400)),
+                NodeId(5_000 + i as u64),
+                NodeId(rng.gen_range(0, population)),
+                (hops << 20) | i as u32,
+                vec![0u8; rng.gen_index(24)],
+            );
+        }
+        let events = engine.run();
+        let trace = std::mem::take(&mut *log.lock().unwrap());
+        (trace, events, engine.stats())
+    }
+    for case in 0..4u64 {
+        let engine_seed = 11_000 + case;
+        let mut sequential = Simulation::new(engine_seed);
+        let expected = partitioned_trace(&mut sequential, case);
+        assert!(!expected.0.is_empty());
+        assert!(
+            expected.2.lost > 0,
+            "case {case}: the split must swallow cross traffic"
+        );
+        for shards in [1, 2, 4, 8] {
+            let mut engine = ShardedEngine::new(engine_seed, shards);
+            let observed = partitioned_trace(&mut engine, case);
+            assert_eq!(
+                observed, expected,
+                "case {case}: partitioned trace diverged with {shards} shards"
+            );
+        }
+    }
+}
+
+/// The full partition experiment (minority client, adaptive healing,
+/// blacklist probation) reproduces bit for bit on 1/2/4/8 shards.
+#[test]
+fn partition_experiment_outcome_is_bit_identical_for_1_2_4_8_shards() {
+    for (case, config) in [
+        PartitionConfig {
+            base: ChurnConfig {
+                relays: 24,
+                k: 3,
+                queries: 60,
+                adaptive: true,
+                blacklist_ttl: Some(SimTime::from_secs(8)),
+                failure_rate: 0.0,
+                ..ChurnConfig::default()
+            },
+            minority_fraction: 0.3,
+            split_at: SimTime::from_secs(8),
+            merge_at: SimTime::from_secs(20),
+            ..PartitionConfig::default()
+        },
+        // The partition stacked on ordinary relay churn, client with the
+        // majority this time.
+        PartitionConfig {
+            base: ChurnConfig {
+                relays: 30,
+                k: 4,
+                queries: 50,
+                adaptive: true,
+                blacklist_ttl: Some(SimTime::from_secs(6)),
+                failure_rate: 0.15,
+                seed: 4242,
+                ..ChurnConfig::default()
+            },
+            minority_fraction: 0.4,
+            client_in_minority: false,
+            split_at: SimTime::from_secs(6),
+            merge_at: SimTime::from_secs(15),
+            ..PartitionConfig::default()
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let sequential = run_partition_experiment(&config);
+        assert!(
+            sequential.during.issued > 0 && sequential.post_merge.issued > 0,
+            "case {case}: the window must leave all three phases populated"
+        );
+        assert!(
+            sequential.churn.stats.lost > 0,
+            "case {case}: no partition loss was injected"
+        );
+        for shards in [1, 2, 4, 8] {
+            assert_eq!(
+                run_partition_experiment_sharded(&config, shards),
+                sequential,
+                "case {case}: partition outcome diverged with {shards} shards"
             );
         }
     }
