@@ -7,7 +7,17 @@
 //!       [--recover] [--shards N] [--scale small|default|paper]
 //!       [--partition-fractions 0.3,...] [--partition-durations 15,30]
 //!       [--gate POINTS] [--json] [--out PATH]
+//!       [--trace PATH.jsonl] [--metrics PATH.json]
 //! ```
+//!
+//! With `--trace` / `--metrics` the bin additionally runs the churn
+//! experiment at the highest swept failure rate **observed** on the
+//! sharded engine: every injected fault and every client-side launch /
+//! repair / top-up / answer lands on one merged causal timeline, exported
+//! as JSONL plus a Chrome trace (Perfetto-viewable), and the metrics
+//! snapshot (engine self-profiling, clamped-sample counter) as JSON.
+//! Observation never perturbs the run — the traced outcome is asserted
+//! bit-identical to the untraced sweep point.
 //!
 //! For every failure rate the bin (1) runs the churn latency experiment of
 //! `cyclosa-chaos` with the adaptive-k healing path active (relays failing
@@ -34,11 +44,16 @@
 
 use cyclosa_attack::evaluation::evaluate_reidentification_with;
 use cyclosa_attack::simattack::SimAttack;
+use cyclosa_bench::observe::{parse_observe_flag, ObserveFlags};
 use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
-use cyclosa_chaos::experiment::{run_churn_experiment, run_churn_experiment_sharded, ChurnConfig};
+use cyclosa_chaos::experiment::{
+    run_churn_experiment, run_churn_experiment_sharded, run_churn_experiment_sharded_observed,
+    ChurnConfig, ChurnTelemetry,
+};
 use cyclosa_chaos::partition::{
     run_partition_experiment, run_partition_experiment_sharded, PartitionConfig, PhaseSummary,
 };
+use cyclosa_chaos::ChaosPlan;
 use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
 use cyclosa_net::time::SimTime;
 use cyclosa_util::json::{Json, ToJson};
@@ -59,6 +74,7 @@ struct Options {
     gate: Option<f64>,
     json: bool,
     out: String,
+    observe: ObserveFlags,
 }
 
 impl Default for Options {
@@ -77,6 +93,7 @@ impl Default for Options {
             gate: None,
             json: false,
             out: "BENCH_churn.json".to_owned(),
+            observe: ObserveFlags::default(),
         }
     }
 }
@@ -192,10 +209,12 @@ fn parse_args() -> Result<Options, String> {
                     "usage: churn [--relays N] [--k N] [--queries N] [--rates R,R,...] \
                      [--seed N] [--recover] [--shards N] [--scale small|default|paper] \
                      [--partition-fractions F,F,...] [--partition-durations S,S,...] \
-                     [--gate POINTS] [--json] [--out PATH]"
+                     [--gate POINTS] [--json] [--out PATH] \
+                     [--trace PATH.jsonl] [--metrics PATH.json]"
                 );
                 std::process::exit(0);
             }
+            other if parse_observe_flag(&mut options.observe, other, &mut args)? => {}
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -444,6 +463,46 @@ fn main() {
             adaptive_fakes_topped_up: adaptive.fakes_topped_up(),
             adaptive_degraded_queries: adaptive.degraded_queries(),
         });
+    }
+
+    // Observed run: re-run the highest-rate sweep point on the sharded
+    // engine with the trace sink and metrics registry installed, assert
+    // the zero-perturbation contract against the sequential untraced run,
+    // and export the timeline + snapshot.
+    if options.observe.enabled() {
+        let rate = options.rates.iter().cloned().fold(0.0, f64::max);
+        let config = ChurnConfig {
+            relays: options.relays,
+            k: options.k,
+            queries: options.queries,
+            seed: options.seed,
+            failure_rate: rate,
+            recover: options.recover,
+            adaptive: true,
+            ..ChurnConfig::default()
+        };
+        let telemetry = ChurnTelemetry {
+            trace: options.observe.sink(),
+            metrics: options.observe.registry(),
+        };
+        eprintln!(
+            "# observed churn run at failure rate {rate} ({} shards)...",
+            options.shards
+        );
+        let observed = run_churn_experiment_sharded_observed(
+            &config,
+            &ChaosPlan::new(),
+            options.shards,
+            &telemetry,
+        );
+        assert_eq!(
+            observed,
+            run_churn_experiment(&config),
+            "observation perturbed the churn run"
+        );
+        options
+            .observe
+            .write(&telemetry.trace, telemetry.metrics.as_ref());
     }
 
     // Partition sweep: minority fraction × partition duration. The client

@@ -2,12 +2,22 @@
 //!
 //! ```text
 //! repro [--scale small|default|paper] [--seed N] [--json] <experiment>...
+//!       [--trace PATH.jsonl] [--metrics PATH.json]
 //! experiments: table1 table2 annotation fig5 fig6 fig7 fig8a fig8b fig8c fig8d
 //!              ablation-adaptive ablation-fakes ablation-paths all
 //! ```
+//!
+//! With `--trace` / `--metrics` the bin additionally runs the Fig. 8a
+//! end-to-end latency deployment observed on the sharded engine: the
+//! client's `query.launch` / `query.answered` events land on the merged
+//! timeline (JSONL + Chrome trace), and the deployment metrics plus the
+//! engine's per-shard self-profiling land in the snapshot JSON.
 
+use cyclosa::deployment::{run_end_to_end_latency_observed_on, DeploymentMetrics, EndToEndConfig};
 use cyclosa_bench::experiments::{self, PRIVACY_K, SYSTEM_K};
+use cyclosa_bench::observe::{parse_observe_flag, ObserveFlags};
 use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
+use cyclosa_runtime::ShardedEngine;
 use cyclosa_util::json::ToJson;
 
 #[derive(Debug)]
@@ -16,6 +26,7 @@ struct Options {
     seed: u64,
     json: bool,
     experiments: Vec<String>,
+    observe: ObserveFlags,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -23,6 +34,7 @@ fn parse_args() -> Result<Options, String> {
     let mut seed = 2018u64;
     let mut json = false;
     let mut experiments = Vec::new();
+    let mut observe = ObserveFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,8 +55,10 @@ fn parse_args() -> Result<Options, String> {
                     seed,
                     json,
                     experiments,
+                    observe,
                 });
             }
+            other if parse_observe_flag(&mut observe, other, &mut args)? => {}
             other => experiments.push(other.trim_start_matches("--").to_owned()),
         }
     }
@@ -56,6 +70,7 @@ fn parse_args() -> Result<Options, String> {
         seed,
         json,
         experiments,
+        observe,
     })
 }
 
@@ -93,7 +108,8 @@ fn main() {
     };
     if options.experiments.iter().any(|e| e == "help") {
         println!(
-            "usage: repro [--scale small|default|paper] [--seed N] [--json] <experiment>...\n\
+            "usage: repro [--scale small|default|paper] [--seed N] [--json] \
+             [--trace PATH.jsonl] [--metrics PATH.json] <experiment>...\n\
              experiments: {} all",
             ALL.join(" ")
         );
@@ -146,5 +162,34 @@ fn main() {
             }
         }
         println!();
+    }
+
+    // Observed end-to-end latency deployment: trace the client's causal
+    // query events and snapshot the deployment + engine-profiling
+    // metrics. The run is a fixed Fig. 8a-style configuration on the
+    // sharded engine; observation never perturbs it.
+    if options.observe.enabled() {
+        let config = EndToEndConfig {
+            seed: options.seed,
+            ..EndToEndConfig::default()
+        };
+        let sink = options.observe.sink();
+        let registry = options.observe.registry();
+        let metrics = match &registry {
+            Some(registry) => DeploymentMetrics::register(registry),
+            None => DeploymentMetrics::detached(),
+        };
+        eprintln!(
+            "# observed end-to-end latency run ({} relays, k = {}, {} queries)...",
+            config.relays, config.k, config.queries
+        );
+        let mut engine = ShardedEngine::new(config.seed, 4);
+        engine.set_trace_sink(sink.clone());
+        if let Some(registry) = &registry {
+            engine.enable_profiling(registry);
+        }
+        let latencies = run_end_to_end_latency_observed_on(&mut engine, &config, &metrics, &sink);
+        eprintln!("# {} queries answered", latencies.len());
+        options.observe.write(&sink, registry.as_ref());
     }
 }

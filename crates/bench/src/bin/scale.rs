@@ -5,9 +5,17 @@
 //!
 //! ```text
 //! scale [--nodes 1000,10000,100000] [--shards 1,2,4,8] [--rounds N] [--seed N] [--json]
+//!       [--trace PATH.jsonl] [--metrics PATH.json]
 //! ```
+//!
+//! With `--metrics` the largest population × shard-count point is re-run
+//! with the engine's per-shard self-profiling enabled (event-class
+//! throughput, mailbox depths, barrier-stall histograms) and the snapshot
+//! written as JSON; `--trace` additionally exports the engine timeline
+//! (empty for the ping workload, which emits no node events).
 
-use cyclosa_bench::scalability::{scalability_sweep, ScaleConfig};
+use cyclosa_bench::observe::{parse_observe_flag, ObserveFlags};
+use cyclosa_bench::scalability::{run_scale_point_observed, scalability_sweep, ScaleConfig};
 use cyclosa_util::json::ToJson;
 
 #[derive(Debug)]
@@ -16,6 +24,7 @@ struct Options {
     shard_counts: Vec<usize>,
     config: ScaleConfig,
     json: bool,
+    observe: ObserveFlags,
 }
 
 fn parse_list(value: &str) -> Result<Vec<usize>, String> {
@@ -35,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         shard_counts: vec![1, 2, 4, 8],
         config: ScaleConfig::default(),
         json: false,
+        observe: ObserveFlags::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,10 +72,12 @@ fn parse_args() -> Result<Options, String> {
             "--json" => options.json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: scale [--nodes N,N,...] [--shards N,N,...] [--rounds N] [--seed N] [--json]"
+                    "usage: scale [--nodes N,N,...] [--shards N,N,...] [--rounds N] [--seed N] \
+                     [--json] [--trace PATH.jsonl] [--metrics PATH.json]"
                 );
                 std::process::exit(0);
             }
+            other if parse_observe_flag(&mut options.observe, other, &mut args)? => {}
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -95,5 +107,14 @@ fn main() {
         println!("{}", report.to_json().pretty());
     } else {
         println!("{report}");
+    }
+    if options.observe.enabled() {
+        let nodes = *options.populations.iter().max().expect("non-empty");
+        let shards = *options.shard_counts.iter().max().expect("non-empty");
+        eprintln!("# profiling the {nodes}-node / {shards}-shard point...");
+        let sink = options.observe.sink();
+        let registry = options.observe.registry();
+        run_scale_point_observed(nodes, shards, &options.config, &sink, registry.as_ref());
+        options.observe.write(&sink, registry.as_ref());
     }
 }

@@ -1,0 +1,123 @@
+//! `trace_check` — schema validation for exported trace artifacts.
+//!
+//! ```text
+//! trace_check [--jsonl PATH]... [--chrome PATH]... [--require-event NAME]
+//! ```
+//!
+//! Validates each `--jsonl` file as a trace-JSONL export (one object per
+//! line, required keys, non-decreasing timestamps) and each `--chrome`
+//! file as a Chrome trace-event export, using the parser-backed checks of
+//! `cyclosa-telemetry`. With `--require-event NAME` the JSONL files must
+//! together contain at least one event of that name — the CI smoke job
+//! uses this to assert that a traced churn run actually recorded a
+//! fault-annotated repair. Exits non-zero on the first violation, so CI
+//! can gate on it directly.
+
+use cyclosa_telemetry::check::{parse_json, validate_chrome_trace, validate_trace_jsonl};
+use cyclosa_util::json::Json;
+
+struct Options {
+    jsonl: Vec<String>,
+    chrome: Vec<String>,
+    require_events: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        jsonl: Vec::new(),
+        chrome: Vec::new(),
+        require_events: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jsonl" => options
+                .jsonl
+                .push(args.next().ok_or("--jsonl needs a path")?),
+            "--chrome" => options
+                .chrome
+                .push(args.next().ok_or("--chrome needs a path")?),
+            "--require-event" => options
+                .require_events
+                .push(args.next().ok_or("--require-event needs a name")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace_check [--jsonl PATH]... [--chrome PATH]... \
+                     [--require-event NAME]..."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if options.jsonl.is_empty() && options.chrome.is_empty() {
+        return Err("nothing to check; pass --jsonl and/or --chrome".into());
+    }
+    if !options.require_events.is_empty() && options.jsonl.is_empty() {
+        return Err("--require-event needs at least one --jsonl file to search".into());
+    }
+    Ok(options)
+}
+
+fn read_or_die(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Whether a validated JSONL line is an event named `name`.
+fn line_has_name(line: &str, name: &str) -> bool {
+    let Ok(Json::Obj(fields)) = parse_json(line) else {
+        return false;
+    };
+    fields
+        .iter()
+        .any(|(key, value)| key == "name" && *value == Json::Str(name.to_owned()))
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let mut jsonl_lines: Vec<String> = Vec::new();
+    for path in &options.jsonl {
+        let text = read_or_die(path);
+        match validate_trace_jsonl(&text) {
+            Ok(count) => println!("{path}: {count} valid trace events"),
+            Err(message) => {
+                eprintln!("error: {path}: {message}");
+                std::process::exit(1);
+            }
+        }
+        jsonl_lines.extend(text.lines().map(str::to_owned));
+    }
+    for path in &options.chrome {
+        let text = read_or_die(path);
+        match validate_chrome_trace(&text) {
+            Ok(count) => println!("{path}: {count} valid Chrome trace events"),
+            Err(message) => {
+                eprintln!("error: {path}: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+    for name in &options.require_events {
+        let hits = jsonl_lines
+            .iter()
+            .filter(|line| line_has_name(line, name))
+            .count();
+        if hits == 0 {
+            eprintln!("error: no {name:?} event in any --jsonl file");
+            std::process::exit(1);
+        }
+        println!("required event {name:?}: {hits} occurrence(s)");
+    }
+}

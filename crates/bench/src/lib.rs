@@ -10,9 +10,11 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod observe;
 pub mod scalability;
 pub mod setup;
 
 pub use experiments::*;
+pub use observe::ObserveFlags;
 pub use scalability::{scalability_sweep, ScaleConfig, ScalePoint, ScaleReport};
 pub use setup::{ExperimentScale, ExperimentSetup};

@@ -1,0 +1,143 @@
+//! Shared `--trace` / `--metrics` plumbing of the bench bins.
+//!
+//! Every bin parses the two flags into an [`ObserveFlags`], builds sinks
+//! from it ([`ObserveFlags::sink`], [`ObserveFlags::registry`]), runs its
+//! workload observed, and hands the collected timeline and registry back
+//! to [`ObserveFlags::write`]. Trace output lands twice: as JSONL at the
+//! `--trace` path (one compact object per line, byte-identical across
+//! engines and shard counts for a seed) and as a Chrome trace-event file
+//! next to it (open it in Perfetto or `chrome://tracing`). The metrics
+//! snapshot lands as pretty JSON at the `--metrics` path.
+
+use cyclosa_runtime::metrics::Registry;
+use cyclosa_telemetry::export::{to_chrome_trace, to_jsonl};
+use cyclosa_telemetry::TraceSink;
+use cyclosa_util::json::ToJson;
+
+/// The observability flags shared by the bench bins.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveFlags {
+    /// `--trace PATH`: write the merged timeline as JSONL to `PATH` and
+    /// as a Chrome trace to [`chrome_trace_path`]`(PATH)`.
+    pub trace: Option<String>,
+    /// `--metrics PATH`: write the metrics-registry snapshot as JSON.
+    pub metrics: Option<String>,
+}
+
+/// Where the Chrome-format twin of a JSONL trace at `path` goes: the
+/// `.jsonl` extension is swapped for `.chrome.json`; any other name gets
+/// `.chrome.json` appended.
+pub fn chrome_trace_path(path: &str) -> String {
+    match path.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{path}.chrome.json"),
+    }
+}
+
+impl ObserveFlags {
+    /// Whether either flag was given.
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// A trace sink: collecting when `--trace` was given, disabled (all
+    /// emissions no-ops) otherwise.
+    pub fn sink(&self) -> TraceSink {
+        if self.trace.is_some() {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        }
+    }
+
+    /// A metrics registry when `--metrics` was given.
+    pub fn registry(&self) -> Option<Registry> {
+        self.metrics.as_ref().map(|_| Registry::new())
+    }
+
+    /// Writes every requested output: the merged timeline from `sink`
+    /// (JSONL + Chrome trace) and the snapshot of `registry`. Paths that
+    /// were not requested are skipped. Errors are fatal — a bench run
+    /// that silently drops its artifacts would look like success to CI.
+    pub fn write(&self, sink: &TraceSink, registry: Option<&Registry>) {
+        if let Some(path) = &self.trace {
+            let events = sink.events();
+            write_or_die(path, &to_jsonl(&events));
+            let chrome = chrome_trace_path(path);
+            write_or_die(&chrome, &to_chrome_trace(&events));
+            eprintln!("# wrote {} events to {path} and {chrome}", events.len());
+        }
+        if let Some(path) = &self.metrics {
+            let registry = registry.expect("--metrics implies a registry");
+            write_or_die(path, &(registry.snapshot().to_json().pretty() + "\n"));
+            eprintln!("# wrote metrics snapshot to {path}");
+        }
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(err) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {err}");
+        std::process::exit(1);
+    }
+}
+
+/// Matches `--trace PATH` / `--metrics PATH` inside a bin's manual
+/// argument loop. Returns `Ok(true)` when `arg` was one of the two flags
+/// (consuming its value from `args`), `Ok(false)` when the bin should
+/// keep matching.
+pub fn parse_observe_flag(
+    flags: &mut ObserveFlags,
+    arg: &str,
+    args: &mut impl Iterator<Item = String>,
+) -> Result<bool, String> {
+    match arg {
+        "--trace" => {
+            flags.trace = Some(args.next().ok_or("--trace needs a path")?);
+            Ok(true)
+        }
+        "--metrics" => {
+            flags.metrics = Some(args.next().ok_or("--metrics needs a path")?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_path_swaps_the_jsonl_extension() {
+        assert_eq!(chrome_trace_path("trace.jsonl"), "trace.chrome.json");
+        assert_eq!(chrome_trace_path("out"), "out.chrome.json");
+    }
+
+    #[test]
+    fn flags_build_matching_sinks() {
+        let off = ObserveFlags::default();
+        assert!(!off.enabled());
+        assert!(!off.sink().is_enabled());
+        assert!(off.registry().is_none());
+        let on = ObserveFlags {
+            trace: Some("t.jsonl".into()),
+            metrics: Some("m.json".into()),
+        };
+        assert!(on.enabled());
+        assert!(on.sink().is_enabled());
+        assert!(on.registry().is_some());
+    }
+
+    #[test]
+    fn parse_consumes_only_the_observe_flags() {
+        let mut flags = ObserveFlags::default();
+        let mut args = vec!["x.jsonl".to_owned()].into_iter();
+        assert!(parse_observe_flag(&mut flags, "--trace", &mut args).unwrap());
+        assert!(!parse_observe_flag(&mut flags, "--seed", &mut args).unwrap());
+        assert!(parse_observe_flag(&mut flags, "--metrics", &mut args)
+            .unwrap_err()
+            .contains("needs a path"));
+        assert_eq!(flags.trace.as_deref(), Some("x.jsonl"));
+    }
+}

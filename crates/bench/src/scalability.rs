@@ -11,7 +11,9 @@ use cyclosa_net::engine::Engine;
 use cyclosa_net::sim::{Context, Envelope, NodeBehavior};
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
+use cyclosa_runtime::metrics::Registry;
 use cyclosa_runtime::ShardedEngine;
+use cyclosa_telemetry::TraceSink;
 use cyclosa_util::impl_to_json;
 use cyclosa_util::rng::{Rng, SplitMix64};
 use std::fmt;
@@ -122,7 +124,28 @@ impl_to_json!(ScalePoint {
 
 /// Runs one `(population, shards)` point of the sweep.
 pub fn run_scale_point(nodes: usize, shards: usize, config: &ScaleConfig) -> ScalePoint {
+    run_scale_point_observed(nodes, shards, config, &TraceSink::disabled(), None)
+}
+
+/// [`run_scale_point`] with the engine's trace sink installed (the ping
+/// workload emits no node events, so the timeline carries whatever the
+/// engine itself annotates — empty today) and, when a registry is given,
+/// the per-shard self-profiling enabled: event-class throughput counters,
+/// mailbox-depth gauges and barrier-stall histograms under
+/// `engine.shard<i>.*`. Observation never changes the simulated
+/// execution.
+pub fn run_scale_point_observed(
+    nodes: usize,
+    shards: usize,
+    config: &ScaleConfig,
+    trace: &TraceSink,
+    registry: Option<&Registry>,
+) -> ScalePoint {
     let mut engine = ShardedEngine::new(config.seed, shards);
+    engine.set_trace_sink(trace.clone());
+    if let Some(registry) = registry {
+        engine.enable_profiling(registry);
+    }
     build_ping_population(&mut engine, nodes, config);
     let start = Instant::now();
     let events = engine.run();
@@ -217,6 +240,28 @@ mod tests {
             );
             assert_eq!(point.delivered, expected.delivered);
         }
+    }
+
+    #[test]
+    fn observed_point_profiles_without_perturbing() {
+        let config = ScaleConfig {
+            rounds: 2,
+            ..ScaleConfig::default()
+        };
+        let plain = run_scale_point(200, 2, &config);
+        let registry = Registry::new();
+        let sink = TraceSink::enabled();
+        let observed = run_scale_point_observed(200, 2, &config, &sink, Some(&registry));
+        assert_eq!(observed.events, plain.events);
+        assert_eq!(observed.delivered, plain.delivered);
+        let snapshot = registry.snapshot();
+        let delivered: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.ends_with(".deliver"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(delivered > 0, "profiling must count deliveries");
     }
 
     #[test]

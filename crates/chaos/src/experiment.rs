@@ -17,9 +17,12 @@ use cyclosa_net::latency::LatencyModel;
 use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
+use cyclosa_runtime::metrics::{Counter, Registry};
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_sgx::enclave::CostModel;
+use cyclosa_telemetry::{TraceEvent, TraceSink};
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 const TAG_FORWARD: u32 = 1;
@@ -138,6 +141,25 @@ impl ChurnConfig {
         }
         plan
     }
+}
+
+/// Observability hooks of a churn run.
+///
+/// The default is fully disabled: no trace, no metrics — and, by the
+/// zero-perturbation contract, an outcome bit-identical to a hooked run
+/// with the same seed. The hooks draw no randomness and feed nothing
+/// back into scheduling; they only record what happens.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnTelemetry {
+    /// Receives the fault annotations (`fault.*`, from the applied
+    /// [`ChaosPlan`]s) and the client's per-query causal events
+    /// (`query.launch`, `query.repair`, `query.top_up`,
+    /// `query.answered`, `latency.clamped`) on one merged timeline.
+    pub trace: TraceSink,
+    /// When set, the client's clamped-sample counter
+    /// (`client.clamped_samples`) is recorded here, and sharded runs add
+    /// the engine's per-shard self-profiling metrics.
+    pub metrics: Option<Registry>,
 }
 
 /// One answered query in the run's privacy ledger.
@@ -286,6 +308,14 @@ struct ClientBehavior {
     blacklist_ttl: Option<SimTime>,
     outbox: Vec<(NodeId, Vec<u8>)>,
     sink: Arc<Mutex<ClientSink>>,
+    /// Causal-trace sink (disabled by default — emissions are no-ops).
+    trace: TraceSink,
+    /// Relays the applied fault plans take down (crash or leave) — used
+    /// only to annotate `query.repair` events with whether the repaired
+    /// failure was an injected fault, never to influence behaviour.
+    victims: HashSet<NodeId>,
+    /// Registry twin of [`ClientSink::clamped_samples`].
+    clamped_metric: Option<Counter>,
 }
 
 const OUTBOX_BASE: u64 = 1 << 40;
@@ -343,6 +373,16 @@ impl ClientBehavior {
             }
             self.defer_send(ctx, usable[relay_index], payload.into_bytes(), slot as u64);
         }
+        if self.trace.is_enabled() {
+            if let Some(real) = self.real_relay[seq] {
+                self.trace.emit(
+                    TraceEvent::new(ctx.now(), ctx.self_id().0, "query.launch")
+                        .query(seq as u64)
+                        .attr("relay", real.0)
+                        .attr("fakes", self.fake_relays[seq].len()),
+                );
+            }
+        }
         ctx.set_timer(self.retry_timeout, RETRY_BASE + seq as u64);
     }
 
@@ -352,7 +392,8 @@ impl ClientBehavior {
         }
         // The entrusted relay never answered: blacklist it and resubmit the
         // real query through a fresh relay.
-        if let Some(dead) = self.real_relay[seq].take() {
+        let failed = self.real_relay[seq].take();
+        if let Some(dead) = failed {
             self.blacklist.insert(dead, ctx.now());
         }
         let usable = self.usable(ctx.now());
@@ -378,6 +419,19 @@ impl ClientBehavior {
         };
         let replacement = pool[self.rng.gen_index(pool.len())];
         self.real_relay[seq] = Some(replacement);
+        if self.trace.is_enabled() {
+            let mut event = TraceEvent::new(ctx.now(), ctx.self_id().0, "query.repair")
+                .query(seq as u64)
+                .attr("attempt", self.attempts[seq]);
+            if let Some(dead) = failed {
+                event = event.attr("failed", dead.0);
+            }
+            self.trace
+                .emit(event.attr("replacement", replacement.0).attr(
+                    "fault_injected",
+                    failed.is_some_and(|dead| self.victims.contains(&dead)),
+                ));
+        }
         let payload = format!("{}|{}|R|query number {} terms", ctx.self_id().0, seq, seq);
         self.defer_send(ctx, replacement, payload.into_bytes(), 0);
         if self.adaptive {
@@ -417,6 +471,13 @@ impl ClientBehavior {
             topped_up += 1;
         }
         self.sink.lock().expect("sink poisoned").fakes_topped_up += topped_up;
+        if topped_up > 0 && self.trace.is_enabled() {
+            self.trace.emit(
+                TraceEvent::new(now, ctx.self_id().0, "query.top_up")
+                    .query(seq as u64)
+                    .attr("count", topped_up),
+            );
+        }
     }
 }
 
@@ -455,7 +516,8 @@ impl NodeBehavior for ClientBehavior {
             // A response can never precede its send; a negative round trip
             // means the event order broke. Surface it instead of silently
             // recording zero.
-            let latency_s = match now.checked_sub(sent) {
+            let round_trip = now.checked_sub(sent);
+            let latency_s = match round_trip {
                 Some(round_trip) => round_trip.as_secs_f64(),
                 None => {
                     debug_assert!(
@@ -463,6 +525,15 @@ impl NodeBehavior for ClientBehavior {
                         "response at {now} precedes send at {sent} for query {seq}"
                     );
                     sink.clamped_samples += 1;
+                    if let Some(counter) = &self.clamped_metric {
+                        counter.inc();
+                    }
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            TraceEvent::new(now, ctx.self_id().0, "latency.clamped")
+                                .query(seq as u64),
+                        );
+                    }
                     0.0
                 }
             };
@@ -472,6 +543,20 @@ impl NodeBehavior for ClientBehavior {
                 latency_s,
                 achieved_k,
             });
+            if self.trace.is_enabled() {
+                // Spans are stamped at completion (events are never
+                // emitted with a timestamp behind the already-merged
+                // timeline); the Chrome exporter back-dates the slice by
+                // its duration so it covers [sent, answered].
+                let mut event = TraceEvent::new(now, ctx.self_id().0, "query.answered")
+                    .query(seq as u64)
+                    .attr("achieved_k", achieved_k)
+                    .attr("attempts", self.attempts[seq]);
+                if let Some(round_trip) = round_trip {
+                    event = event.span(round_trip);
+                }
+                self.trace.emit(event);
+            }
         }
     }
 
@@ -514,6 +599,21 @@ pub fn run_churn_experiment_on_with<E: Engine>(
     config: &ChurnConfig,
     extra: &ChaosPlan,
 ) -> ChurnOutcome {
+    run_churn_experiment_on_observed(engine_impl, config, extra, &ChurnTelemetry::default())
+}
+
+/// [`run_churn_experiment_on_with`] plus observability: fault
+/// annotations and the client's per-query causal events flow into
+/// `telemetry.trace`, and the clamped-sample counter into
+/// `telemetry.metrics`. With the default (disabled) telemetry this *is*
+/// `run_churn_experiment_on_with` — the hooks never perturb the run, so
+/// the outcome is bit-identical either way.
+pub fn run_churn_experiment_on_observed<E: Engine>(
+    engine_impl: &mut E,
+    config: &ChurnConfig,
+    extra: &ChaosPlan,
+    telemetry: &ChurnTelemetry,
+) -> ChurnOutcome {
     assert!(config.relays > config.k, "need at least k + 1 relays");
     engine_impl.set_default_latency(LatencyModel::wan());
     let engine = NodeId(0);
@@ -540,6 +640,19 @@ pub fn run_churn_experiment_on_with<E: Engine>(
             }),
         );
     }
+    // The failure plan is sampled up front so the client's trace
+    // annotations can tell injected-fault repairs from organic ones; the
+    // set is computed (deterministically) whether or not tracing is on.
+    let plan = config.failure_plan();
+    let victims: HashSet<NodeId> = plan
+        .events()
+        .iter()
+        .chain(extra.events())
+        .filter_map(|e| match e.kind {
+            FaultKind::Crash(node) | FaultKind::Leave(node) => Some(node),
+            _ => None,
+        })
+        .collect();
     let sink = Arc::new(Mutex::new(ClientSink::default()));
     engine_impl.add_node(
         client,
@@ -561,6 +674,12 @@ pub fn run_churn_experiment_on_with<E: Engine>(
             blacklist_ttl: config.blacklist_ttl,
             outbox: Vec::new(),
             sink: sink.clone(),
+            trace: telemetry.trace.clone(),
+            victims,
+            clamped_metric: telemetry
+                .metrics
+                .as_ref()
+                .map(|registry| registry.counter("client.clamped_samples")),
         }),
     );
     for i in 0..config.queries {
@@ -569,15 +688,15 @@ pub fn run_churn_experiment_on_with<E: Engine>(
 
     // Inject the faults: a recovering plan re-registers nothing (state is
     // retained through crash/recover); a leaving plan needs no spawner
-    // either, because departed relays stay gone.
-    let plan = config.failure_plan();
+    // either, because departed relays stay gone. The traced apply also
+    // stamps each fault as an annotation on the merged timeline.
     let failed_relays = plan
         .events()
         .iter()
         .filter(|e| matches!(e.kind, FaultKind::Crash(_) | FaultKind::Leave(_)))
         .count();
-    plan.apply(engine_impl);
-    extra.apply(engine_impl);
+    plan.apply_traced(engine_impl, &telemetry.trace);
+    extra.apply_traced(engine_impl, &telemetry.trace);
 
     engine_impl.run();
     let sink = sink.lock().expect("sink poisoned");
@@ -607,9 +726,41 @@ pub fn run_churn_experiment_sharded(config: &ChurnConfig, shards: usize) -> Chur
     run_churn_experiment_on(&mut engine, config)
 }
 
+/// [`run_churn_experiment`] (sequential) with observability hooks and an
+/// extra [`ChaosPlan`]. The buffered timeline folds at export time.
+pub fn run_churn_experiment_observed(
+    config: &ChurnConfig,
+    extra: &ChaosPlan,
+    telemetry: &ChurnTelemetry,
+) -> ChurnOutcome {
+    let mut simulation = Simulation::new(config.seed);
+    run_churn_experiment_on_observed(&mut simulation, config, extra, telemetry)
+}
+
+/// [`run_churn_experiment_sharded`] with observability hooks and an
+/// extra [`ChaosPlan`]. The trace sink is also installed on the engine,
+/// which folds the timeline at every window barrier, and — when a
+/// registry is present — the engine's per-shard self-profiling is
+/// enabled. Same seed ⇒ same outcome *and* byte-identical trace export
+/// as the sequential observed run, for any shard count.
+pub fn run_churn_experiment_sharded_observed(
+    config: &ChurnConfig,
+    extra: &ChaosPlan,
+    shards: usize,
+    telemetry: &ChurnTelemetry,
+) -> ChurnOutcome {
+    let mut engine = ShardedEngine::new(config.seed, shards);
+    engine.set_trace_sink(telemetry.trace.clone());
+    if let Some(registry) = &telemetry.metrics {
+        engine.enable_profiling(registry);
+    }
+    run_churn_experiment_on_observed(&mut engine, config, extra, telemetry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cyclosa_telemetry::AttrValue;
     use cyclosa_util::stats::Summary;
 
     fn small(failure_rate: f64, recover: bool) -> ChurnConfig {
@@ -711,6 +862,51 @@ mod tests {
             adaptive.answered as f64 >= 0.95 * 40.0,
             "only {} of 40 answered with adaptive healing",
             adaptive.answered
+        );
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_annotates_fault_repairs() {
+        let config = small(0.4, false);
+        let plain = run_churn_experiment(&config);
+        let telemetry = ChurnTelemetry {
+            trace: TraceSink::enabled(),
+            metrics: Some(Registry::new()),
+        };
+        let traced = run_churn_experiment_observed(&config, &ChaosPlan::new(), &telemetry);
+        assert_eq!(traced, plain, "tracing must not perturb the run");
+
+        let events = telemetry.trace.events();
+        assert!(events.iter().any(|e| e.name == "fault.leave"));
+        assert!(events.iter().any(|e| e.name == "query.launch"));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "query.answered" && e.dur.is_some() && e.query.is_some()));
+        let repair = events
+            .iter()
+            .find(|e| {
+                e.name == "query.repair"
+                    && e.attrs.contains(&("fault_injected", AttrValue::Bool(true)))
+            })
+            .expect("heavy churn must produce a fault-annotated repair");
+        assert!(repair.query.is_some());
+        for window in events.windows(2) {
+            assert!(
+                (window[0].at, window[0].actor) <= (window[1].at, window[1].actor),
+                "merged timeline out of order"
+            );
+        }
+        let snapshot = telemetry
+            .metrics
+            .as_ref()
+            .expect("registry installed")
+            .snapshot();
+        assert!(
+            snapshot
+                .counters
+                .contains(&("client.clamped_samples".to_owned(), 0)),
+            "clamped-sample counter must be surfaced (and zero): {:?}",
+            snapshot.counters
         );
     }
 

@@ -93,8 +93,10 @@ pub mod plan;
 pub use attack::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
 pub use churn::{churn_stream, ChurnModel};
 pub use experiment::{
-    run_churn_experiment, run_churn_experiment_on, run_churn_experiment_on_with,
-    run_churn_experiment_sharded, AnsweredQuery, ChurnConfig, ChurnOutcome,
+    run_churn_experiment, run_churn_experiment_observed, run_churn_experiment_on,
+    run_churn_experiment_on_observed, run_churn_experiment_on_with, run_churn_experiment_sharded,
+    run_churn_experiment_sharded_observed, AnsweredQuery, ChurnConfig, ChurnOutcome,
+    ChurnTelemetry,
 };
 pub use partition::{
     run_partition_experiment, run_partition_experiment_on, run_partition_experiment_sharded,

@@ -19,6 +19,7 @@ use cyclosa_net::engine::Engine;
 use cyclosa_net::sim::NodeBehavior;
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
+use cyclosa_telemetry::{TraceEvent, TraceSink, ACTOR_ENGINE};
 
 /// One scripted fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -355,6 +356,62 @@ impl ChaosPlan {
         }
         for fault in &self.link_faults {
             engine.schedule_link_loss(fault.at, &fault.src_set, &fault.dst_set, fault.p);
+        }
+    }
+
+    /// [`ChaosPlan::apply`] plus fault annotations on the trace: every
+    /// scheduled fault also becomes a `fault.*` [`TraceEvent`] stamped at
+    /// its fire time, so injections line up with the per-query events on
+    /// the merged timeline. With a disabled sink this is exactly `apply`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains [`FaultKind::Join`] events — use
+    /// [`ChaosPlan::apply_with_spawner_traced`] instead.
+    pub fn apply_traced<E: Engine + ?Sized>(&self, engine: &mut E, trace: &TraceSink) {
+        assert!(
+            !self.has_joins(),
+            "plan contains join events; use apply_with_spawner_traced"
+        );
+        self.apply_with_spawner_traced(engine, trace, |node| {
+            unreachable!("no join events, so no behaviour is ever spawned for {node:?}")
+        });
+    }
+
+    /// [`ChaosPlan::apply_with_spawner`] plus fault annotations on the
+    /// trace (see [`ChaosPlan::apply_traced`]). Node faults are attributed
+    /// to the node they hit; the global loss steps and link-group faults
+    /// to the engine pseudo-actor. Events are stamped at their scheduled
+    /// (usually future) times; the sink keeps them buffered until the
+    /// timeline reaches them.
+    pub fn apply_with_spawner_traced<E: Engine + ?Sized>(
+        &self,
+        engine: &mut E,
+        trace: &TraceSink,
+        spawn: impl FnMut(NodeId) -> Box<dyn NodeBehavior + Send>,
+    ) {
+        self.apply_with_spawner(engine, spawn);
+        if !trace.is_enabled() {
+            return;
+        }
+        for event in &self.events {
+            trace.emit(match event.kind {
+                FaultKind::Crash(node) => TraceEvent::new(event.at, node.0, "fault.crash"),
+                FaultKind::Leave(node) => TraceEvent::new(event.at, node.0, "fault.leave"),
+                FaultKind::Recover(node) => TraceEvent::new(event.at, node.0, "fault.recover"),
+                FaultKind::Join(node) => TraceEvent::new(event.at, node.0, "fault.join"),
+                FaultKind::SetLoss(p) => {
+                    TraceEvent::new(event.at, ACTOR_ENGINE, "fault.set_loss").attr("p", p)
+                }
+            });
+        }
+        for fault in &self.link_faults {
+            trace.emit(
+                TraceEvent::new(fault.at, ACTOR_ENGINE, "fault.link_loss")
+                    .attr("src", fault.src_set.len())
+                    .attr("dst", fault.dst_set.len())
+                    .attr("p", fault.p),
+            );
         }
     }
 }

@@ -28,6 +28,7 @@ use cyclosa_runtime::metrics::{Counter, Histogram, Registry};
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_search_engine::ratelimit::{RateLimiter, RateLimiterConfig};
 use cyclosa_sgx::enclave::CostModel;
+use cyclosa_telemetry::{TraceEvent, TraceSink};
 use cyclosa_util::dist::Exponential;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
 use cyclosa_util::stats::jain_fairness;
@@ -208,6 +209,9 @@ struct ClientBehavior {
     uplink_per_request: SimTime,
     /// Deferred sends: (destination, payload) scheduled behind the uplink.
     outbox: Vec<(NodeId, Vec<u8>)>,
+    /// Per-query causal trace (disabled by default — emission is a no-op
+    /// and, like the metrics, never feeds back into scheduling).
+    trace: TraceSink,
 }
 
 impl NodeBehavior for ClientBehavior {
@@ -231,6 +235,13 @@ impl NodeBehavior for ClientBehavior {
                     .lock()
                     .expect("latency sink poisoned")
                     .push(elapsed.as_secs_f64());
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        TraceEvent::new(ctx.now(), ctx.self_id().0, "query.answered")
+                            .query(seq as u64)
+                            .span(elapsed),
+                    );
+                }
             }
         }
         // Responses to fake queries are silently dropped (paper §IV step 8).
@@ -254,6 +265,14 @@ impl NodeBehavior for ClientBehavior {
         // Pick k + 1 distinct relays from the view.
         let picks = self.rng.sample_indices(self.relays.len(), self.k + 1);
         let real_slot = self.rng.gen_index(picks.len());
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                TraceEvent::new(ctx.now(), ctx.self_id().0, "query.launch")
+                    .query(seq as u64)
+                    .attr("relay", self.relays[picks[real_slot]].0)
+                    .attr("fakes", picks.len() - 1),
+            );
+        }
         if self.sent_at.len() <= seq {
             self.sent_at.resize(seq + 1, None);
         }
@@ -287,6 +306,20 @@ pub fn run_end_to_end_latency_on<E: Engine>(
     engine_impl: &mut E,
     config: &EndToEndConfig,
     metrics: &DeploymentMetrics,
+) -> Vec<f64> {
+    run_end_to_end_latency_observed_on(engine_impl, config, metrics, &TraceSink::disabled())
+}
+
+/// [`run_end_to_end_latency_on`] plus a causal trace: the client stamps
+/// `query.launch` and `query.answered` events onto `trace`. With a
+/// disabled sink this *is* `run_end_to_end_latency_on` — emission draws
+/// no randomness and feeds nothing back, so the latencies are
+/// bit-identical either way.
+pub fn run_end_to_end_latency_observed_on<E: Engine>(
+    engine_impl: &mut E,
+    config: &EndToEndConfig,
+    metrics: &DeploymentMetrics,
+    trace: &TraceSink,
 ) -> Vec<f64> {
     assert!(config.relays > config.k, "need at least k + 1 relays");
     engine_impl.set_default_latency(LatencyModel::wan());
@@ -332,6 +365,7 @@ pub fn run_end_to_end_latency_on<E: Engine>(
             metrics: metrics.clone(),
             uplink_per_request: config.client_uplink_per_request,
             outbox: Vec::new(),
+            trace: trace.clone(),
         }),
     );
     // One query every 500 ms of simulated time.

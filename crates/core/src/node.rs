@@ -19,10 +19,12 @@ use cyclosa_crypto::channel::{
     channel_pair, ChannelError, HandshakeInitiator, HandshakeResponder, SecureChannel,
 };
 use cyclosa_crypto::x25519::StaticSecret;
+use cyclosa_net::time::SimTime;
 use cyclosa_nlp::categorizer::{CategorizerMethod, QueryCategorizer};
 use cyclosa_peer_sampling::{PeerId, PeerSamplingConfig, PeerSamplingNode};
 use cyclosa_sgx::attestation::{generate_quote, AttestationError, AttestationService, Quote};
 use cyclosa_sgx::enclave::{Enclave, Platform};
+use cyclosa_telemetry::NodeTracer;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
 
 /// Errors surfaced by the node API.
@@ -90,6 +92,9 @@ pub struct QueryPlan {
     /// Index of this plan in the node's planning order (the slot of
     /// [`NodeStats::achieved_k`] the repair path keeps up to date).
     sequence: u64,
+    /// The peer-sampling round count when the plan's relays were last
+    /// chosen — the reference point for the eager staleness refresh.
+    planned_at_round: u64,
     assignments: Vec<Assignment>,
 }
 
@@ -121,6 +126,12 @@ impl QueryPlan {
         self.sequence
     }
 
+    /// The peer-sampling round count when the plan's relays were last
+    /// chosen or refreshed.
+    pub fn planned_at_round(&self) -> u64 {
+        self.planned_at_round
+    }
+
     /// Number of fake assignments currently alive in the plan — the `k`
     /// the plan actually achieves after any churn repairs.
     pub fn achieved_k(&self) -> usize {
@@ -145,6 +156,10 @@ pub struct NodeStats {
     /// Repairs that could not restore the full target (view exhausted):
     /// the query went out with weaker dilution than assessed.
     pub plans_degraded: u64,
+    /// Plans eagerly refreshed because the peer view aged past the
+    /// staleness threshold before any relay visibly failed
+    /// (see [`CyclosaNode::refresh_stale_plan`]).
+    pub plans_refreshed: u64,
     /// Per planned query (in planning order): the number of fake
     /// assignments alive after the latest repair — the privacy level each
     /// query actually travelled with.
@@ -238,6 +253,7 @@ impl NodeBuilder {
             protection: self.protection,
             sensitive_topics: self.sensitive_topics,
             stats: NodeStats::default(),
+            tracer: NodeTracer::default(),
         }
     }
 }
@@ -253,6 +269,7 @@ pub struct CyclosaNode {
     protection: ProtectionConfig,
     sensitive_topics: Vec<String>,
     stats: NodeStats,
+    tracer: NodeTracer,
 }
 
 impl CyclosaNode {
@@ -279,6 +296,23 @@ impl CyclosaNode {
     /// Node activity counters.
     pub fn stats(&self) -> &NodeStats {
         &self.stats
+    }
+
+    /// Installs a trace emitter. Planning, repair and refresh then emit
+    /// causal `plan.*` events (assessment, fake draws, assignments, every
+    /// repair and top-up) keyed by the plan's sequence number. Tracing is
+    /// purely observational — it draws no randomness and never changes
+    /// what the node does; the default tracer is disabled and emission is
+    /// a no-op.
+    pub fn install_tracer(&mut self, tracer: NodeTracer) {
+        self.tracer = tracer;
+    }
+
+    /// Updates the tracer's notion of the current simulated time. Called
+    /// by the behaviour driving this node before planning or repairing,
+    /// so events land at the right point on the timeline.
+    pub fn set_trace_now(&mut self, now: SimTime) {
+        self.tracer.set_now(now);
     }
 
     /// The SGX platform hosting this node (provision it at the attestation
@@ -359,7 +393,20 @@ impl CyclosaNode {
         if !cyclosa_nlp::text::has_content_terms(query) {
             return Err(NodeError::EmptyQuery);
         }
+        // The sequence number of the plan this call will produce; fixed
+        // here so the trace events below can carry it.
+        let sequence = self.stats.achieved_k.len() as u64;
         let assessment = self.analyzer.assess(query);
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.tracer
+                    .event("plan.assess")
+                    .query(sequence)
+                    .attr("k", assessment.k)
+                    .attr("semantic", assessment.semantic)
+                    .attr("linkability", assessment.linkability),
+            );
+        }
         let relays = self.peer_sampling.random_peers(rng, assessment.k + 1);
         if relays.is_empty() {
             return Err(NodeError::NoPeersAvailable);
@@ -376,6 +423,14 @@ impl CyclosaNode {
                 move |state| state.past_queries.draw_fakes(fake_count, &mut draw_rng)
             })
             .expect("enclave initialized");
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.tracer
+                    .event("plan.fakes_drawn")
+                    .query(sequence)
+                    .attr("count", fakes.len()),
+            );
+        }
 
         // Assign the real query and the fakes to distinct relays; the relay
         // carrying the real query is chosen uniformly among them. `relays`
@@ -408,14 +463,32 @@ impl CyclosaNode {
 
         // The user's own query enters the local linkability history.
         self.analyzer.record_own_query(query);
-        let sequence = self.stats.achieved_k.len() as u64;
         let fake_count = assignments.iter().filter(|a| !a.is_real).count();
         self.stats.queries_planned += 1;
         self.stats.fakes_generated += fake_count as u64;
         self.stats.achieved_k.push(fake_count);
+        if self.tracer.is_enabled() {
+            for assignment in &assignments {
+                self.tracer.emit(
+                    self.tracer
+                        .event("plan.assign")
+                        .query(sequence)
+                        .attr("relay", assignment.relay.0)
+                        .attr("real", assignment.is_real),
+                );
+            }
+            self.tracer.emit(
+                self.tracer
+                    .event("plan.create")
+                    .query(sequence)
+                    .attr("achieved_k", fake_count)
+                    .attr("relays", assignments.len()),
+            );
+        }
         Ok(QueryPlan {
             assessment,
             sequence,
+            planned_at_round: self.peer_sampling.rounds(),
             assignments,
         })
     }
@@ -465,12 +538,12 @@ impl CyclosaNode {
 
         // Move the real query first: it must survive, on a relay distinct
         // from every other assignment of the plan when the view allows.
-        let mut primary = None;
-        if plan
+        let real_failed = plan
             .assignments
             .iter()
-            .any(|a| a.is_real && a.relay == failed)
-        {
+            .any(|a| a.is_real && a.relay == failed);
+        let mut primary = None;
+        if real_failed {
             let replacement = self.draw_distinct_relay(plan, failed, rng)?;
             for assignment in plan.assignments.iter_mut() {
                 if assignment.is_real {
@@ -497,7 +570,90 @@ impl CyclosaNode {
         // Counted only once the repair went through — a NoPeersAvailable
         // bail-out above replaced nothing.
         self.stats.relays_reselected += 1;
+        if self.tracer.is_enabled() {
+            if !topped_up.is_empty() {
+                self.tracer.emit(
+                    self.tracer
+                        .event("plan.top_up")
+                        .query(plan.sequence)
+                        .attr("count", topped_up.len()),
+                );
+            }
+            self.tracer.emit(
+                self.tracer
+                    .event("plan.repair")
+                    .query(plan.sequence)
+                    .attr("failed", failed.0)
+                    .attr("real_moved", real_failed)
+                    .attr("achieved_k", achieved)
+                    .attr("degraded", achieved < plan.assessment.k),
+            );
+        }
         Ok(primary)
+    }
+
+    /// Eagerly refreshes a long-lived plan whose relay choices have gone
+    /// stale: when the peer view has aged `max_view_age` or more gossip
+    /// rounds since the plan's relays were chosen, every assignment whose
+    /// relay has meanwhile dropped out of the view is moved to a fresh
+    /// view peer not already carrying part of the plan — *before* a retry
+    /// timeout forces a repair. The complement of the failure-driven
+    /// [`CyclosaNode::reselect_relay`] path: nothing is blacklisted (the
+    /// relay may be healthy, the view simply rotated past it) and no
+    /// fakes are redrawn (the assignments keep their queries, only the
+    /// carriers change).
+    ///
+    /// Returns the number of assignments moved (0 when the plan is still
+    /// fresh or every relay is still in view). Once the age check has
+    /// run, the plan's staleness clock resets — the relays were verified
+    /// against the current view either way. A refresh that moves at
+    /// least one assignment counts into [`NodeStats::plans_refreshed`]
+    /// and emits a `plan.refresh` trace event.
+    pub fn refresh_stale_plan(
+        &mut self,
+        plan: &mut QueryPlan,
+        max_view_age: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> usize {
+        let rounds = self.peer_sampling.rounds();
+        let view_age = rounds.saturating_sub(plan.planned_at_round);
+        if view_age < max_view_age {
+            return 0;
+        }
+        let view_peers = self.peer_sampling.view().peers();
+        let mut in_use: Vec<PeerId> = plan.assignments.iter().map(|a| a.relay).collect();
+        let mut moved = 0;
+        for assignment in plan.assignments.iter_mut() {
+            if view_peers.contains(&assignment.relay) {
+                continue;
+            }
+            let candidates: Vec<PeerId> = view_peers
+                .iter()
+                .copied()
+                .filter(|p| !in_use.contains(p))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let replacement = candidates[rng.gen_index(candidates.len())];
+            assignment.relay = replacement;
+            in_use.push(replacement);
+            moved += 1;
+        }
+        plan.planned_at_round = rounds;
+        if moved > 0 {
+            self.stats.plans_refreshed += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    self.tracer
+                        .event("plan.refresh")
+                        .query(plan.sequence)
+                        .attr("view_age", view_age)
+                        .attr("moved", moved),
+                );
+            }
+        }
+        moved
     }
 
     /// Draws one relay for the real query, preferring peers not already
@@ -1030,5 +1186,84 @@ mod tests {
     fn error_display() {
         assert!(NodeError::NoPeersAvailable.to_string().contains("peers"));
         assert!(NodeError::EmptyQuery.to_string().contains("content"));
+    }
+
+    #[test]
+    fn stale_plan_refresh_moves_dropped_relays_to_view_peers() {
+        let mut node = node(40, 5);
+        node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(40);
+        let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        assert_eq!(plan.planned_at_round(), 0);
+        let before = plan.clone();
+
+        // Fresh plan, aged view: threshold not reached → untouched.
+        assert_eq!(node.refresh_stale_plan(&mut plan, 3, &mut rng), 0);
+        assert_eq!(plan, before);
+
+        // Rotate one of the plan's relays out of the view and age past
+        // the threshold; the refresh must re-home exactly that
+        // assignment, without blacklisting and without redrawing fakes.
+        let rotated_out = plan.assignments()[0].relay;
+        let old_query = plan.assignments()[0].query.clone();
+        node.peer_sampling_mut().blacklist(rotated_out);
+        for _ in 0..3 {
+            node.peer_sampling_mut().increase_ages();
+        }
+        let moved = node.refresh_stale_plan(&mut plan, 3, &mut rng);
+        assert_eq!(moved, 1);
+        assert_ne!(plan.assignments()[0].relay, rotated_out);
+        assert_eq!(plan.assignments()[0].query, old_query, "query unchanged");
+        assert_eq!(plan.achieved_k(), before.achieved_k(), "no fakes redrawn");
+        let relays: std::collections::HashSet<_> =
+            plan.assignments().iter().map(|a| a.relay).collect();
+        assert_eq!(relays.len(), plan.assignments().len(), "still distinct");
+        assert_eq!(plan.planned_at_round(), 3, "staleness clock reset");
+        assert_eq!(node.stats().plans_refreshed, 1);
+
+        // Immediately after the refresh the plan is fresh again.
+        assert_eq!(node.refresh_stale_plan(&mut plan, 3, &mut rng), 0);
+    }
+
+    #[test]
+    fn traced_planning_emits_causal_events_and_does_not_perturb() {
+        use cyclosa_telemetry::{NodeTracer, TraceSink};
+
+        let plan_and_repair = |node: &mut CyclosaNode, seed: u64| {
+            node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+            let failed = plan.real_assignment().relay;
+            node.reselect_relay(&mut plan, failed, &mut rng).unwrap();
+            plan
+        };
+
+        let mut plain = node(50, 5);
+        let expected = plan_and_repair(&mut plain, 50);
+
+        let sink = TraceSink::enabled();
+        let mut traced = node(50, 5);
+        traced.install_tracer(NodeTracer::new(sink.clone(), 50));
+        traced.set_trace_now(SimTime::from_millis(7));
+        let observed = plan_and_repair(&mut traced, 50);
+
+        assert_eq!(observed, expected, "tracing changed the plan");
+        assert_eq!(traced.stats(), plain.stats());
+
+        let events = sink.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"plan.assess"));
+        assert!(names.contains(&"plan.fakes_drawn"));
+        assert!(names.contains(&"plan.assign"));
+        assert!(names.contains(&"plan.create"));
+        assert!(names.contains(&"plan.repair"));
+        assert!(events.iter().all(|e| e.actor == 50));
+        assert!(events.iter().all(|e| e.at == SimTime::from_millis(7)));
+        assert!(events.iter().all(|e| e.query == Some(0)));
+        let repair = events.iter().find(|e| e.name == "plan.repair").unwrap();
+        assert!(repair
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "real_moved" && *v == cyclosa_telemetry::AttrValue::Bool(true)));
     }
 }

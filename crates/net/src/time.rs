@@ -52,6 +52,12 @@ impl SimTime {
         self.0
     }
 
+    /// Value in microseconds (floating point) — the unit of Chrome
+    /// trace-event timestamps.
+    pub fn as_micros_f64(&self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
     /// Value in milliseconds (floating point).
     pub fn as_millis_f64(&self) -> f64 {
         self.0 as f64 / 1e6
@@ -139,6 +145,7 @@ mod tests {
         let t = SimTime::from_millis(1500);
         assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
         assert!((t.as_millis_f64() - 1500.0).abs() < 1e-9);
+        assert!((t.as_micros_f64() - 1_500_000.0).abs() < 1e-6);
     }
 
     #[test]

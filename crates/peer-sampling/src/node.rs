@@ -65,6 +65,7 @@ pub struct PeerSamplingNode {
     id: PeerId,
     view: View,
     config: PeerSamplingConfig,
+    rounds: u64,
 }
 
 impl PeerSamplingNode {
@@ -74,6 +75,7 @@ impl PeerSamplingNode {
             id,
             view: View::new(config.view_size),
             config,
+            rounds: 0,
         }
     }
 
@@ -160,6 +162,14 @@ impl PeerSamplingNode {
     /// Advances the node's local clock: ages every descriptor by one round.
     pub fn increase_ages(&mut self) {
         self.view.increase_ages();
+        self.rounds += 1;
+    }
+
+    /// Number of gossip rounds this node has aged through — the view-age
+    /// clock consumers use to judge how stale a decision made against an
+    /// earlier view has become (e.g. `CyclosaNode`'s eager plan refresh).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
     }
 
     /// Removes a peer known to be dead (e.g. blacklisted after repeatedly
@@ -267,6 +277,15 @@ mod tests {
         let distinct: std::collections::HashSet<_> = peers.iter().collect();
         assert_eq!(peers.len(), 4);
         assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn rounds_count_age_advances() {
+        let mut node = PeerSamplingNode::new(PeerId(0), config());
+        assert_eq!(node.rounds(), 0);
+        node.increase_ages();
+        node.increase_ages();
+        assert_eq!(node.rounds(), 2);
     }
 
     #[test]

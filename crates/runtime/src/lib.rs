@@ -22,6 +22,14 @@
 //!   p50/p95/p99 export, cheap enough to thread through relay forwarding,
 //!   enclave transitions and search-engine queries on the hot path.
 //!
+//! The deterministic tracing layer (`cyclosa-telemetry`) is re-exported
+//! as [`telemetry`]: install a [`telemetry::TraceSink`] with
+//! [`shard::ShardedEngine::set_trace_sink`] and the engine folds buffered
+//! trace events into the merged timeline at each window barrier;
+//! [`shard::ShardedEngine::enable_profiling`] registers per-shard
+//! self-profiling instruments (event-class throughput, mailbox depth,
+//! barrier-stall wall time) in a metrics [`Registry`].
+//!
 //! Both engines implement [`cyclosa_net::engine::Engine`]; behaviours
 //! written against `cyclosa_net::sim::NodeBehavior` run unchanged on
 //! either.
@@ -33,5 +41,6 @@ pub mod metrics;
 pub mod shard;
 
 pub use cyclosa_net::engine::Engine;
+pub use cyclosa_telemetry as telemetry;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use shard::{shard_of, EngineConfigError, ShardedEngine};

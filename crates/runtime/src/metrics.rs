@@ -13,6 +13,7 @@
 //! remain bit-identical to uninstrumented ones.
 
 use cyclosa_net::time::SimTime;
+use cyclosa_util::json::{Json, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -241,6 +242,21 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_owned(), Json::U64(self.count)),
+            ("sum".to_owned(), Json::U64(self.sum)),
+            ("min".to_owned(), Json::U64(self.min)),
+            ("max".to_owned(), Json::U64(self.max)),
+            ("mean".to_owned(), Json::F64(self.mean())),
+            ("p50".to_owned(), Json::U64(self.p50)),
+            ("p95".to_owned(), Json::U64(self.p95)),
+            ("p99".to_owned(), Json::U64(self.p99)),
+        ])
+    }
+}
+
 impl fmt::Display for HistogramSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -331,6 +347,41 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        let object = |fields: Vec<(String, Json)>| Json::Obj(fields);
+        Json::Obj(vec![
+            (
+                "counters".to_owned(),
+                object(
+                    self.counters
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::U64(*value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                object(
+                    self.gauges
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::I64(*value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                object(
+                    self.histograms
+                        .iter()
+                        .map(|(name, snapshot)| (name.clone(), snapshot.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -468,6 +519,19 @@ mod tests {
         let text = snapshot.to_string();
         assert!(text.contains("alpha"));
         assert!(text.contains("latency"));
+    }
+
+    #[test]
+    fn snapshot_exports_as_json() {
+        let registry = Registry::new();
+        registry.counter("queries.clamped").add(2);
+        registry.gauge("depth").set(-1);
+        registry.histogram("latency_ns").record(1_000);
+        let json = registry.snapshot().to_json().pretty();
+        assert!(json.contains("\"queries.clamped\": 2"));
+        assert!(json.contains("\"depth\": -1"));
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"mean\":"));
     }
 
     #[test]

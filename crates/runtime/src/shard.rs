@@ -41,6 +41,7 @@
 //! assert_eq!(engine.stats().delivered, 2);
 //! ```
 
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
 use cyclosa_net::engine::{
     Engine, EventClass, EventKey, EventKind, LinkGroupSchedule, LinkTable, LossSchedule,
     MembershipChange, MembershipLedger, ScheduledEvent,
@@ -49,11 +50,13 @@ use cyclosa_net::latency::LatencyModel;
 use cyclosa_net::sim::{Action, Context, Envelope, NodeBehavior, SimulationStats};
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
+use cyclosa_telemetry::TraceSink;
 use cyclosa_util::rng::{Rng, SplitMix64};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// The shard that owns `node` in an engine with `shards` shards.
 ///
@@ -103,6 +106,49 @@ impl std::fmt::Display for EngineConfigError {
 
 impl std::error::Error for EngineConfigError {}
 
+/// Per-shard self-profiling instruments, registered by
+/// [`ShardedEngine::enable_profiling`]. All handles are cheap clones into
+/// a shared [`Registry`]; recording is wall-clock observability only and
+/// never touches simulation state.
+#[derive(Clone)]
+struct ShardProfile {
+    deliver: Counter,
+    timer: Counter,
+    membership: Counter,
+    mailbox_depth: Gauge,
+    barrier_stall_ns: Histogram,
+}
+
+impl ShardProfile {
+    fn new(registry: &Registry, index: usize) -> Self {
+        let name = |metric: &str| format!("engine.shard{index}.{metric}");
+        Self {
+            deliver: registry.counter(&name("deliver")),
+            timer: registry.counter(&name("timer")),
+            membership: registry.counter(&name("membership")),
+            mailbox_depth: registry.gauge(&name("mailbox_depth")),
+            barrier_stall_ns: registry.histogram(&name("barrier_stall_ns")),
+        }
+    }
+
+    /// Waits at `barrier`, recording the wall time spent stalled.
+    fn wait_timed(&self, barrier: &Barrier) {
+        let start = Instant::now();
+        barrier.wait();
+        self.barrier_stall_ns
+            .record(start.elapsed().as_nanos() as u64);
+    }
+}
+
+fn wait(barrier: &Barrier, profile: Option<&ShardProfile>) {
+    match profile {
+        Some(profile) => profile.wait_timed(barrier),
+        None => {
+            barrier.wait();
+        }
+    }
+}
+
 /// One shard: a slice of the node population plus everything needed to run
 /// their events locally (heap, per-link state for links originating here,
 /// timer sequences, statistics).
@@ -122,6 +168,7 @@ struct Shard {
     clock: SimTime,
     processed: u64,
     stats: SimulationStats,
+    profile: Option<ShardProfile>,
 }
 
 impl Shard {
@@ -142,6 +189,7 @@ impl Shard {
             clock: SimTime::ZERO,
             processed: 0,
             stats: SimulationStats::default(),
+            profile: None,
         }
     }
 
@@ -225,6 +273,13 @@ impl Shard {
             let node = event.key.node;
             self.clock = at;
             self.processed += 1;
+            if let Some(profile) = &self.profile {
+                match &event.kind {
+                    EventKind::Deliver(_) => profile.deliver.inc(),
+                    EventKind::Timer { .. } => profile.timer.inc(),
+                    EventKind::Membership(_) => profile.membership.inc(),
+                }
+            }
             match event.kind {
                 EventKind::Deliver(envelope) => {
                     if self.crashed.contains(&node) || !self.nodes.contains_key(&node) {
@@ -298,6 +353,7 @@ impl Shard {
 pub struct ShardedEngine {
     shards: Vec<Shard>,
     clock: SimTime,
+    trace: TraceSink,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -341,7 +397,32 @@ impl ShardedEngine {
         Ok(Self {
             shards: (0..shards).map(|i| Shard::new(i, shards, seed)).collect(),
             clock: SimTime::ZERO,
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Installs a trace sink. Behaviours emit into (clones of) the same
+    /// sink; the engine's contribution is to fold buffered events into
+    /// the merged timeline at each window barrier, once every shard has
+    /// finished the window — so the merged prefix is always complete and
+    /// export needs no end-of-run sort. Purely observational: installing
+    /// a sink never changes the execution.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Registers per-shard self-profiling instruments in `registry`:
+    /// `engine.shard<i>.deliver` / `.timer` / `.membership` event-class
+    /// throughput counters, an `engine.shard<i>.mailbox_depth` gauge
+    /// (cross-shard events merged per window), and an
+    /// `engine.shard<i>.barrier_stall_ns` wall-clock histogram of time
+    /// spent waiting at window barriers — the shard-imbalance signal.
+    /// Wall time flows only into metrics, never into the deterministic
+    /// trace.
+    pub fn enable_profiling(&mut self, registry: &Registry) {
+        for shard in &mut self.shards {
+            shard.profile = Some(ShardProfile::new(registry, shard.index));
+        }
     }
 
     /// Checks that the current latency configuration admits a positive
@@ -450,16 +531,18 @@ impl ShardedEngine {
             let window_end = &window_end;
             let done = &done;
             let mailboxes = &mailboxes;
+            let trace = &self.trace;
             std::thread::scope(|scope| {
                 for shard in self.shards.iter_mut() {
                     scope.spawn(move || {
                         let index = shard.index;
+                        let profile = shard.profile.clone();
                         let mut outgoing: Vec<Vec<ScheduledEvent>> =
                             (0..num_shards).map(|_| Vec::new()).collect();
                         loop {
                             let next = shard.next_event_time().map_or(u64::MAX, |t| t.as_nanos());
                             next_times[index].store(next, Ordering::SeqCst);
-                            barrier.wait();
+                            wait(barrier, profile.as_ref());
                             if index == 0 {
                                 let start = next_times
                                     .iter()
@@ -481,7 +564,7 @@ impl ShardedEngine {
                                     window_end.store(end, Ordering::SeqCst);
                                 }
                             }
-                            barrier.wait();
+                            wait(barrier, profile.as_ref());
                             if done.load(Ordering::SeqCst) {
                                 return;
                             }
@@ -495,12 +578,28 @@ impl ShardedEngine {
                                         .append(events);
                                 }
                             }
-                            barrier.wait();
+                            wait(barrier, profile.as_ref());
+                            if index == 0 {
+                                // Every shard finished the window at the
+                                // barrier above, so all trace events with
+                                // `at < end` are buffered; later windows
+                                // only emit events at `end` or beyond
+                                // (lookahead bound), so this merged prefix
+                                // is final. The other shards drain their
+                                // mailboxes concurrently, which emits
+                                // nothing.
+                                trace.merge_up_to(end);
+                            }
+                            let mut merged_in = 0usize;
                             for row in mailboxes.iter() {
                                 let mut inbox = row[index].lock().expect("mailbox poisoned");
+                                merged_in += inbox.len();
                                 for event in inbox.drain(..) {
                                     shard.queue.push(Reverse(event));
                                 }
+                            }
+                            if let Some(profile) = &profile {
+                                profile.mailbox_depth.set(merged_in as i64);
                             }
                             // The next round's first barrier orders these
                             // drains before anyone reads next_times again.
@@ -940,6 +1039,47 @@ mod tests {
                 "partitioned run diverged with {shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn profiling_and_tracing_do_not_perturb_execution() {
+        use crate::metrics::Registry;
+        use cyclosa_telemetry::TraceSink;
+
+        let mut plain = ShardedEngine::new(42, 4);
+        let expected = mesh_trace(&mut plain, 25);
+
+        let registry = Registry::new();
+        let sink = TraceSink::enabled();
+        let mut observed_engine = ShardedEngine::new(42, 4);
+        observed_engine.enable_profiling(&registry);
+        observed_engine.set_trace_sink(sink.clone());
+        let observed = mesh_trace(&mut observed_engine, 25);
+
+        assert_eq!(observed, expected, "instrumentation changed the run");
+        assert_eq!(Engine::stats(&observed_engine), Engine::stats(&plain));
+
+        let snapshot = registry.snapshot();
+        let total_delivers: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.ends_with(".deliver"))
+            .map(|(_, value)| value)
+            .sum();
+        assert_eq!(
+            total_delivers,
+            Engine::stats(&plain).delivered + Engine::stats(&plain).dropped_dead
+        );
+        assert!(
+            snapshot
+                .histograms
+                .iter()
+                .any(|(name, h)| name.ends_with(".barrier_stall_ns") && h.count > 0),
+            "barrier stalls recorded"
+        );
+        // Nothing in this workload emits trace events, but the sink
+        // stayed installed and mergeable throughout.
+        assert!(sink.events().is_empty());
     }
 
     #[test]

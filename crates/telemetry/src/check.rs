@@ -1,0 +1,353 @@
+//! Schema checks for exported traces, plus the small JSON parser they
+//! need.
+//!
+//! The CI telemetry-smoke job re-reads the files a traced run wrote and
+//! validates them structurally — every JSONL line is an object with the
+//! required typed keys, the Chrome file is a well-formed `traceEvents`
+//! array — so a malformed exporter fails the build rather than silently
+//! producing files Perfetto rejects. The build environment has no crate
+//! registry, so the parser lives here: a recursive-descent reader into
+//! the workspace's own [`Json`] value model.
+
+use cyclosa_util::json::Json;
+
+/// Parses one JSON document. Numbers parse as `U64` when they are
+/// non-negative integers, `I64` when negative integers, `F64` otherwise
+/// — mirroring what the serializer emits.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {pos}",
+            char::from(byte),
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogates would need pairing; the exporter
+                        // never emits them, so reject rather than mangle.
+                        out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let c = rest.chars().next().expect("non-empty by get() above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid number")?;
+    if text.is_empty() {
+        return Err(format!("expected value at byte {start}"));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if text.starts_with('-') {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|e| e.to_string())
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn check_unsigned(value: &Json, what: &str) -> Result<(), String> {
+    match value {
+        Json::U64(_) => Ok(()),
+        other => Err(format!("{what} must be an unsigned integer, got {other:?}")),
+    }
+}
+
+/// Validates JSONL trace output: every line parses as an object carrying
+/// `at_ns` (unsigned), `node` (unsigned or null), and a non-empty string
+/// `name`; optional keys (`query`, `dur_ns`, `wall_ns`, `attrs`) must
+/// have the right type; timestamps must be non-decreasing (the merged
+/// timeline is sorted). Returns the number of valid lines.
+pub fn validate_trace_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0;
+    let mut last_at = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let context = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let value = parse_json(line).map_err(&context)?;
+        let Json::Obj(fields) = value else {
+            return Err(context("not a JSON object".to_owned()));
+        };
+        let at = match get(&fields, "at_ns") {
+            Some(Json::U64(v)) => *v,
+            _ => return Err(context("missing unsigned 'at_ns'".to_owned())),
+        };
+        if at < last_at {
+            return Err(context(format!("timestamps regress: {at} after {last_at}")));
+        }
+        last_at = at;
+        match get(&fields, "node") {
+            Some(Json::U64(_)) | Some(Json::Null) => {}
+            _ => return Err(context("missing 'node' (unsigned or null)".to_owned())),
+        }
+        match get(&fields, "name") {
+            Some(Json::Str(name)) if !name.is_empty() => {}
+            _ => return Err(context("missing non-empty string 'name'".to_owned())),
+        }
+        for key in ["query", "dur_ns", "wall_ns"] {
+            if let Some(value) = get(&fields, key) {
+                check_unsigned(value, key).map_err(&context)?;
+            }
+        }
+        if let Some(attrs) = get(&fields, "attrs") {
+            match attrs {
+                Json::Obj(pairs) if !pairs.is_empty() => {}
+                _ => return Err(context("'attrs' must be a non-empty object".to_owned())),
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates Chrome trace-event output: a top-level object with a
+/// `traceEvents` array whose entries carry a string `name`, a `ph` of
+/// `"X"` (with a `dur`) or `"i"`, a numeric `ts`, and unsigned
+/// `pid`/`tid`. Returns the number of valid events.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let value = parse_json(text)?;
+    let Json::Obj(fields) = value else {
+        return Err("top level is not an object".to_owned());
+    };
+    let Some(Json::Arr(events)) = get(&fields, "traceEvents") else {
+        return Err("missing 'traceEvents' array".to_owned());
+    };
+    for (i, event) in events.iter().enumerate() {
+        let context = |msg: String| format!("traceEvents[{i}]: {msg}");
+        let Json::Obj(fields) = event else {
+            return Err(context("not an object".to_owned()));
+        };
+        match get(fields, "name") {
+            Some(Json::Str(name)) if !name.is_empty() => {}
+            _ => return Err(context("missing non-empty string 'name'".to_owned())),
+        }
+        let ph = match get(fields, "ph") {
+            Some(Json::Str(ph)) => ph.as_str(),
+            _ => return Err(context("missing string 'ph'".to_owned())),
+        };
+        match ph {
+            "X" => match get(fields, "dur") {
+                Some(Json::F64(_)) | Some(Json::U64(_)) => {}
+                _ => return Err(context("complete event without numeric 'dur'".to_owned())),
+            },
+            "i" => {}
+            other => return Err(context(format!("unexpected phase {other:?}"))),
+        }
+        match get(fields, "ts") {
+            Some(Json::F64(_)) | Some(Json::U64(_)) => {}
+            _ => return Err(context("missing numeric 'ts'".to_owned())),
+        }
+        for key in ["pid", "tid"] {
+            match get(fields, key) {
+                Some(value) => check_unsigned(value, key).map_err(&context)?,
+                None => return Err(context(format!("missing '{key}'"))),
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{to_chrome_trace, to_jsonl};
+    use crate::trace::{TraceEvent, ACTOR_ENGINE};
+    use cyclosa_net::time::SimTime;
+
+    #[test]
+    fn parser_round_trips_serializer() {
+        let value = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::U64(1), Json::I64(-2)])),
+            ("b".into(), Json::F64(0.25)),
+            ("c".into(), Json::Str("x\n\"y\" ü".into())),
+            ("d".into(), Json::Null),
+            ("e".into(), Json::Bool(true)),
+            ("f".into(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(parse_json(&value.pretty()).unwrap(), value);
+        assert_eq!(parse_json(&value.compact()).unwrap(), value);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"unterminated"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn exported_traces_validate() {
+        let events = vec![
+            TraceEvent::new(SimTime::from_millis(1), 3, "plan.create")
+                .query(0)
+                .attr("k", 4u64),
+            TraceEvent::new(SimTime::from_millis(2), ACTOR_ENGINE, "fault.crash"),
+            TraceEvent::new(SimTime::from_millis(5), 3, "query.answered")
+                .query(0)
+                .span(SimTime::from_millis(4)),
+        ];
+        assert_eq!(validate_trace_jsonl(&to_jsonl(&events)).unwrap(), 3);
+        assert_eq!(validate_chrome_trace(&to_chrome_trace(&events)).unwrap(), 3);
+    }
+
+    #[test]
+    fn validators_reject_bad_shapes() {
+        assert!(validate_trace_jsonl("{\"name\":\"x\"}\n").is_err());
+        assert!(
+            validate_trace_jsonl(
+                "{\"at_ns\":5,\"node\":1,\"name\":\"a\"}\n{\"at_ns\":3,\"node\":1,\"name\":\"b\"}\n"
+            )
+            .is_err(),
+            "regressing timestamps rejected"
+        );
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+    }
+}

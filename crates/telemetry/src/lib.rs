@@ -1,0 +1,39 @@
+//! `cyclosa-telemetry` — the deterministic tracing layer of the CYCLOSA
+//! reproduction.
+//!
+//! The metrics subsystem (`cyclosa-runtime::metrics`) answers *how much*:
+//! counters and percentile histograms. This crate answers *why* and
+//! *when*: structured [`trace::TraceEvent`]s stamped with simulated time,
+//! emitted from node behaviours, the core planning path and the chaos
+//! fault injector, buffered per actor stripe and merged into one
+//! deterministic timeline.
+//!
+//! The design contract mirrors the metrics layer's zero-perturbation
+//! rule and sharpens it:
+//!
+//! * **Zero perturbation** — emitting an event never draws randomness and
+//!   never feeds back into scheduling. A traced run is bit-identical to
+//!   the same run untraced.
+//! * **Deterministic merge** — every event carries a simulated timestamp
+//!   and an actor id; the merged timeline is ordered by `(time, actor)`
+//!   with per-actor emission order preserved. Because each actor's
+//!   events are buffered in a single stripe in its own deterministic
+//!   order, the merged timeline — and its serialized JSONL bytes — is
+//!   identical for any shard count of the parallel engine.
+//! * **No-op when disabled** — the default [`trace::TraceSink`] is
+//!   disabled and [`trace::TraceSink::emit`] returns immediately, so
+//!   uninstrumented runs pay one branch per call site.
+//!
+//! Exporters live in [`export`] (JSONL lines and the Chrome trace-event
+//! format that Perfetto and `chrome://tracing` open directly); [`check`]
+//! holds a dependency-free JSON parser and the schema validation used by
+//! the CI telemetry-smoke job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod export;
+pub mod trace;
+
+pub use trace::{AttrValue, NodeTracer, TraceEvent, TraceSink, ACTOR_ENGINE};

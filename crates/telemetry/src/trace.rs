@@ -1,0 +1,413 @@
+//! The trace model: events, the shared sink, and the deterministic merge.
+//!
+//! An event is a point (or span, when it carries a duration) on the
+//! simulated timeline: `(at, actor, name)` plus an optional query
+//! sequence number, an optional duration and a small list of typed
+//! attributes. Events are emitted through a [`TraceSink`] — a cheap
+//! `Arc`-backed clone, the same handle idiom as the metrics registry —
+//! and buffered in per-actor stripes. [`TraceSink::merge_up_to`] folds
+//! every buffered event older than a window boundary into the merged
+//! timeline; the sharded engine calls it at each window barrier, the
+//! sequential simulator lets everything fold at export time. Both paths
+//! produce the identical timeline, because the merge key `(at, actor)`
+//! is total across actors and each actor's events sit in one stripe in
+//! the actor's own deterministic emission order.
+
+use cyclosa_net::time::SimTime;
+use cyclosa_util::rng::SplitMix64;
+use cyclosa_util::Rng as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Actor id used for events not attributed to any node (fault-plan
+/// application, engine-level annotations).
+pub const ACTOR_ENGINE: u64 = u64::MAX;
+
+/// Number of buffer stripes. Events of one actor always land in the same
+/// stripe, so striping only spreads lock contention — it never affects
+/// the merged order.
+const STRIPES: usize = 16;
+
+/// A typed attribute value attached to a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+macro_rules! impl_attr_from {
+    ($($ty:ty => $variant:ident as $cast:ty),* $(,)?) => {
+        $(impl From<$ty> for AttrValue {
+            fn from(value: $ty) -> Self {
+                AttrValue::$variant(value as $cast)
+            }
+        })*
+    };
+}
+impl_attr_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+                i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for AttrValue {
+    fn from(value: bool) -> Self {
+        AttrValue::Bool(value)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(value: &str) -> Self {
+        AttrValue::Str(value.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(value: String) -> Self {
+        AttrValue::Str(value)
+    }
+}
+
+/// One structured trace event on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated timestamp of the event.
+    pub at: SimTime,
+    /// The node the event belongs to, or [`ACTOR_ENGINE`].
+    pub actor: u64,
+    /// Event name, dot-namespaced (`plan.create`, `fault.crash`, …).
+    pub name: &'static str,
+    /// The query sequence number the event belongs to, if any — the key
+    /// that threads one query's causal timeline together.
+    pub query: Option<u64>,
+    /// Duration for span-shaped events (`query.answered`,
+    /// stamped at completion time); `None` for instants.
+    pub dur: Option<SimTime>,
+    /// Additional typed attributes, in emission order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Optional wall-clock nanoseconds since sink creation. Only filled
+    /// when the sink was built with
+    /// [`TraceSink::enabled_with_wall_time`]; wall stamps are
+    /// nondeterministic, so enabling them forfeits byte-identical
+    /// exports (never bit-identical *runs* — emission still feeds
+    /// nothing back).
+    pub wall_ns: Option<u64>,
+}
+
+impl TraceEvent {
+    /// Creates an instant event.
+    pub fn new(at: SimTime, actor: u64, name: &'static str) -> Self {
+        Self {
+            at,
+            actor,
+            name,
+            query: None,
+            dur: None,
+            attrs: Vec::new(),
+            wall_ns: None,
+        }
+    }
+
+    /// Tags the event with a query sequence number.
+    #[must_use]
+    pub fn query(mut self, seq: u64) -> Self {
+        self.query = Some(seq);
+        self
+    }
+
+    /// Turns the event into a span of the given duration.
+    #[must_use]
+    pub fn span(mut self, dur: SimTime) -> Self {
+        self.dur = Some(dur);
+        self
+    }
+
+    /// Attaches one typed attribute.
+    #[must_use]
+    pub fn attr(mut self, key: &'static str, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((key, value.into()));
+        self
+    }
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    stripes: Vec<Mutex<Vec<TraceEvent>>>,
+    merged: Mutex<Vec<TraceEvent>>,
+    wall_origin: Option<Instant>,
+}
+
+fn stripe_of(actor: u64) -> usize {
+    (SplitMix64::new(actor).next_u64() % STRIPES as u64) as usize
+}
+
+/// The shared trace sink: a cheap-clone handle, disabled by default.
+///
+/// Emitting into a disabled sink is a no-op (one branch), so instrumented
+/// code can hold a `TraceSink` unconditionally. All clones of an enabled
+/// sink feed the same buffers.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink(Option<Arc<SinkInner>>);
+
+impl TraceSink {
+    /// A sink that drops every event — the default.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A collecting sink with deterministic (sim-time only) stamps.
+    pub fn enabled() -> Self {
+        Self::build(false)
+    }
+
+    /// A collecting sink that additionally stamps each event with
+    /// wall-clock nanoseconds since sink creation. Useful for real-time
+    /// profiling; forfeits byte-identical exports.
+    pub fn enabled_with_wall_time() -> Self {
+        Self::build(true)
+    }
+
+    fn build(wall: bool) -> Self {
+        Self(Some(Arc::new(SinkInner {
+            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            merged: Mutex::new(Vec::new()),
+            wall_origin: wall.then(Instant::now),
+        })))
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn emit(&self, mut event: TraceEvent) {
+        let Some(inner) = &self.0 else { return };
+        if let Some(origin) = inner.wall_origin {
+            event.wall_ns = Some(origin.elapsed().as_nanos() as u64);
+        }
+        inner.stripes[stripe_of(event.actor)]
+            .lock()
+            .expect("trace stripe poisoned")
+            .push(event);
+    }
+
+    /// Folds every buffered event with `at < end` into the merged
+    /// timeline. The sharded engine calls this at each window barrier
+    /// (all events before the window end have been emitted by then, and
+    /// none can appear later); calling it is never required for
+    /// correctness — [`TraceSink::events`] folds whatever is left.
+    pub fn merge_up_to(&self, end: SimTime) {
+        self.merge_filter(|event| event.at < end);
+    }
+
+    fn merge_filter(&self, keep: impl Fn(&TraceEvent) -> bool) {
+        let Some(inner) = &self.0 else { return };
+        let mut batch = Vec::new();
+        for stripe in &inner.stripes {
+            let mut stripe = stripe.lock().expect("trace stripe poisoned");
+            let mut kept = Vec::new();
+            for event in stripe.drain(..) {
+                if keep(&event) {
+                    batch.push(event);
+                } else {
+                    kept.push(event);
+                }
+            }
+            *stripe = kept;
+        }
+        // Stable: per-actor emission order survives, and every event of
+        // one actor lives in one stripe — so the merged order is a pure
+        // function of the emitted events, not of thread interleaving.
+        batch.sort_by_key(|event| (event.at, event.actor));
+        inner
+            .merged
+            .lock()
+            .expect("trace merge poisoned")
+            .extend(batch);
+    }
+
+    /// The merged timeline: folds every remaining buffered event first.
+    /// Returns an empty vector on a disabled sink.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.merge_filter(|_| true);
+        match &self.0 {
+            Some(inner) => inner.merged.lock().expect("trace merge poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A per-node emission helper: a [`TraceSink`] plus the owning actor id
+/// and the actor's current simulated time.
+///
+/// Node state machines (e.g. `CyclosaNode`) do not know the simulation
+/// clock; the behaviour driving them calls [`NodeTracer::set_now`] on
+/// entry so that events emitted from inside planning and repair carry
+/// the right timestamp. The default tracer is disabled and emits
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTracer {
+    sink: TraceSink,
+    actor: u64,
+    now: SimTime,
+}
+
+impl NodeTracer {
+    /// A tracer feeding `sink` with events attributed to `actor`.
+    pub fn new(sink: TraceSink, actor: u64) -> Self {
+        Self {
+            sink,
+            actor,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Whether emissions reach a live sink. Check this before building
+    /// attribute-heavy events.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// Updates the tracer's notion of the current simulated time.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Starts an event at the tracer's current time and actor.
+    pub fn event(&self, name: &'static str) -> TraceEvent {
+        TraceEvent::new(self.now, self.actor, name)
+    }
+
+    /// Emits a finished event (no-op when disabled).
+    pub fn emit(&self, event: TraceEvent) {
+        self.sink.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_drops_everything() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(TraceEvent::new(SimTime::ZERO, 1, "x"));
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let event = TraceEvent::new(SimTime::from_millis(5), 3, "plan.create")
+            .query(7)
+            .span(SimTime::from_millis(2))
+            .attr("k", 4u64)
+            .attr("degraded", false)
+            .attr("reason", "retry");
+        assert_eq!(event.query, Some(7));
+        assert_eq!(event.dur, Some(SimTime::from_millis(2)));
+        assert_eq!(event.attrs.len(), 3);
+        assert_eq!(event.attrs[0], ("k", AttrValue::U64(4)));
+    }
+
+    /// Emission order per actor plus `(at, actor)` sorting fully
+    /// determines the timeline, however the merges are batched.
+    #[test]
+    fn window_merges_match_one_shot_merge() {
+        let emit_all = |sink: &TraceSink| {
+            // Interleaved emission from several actors, including a
+            // pre-run event stamped in the future (fault annotation).
+            sink.emit(TraceEvent::new(SimTime::from_millis(30), 2, "fault.crash"));
+            for ms in [0u64, 10, 20, 30, 40] {
+                for actor in [5u64, 2, 9] {
+                    sink.emit(
+                        TraceEvent::new(SimTime::from_millis(ms), actor, "step").attr("ms", ms),
+                    );
+                }
+            }
+        };
+        let windowed = TraceSink::enabled();
+        emit_all(&windowed);
+        for end_ms in [10u64, 20, 30, 40, 50] {
+            windowed.merge_up_to(SimTime::from_millis(end_ms));
+        }
+        let one_shot = TraceSink::enabled();
+        emit_all(&one_shot);
+        assert_eq!(windowed.events(), one_shot.events());
+
+        // Per (at, actor): ordered by actor; the pre-run fault
+        // annotation precedes actor 2's same-time step event.
+        let events = one_shot.events();
+        let at_30: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.at == SimTime::from_millis(30))
+            .collect();
+        assert_eq!(at_30[0].actor, 2);
+        assert_eq!(at_30[0].name, "fault.crash");
+        assert_eq!(at_30[1].name, "step");
+        assert!(at_30.windows(2).all(|w| w[0].actor <= w[1].actor));
+    }
+
+    #[test]
+    fn merge_up_to_leaves_future_events_buffered() {
+        let sink = TraceSink::enabled();
+        sink.emit(TraceEvent::new(SimTime::from_secs(5), 1, "late"));
+        sink.emit(TraceEvent::new(SimTime::from_secs(1), 1, "early"));
+        sink.merge_up_to(SimTime::from_secs(2));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "early");
+        assert_eq!(events[1].name, "late");
+    }
+
+    #[test]
+    fn concurrent_emission_is_deterministic_per_actor() {
+        let sink = TraceSink::enabled();
+        std::thread::scope(|scope| {
+            for actor in 0..8u64 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        sink.emit(
+                            TraceEvent::new(SimTime::from_nanos(i), actor, "tick").attr("i", i),
+                        );
+                    }
+                });
+            }
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 800);
+        for window in events.windows(2) {
+            assert!((window[0].at, window[0].actor) <= (window[1].at, window[1].actor));
+        }
+    }
+
+    #[test]
+    fn wall_time_is_stamped_only_when_asked() {
+        let plain = TraceSink::enabled();
+        plain.emit(TraceEvent::new(SimTime::ZERO, 1, "x"));
+        assert_eq!(plain.events()[0].wall_ns, None);
+        let wall = TraceSink::enabled_with_wall_time();
+        wall.emit(TraceEvent::new(SimTime::ZERO, 1, "x"));
+        assert!(wall.events()[0].wall_ns.is_some());
+    }
+
+    #[test]
+    fn node_tracer_threads_time_and_actor() {
+        let sink = TraceSink::enabled();
+        let mut tracer = NodeTracer::new(sink.clone(), 42);
+        assert!(tracer.is_enabled());
+        tracer.set_now(SimTime::from_millis(7));
+        tracer.emit(tracer.event("plan.create").query(0));
+        let events = sink.events();
+        assert_eq!(events[0].at, SimTime::from_millis(7));
+        assert_eq!(events[0].actor, 42);
+        assert!(!NodeTracer::default().is_enabled());
+    }
+}

@@ -126,11 +126,56 @@ impl Json {
         }
     }
 
+    fn write_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => out.push_str(&number_to_string(*v)),
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.write_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Pretty-prints with two-space indentation (the `serde_json`
     /// `to_string_pretty` layout).
     pub fn pretty(&self) -> String {
         let mut out = String::new();
         self.write_into(&mut out, 0);
+        out
+    }
+
+    /// Serializes without any whitespace (the `serde_json` `to_string`
+    /// layout) — one line per value, as JSONL consumers expect.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact_into(&mut out);
         out
     }
 }
@@ -296,5 +341,15 @@ mod tests {
     #[test]
     fn control_characters_are_escaped() {
         assert_eq!("\u{1}".to_json().pretty(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn compact_has_no_whitespace() {
+        let value = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::U64(1), Json::Null])),
+            ("b".into(), Json::Obj(vec![])),
+            ("c".into(), Json::F64(2.0)),
+        ]);
+        assert_eq!(value.compact(), "{\"a\":[1,null],\"b\":{},\"c\":2.0}");
     }
 }

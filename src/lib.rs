@@ -13,7 +13,9 @@ pub use cyclosa_mechanism as mechanism;
 pub use cyclosa_net as net;
 pub use cyclosa_nlp as nlp;
 pub use cyclosa_peer_sampling as peer_sampling;
+pub use cyclosa_runtime as runtime;
 pub use cyclosa_search_engine as search_engine;
 pub use cyclosa_sgx as sgx;
+pub use cyclosa_telemetry as telemetry;
 pub use cyclosa_util as util;
 pub use cyclosa_workload as workload;
