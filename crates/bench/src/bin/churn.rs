@@ -6,7 +6,7 @@
 //! churn [--relays N] [--k N] [--queries N] [--rates 0,0.1,...] [--seed N]
 //!       [--recover] [--shards N] [--scale small|default|paper]
 //!       [--partition-fractions 0.3,...] [--partition-durations 15,30]
-//!       [--gate POINTS] [--json] [--out PATH]
+//!       [--membership] [--gate POINTS] [--json] [--out PATH]
 //!       [--trace PATH.jsonl] [--metrics PATH.json]
 //! ```
 //!
@@ -41,6 +41,22 @@
 //! the highest failure rate exceeds the failure-free baseline by more than
 //! `P` points, or (b) any partition point's post-merge mean `achieved_k`
 //! fails to recover to the failure-free ledger.
+//!
+//! With `--membership` the bin additionally compares the two overlay
+//! maintenance strategies head to head on the same scripted partition:
+//! the shuffle overlay of `cyclosa-peer-sampling` healing through
+//! directory-assisted **bridge peers**, against the protocol-native
+//! SWIM/HyParView overlay healing with **zero bridges** (quarantine
+//! knocks plus incarnation-bump refutation only). For each side it
+//! reports whether the split healed, the post-merge healing delay, the
+//! overlay's native staleness metric and the gossip message/byte cost.
+//! It then re-runs the heaviest churn point and the first partition
+//! window with the client-side SWIM prober active
+//! (`ChurnConfig::membership`), reporting the proactively topped-up fake
+//! count and the post-merge `achieved_k` against the TTL-probation
+//! baseline. Under `--gate` three more checks arm: the SWIM overlay must
+//! heal bridge-free, within a fixed healing budget, and membership-mode
+//! probation must not cost post-merge `achieved_k` versus TTL probation.
 
 use cyclosa_attack::evaluation::evaluate_reidentification_with;
 use cyclosa_attack::simattack::SimAttack;
@@ -48,14 +64,20 @@ use cyclosa_bench::observe::{parse_observe_flag, ObserveFlags};
 use cyclosa_bench::setup::{ExperimentScale, ExperimentSetup};
 use cyclosa_chaos::experiment::{
     run_churn_experiment, run_churn_experiment_sharded, run_churn_experiment_sharded_observed,
-    ChurnConfig, ChurnTelemetry,
+    ChurnConfig, ChurnTelemetry, MembershipProbeConfig,
 };
 use cyclosa_chaos::partition::{
     run_partition_experiment, run_partition_experiment_sharded, PartitionConfig, PhaseSummary,
 };
 use cyclosa_chaos::ChaosPlan;
 use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
+use cyclosa_net::sim::Simulation;
 use cyclosa_net::time::SimTime;
+use cyclosa_peer_sampling::{
+    overlay_metrics_from_views, EngineGossipConfig, EngineGossipOverlay, MembershipConfig, PeerId,
+    SwimGossipOverlay,
+};
+use cyclosa_runtime::metrics::Registry;
 use cyclosa_util::json::{Json, ToJson};
 use cyclosa_util::stats::Summary;
 
@@ -71,6 +93,7 @@ struct Options {
     scale: ExperimentScale,
     partition_fractions: Vec<f64>,
     partition_durations_s: Vec<u64>,
+    membership: bool,
     gate: Option<f64>,
     json: bool,
     out: String,
@@ -90,6 +113,7 @@ impl Default for Options {
             scale: ExperimentScale::Small,
             partition_fractions: vec![0.3],
             partition_durations_s: vec![15, 30],
+            membership: false,
             gate: None,
             json: false,
             out: "BENCH_churn.json".to_owned(),
@@ -192,6 +216,7 @@ fn parse_args() -> Result<Options, String> {
                     })
                     .collect::<Result<Vec<_>, _>>()?;
             }
+            "--membership" => options.membership = true,
             "--gate" => {
                 let value = args.next().ok_or("--gate needs a value in points")?;
                 let points: f64 = value.parse().map_err(|_| "bad --gate".to_owned())?;
@@ -209,7 +234,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: churn [--relays N] [--k N] [--queries N] [--rates R,R,...] \
                      [--seed N] [--recover] [--shards N] [--scale small|default|paper] \
                      [--partition-fractions F,F,...] [--partition-durations S,S,...] \
-                     [--gate POINTS] [--json] [--out PATH] \
+                     [--membership] [--gate POINTS] [--json] [--out PATH] \
                      [--trace PATH.jsonl] [--metrics PATH.json]"
                 );
                 std::process::exit(0);
@@ -287,6 +312,180 @@ impl ToJson for PartitionPoint {
             ),
         ])
     }
+}
+
+/// How long the SWIM/HyParView overlay may take to re-knit a merged
+/// partition with zero bridge peers before `--gate` fails the run. The
+/// measured healing delay sits around one quarantine-knock cycle (a few
+/// round periods); the budget leaves generous headroom without letting a
+/// broken knock path masquerade as "slow".
+const SWIM_HEALING_BUDGET_S: f64 = 30.0;
+
+/// Bridge peers handed to the shuffle overlay's directory-assisted merge
+/// path in the `--membership` comparison (the SWIM side always gets 0).
+const SHUFFLE_BRIDGES: usize = 3;
+
+/// How one overlay flavour weathered the scripted partition.
+struct OverlayHealing {
+    bridges: usize,
+    /// Whether the overlay had severed every cross-boundary active edge
+    /// just before the merge. SWIM detects the split and quarantines the
+    /// far side; the shuffle overlay has no failure detector, so stale
+    /// cross-side descriptors linger through the partition.
+    severed: bool,
+    healed: bool,
+    /// Post-merge delay until the overlay was weakly connected again with
+    /// at least one cross-boundary active edge (`None`: never healed).
+    healing_s: Option<f64>,
+    /// The overlay's native staleness metric — mean descriptor age in
+    /// rounds (shuffle) or mean seconds since last heard (SWIM). The
+    /// units differ, so the JSON carries the metric name alongside.
+    staleness: f64,
+    staleness_metric: &'static str,
+    messages: u64,
+    bytes: u64,
+}
+
+impl ToJson for OverlayHealing {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bridges".to_owned(), Json::U64(self.bridges as u64)),
+            ("severed".to_owned(), Json::Bool(self.severed)),
+            ("healed".to_owned(), Json::Bool(self.healed)),
+            (
+                "healing_s".to_owned(),
+                self.healing_s.map_or(Json::Null, Json::F64),
+            ),
+            ("staleness".to_owned(), Json::F64(self.staleness)),
+            (
+                "staleness_metric".to_owned(),
+                Json::Str(self.staleness_metric.to_owned()),
+            ),
+            ("messages".to_owned(), Json::U64(self.messages)),
+            ("bytes".to_owned(), Json::U64(self.bytes)),
+        ])
+    }
+}
+
+/// Everything the `--membership` comparison measured.
+struct MembershipReport {
+    overlay_nodes: usize,
+    minority_nodes: usize,
+    split_s: f64,
+    merge_s: f64,
+    shuffle: OverlayHealing,
+    swim: OverlayHealing,
+    churn_failure_rate: f64,
+    churn_median_s: f64,
+    churn_answered: usize,
+    churn_unanswered: usize,
+    churn_retries: u64,
+    churn_fakes_topped_up: u64,
+    churn_fakes_topped_up_proactive: u64,
+    /// Post-merge mean `achieved_k` of the first partition window under
+    /// TTL probation vs suspicion-driven (membership) probation, when the
+    /// partition sweep ran.
+    partition_post_k: Option<(f64, f64)>,
+}
+
+impl ToJson for MembershipReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "overlay_nodes".to_owned(),
+                Json::U64(self.overlay_nodes as u64),
+            ),
+            (
+                "minority_nodes".to_owned(),
+                Json::U64(self.minority_nodes as u64),
+            ),
+            ("split_s".to_owned(), Json::F64(self.split_s)),
+            ("merge_s".to_owned(), Json::F64(self.merge_s)),
+            ("shuffle".to_owned(), self.shuffle.to_json()),
+            ("swim".to_owned(), self.swim.to_json()),
+            (
+                "churn_point".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "failure_rate".to_owned(),
+                        Json::F64(self.churn_failure_rate),
+                    ),
+                    (
+                        "latency_median_s".to_owned(),
+                        Json::F64(self.churn_median_s),
+                    ),
+                    ("answered".to_owned(), Json::U64(self.churn_answered as u64)),
+                    (
+                        "unanswered".to_owned(),
+                        Json::U64(self.churn_unanswered as u64),
+                    ),
+                    ("retries".to_owned(), Json::U64(self.churn_retries)),
+                    (
+                        "fakes_topped_up".to_owned(),
+                        Json::U64(self.churn_fakes_topped_up),
+                    ),
+                    (
+                        "fakes_topped_up_proactive".to_owned(),
+                        Json::U64(self.churn_fakes_topped_up_proactive),
+                    ),
+                ]),
+            ),
+            (
+                "partition_post_merge_achieved_k".to_owned(),
+                match self.partition_post_k {
+                    Some((ttl, membership)) => Json::Obj(vec![
+                        ("blacklist_ttl".to_owned(), Json::F64(ttl)),
+                        ("membership".to_owned(), Json::F64(membership)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Active-view edges crossing the partition boundary (`id < boundary` vs
+/// the rest) in an overlay's views.
+fn cross_side_edges(views: &[(PeerId, Vec<PeerId>)], boundary: u64) -> usize {
+    views
+        .iter()
+        .flat_map(|(observer, active)| {
+            let side = observer.0 < boundary;
+            active
+                .iter()
+                .filter(move |peer| (peer.0 < boundary) != side)
+        })
+        .count()
+}
+
+/// Steps `sim` forward from just before `merge_at` in one-second
+/// increments until the overlay is weakly connected again with at least
+/// one cross-boundary active edge. Returns whether every cross-boundary
+/// edge was gone just before the merge (the split was actually detected)
+/// and the healing delay in seconds (`None` if the overlay's horizon
+/// passes first).
+fn measure_healing(
+    sim: &mut Simulation,
+    merge_at: SimTime,
+    horizon: SimTime,
+    boundary: u64,
+    views: &mut dyn FnMut() -> Vec<(PeerId, Vec<PeerId>)>,
+) -> (bool, Option<f64>) {
+    sim.run_until(merge_at.saturating_sub(SimTime::from_secs(1)));
+    let severed = cross_side_edges(&views(), boundary) == 0;
+    sim.run_until(merge_at);
+    let mut t = merge_at;
+    while t < horizon {
+        t += SimTime::from_secs(1);
+        sim.run_until(t);
+        let snapshot = views();
+        if overlay_metrics_from_views(&snapshot).connected
+            && cross_side_edges(&snapshot, boundary) > 0
+        {
+            return (severed, Some(t.saturating_sub(merge_at).as_secs_f64()));
+        }
+    }
+    (severed, None)
 }
 
 /// One point of the robustness curves (fixed-k and adaptive-k).
@@ -560,6 +759,9 @@ fn main() {
         );
     }
     let mut seen_windows = Vec::new();
+    // First swept window, kept for the `--membership` probation
+    // comparison (same split, suspicion-driven forgiveness on top).
+    let mut first_partition: Option<(PartitionConfig, f64)> = None;
     for &fraction in &options.partition_fractions {
         if baseline_mean_achieved_k.is_none() {
             break;
@@ -605,6 +807,9 @@ fn main() {
                 "sharded partition run diverged from the sequential simulation"
             );
             assert_eq!(outcome.churn.clamped_samples, 0);
+            if first_partition.is_none() {
+                first_partition = Some((config, outcome.post_merge.mean_achieved_k));
+            }
 
             // Attack accuracy across the same window: fakes sent during
             // the partition die with the probability that their relay sat
@@ -674,6 +879,194 @@ fn main() {
         }
     }
 
+    // Shuffle-vs-SWIM overlay comparison: the same 40-node ring split
+    // 12/28 for 50 s, once maintained by the shuffle overlay (healing via
+    // directory-assisted bridge peers) and once by the protocol-native
+    // SWIM/HyParView overlay (zero bridges — quarantine knocks and
+    // refutation only). Both horizons are 120 s of simulated time so the
+    // message-cost columns are comparable.
+    let membership_report = if options.membership {
+        let overlay_nodes = 40usize;
+        let boundary = 12u64;
+        let minority: Vec<PeerId> = (0..boundary).map(PeerId).collect();
+        let overlay_split = SimTime::from_secs(20);
+        let overlay_merge = SimTime::from_secs(70);
+
+        let shuffle_config = EngineGossipConfig {
+            rounds: 120,
+            ..EngineGossipConfig::default()
+        };
+        let shuffle_horizon = SimTime::from_nanos(
+            shuffle_config.round_period.as_nanos() * shuffle_config.rounds as u64,
+        );
+        let registry = Registry::new();
+        let mut sim = Simulation::new(options.seed);
+        let mut shuffle = EngineGossipOverlay::ring_with_metrics(
+            &mut sim,
+            overlay_nodes,
+            shuffle_config,
+            options.seed,
+            &registry,
+        );
+        shuffle.schedule_partition(
+            &mut sim,
+            &minority,
+            overlay_split,
+            overlay_merge,
+            SHUFFLE_BRIDGES,
+        );
+        let (shuffle_severed, shuffle_healing) = measure_healing(
+            &mut sim,
+            overlay_merge,
+            shuffle_horizon,
+            boundary,
+            &mut || shuffle.views(),
+        );
+        sim.run();
+        let shuffle_stats = sim.stats();
+        let shuffle_side = OverlayHealing {
+            bridges: SHUFFLE_BRIDGES,
+            severed: shuffle_severed,
+            healed: shuffle_healing.is_some(),
+            healing_s: shuffle_healing,
+            staleness: registry
+                .histogram("overlay.view_staleness_rounds")
+                .snapshot()
+                .mean(),
+            staleness_metric: "mean descriptor age (rounds)",
+            messages: shuffle_stats.delivered,
+            bytes: shuffle_stats.bytes_delivered,
+        };
+
+        let swim_config = MembershipConfig::default();
+        let swim_horizon =
+            SimTime::from_nanos(swim_config.round_period.as_nanos() * swim_config.rounds as u64);
+        let mut sim = Simulation::new(options.seed);
+        let mut swim = SwimGossipOverlay::ring(&mut sim, overlay_nodes, swim_config, options.seed);
+        swim.schedule_partition(&mut sim, &minority, overlay_split, overlay_merge);
+        let (swim_severed, swim_healing) =
+            measure_healing(&mut sim, overlay_merge, swim_horizon, boundary, &mut || {
+                swim.views()
+            });
+        sim.run();
+        let swim_stats = sim.stats();
+        let swim_side = OverlayHealing {
+            bridges: 0,
+            severed: swim_severed,
+            healed: swim_healing.is_some(),
+            healing_s: swim_healing,
+            staleness: swim.mean_staleness(sim.now()),
+            staleness_metric: "mean seconds since heard",
+            messages: swim_stats.delivered,
+            bytes: swim_stats.bytes_delivered,
+        };
+
+        // The heaviest churn point re-run with the client-side SWIM
+        // prober: death detection now triggers the *proactive* fake
+        // top-up, ahead of any query retry noticing the corpse. The
+        // cadence is tightened below the default — queries settle in
+        // about a second here, so detection must land within roughly one
+        // retry timeout of the death to beat the reactive path.
+        let rate = options.rates.iter().cloned().fold(0.0, f64::max);
+        let churn_config = ChurnConfig {
+            relays: options.relays,
+            k: options.k,
+            queries: options.queries,
+            seed: options.seed,
+            failure_rate: rate,
+            recover: options.recover,
+            adaptive: true,
+            membership: Some(MembershipProbeConfig {
+                probe_period: SimTime::from_millis(500),
+                suspicion_timeout: SimTime::from_millis(1500),
+                probes_per_round: 6,
+                ..MembershipProbeConfig::default()
+            }),
+            ..ChurnConfig::default()
+        };
+        let churn_outcome = run_churn_experiment(&churn_config);
+        assert_eq!(
+            run_churn_experiment_sharded(&churn_config, options.shards),
+            churn_outcome,
+            "sharded membership-mode churn run diverged from the sequential simulation"
+        );
+        let churn_summary = Summary::from_samples(&churn_outcome.latencies);
+
+        // First partition window again, with suspicion-driven probation
+        // layered on the same blacklist: refutation forgives early, death
+        // declarations keep corpses barred. Post-merge achieved_k must
+        // not fall behind the TTL-only run.
+        let partition_post_k = first_partition.map(|(swept, ttl_post_k)| {
+            let config = PartitionConfig {
+                base: ChurnConfig {
+                    membership: Some(MembershipProbeConfig::default()),
+                    ..swept.base
+                },
+                ..swept
+            };
+            let outcome = run_partition_experiment(&config);
+            (ttl_post_k, outcome.post_merge.mean_achieved_k)
+        });
+
+        let fmt_healing = |h: Option<f64>| match h {
+            Some(s) => format!("{s:.1}s"),
+            None => "never".to_owned(),
+        };
+        println!("\nmembership: partition healing, shuffle bridges vs SWIM knocks");
+        println!(
+            "  shuffle  bridges={}  severed={:<5}  healed in {:>6}  staleness {:>6.2} rounds  {:>6} msgs  {:>8} bytes",
+            shuffle_side.bridges,
+            shuffle_side.severed,
+            fmt_healing(shuffle_side.healing_s),
+            shuffle_side.staleness,
+            shuffle_side.messages,
+            shuffle_side.bytes
+        );
+        println!(
+            "  swim     bridges={}  severed={:<5}  healed in {:>6}  staleness {:>6.2} s       {:>6} msgs  {:>8} bytes",
+            swim_side.bridges,
+            swim_side.severed,
+            fmt_healing(swim_side.healing_s),
+            swim_side.staleness,
+            swim_side.messages,
+            swim_side.bytes
+        );
+        println!(
+            "  churn @ {:.2}: answered {}/{}, retries {}, topped {} (+{} proactive), median {:.3}s",
+            rate,
+            churn_outcome.answered,
+            churn_outcome.answered + churn_outcome.unanswered,
+            churn_outcome.retries,
+            churn_outcome.fakes_topped_up,
+            churn_outcome.fakes_topped_up_proactive,
+            churn_summary.median
+        );
+        if let Some((ttl_k, membership_k)) = partition_post_k {
+            println!(
+                "  partition post-merge achieved_k: ttl {ttl_k:.3} vs membership {membership_k:.3}"
+            );
+        }
+
+        Some(MembershipReport {
+            overlay_nodes,
+            minority_nodes: boundary as usize,
+            split_s: overlay_split.as_secs_f64(),
+            merge_s: overlay_merge.as_secs_f64(),
+            shuffle: shuffle_side,
+            swim: swim_side,
+            churn_failure_rate: rate,
+            churn_median_s: churn_summary.median,
+            churn_answered: churn_outcome.answered,
+            churn_unanswered: churn_outcome.unanswered,
+            churn_retries: churn_outcome.retries,
+            churn_fakes_topped_up: churn_outcome.fakes_topped_up,
+            churn_fakes_topped_up_proactive: churn_outcome.fakes_topped_up_proactive,
+            partition_post_k,
+        })
+    } else {
+        None
+    };
+
     if options.json {
         let report = Json::Obj(vec![
             ("bench".to_owned(), Json::Str("churn".to_owned())),
@@ -697,6 +1090,12 @@ fn main() {
             (
                 "partition_points".to_owned(),
                 Json::Arr(partition_points.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "membership".to_owned(),
+                membership_report
+                    .as_ref()
+                    .map_or(Json::Null, |report| report.to_json()),
             ),
         ]);
         match std::fs::write(&options.out, report.pretty() + "\n") {
@@ -764,6 +1163,67 @@ fn main() {
                         ledger_baseline,
                         point.minority_fraction,
                         point.duration_s
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        // Membership gates: the protocol-native overlay must self-heal
+        // the split without any bridge peers and within the healing
+        // budget, and suspicion-driven probation must not cost post-merge
+        // privacy versus the TTL baseline.
+        if let Some(report) = &membership_report {
+            eprintln!(
+                "# gate: swim healed bridge-free in {} (budget {SWIM_HEALING_BUDGET_S:.0}s); \
+                 shuffle with {} bridges in {}",
+                report
+                    .swim
+                    .healing_s
+                    .map_or("never".to_owned(), |s| format!("{s:.1}s")),
+                report.shuffle.bridges,
+                report
+                    .shuffle
+                    .healing_s
+                    .map_or("never".to_owned(), |s| format!("{s:.1}s")),
+            );
+            if !report.swim.severed {
+                eprintln!(
+                    "error: the SWIM overlay failed to quarantine the far side during \
+                     the split — its healing time is meaningless"
+                );
+                std::process::exit(1);
+            }
+            let Some(healing) = report.swim.healing_s else {
+                eprintln!(
+                    "error: the SWIM overlay never re-knit the merged partition \
+                     without bridge peers"
+                );
+                std::process::exit(1);
+            };
+            if healing > SWIM_HEALING_BUDGET_S {
+                eprintln!(
+                    "error: bridge-free SWIM healing took {healing:.1}s \
+                     (budget {SWIM_HEALING_BUDGET_S:.0}s)"
+                );
+                std::process::exit(1);
+            }
+            if !report.shuffle.healed {
+                eprintln!(
+                    "error: the shuffle overlay failed to heal even with {} bridge peers",
+                    report.shuffle.bridges
+                );
+                std::process::exit(1);
+            }
+            if let Some((ttl_k, membership_k)) = report.partition_post_k {
+                eprintln!(
+                    "# gate: post-merge achieved_k {membership_k:.3} under membership \
+                     probation vs {ttl_k:.3} under TTL probation"
+                );
+                if membership_k < ttl_k - 0.01 {
+                    eprintln!(
+                        "error: suspicion-driven probation regressed post-merge achieved_k \
+                         ({membership_k:.3}) below the TTL-probation baseline ({ttl_k:.3})"
                     );
                     std::process::exit(1);
                 }

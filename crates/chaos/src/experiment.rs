@@ -17,6 +17,7 @@ use cyclosa_net::latency::LatencyModel;
 use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation, SimulationStats};
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
+use cyclosa_peer_sampling::{FailureDetector, MemberState, PeerId};
 use cyclosa_runtime::metrics::{Counter, Registry};
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_sgx::enclave::CostModel;
@@ -29,10 +30,56 @@ const TAG_FORWARD: u32 = 1;
 const TAG_ENGINE_QUERY: u32 = 2;
 const TAG_ENGINE_RESPONSE: u32 = 3;
 const TAG_RESPONSE: u32 = 4;
+/// Client → relay liveness probe: `[seq u64][believed state u8][believed
+/// incarnation u64]`, little-endian. The believed half is the refutation
+/// channel: a relay pinged with a non-alive belief about itself at an
+/// incarnation at least its own bumps its incarnation and acks the new
+/// one, which the client's detector applies as a refutation.
+const TAG_PING: u32 = 5;
+/// Relay → client probe answer: `[seq u64][relay incarnation u64]`.
+const TAG_ACK: u32 = 6;
 
 /// Model tag of the relay-failure sampling stream (see
 /// [`crate::churn::churn_stream`]).
 const TAG_RELAY_FAILURES: u64 = 0xFA11;
+
+/// Configuration of the client's SWIM-style relay probing — the
+/// protocol-native alternative to fixed-TTL probation. When enabled (see
+/// [`ChurnConfig::membership`]), the client runs a [`FailureDetector`]
+/// over the relay population: periodic pings, alive → suspect on an
+/// unanswered probe, suspect → dead when the suspicion timeout expires
+/// unrefuted. Probation becomes suspicion-driven: a suspected relay is
+/// blacklisted the moment its probe times out, and a refuting ack (the
+/// relay answers a later probe carrying the client's non-alive belief
+/// with a bumped incarnation) forgives it *early* — before any fixed
+/// [`ChurnConfig::blacklist_ttl`] would have.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipProbeConfig {
+    /// Period of the probe round timer.
+    pub probe_period: SimTime,
+    /// How long a ping may go unanswered before the relay is suspected.
+    /// Must exceed the WAN round-trip tail (median RTT ≈ 280 ms, p999
+    /// ≈ 830 ms) or calm-network probes will time out spuriously.
+    pub probe_timeout: SimTime,
+    /// How long a suspicion may stand unrefuted before the relay is
+    /// declared dead (triggering the proactive fake top-up for plans
+    /// that entrusted fakes to it).
+    pub suspicion_timeout: SimTime,
+    /// Relays probed per round (round-robin over a per-cycle shuffle of
+    /// the non-dead membership).
+    pub probes_per_round: usize,
+}
+
+impl Default for MembershipProbeConfig {
+    fn default() -> Self {
+        Self {
+            probe_period: SimTime::from_secs(1),
+            probe_timeout: SimTime::from_millis(900),
+            suspicion_timeout: SimTime::from_secs(3),
+            probes_per_round: 4,
+        }
+    }
+}
 
 /// Configuration of the churn latency experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +117,15 @@ pub struct ChurnConfig {
     /// experiments set a finite probation so post-merge queries can spread
     /// over the whole population again and `achieved_k` recovers.
     pub blacklist_ttl: Option<SimTime>,
+    /// When set, the client runs SWIM-style liveness probing over the
+    /// relays and probation becomes suspicion-driven: suspected relays
+    /// are blacklisted immediately, refuted ones forgiven early (the
+    /// blacklist entry is removed outright, ahead of any TTL), and
+    /// relays declared dead trigger a proactive top-up of the fakes
+    /// their plans entrusted to them (adaptive runs only; counted in
+    /// [`ChurnOutcome::fakes_topped_up_proactive`]). `None` keeps the
+    /// passive blacklist of the original healing path.
+    pub membership: Option<MembershipProbeConfig>,
     /// SGX transition cost model of the relays.
     pub cost: CostModel,
     /// Client-side serialization delay per outgoing request.
@@ -90,6 +146,7 @@ impl Default for ChurnConfig {
             max_retries: 5,
             adaptive: false,
             blacklist_ttl: None,
+            membership: None,
             cost: CostModel::default(),
             client_uplink_per_request: SimTime::from_millis(45),
         }
@@ -154,7 +211,9 @@ pub struct ChurnTelemetry {
     /// Receives the fault annotations (`fault.*`, from the applied
     /// [`ChaosPlan`]s) and the client's per-query causal events
     /// (`query.launch`, `query.repair`, `query.top_up`,
-    /// `query.answered`, `latency.clamped`) on one merged timeline.
+    /// `query.answered`, `latency.clamped`) on one merged timeline. In
+    /// membership mode the prober's transitions (`mship.suspect`,
+    /// `mship.refute`, `mship.dead`) join it.
     pub trace: TraceSink,
     /// When set, the client's clamped-sample counter
     /// (`client.clamped_samples`) is recorded here, and sharded runs add
@@ -195,6 +254,12 @@ pub struct ChurnOutcome {
     /// Replacement fakes resubmitted by the adaptive-k repair (0 when the
     /// run was not adaptive).
     pub fakes_topped_up: u64,
+    /// Replacement fakes resubmitted *proactively* — when the membership
+    /// prober declared a relay dead, plans that had entrusted fakes to it
+    /// were topped up without waiting for a retry to notice (disjoint
+    /// from [`Self::fakes_topped_up`]; 0 unless the run was adaptive with
+    /// [`ChurnConfig::membership`] enabled).
+    pub fakes_topped_up_proactive: u64,
     /// Latency samples whose round-trip came out negative and were clamped
     /// to zero — always 0 unless an event-ordering bug slipped in.
     pub clamped_samples: u64,
@@ -211,6 +276,7 @@ struct ClientSink {
     answered: usize,
     retries: u64,
     fakes_topped_up: u64,
+    fakes_topped_up_proactive: u64,
     clamped_samples: u64,
 }
 
@@ -234,6 +300,12 @@ struct RelayBehavior {
     engine: NodeId,
     processing: SimTime,
     pending: Vec<Envelope>,
+    /// SWIM incarnation number: bumped when a ping carries a non-alive
+    /// belief about this relay at an incarnation at least its own, so
+    /// the ack refutes the stale suspicion. Survives crash/recover
+    /// (behaviour state is retained), exactly what refutation-after-
+    /// downtime needs.
+    incarnation: u64,
 }
 
 impl NodeBehavior for RelayBehavior {
@@ -242,6 +314,17 @@ impl NodeBehavior for RelayBehavior {
             TAG_FORWARD => {
                 self.pending.push(envelope);
                 ctx.set_timer(self.processing, (self.pending.len() - 1) as u64);
+            }
+            TAG_PING => {
+                if let Some((seq, state, incarnation)) = decode_ping(&envelope.payload) {
+                    if state != MemberState::Alive.to_wire() && incarnation >= self.incarnation {
+                        self.incarnation = incarnation + 1;
+                    }
+                    // Answered inline, not through the processing queue:
+                    // the probe measures reachability, and the timeout is
+                    // sized against the network round trip.
+                    ctx.send(envelope.src, TAG_ACK, encode_ack(seq, self.incarnation));
+                }
             }
             TAG_ENGINE_RESPONSE => {
                 if let Some(client) = parse_client(&envelope.payload) {
@@ -316,10 +399,31 @@ struct ClientBehavior {
     victims: HashSet<NodeId>,
     /// Registry twin of [`ClientSink::clamped_samples`].
     clamped_metric: Option<Counter>,
+    /// SWIM probing of the relay population (None outside membership
+    /// mode; every probing hook below is then a no-op).
+    membership: Option<MembershipProbeConfig>,
+    /// The client-side failure detector over the relays. Its randomized
+    /// probe cycle draws from `probe_rng`, a stream separate from the
+    /// query-plan RNG, so probing never perturbs plan selection.
+    detector: FailureDetector,
+    probe_rng: Xoshiro256StarStar,
+    probe_seq: u64,
+    /// In-flight probes: relay → probe sequence number. An ack clears
+    /// the entry; a timeout that still finds it suspects the relay.
+    pending_probes: std::collections::HashMap<NodeId, u64>,
+    /// Round-robin cursor over dead members for the per-round knock —
+    /// the re-probe that lets a recovered (or merely partitioned-away)
+    /// relay refute its death and win early forgiveness.
+    dead_cursor: usize,
+    /// When to stop arming probe rounds (the query horizon).
+    probe_deadline: SimTime,
 }
 
 const OUTBOX_BASE: u64 = 1 << 40;
 const RETRY_BASE: u64 = 1 << 41;
+const PROBE_TIMEOUT_BASE: u64 = 1 << 42;
+const SUSPECT_BASE: u64 = 1 << 43;
+const PROBE_ROUND: u64 = 1 << 44;
 
 impl ClientBehavior {
     fn ensure(&mut self, seq: usize) {
@@ -479,10 +583,199 @@ impl ClientBehavior {
             );
         }
     }
+
+    /// One probe round of the membership prober: ping the next
+    /// `probes_per_round` relays of the detector's shuffled cycle, knock
+    /// on one currently-dead relay (the refutation channel for recovered
+    /// or re-merged relays), and re-arm while queries are still issuing.
+    fn probe_round(&mut self, ctx: &mut Context<'_>) {
+        let Some(probe) = self.membership else {
+            return;
+        };
+        for _ in 0..probe.probes_per_round {
+            let Some(peer) = self.detector.next_probe_target(&mut self.probe_rng) else {
+                break;
+            };
+            let relay = NodeId(peer.0);
+            if self.pending_probes.contains_key(&relay) {
+                continue;
+            }
+            let seq = self.send_ping(ctx, relay);
+            self.pending_probes.insert(relay, seq);
+            ctx.set_timer(probe.probe_timeout, PROBE_TIMEOUT_BASE + relay.0);
+        }
+        let dead = self.detector.dead_members();
+        if !dead.is_empty() {
+            let peer = dead[self.dead_cursor % dead.len()];
+            self.dead_cursor += 1;
+            let relay = NodeId(peer.0);
+            if !self.pending_probes.contains_key(&relay) {
+                // No timeout timer: the relay is already declared dead,
+                // so only an ack (a refutation) changes anything.
+                self.send_ping(ctx, relay);
+            }
+        }
+        if ctx.now() + probe.probe_period < self.probe_deadline {
+            ctx.set_timer(probe.probe_period, PROBE_ROUND);
+        }
+    }
+
+    /// Sends one ping carrying the client's current belief about the
+    /// relay, so a wrongly-suspected (or wrongly-dead) relay can refute
+    /// by acking a bumped incarnation.
+    fn send_ping(&mut self, ctx: &mut Context<'_>, relay: NodeId) -> u64 {
+        let seq = self.probe_seq;
+        self.probe_seq += 1;
+        let (state, incarnation) = match self.detector.state_of(PeerId(relay.0)) {
+            Some((state, incarnation, _)) => (state, incarnation),
+            None => (MemberState::Alive, 0),
+        };
+        ctx.send(
+            relay,
+            TAG_PING,
+            encode_ping(seq, state.to_wire(), incarnation),
+        );
+        seq
+    }
+
+    /// A direct probe went unanswered: suspect the relay and put it on
+    /// probation immediately (suspicion-driven blacklisting), with the
+    /// suspicion timeout armed toward a dead declaration.
+    fn probe_timed_out(&mut self, ctx: &mut Context<'_>, relay: NodeId) {
+        let Some(probe) = self.membership else {
+            return;
+        };
+        if self.pending_probes.remove(&relay).is_none() {
+            return;
+        }
+        let now = ctx.now();
+        if self.detector.suspect(PeerId(relay.0), now) {
+            self.blacklist.insert(relay, now);
+            ctx.set_timer(probe.suspicion_timeout, SUSPECT_BASE + relay.0);
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    TraceEvent::new(now, ctx.self_id().0, "mship.suspect").attr("relay", relay.0),
+                );
+            }
+        }
+    }
+
+    /// A suspicion timeout expired: if the suspicion still stands (no
+    /// refutation reset the clock), declare the relay dead and top up
+    /// the fakes its plans entrusted to it.
+    fn suspicion_expired(&mut self, ctx: &mut Context<'_>, relay: NodeId) {
+        let Some(probe) = self.membership else {
+            return;
+        };
+        let now = ctx.now();
+        let suspected_since = now.saturating_sub(probe.suspicion_timeout);
+        if self
+            .detector
+            .declare_dead(PeerId(relay.0), suspected_since, now)
+        {
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    TraceEvent::new(now, ctx.self_id().0, "mship.dead").attr("relay", relay.0),
+                );
+            }
+            self.proactive_top_up(ctx, relay);
+        }
+    }
+
+    /// An ack arrived: clear the pending probe and apply the relay's
+    /// incarnation as firsthand aliveness. When that refutes a standing
+    /// suspicion or death, the relay is forgiven early — its blacklist
+    /// entry removed outright, ahead of any fixed probation TTL.
+    fn handle_ack(&mut self, ctx: &mut Context<'_>, relay: NodeId, payload: &[u8]) {
+        if self.membership.is_none() {
+            return;
+        }
+        let Some((seq, incarnation)) = decode_ack(payload) else {
+            return;
+        };
+        if self.pending_probes.get(&relay) == Some(&seq) {
+            self.pending_probes.remove(&relay);
+        }
+        let peer = PeerId(relay.0);
+        let now = ctx.now();
+        let was_barred = matches!(
+            self.detector.state_of(peer),
+            Some((MemberState::Suspect | MemberState::Dead, _, _))
+        );
+        self.detector.ack(peer, incarnation, now);
+        let alive_again = matches!(
+            self.detector.state_of(peer),
+            Some((MemberState::Alive, _, _))
+        );
+        if was_barred && alive_again {
+            self.blacklist.remove(&relay);
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    TraceEvent::new(now, ctx.self_id().0, "mship.refute")
+                        .attr("relay", relay.0)
+                        .attr("incarnation", incarnation),
+                );
+            }
+        }
+    }
+
+    /// The proactive half of the adaptive repair: when the prober
+    /// declares a relay dead, every plan still live (unanswered, or
+    /// answered within the last retry window — its dilution still
+    /// matters to the engine's aggregate view) that entrusted a fake to
+    /// it gets that fake resubmitted through a fresh relay now, instead
+    /// of waiting for a retry to notice the loss.
+    fn proactive_top_up(&mut self, ctx: &mut Context<'_>, dead: NodeId) {
+        if !self.adaptive {
+            return;
+        }
+        let now = ctx.now();
+        for seq in 0..self.sent_at.len() {
+            let Some(sent) = self.sent_at[seq] else {
+                continue;
+            };
+            let live_plan = !self.answered[seq] || now.saturating_sub(sent) <= self.retry_timeout;
+            if !live_plan || !self.fake_relays[seq].contains(&dead) {
+                continue;
+            }
+            self.fake_relays[seq].retain(|r| *r != dead);
+            let real = self.real_relay[seq];
+            let in_use = &self.fake_relays[seq];
+            let candidates: Vec<NodeId> = self
+                .usable(now)
+                .into_iter()
+                .filter(|r| Some(*r) != real && !in_use.contains(r))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let relay = candidates[self.probe_rng.gen_index(candidates.len())];
+            let payload = format!("{}|{}|F|query number {} terms", ctx.self_id().0, seq, seq);
+            self.defer_send(ctx, relay, payload.into_bytes(), 0);
+            self.fake_relays[seq].push(relay);
+            self.sink
+                .lock()
+                .expect("sink poisoned")
+                .fakes_topped_up_proactive += 1;
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    TraceEvent::new(now, ctx.self_id().0, "query.top_up")
+                        .query(seq as u64)
+                        .attr("count", 1_u64)
+                        .attr("proactive", true)
+                        .attr("dead", dead.0),
+                );
+            }
+        }
+    }
 }
 
 impl NodeBehavior for ClientBehavior {
     fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+        if envelope.tag == TAG_ACK {
+            self.handle_ack(ctx, envelope.src, &envelope.payload);
+            return;
+        }
         if envelope.tag != TAG_RESPONSE {
             return;
         }
@@ -561,7 +854,13 @@ impl NodeBehavior for ClientBehavior {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
-        if token >= RETRY_BASE {
+        if token >= PROBE_ROUND {
+            self.probe_round(ctx);
+        } else if token >= SUSPECT_BASE {
+            self.suspicion_expired(ctx, NodeId(token - SUSPECT_BASE));
+        } else if token >= PROBE_TIMEOUT_BASE {
+            self.probe_timed_out(ctx, NodeId(token - PROBE_TIMEOUT_BASE));
+        } else if token >= RETRY_BASE {
             self.retry(ctx, (token - RETRY_BASE) as usize);
         } else if token >= OUTBOX_BASE {
             if let Some((relay, payload)) = self.outbox.get((token - OUTBOX_BASE) as usize).cloned()
@@ -572,6 +871,39 @@ impl NodeBehavior for ClientBehavior {
             self.launch(ctx, token as usize);
         }
     }
+}
+
+fn encode_ping(seq: u64, state: u8, incarnation: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(17);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.push(state);
+    payload.extend_from_slice(&incarnation.to_le_bytes());
+    payload
+}
+
+fn decode_ping(payload: &[u8]) -> Option<(u64, u8, u64)> {
+    if payload.len() != 17 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let incarnation = u64::from_le_bytes(payload[9..17].try_into().ok()?);
+    Some((seq, payload[8], incarnation))
+}
+
+fn encode_ack(seq: u64, incarnation: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&incarnation.to_le_bytes());
+    payload
+}
+
+fn decode_ack(payload: &[u8]) -> Option<(u64, u64)> {
+    if payload.len() != 16 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let incarnation = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    Some((seq, incarnation))
 }
 
 fn parse_client(payload: &[u8]) -> Option<NodeId> {
@@ -637,6 +969,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
                 engine,
                 processing,
                 pending: Vec::new(),
+                incarnation: 0,
             }),
         );
     }
@@ -680,10 +1013,20 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
                 .metrics
                 .as_ref()
                 .map(|registry| registry.counter("client.clamped_samples")),
+            membership: config.membership,
+            detector: FailureDetector::new(PeerId(client.0), relays.iter().map(|r| PeerId(r.0)), 0),
+            probe_rng: rng.fork(3),
+            probe_seq: 0,
+            pending_probes: std::collections::HashMap::new(),
+            dead_cursor: 0,
+            probe_deadline: config.horizon(),
         }),
     );
     for i in 0..config.queries {
         engine_impl.schedule_timer(ChurnConfig::issued_at(i), client, i as u64);
+    }
+    if let Some(probe) = config.membership {
+        engine_impl.schedule_timer(probe.probe_period, client, PROBE_ROUND);
     }
 
     // Inject the faults: a recovering plan re-registers nothing (state is
@@ -707,6 +1050,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
         unanswered: config.queries - sink.answered,
         retries: sink.retries,
         fakes_topped_up: sink.fakes_topped_up,
+        fakes_topped_up_proactive: sink.fakes_topped_up_proactive,
         clamped_samples: sink.clamped_samples,
         failed_relays,
         stats: engine_impl.stats(),
@@ -908,6 +1252,134 @@ mod tests {
             "clamped-sample counter must be surfaced (and zero): {:?}",
             snapshot.counters
         );
+    }
+
+    /// Aggressive probing for the small test populations: short rounds
+    /// and a long-enough suspicion window that a refutation (one probe
+    /// cycle away at most) always beats the dead declaration on a calm
+    /// network.
+    fn probing() -> MembershipProbeConfig {
+        MembershipProbeConfig {
+            probe_period: SimTime::from_millis(500),
+            probe_timeout: SimTime::from_millis(900),
+            suspicion_timeout: SimTime::from_secs(5),
+            probes_per_round: 4,
+        }
+    }
+
+    #[test]
+    fn falsely_suspected_relays_are_refuted_and_forgiven_before_any_ttl() {
+        // A lossy window mid-run makes probes time out on relays that
+        // are perfectly alive. With a permanent blacklist (no TTL) the
+        // passive path would bar them forever; the membership prober
+        // must refute every false suspicion and forgive early.
+        let config = ChurnConfig {
+            relays: 12,
+            queries: 40,
+            failure_rate: 0.0,
+            blacklist_ttl: None,
+            membership: Some(probing()),
+            ..ChurnConfig::default()
+        };
+        let telemetry = ChurnTelemetry {
+            trace: TraceSink::enabled(),
+            metrics: None,
+        };
+        let mut simulation = Simulation::new(config.seed);
+        simulation.schedule_loss_probability(SimTime::from_secs(3), 0.5);
+        simulation.schedule_loss_probability(SimTime::from_secs(6), 0.0);
+        let outcome = run_churn_experiment_on_observed(
+            &mut simulation,
+            &config,
+            &ChaosPlan::new(),
+            &telemetry,
+        );
+
+        let events = telemetry.trace.events();
+        let suspected: HashSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "mship.suspect")
+            .filter_map(|e| match e.attrs.first() {
+                Some(("relay", AttrValue::U64(relay))) => Some(*relay),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !suspected.is_empty(),
+            "the lossy window must produce false suspicions"
+        );
+        assert!(
+            !events.iter().any(|e| e.name == "mship.dead"),
+            "a 5 s suspicion window outlives the 3 s lossy window, so \
+             every suspicion must be refuted before it matures"
+        );
+        for relay in &suspected {
+            assert!(
+                events.iter().any(|e| e.name == "mship.refute"
+                    && e.attrs.contains(&("relay", AttrValue::U64(*relay)))),
+                "relay {relay} was suspected but never refuted"
+            );
+        }
+        // Early forgiveness restores the full population: with the
+        // permanent blacklist every falsely-suspected relay would have
+        // stayed barred instead.
+        assert_eq!(outcome.answered, 40);
+    }
+
+    #[test]
+    fn membership_death_detection_tops_up_fakes_proactively() {
+        // Relays genuinely die; the prober declares them dead within
+        // ~ one probe cycle + suspicion timeout and tops up the fakes
+        // their live plans entrusted to them — without waiting for a
+        // retry to notice.
+        let config = ChurnConfig {
+            adaptive: true,
+            membership: Some(MembershipProbeConfig {
+                suspicion_timeout: SimTime::from_millis(1500),
+                probes_per_round: 6,
+                ..probing()
+            }),
+            ..small(0.5, false)
+        };
+        let outcome = run_churn_experiment(&config);
+        assert!(
+            outcome.fakes_topped_up_proactive > 0,
+            "dead relays carrying fakes of live plans must trigger the \
+             proactive top-up"
+        );
+        assert!(
+            outcome.answered as f64 >= 0.9 * 40.0,
+            "only {} of 40 answered",
+            outcome.answered
+        );
+    }
+
+    #[test]
+    fn non_membership_runs_never_top_up_proactively() {
+        for (rate, adaptive) in [(0.0, false), (0.4, true)] {
+            let outcome = run_churn_experiment(&ChurnConfig {
+                adaptive,
+                ..small(rate, false)
+            });
+            assert_eq!(outcome.fakes_topped_up_proactive, 0);
+        }
+    }
+
+    #[test]
+    fn membership_mode_is_bit_identical_across_engines() {
+        let config = ChurnConfig {
+            adaptive: true,
+            membership: Some(probing()),
+            ..small(0.4, true)
+        };
+        let sequential = run_churn_experiment(&config);
+        for shards in [2, 4] {
+            assert_eq!(
+                run_churn_experiment_sharded(&config, shards),
+                sequential,
+                "membership-mode outcome diverged with {shards} shards"
+            );
+        }
     }
 
     #[test]

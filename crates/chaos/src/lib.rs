@@ -96,7 +96,7 @@ pub use experiment::{
     run_churn_experiment, run_churn_experiment_observed, run_churn_experiment_on,
     run_churn_experiment_on_observed, run_churn_experiment_on_with, run_churn_experiment_sharded,
     run_churn_experiment_sharded_observed, AnsweredQuery, ChurnConfig, ChurnOutcome,
-    ChurnTelemetry,
+    ChurnTelemetry, MembershipProbeConfig,
 };
 pub use partition::{
     run_partition_experiment, run_partition_experiment_on, run_partition_experiment_sharded,

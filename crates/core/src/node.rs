@@ -153,6 +153,11 @@ pub struct NodeStats {
     /// Fresh fakes drawn by plan repair to top a plan back up to its
     /// sensitivity target after a relay died carrying fakes.
     pub fakes_topped_up: u64,
+    /// The subset of top-ups triggered *proactively* by membership
+    /// liveness signals (a relay declared dead before any retry timeout
+    /// noticed — see [`CyclosaNode::top_up_dead_relay_fakes`]), rather
+    /// than by a failed real-query delivery.
+    pub fakes_topped_up_proactive: u64,
     /// Repairs that could not restore the full target (view exhausted):
     /// the query went out with weaker dilution than assessed.
     pub plans_degraded: u64,
@@ -592,6 +597,63 @@ impl CyclosaNode {
         Ok(primary)
     }
 
+    /// Proactively repairs a plan whose relay `dead` was declared dead by
+    /// the membership layer (SWIM suspicion expiry) **without** ever
+    /// failing a real-query delivery for this node. The relay-side
+    /// fake-liveness gap: a relay that only carried *fakes* produces no
+    /// retry timeout when it dies — the real query is answered elsewhere
+    /// and the plan silently travels with weaker dilution than assessed.
+    /// This method closes that gap: the dead relay is blacklisted, its
+    /// fake assignments are dropped, and the shortfall is topped up with
+    /// fresh fakes on distinct live relays, exactly like the
+    /// failure-driven [`CyclosaNode::reselect_relay`] repair path.
+    ///
+    /// A real query on `dead` is deliberately *not* moved here — that is
+    /// the retry path's job (`reselect_relay`), which also re-sends it.
+    ///
+    /// Returns the relays that received proactive top-ups (empty when
+    /// the plan held no fakes on `dead`, or the view was exhausted).
+    /// Top-ups count into both [`NodeStats::fakes_topped_up`] and
+    /// [`NodeStats::fakes_topped_up_proactive`], and emit a
+    /// `plan.top_up` trace event with `proactive: true`.
+    pub fn top_up_dead_relay_fakes(
+        &mut self,
+        plan: &mut QueryPlan,
+        dead: PeerId,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Vec<PeerId> {
+        self.peer_sampling.blacklist(dead);
+        if !plan
+            .assignments
+            .iter()
+            .any(|a| !a.is_real && a.relay == dead)
+        {
+            return Vec::new();
+        }
+        plan.assignments.retain(|a| a.is_real || a.relay != dead);
+        let topped_up = self.top_up_fakes(plan, rng);
+        self.stats.fakes_topped_up_proactive += topped_up.len() as u64;
+        let achieved = plan.achieved_k();
+        if achieved < plan.assessment.k {
+            self.stats.plans_degraded += 1;
+        }
+        if let Some(slot) = self.stats.achieved_k.get_mut(plan.sequence as usize) {
+            *slot = achieved;
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                self.tracer
+                    .event("plan.top_up")
+                    .query(plan.sequence)
+                    .attr("count", topped_up.len())
+                    .attr("proactive", true)
+                    .attr("dead", dead.0)
+                    .attr("achieved_k", achieved),
+            );
+        }
+        topped_up
+    }
+
     /// Eagerly refreshes a long-lived plan whose relay choices have gone
     /// stale: when the peer view has aged `max_view_age` or more gossip
     /// rounds since the plan's relays were chosen, every assignment whose
@@ -975,6 +1037,47 @@ mod tests {
             "dead relay must leave the view"
         );
         assert_eq!(node.stats().relays_reselected, 1);
+    }
+
+    #[test]
+    fn membership_death_tops_up_fakes_proactively() {
+        let mut node = node(30, 5);
+        node.record_own_history(["zurich train timetable", "zurich airport parking"]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        let mut plan = node.plan_query("zurich train strike", &mut rng).unwrap();
+        let target = plan.achieved_k();
+        assert!(target >= 1, "need at least one fake to kill");
+        let dead = plan
+            .assignments()
+            .iter()
+            .find(|a| !a.is_real)
+            .expect("plan has fakes")
+            .relay;
+        let topped = node.top_up_dead_relay_fakes(&mut plan, dead, &mut rng);
+        assert!(!topped.is_empty(), "the dead relay carried a fake");
+        assert_eq!(plan.achieved_k(), target, "fake count must be restored");
+        assert!(plan.assignments().iter().all(|a| a.relay != dead));
+        assert!(
+            !node.peer_sampling().view().contains(dead),
+            "dead relay must leave the view"
+        );
+        let stats = node.stats();
+        assert_eq!(stats.fakes_topped_up_proactive, topped.len() as u64);
+        assert_eq!(stats.fakes_topped_up, topped.len() as u64);
+        assert_eq!(
+            stats.relays_reselected, 0,
+            "no real query moved: this is not a reselection"
+        );
+        // A relay carrying only the real query triggers nothing here.
+        let real_relay = plan.real_assignment().relay;
+        let before = node.stats().clone();
+        assert!(node
+            .top_up_dead_relay_fakes(&mut plan, real_relay, &mut rng)
+            .is_empty());
+        assert_eq!(
+            node.stats().fakes_topped_up_proactive,
+            before.fakes_topped_up_proactive
+        );
     }
 
     #[test]

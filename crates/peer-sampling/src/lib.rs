@@ -21,6 +21,13 @@
 //!   histograms, eager re-assessment of stale views, and network
 //!   partitions with directory-assisted merge healing
 //!   ([`EngineGossipOverlay::schedule_partition`]).
+//! * [`SwimGossipOverlay`] — protocol-native membership on the same
+//!   engines: SWIM failure detection ([`FailureDetector`]: probe /
+//!   indirect probe / suspect / incarnation-numbered refutation) over
+//!   HyParView active/passive views ([`PartialViews`]), with quarantined
+//!   descriptors re-probed so partition merges heal with **zero**
+//!   directory-assisted bridges, and per-observer membership timelines
+//!   exported as `mship.*` telemetry spans.
 //!
 //! CYCLOSA uses the resulting random views for two purposes: selecting the
 //! `k + 1` relays of each query (load balancing falls out of view
@@ -29,12 +36,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hyparview;
+pub mod membership;
 pub mod node;
 pub mod overlay;
 pub mod simulator;
+pub mod swim;
 pub mod view;
 
+pub use hyparview::{HyParViewConfig, PartialViews};
+pub use membership::{MembershipConfig, SwimGossipOverlay, MEMBERSHIP_EVENT_NAMES};
 pub use node::{ExchangeBuffer, PeerSamplingConfig, PeerSamplingNode, SelectionPolicy};
 pub use overlay::{EngineGossipConfig, EngineGossipOverlay};
 pub use simulator::{overlay_metrics_from_views, GossipSimulator, OverlayMetrics};
+pub use swim::{FailureDetector, MemberState, MembershipEvent, MembershipEventKind, SwimRumor};
 pub use view::{Descriptor, PeerId, View};

@@ -201,6 +201,32 @@ fn check_unsigned(value: &Json, what: &str) -> Result<(), String> {
     }
 }
 
+/// The closed set of membership (`mship.*`) event names the SWIM/
+/// HyParView overlay and the chaos client's relay prober may emit.
+/// Mirrors `cyclosa_peer_sampling::MEMBERSHIP_EVENT_NAMES` (duplicated
+/// here because the telemetry crate sits below peer-sampling in the
+/// dependency graph); `schema_closure` in this module's tests pins the
+/// two lists against each other indirectly via the emitters.
+const MEMBERSHIP_EVENT_NAMES: [&str; 8] = [
+    "mship.probe",
+    "mship.alive",
+    "mship.suspect",
+    "mship.refute",
+    "mship.dead",
+    "mship.promote",
+    "mship.quarantine",
+    "mship.readmit",
+];
+
+fn check_event_name(name: &str) -> Result<(), String> {
+    if name.starts_with("mship.") && !MEMBERSHIP_EVENT_NAMES.contains(&name) {
+        return Err(format!(
+            "unknown membership event kind {name:?} (the mship.* family is a closed schema)"
+        ));
+    }
+    Ok(())
+}
+
 /// Validates JSONL trace output: every line parses as an object carrying
 /// `at_ns` (unsigned), `node` (unsigned or null), and a non-empty string
 /// `name`; optional keys (`query`, `dur_ns`, `wall_ns`, `attrs`) must
@@ -228,7 +254,9 @@ pub fn validate_trace_jsonl(text: &str) -> Result<usize, String> {
             _ => return Err(context("missing 'node' (unsigned or null)".to_owned())),
         }
         match get(&fields, "name") {
-            Some(Json::Str(name)) if !name.is_empty() => {}
+            Some(Json::Str(name)) if !name.is_empty() => {
+                check_event_name(name).map_err(&context)?
+            }
             _ => return Err(context("missing non-empty string 'name'".to_owned())),
         }
         for key in ["query", "dur_ns", "wall_ns"] {
@@ -265,7 +293,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
             return Err(context("not an object".to_owned()));
         };
         match get(fields, "name") {
-            Some(Json::Str(name)) if !name.is_empty() => {}
+            Some(Json::Str(name)) if !name.is_empty() => {
+                check_event_name(name).map_err(&context)?
+            }
             _ => return Err(context("missing non-empty string 'name'".to_owned())),
         }
         let ph = match get(fields, "ph") {
@@ -349,5 +379,25 @@ mod tests {
         );
         assert!(validate_chrome_trace("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
         assert!(validate_chrome_trace("[]").is_err());
+    }
+
+    #[test]
+    fn membership_event_family_is_a_closed_schema() {
+        let known = vec![
+            TraceEvent::new(SimTime::from_millis(1), 2, "mship.probe").attr("peer", 5u64),
+            TraceEvent::new(SimTime::from_millis(2), 2, "mship.suspect").attr("peer", 5u64),
+            TraceEvent::new(SimTime::from_millis(3), 5, "mship.refute").attr("incarnation", 1u64),
+            TraceEvent::new(SimTime::from_millis(4), 2, "mship.promote").attr("peer", 7u64),
+        ];
+        assert_eq!(validate_trace_jsonl(&to_jsonl(&known)).unwrap(), 4);
+        assert_eq!(validate_chrome_trace(&to_chrome_trace(&known)).unwrap(), 4);
+        // An unknown mship.* kind must fail both validators...
+        let unknown = vec![TraceEvent::new(SimTime::from_millis(1), 2, "mship.zombie")];
+        let err = validate_trace_jsonl(&to_jsonl(&unknown)).unwrap_err();
+        assert!(err.contains("unknown membership event kind"), "{err}");
+        assert!(validate_chrome_trace(&to_chrome_trace(&unknown)).is_err());
+        // ...while non-membership names stay unconstrained.
+        let other = vec![TraceEvent::new(SimTime::from_millis(1), 2, "query.launch")];
+        assert_eq!(validate_trace_jsonl(&to_jsonl(&other)).unwrap(), 1);
     }
 }
