@@ -4,6 +4,7 @@
 //! ```text
 //! attack_bench [--users 100,1000,10000] [--queries-per-user N]
 //!              [--budget-ms N] [--seed N] [--json] [--out PATH]
+//!              [--trace PATH.jsonl] [--metrics PATH.json]
 //! ```
 //!
 //! Covers the four hot paths of the re-identification pipeline:
@@ -13,9 +14,17 @@
 //! ns/op plus the speedup of each optimized path over its reference — are
 //! written to `BENCH_attack.json` (override with `--out`) so the perf
 //! trajectory of the attack pipeline is recorded per run.
+//!
+//! The shared `--trace` / `--metrics` flags export the same record in the
+//! observability formats: per-entry `attack.<name>.ns_per_op` histograms
+//! and `attack.<name>.iters` counters in the metrics snapshot, and one
+//! synthetic `bench.measure` span per entry on a validator-clean timeline
+//! (stamped at cumulative measured nanoseconds, so timestamps are
+//! non-decreasing and `trace_check` accepts the export).
 
 use criterion::{measure, Measurement};
 use cyclosa_attack::simattack::SimAttack;
+use cyclosa_bench::observe::{parse_observe_flag, ObserveFlags};
 use cyclosa_mechanism::{Query, QueryId, UserId};
 use cyclosa_nlp::kernel::{cosine_similarity_ids, IdVector};
 use cyclosa_nlp::profile::DEFAULT_SMOOTHING_ALPHA;
@@ -98,6 +107,7 @@ struct Options {
     seed: u64,
     json: bool,
     out: String,
+    observe: ObserveFlags,
 }
 
 impl Default for Options {
@@ -109,6 +119,7 @@ impl Default for Options {
             seed: 2018,
             json: false,
             out: "BENCH_attack.json".to_owned(),
+            observe: ObserveFlags::default(),
         }
     }
 }
@@ -160,10 +171,12 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: attack_bench [--users N,N,...] [--queries-per-user N] \
-                     [--budget-ms N] [--seed N] [--json] [--out PATH]"
+                     [--budget-ms N] [--seed N] [--json] [--out PATH] \
+                     [--trace PATH.jsonl] [--metrics PATH.json]"
                 );
                 std::process::exit(0);
             }
+            other if parse_observe_flag(&mut options.observe, other, &mut args)? => {}
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -403,6 +416,41 @@ fn main() {
             scanned,
             None,
         ));
+    }
+
+    // Observability export: the recorded entries rendered into the shared
+    // trace/metrics formats. Wall-clock measurements are inherently
+    // non-deterministic, so unlike the simulation traces this export is
+    // *not* byte-stable across runs — it is a profiling artifact, not a
+    // determinism gate.
+    if options.observe.enabled() {
+        let sink = options.observe.sink();
+        let registry = options.observe.registry();
+        let mut elapsed_ns = 0u64;
+        for e in &entries {
+            let total_ns = (e.ns_per_op * e.iters as f64).round() as u64;
+            elapsed_ns += total_ns;
+            sink.emit(
+                cyclosa_telemetry::TraceEvent::new(
+                    cyclosa_net::time::SimTime::from_nanos(elapsed_ns),
+                    cyclosa_telemetry::ACTOR_ENGINE,
+                    "bench.measure",
+                )
+                .span(cyclosa_net::time::SimTime::from_nanos(total_ns))
+                .attr("bench", e.name.clone())
+                .attr("ns_per_op", e.ns_per_op)
+                .attr("iters", e.iters),
+            );
+            if let Some(registry) = &registry {
+                registry
+                    .histogram(&format!("attack.{}.ns_per_op", e.name))
+                    .record(e.ns_per_op.round() as u64);
+                registry
+                    .counter(&format!("attack.{}.iters", e.name))
+                    .add(e.iters);
+            }
+        }
+        options.observe.write(&sink, registry.as_ref());
     }
 
     if options.json {

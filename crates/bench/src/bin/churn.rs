@@ -12,12 +12,16 @@
 //!
 //! With `--trace` / `--metrics` the bin additionally runs the churn
 //! experiment at the highest swept failure rate **observed** on the
-//! sharded engine: every injected fault and every client-side launch /
-//! repair / top-up / answer lands on one merged causal timeline, exported
-//! as JSONL plus a Chrome trace (Perfetto-viewable), and the metrics
-//! snapshot (engine self-profiling, clamped-sample counter) as JSON.
-//! Observation never perturbs the run — the traced outcome is asserted
-//! bit-identical to the untraced sweep point.
+//! sharded engine: every injected fault, every client-side launch /
+//! repair / top-up / answer and the forwarding-path spans land on one
+//! merged causal timeline. The SLO monitor then replays that timeline
+//! with targets derived from the experiment config and splices its
+//! `slo.*` burn alerts in before export — JSONL plus a Chrome trace
+//! (Perfetto-viewable), and the metrics snapshot (engine self-profiling,
+//! clamped-sample counter) as JSON. Feed the JSONL to the `observe` bin
+//! for critical paths and rollups. Observation never perturbs the run —
+//! the traced outcome is asserted bit-identical to the untraced sweep
+//! point.
 //!
 //! For every failure rate the bin (1) runs the churn latency experiment of
 //! `cyclosa-chaos` with the adaptive-k healing path active (relays failing
@@ -69,6 +73,7 @@ use cyclosa_chaos::experiment::{
 use cyclosa_chaos::partition::{
     run_partition_experiment, run_partition_experiment_sharded, PartitionConfig, PhaseSummary,
 };
+use cyclosa_chaos::slo::evaluate_churn_slos;
 use cyclosa_chaos::ChaosPlan;
 use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
 use cyclosa_net::sim::Simulation;
@@ -699,9 +704,23 @@ fn main() {
             run_churn_experiment(&config),
             "observation perturbed the churn run"
         );
+        // SLO pass over the merged timeline: targets derived from the
+        // experiment's own config, burn alerts spliced into the exported
+        // trace (still sorted, still schema-valid — `slo.*` is a closed
+        // family `trace_check` accepts).
+        let slos = evaluate_churn_slos(&config, &telemetry);
+        eprintln!(
+            "# slo: {} answered, {} privacy violation(s), {} suspicion(s) \
+             ({} refuted), {} burn alert(s)",
+            slos.report.answered,
+            slos.report.privacy_violations,
+            slos.report.suspicions,
+            slos.report.false_suspicions,
+            slos.report.alerts.len()
+        );
         options
             .observe
-            .write(&telemetry.trace, telemetry.metrics.as_ref());
+            .write_timeline(&slos.timeline, telemetry.metrics.as_ref());
     }
 
     // Partition sweep: minority fraction × partition duration. The client

@@ -1,0 +1,169 @@
+//! `observe` — turn a trace export (and optional metrics snapshot) into
+//! an analysis report.
+//!
+//! ```text
+//! observe --trace PATH [--metrics PATH] [--out PATH] [--top N]
+//!         [--window-s S] [--privacy-budget F] [--latency-budget-ms N]
+//!         [--suspicion-budget F] [--gate-privacy]
+//! ```
+//!
+//! Reads the JSONL trace at `--trace`, reconstructs per-query causal
+//! timelines, decomposes every answered query's latency into its exact
+//! critical path, runs the SLO burn-rate pass, and writes one report JSON
+//! (default `OBSERVE_report.json`): per-component rollup sketches, the
+//! top-N slowest queries with causal chains, SLO totals and alerts, and
+//! the embedded `--metrics` snapshot when given.
+//!
+//! The report is a pure function of the input files, which are themselves
+//! byte-identical across sequential and sharded runs of a seed — so CI
+//! can diff reports across shard counts and gate on their contents.
+//! `--gate-privacy` exits non-zero when the privacy SLO recorded any
+//! violation (an answered query with `achieved_k < assessed_k`): the
+//! failure-free baseline gate.
+
+use cyclosa_bench::report::{build_report, ReportOptions};
+use cyclosa_telemetry::analyze::parse_trace;
+use cyclosa_telemetry::check::parse_json;
+use cyclosa_util::json::Json;
+
+struct Options {
+    trace: String,
+    metrics: Option<String>,
+    out: String,
+    report: ReportOptions,
+    gate_privacy: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut trace = None;
+    let mut metrics = None;
+    let mut out = "OBSERVE_report.json".to_string();
+    let mut report = ReportOptions::default();
+    let mut gate_privacy = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--trace" => trace = Some(value("--trace")?),
+            "--metrics" => metrics = Some(value("--metrics")?),
+            "--out" => out = value("--out")?,
+            "--top" => {
+                report.top = value("--top")?.parse().map_err(|_| "--top needs a count")?;
+            }
+            "--window-s" => {
+                let seconds: u64 = value("--window-s")?
+                    .parse()
+                    .map_err(|_| "--window-s needs seconds")?;
+                report.slo.window = cyclosa_net::time::SimTime::from_secs(seconds);
+            }
+            "--privacy-budget" => {
+                report.slo.privacy_budget = value("--privacy-budget")?
+                    .parse()
+                    .map_err(|_| "--privacy-budget needs a fraction")?;
+            }
+            "--latency-budget-ms" => {
+                let ms: u64 = value("--latency-budget-ms")?
+                    .parse()
+                    .map_err(|_| "--latency-budget-ms needs milliseconds")?;
+                report.slo.latency_p99_budget = cyclosa_net::time::SimTime::from_millis(ms);
+            }
+            "--suspicion-budget" => {
+                report.slo.suspicion_budget = value("--suspicion-budget")?
+                    .parse()
+                    .map_err(|_| "--suspicion-budget needs a fraction")?;
+            }
+            "--gate-privacy" => gate_privacy = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: observe --trace PATH [--metrics PATH] [--out PATH] [--top N] \
+                     [--window-s S] [--privacy-budget F] [--latency-budget-ms N] \
+                     [--suspicion-budget F] [--gate-privacy]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let trace = trace.ok_or("--trace is required")?;
+    Ok(Options {
+        trace,
+        metrics,
+        out,
+        report,
+        gate_privacy,
+    })
+}
+
+fn read_or_die(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let records = match parse_trace(&read_or_die(&options.trace)) {
+        Ok(records) => records,
+        Err(message) => {
+            eprintln!("error: {}: {message}", options.trace);
+            std::process::exit(1);
+        }
+    };
+    let metrics = match &options.metrics {
+        Some(path) => match parse_json(&read_or_die(path)) {
+            Ok(json) => json,
+            Err(message) => {
+                eprintln!("error: {path}: {message}");
+                std::process::exit(1);
+            }
+        },
+        None => Json::Null,
+    };
+    let report = build_report(&records, metrics, &options.report);
+    if let Err(err) = std::fs::write(&options.out, report.pretty() + "\n") {
+        eprintln!("error: cannot write {}: {err}", options.out);
+        std::process::exit(1);
+    }
+    let (violations, alerts) = privacy_summary(&report);
+    println!(
+        "{}: {} events, {} privacy violation(s), {} slo alert(s); report at {}",
+        options.trace,
+        records.len(),
+        violations,
+        alerts,
+        options.out
+    );
+    if options.gate_privacy && violations > 0 {
+        eprintln!("error: privacy SLO gate: {violations} answered query(ies) with achieved_k < assessed_k");
+        std::process::exit(1);
+    }
+}
+
+/// Pull (privacy_violations, total alert count) back out of the report.
+fn privacy_summary(report: &Json) -> (u64, u64) {
+    let Json::Obj(fields) = report else {
+        return (0, 0);
+    };
+    let Some(Json::Obj(slo)) = fields.iter().find(|(k, _)| k == "slo").map(|(_, v)| v) else {
+        return (0, 0);
+    };
+    let violations = match slo.iter().find(|(k, _)| k == "privacy_violations") {
+        Some((_, Json::U64(count))) => *count,
+        _ => 0,
+    };
+    let alerts = match slo.iter().find(|(k, _)| k == "alerts") {
+        Some((_, Json::Arr(alerts))) => alerts.len() as u64,
+        _ => 0,
+    };
+    (violations, alerts)
+}

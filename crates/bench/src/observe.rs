@@ -60,11 +60,22 @@ impl ObserveFlags {
     /// were not requested are skipped. Errors are fatal — a bench run
     /// that silently drops its artifacts would look like success to CI.
     pub fn write(&self, sink: &TraceSink, registry: Option<&Registry>) {
+        self.write_timeline(&sink.events(), registry)
+    }
+
+    /// [`ObserveFlags::write`] for an explicit, possibly enriched timeline
+    /// — e.g. a run's merged trace with `slo.*` burn alerts spliced in
+    /// ([`cyclosa_chaos::slo::SloOutcome::timeline`]). The slice must obey
+    /// the `(at, actor)` sort invariant the exporters rely on.
+    pub fn write_timeline(
+        &self,
+        events: &[cyclosa_telemetry::TraceEvent],
+        registry: Option<&Registry>,
+    ) {
         if let Some(path) = &self.trace {
-            let events = sink.events();
-            write_or_die(path, &to_jsonl(&events));
+            write_or_die(path, &to_jsonl(events));
             let chrome = chrome_trace_path(path);
-            write_or_die(&chrome, &to_chrome_trace(&events));
+            write_or_die(&chrome, &to_chrome_trace(events));
             eprintln!("# wrote {} events to {path} and {chrome}", events.len());
         }
         if let Some(path) = &self.metrics {

@@ -1,0 +1,212 @@
+//! The `observe` report builder: one deterministic JSON document from a
+//! JSONL trace export (plus an optional metrics snapshot).
+//!
+//! [`build_report`] is a pure function of the parsed trace records and
+//! the options, so the report is byte-identical whenever the input trace
+//! is — and the runtime guarantees exported traces are byte-identical
+//! across sequential and 1/2/4/8-shard runs of the same seed. The
+//! `observe` binary is a thin wrapper: parse flags, read files, call
+//! this, write the result.
+//!
+//! The report contains:
+//!
+//! - per-component critical-path rollups (quantile sketches over every
+//!   answered query's exact latency decomposition);
+//! - the top-N slowest queries with their causal chains (the joined
+//!   launch → repair → forward → service → answer event sequence);
+//! - the SLO pass: totals and every `slo.*` burn alert;
+//! - the embedded metrics snapshot, when one was supplied.
+
+use cyclosa_telemetry::analyze::{critical_path_rollup, reconstruct, QueryTimeline, TraceRecord};
+use cyclosa_telemetry::slo::{evaluate, SloConfig};
+use cyclosa_util::json::Json;
+
+/// Options of a report build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportOptions {
+    /// How many of the slowest answered queries to detail with their full
+    /// causal chains.
+    pub top: usize,
+    /// SLO targets and window for the burn-rate pass.
+    pub slo: SloConfig,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self {
+            top: 10,
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+/// Build the `observe` report from parsed trace records. `metrics` is an
+/// already-parsed metrics snapshot to embed verbatim (or [`Json::Null`]).
+pub fn build_report(records: &[TraceRecord], metrics: Json, options: &ReportOptions) -> Json {
+    let timelines = reconstruct(records);
+    let answered = timelines.iter().filter(|t| t.answered_at.is_some()).count();
+    let rollup = critical_path_rollup(&timelines)
+        .into_iter()
+        .map(|(name, sketch)| (name.to_string(), sketch.to_json()))
+        .collect();
+    let slo_report = evaluate(records, options.slo);
+    Json::Obj(vec![
+        ("events".to_string(), Json::U64(records.len() as u64)),
+        ("queries".to_string(), Json::U64(timelines.len() as u64)),
+        ("answered".to_string(), Json::U64(answered as u64)),
+        ("critical_path".to_string(), Json::Obj(rollup)),
+        (
+            "slowest".to_string(),
+            slowest_queries(&timelines, records, options.top),
+        ),
+        ("slo".to_string(), slo_report.to_json()),
+        ("metrics".to_string(), metrics),
+    ])
+}
+
+/// The top-N slowest answered queries, slowest first (ties broken by
+/// ascending sequence number so the order is total and deterministic),
+/// each with its exact path decomposition and full causal chain.
+fn slowest_queries(timelines: &[QueryTimeline], records: &[TraceRecord], top: usize) -> Json {
+    let mut answered: Vec<&QueryTimeline> = timelines
+        .iter()
+        .filter(|t| t.end_to_end.is_some())
+        .collect();
+    answered.sort_by_key(|t| (std::cmp::Reverse(t.end_to_end.unwrap_or_default()), t.query));
+    Json::Arr(
+        answered
+            .iter()
+            .take(top)
+            .map(|timeline| {
+                let mut fields = vec![
+                    ("query".to_string(), Json::U64(timeline.query)),
+                    (
+                        "end_to_end_ns".to_string(),
+                        Json::U64(timeline.end_to_end.unwrap_or_default().as_nanos()),
+                    ),
+                    ("attempts".to_string(), Json::U64(timeline.attempts)),
+                ];
+                if let Some(achieved) = timeline.achieved_k {
+                    fields.push(("achieved_k".to_string(), Json::U64(achieved)));
+                }
+                if let Some(assessed) = timeline.assessed_k {
+                    fields.push(("assessed_k".to_string(), Json::U64(assessed)));
+                }
+                if !timeline.blamed_relays.is_empty() {
+                    let blamed = timeline
+                        .blamed_relays
+                        .iter()
+                        .map(|&r| Json::U64(r))
+                        .collect();
+                    fields.push(("blamed_relays".to_string(), Json::Arr(blamed)));
+                }
+                if let Some(path) = timeline.path {
+                    let components = path
+                        .components()
+                        .iter()
+                        .map(|(name, value)| (format!("{name}_ns"), Json::U64(value.as_nanos())))
+                        .collect();
+                    fields.push(("path".to_string(), Json::Obj(components)));
+                }
+                fields.push(("chain".to_string(), causal_chain(timeline, records)));
+                Json::Obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// Render a query's causal chain: its joined events, in timeline order.
+fn causal_chain(timeline: &QueryTimeline, records: &[TraceRecord]) -> Json {
+    Json::Arr(
+        timeline
+            .events
+            .iter()
+            .map(|&index| {
+                let record = &records[index];
+                let mut fields = vec![
+                    ("at_ns".to_string(), Json::U64(record.at.as_nanos())),
+                    (
+                        "node".to_string(),
+                        record.actor.map_or(Json::Null, Json::U64),
+                    ),
+                    ("name".to_string(), Json::Str(record.name.clone())),
+                ];
+                if let Some(dur) = record.dur {
+                    fields.push(("dur_ns".to_string(), Json::U64(dur.as_nanos())));
+                }
+                Json::Obj(fields)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclosa_net::time::SimTime;
+
+    fn span(at_ns: u64, name: &str, query: u64, dur_ns: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            actor: Some(1),
+            name: name.to_string(),
+            query: Some(query),
+            dur: Some(SimTime::from_nanos(dur_ns)),
+            attrs: Vec::new(),
+        }
+    }
+
+    fn trace() -> Vec<TraceRecord> {
+        let mut launch = span(10, "query.launch", 0, 0);
+        launch.dur = None;
+        vec![
+            launch,
+            span(40, "relay.forward", 0, 15),
+            span(100, "engine.service", 0, 30),
+            span(130, "query.answered", 0, 120),
+            span(700, "query.answered", 1, 600),
+        ]
+    }
+
+    #[test]
+    fn report_counts_and_orders_slowest_first() {
+        let records = trace();
+        let report = build_report(&records, Json::Null, &ReportOptions::default());
+        let Json::Obj(fields) = &report else {
+            panic!("report is an object")
+        };
+        let get = |name: &str| &fields.iter().find(|(k, _)| k == name).unwrap().1;
+        assert_eq!(get("queries"), &Json::U64(2));
+        assert_eq!(get("answered"), &Json::U64(2));
+        let Json::Arr(slowest) = get("slowest") else {
+            panic!("slowest is an array")
+        };
+        assert_eq!(slowest.len(), 2);
+        let Json::Obj(first) = &slowest[0] else {
+            panic!("entry is an object")
+        };
+        assert!(
+            first.contains(&("query".to_string(), Json::U64(1))),
+            "query 1 is slower"
+        );
+    }
+
+    #[test]
+    fn top_limit_truncates_and_report_is_deterministic() {
+        let records = trace();
+        let options = ReportOptions {
+            top: 1,
+            ..ReportOptions::default()
+        };
+        let first = build_report(&records, Json::Null, &options);
+        let second = build_report(&records, Json::Null, &options);
+        assert_eq!(first.pretty(), second.pretty());
+        let Json::Obj(fields) = &first else {
+            panic!("report is an object")
+        };
+        let Json::Arr(slowest) = &fields.iter().find(|(k, _)| k == "slowest").unwrap().1 else {
+            panic!("slowest is an array")
+        };
+        assert_eq!(slowest.len(), 1);
+    }
+}

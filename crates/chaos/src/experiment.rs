@@ -209,11 +209,14 @@ impl ChurnConfig {
 #[derive(Debug, Clone, Default)]
 pub struct ChurnTelemetry {
     /// Receives the fault annotations (`fault.*`, from the applied
-    /// [`ChaosPlan`]s) and the client's per-query causal events
+    /// [`ChaosPlan`]s), the client's per-query causal events
     /// (`query.launch`, `query.repair`, `query.top_up`,
-    /// `query.answered`, `latency.clamped`) on one merged timeline. In
-    /// membership mode the prober's transitions (`mship.suspect`,
-    /// `mship.refute`, `mship.dead`) join it.
+    /// `query.answered`, `latency.clamped`) and the forwarding-path
+    /// spans (`relay.forward`, `engine.service`, real queries only) on
+    /// one merged timeline — enough for `cyclosa_telemetry::analyze` to
+    /// decompose every answered query's latency into an exact critical
+    /// path. In membership mode the prober's transitions
+    /// (`mship.suspect`, `mship.refute`, `mship.dead`) join it.
     pub trace: TraceSink,
     /// When set, the client's clamped-sample counter
     /// (`client.clamped_samples`) is recorded here, and sharded runs add
@@ -306,6 +309,9 @@ struct RelayBehavior {
     /// (behaviour state is retained), exactly what refutation-after-
     /// downtime needs.
     incarnation: u64,
+    /// Causal-trace sink: real-query forwards become `relay.forward`
+    /// spans (disabled by default — emissions are no-ops).
+    trace: TraceSink,
 }
 
 impl NodeBehavior for RelayBehavior {
@@ -337,6 +343,19 @@ impl NodeBehavior for RelayBehavior {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         if let Some(envelope) = self.pending.get(token as usize) {
+            if self.trace.is_enabled() {
+                // The forward completes now after `processing` in the
+                // enclave, so the span covers [receipt, forward]. Only the
+                // real-query path is traced — fakes never close a causal
+                // chain, and tracing them would double the trace volume.
+                if let Some(seq) = parse_real_seq(&envelope.payload) {
+                    self.trace.emit(
+                        TraceEvent::new(ctx.now(), ctx.self_id().0, "relay.forward")
+                            .query(seq)
+                            .span(self.processing),
+                    );
+                }
+            }
             ctx.send(self.engine, TAG_ENGINE_QUERY, envelope.payload.clone());
         }
     }
@@ -345,7 +364,13 @@ impl NodeBehavior for RelayBehavior {
 struct EngineBehavior {
     processing: LatencyModel,
     rng: Xoshiro256StarStar,
-    pending: Vec<(NodeId, Vec<u8>)>,
+    /// `(relay, payload, service_time)` per in-flight request; the
+    /// sampled service time rides along so the completion-side span can
+    /// report it without re-deriving anything.
+    pending: Vec<(NodeId, Vec<u8>, SimTime)>,
+    /// Causal-trace sink: real-query completions become `engine.service`
+    /// spans (disabled by default — emissions are no-ops).
+    trace: TraceSink,
 }
 
 impl NodeBehavior for EngineBehavior {
@@ -353,13 +378,24 @@ impl NodeBehavior for EngineBehavior {
         if envelope.tag != TAG_ENGINE_QUERY {
             return;
         }
+        // Sampled unconditionally — tracing must never advance or skip a
+        // draw, or observed runs would diverge from unobserved ones.
         let delay = self.processing.sample(&mut self.rng);
-        self.pending.push((envelope.src, envelope.payload));
+        self.pending.push((envelope.src, envelope.payload, delay));
         ctx.set_timer(delay, (self.pending.len() - 1) as u64);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
-        if let Some((relay, payload)) = self.pending.get(token as usize).cloned() {
+        if let Some((relay, payload, delay)) = self.pending.get(token as usize).cloned() {
+            if self.trace.is_enabled() {
+                if let Some(seq) = parse_real_seq(&payload) {
+                    self.trace.emit(
+                        TraceEvent::new(ctx.now(), ctx.self_id().0, "engine.service")
+                            .query(seq)
+                            .span(delay),
+                    );
+                }
+            }
             ctx.send(relay, TAG_ENGINE_RESPONSE, payload);
         }
     }
@@ -844,6 +880,7 @@ impl NodeBehavior for ClientBehavior {
                 let mut event = TraceEvent::new(now, ctx.self_id().0, "query.answered")
                     .query(seq as u64)
                     .attr("achieved_k", achieved_k)
+                    .attr("assessed_k", self.k)
                     .attr("attempts", self.attempts[seq]);
                 if let Some(round_trip) = round_trip {
                     event = event.span(round_trip);
@@ -912,6 +949,16 @@ fn parse_client(payload: &[u8]) -> Option<NodeId> {
     Some(NodeId(id))
 }
 
+/// The query sequence number of a real-query payload
+/// (`"client|seq|R|…"`), or `None` for fakes and non-query traffic.
+fn parse_real_seq(payload: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut parts = text.splitn(4, '|');
+    let _client = parts.next()?;
+    let seq: u64 = parts.next()?.parse().ok()?;
+    (parts.next()? == "R").then_some(seq)
+}
+
 /// Runs the churn latency experiment on any engine, applying the
 /// configuration's deterministic failure plan and returning the healed
 /// latency distribution.
@@ -959,6 +1006,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
             processing: LatencyModel::search_engine_processing(),
             rng: rng.fork(1),
             pending: Vec::new(),
+            trace: telemetry.trace.clone(),
         }),
     );
     let processing = SimTime::from_nanos(relay_service_time_ns(&config.cost, 512));
@@ -970,6 +1018,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
                 processing,
                 pending: Vec::new(),
                 incarnation: 0,
+                trace: telemetry.trace.clone(),
             }),
         );
     }

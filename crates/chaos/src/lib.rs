@@ -25,6 +25,11 @@
 //!   windows ([`plan::ChaosPlan::partition`]) that later re-merge, with
 //!   the per-phase `achieved_k` ledger showing graceful degradation
 //!   inside a minority partition and recovery after the merge.
+//! * [`slo`] — the privacy/latency/membership SLO pass over an observed
+//!   run's merged timeline: [`slo::evaluate_churn_slos`] streams it
+//!   through `cyclosa_telemetry::SloMonitor` with targets derived from
+//!   the experiment's own configuration and splices the resulting
+//!   `slo.*` burn alerts back into the timeline for export.
 //! * [`attack`] — [`attack::ChurnedMechanism`], which thins a mechanism's
 //!   observable footprint the way relay failures do, so the Fig. 5
 //!   harness produces attack accuracy as a function of the failure rate,
@@ -89,6 +94,7 @@ pub mod churn;
 pub mod experiment;
 pub mod partition;
 pub mod plan;
+pub mod slo;
 
 pub use attack::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
 pub use churn::{churn_stream, ChurnModel};
@@ -99,7 +105,9 @@ pub use experiment::{
     ChurnTelemetry, MembershipProbeConfig,
 };
 pub use partition::{
-    run_partition_experiment, run_partition_experiment_on, run_partition_experiment_sharded,
-    PartitionConfig, PartitionOutcome, PhaseSummary,
+    run_partition_experiment, run_partition_experiment_observed, run_partition_experiment_on,
+    run_partition_experiment_on_observed, run_partition_experiment_sharded,
+    run_partition_experiment_sharded_observed, PartitionConfig, PartitionOutcome, PhaseSummary,
 };
 pub use plan::{ChaosPlan, FaultEvent, FaultKind, LinkFault};
+pub use slo::{churn_slo_config, evaluate_churn_slos, evaluate_timeline_slos, SloOutcome};

@@ -26,7 +26,9 @@
 //! phases by query issue time so the dip and the recovery are directly
 //! comparable to a failure-free baseline.
 
-use crate::experiment::{run_churn_experiment_on_with, AnsweredQuery, ChurnConfig, ChurnOutcome};
+use crate::experiment::{
+    run_churn_experiment_on_observed, AnsweredQuery, ChurnConfig, ChurnOutcome, ChurnTelemetry,
+};
 use crate::plan::ChaosPlan;
 use cyclosa_net::engine::Engine;
 use cyclosa_net::sim::Simulation;
@@ -195,12 +197,27 @@ pub fn run_partition_experiment_on<E: Engine>(
     engine_impl: &mut E,
     config: &PartitionConfig,
 ) -> PartitionOutcome {
+    run_partition_experiment_on_observed(engine_impl, config, &ChurnTelemetry::default())
+}
+
+/// [`run_partition_experiment_on`] plus observability: the underlying
+/// churn run's causal events, forwarding-path spans and fault
+/// annotations flow into `telemetry.trace` — ready for the SLO monitor
+/// (see [`crate::slo`]) to turn the split window's `achieved_k` dips
+/// into privacy burn alerts. With the default (disabled) telemetry this
+/// *is* `run_partition_experiment_on`.
+pub fn run_partition_experiment_on_observed<E: Engine>(
+    engine_impl: &mut E,
+    config: &PartitionConfig,
+    telemetry: &ChurnTelemetry,
+) -> PartitionOutcome {
     let settled_at = config.merge_at + config.settle;
     assert!(
         settled_at < config.base.horizon(),
         "queries must still be issued after the post-merge settle window"
     );
-    let outcome = run_churn_experiment_on_with(engine_impl, &config.base, &config.plan());
+    let outcome =
+        run_churn_experiment_on_observed(engine_impl, &config.base, &config.plan(), telemetry);
     let phase_queries = |from: SimTime, to: SimTime| -> Vec<&AnsweredQuery> {
         outcome
             .answered_queries
@@ -257,9 +274,36 @@ pub fn run_partition_experiment_sharded(
     run_partition_experiment_on(&mut engine, config)
 }
 
+/// [`run_partition_experiment`] (sequential) with observability hooks.
+pub fn run_partition_experiment_observed(
+    config: &PartitionConfig,
+    telemetry: &ChurnTelemetry,
+) -> PartitionOutcome {
+    let mut simulation = Simulation::new(config.base.seed);
+    run_partition_experiment_on_observed(&mut simulation, config, telemetry)
+}
+
+/// [`run_partition_experiment_sharded`] with observability hooks: the
+/// trace sink is installed on the engine (barrier-merged timeline) and,
+/// when a registry is present, per-shard self-profiling is enabled. Same
+/// seed ⇒ byte-identical trace export as the sequential observed run.
+pub fn run_partition_experiment_sharded_observed(
+    config: &PartitionConfig,
+    shards: usize,
+    telemetry: &ChurnTelemetry,
+) -> PartitionOutcome {
+    let mut engine = ShardedEngine::new(config.base.seed, shards);
+    engine.set_trace_sink(telemetry.trace.clone());
+    if let Some(registry) = &telemetry.metrics {
+        engine.enable_profiling(registry);
+    }
+    run_partition_experiment_on_observed(&mut engine, config, telemetry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::run_churn_experiment_on_with;
 
     fn small() -> PartitionConfig {
         PartitionConfig {

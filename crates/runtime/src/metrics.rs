@@ -13,6 +13,7 @@
 //! remain bit-identical to uninstrumented ones.
 
 use cyclosa_net::time::SimTime;
+use cyclosa_telemetry::QuantileSketch;
 use cyclosa_util::json::{Json, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -162,27 +163,40 @@ impl Histogram {
         self.core.count.load(Ordering::Relaxed)
     }
 
-    /// The estimated value at quantile `q` (clamped to `[0, 1]`), to
-    /// bucket resolution. Returns 0 on an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0;
+    /// Converts the histogram's dense atomic buckets into a mergeable
+    /// [`QuantileSketch`]. The sketch shares the exact bucket layout, so
+    /// recording each bucket's low value `count` times lands in the same
+    /// bucket index: quantiles of the sketch equal quantiles of the
+    /// histogram exactly (the sketch's `sum`/`min`/`max` are to bucket
+    /// resolution, not exact). This is how per-shard histograms roll up:
+    /// sketch each, merge associatively, query once.
+    pub fn sketch(&self) -> QuantileSketch {
+        let mut sketch = QuantileSketch::new();
         for (i, bucket) in self.core.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return bucket_low(i);
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                sketch.record_n(bucket_low(i), count);
             }
         }
-        self.core.max.load(Ordering::Relaxed)
+        sketch
     }
 
-    /// A consistent point-in-time summary of the histogram.
+    /// The estimated value at quantile `q` (clamped to `[0, 1]`), to
+    /// bucket resolution. Returns 0 on an empty histogram. Backed by the
+    /// mergeable sketch; falls back to the true recorded max when the
+    /// rank walk runs past the last bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count() == 0 {
+            return 0;
+        }
+        self.sketch().quantile(q.clamp(0.0, 1.0))
+    }
+
+    /// A consistent point-in-time summary of the histogram. Percentiles
+    /// are computed from one sketch conversion.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
+        let sketch = self.sketch();
         HistogramSnapshot {
             count,
             sum: self.core.sum.load(Ordering::Relaxed),
@@ -192,9 +206,9 @@ impl Histogram {
                 self.core.min.load(Ordering::Relaxed)
             },
             max: self.core.max.load(Ordering::Relaxed),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
+            p50: sketch.quantile(0.50),
+            p95: sketch.quantile(0.95),
+            p99: sketch.quantile(0.99),
         }
     }
 }
@@ -532,6 +546,60 @@ mod tests {
         assert!(json.contains("\"depth\": -1"));
         assert!(json.contains("\"p99\":"));
         assert!(json.contains("\"mean\":"));
+    }
+
+    /// Seeded property test: per-shard histograms sketched and merged in
+    /// any grouping are bit-identical to the sketch of one histogram that
+    /// saw every sample — and their quantiles match the histogram's own.
+    #[test]
+    fn sketch_merge_is_associative_and_shard_identical() {
+        let mut state = 0x5eed_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let samples: Vec<u64> = (0..4_000).map(|_| next() % 5_000_000_000).collect();
+        let global = Histogram::new();
+        for &s in &samples {
+            global.record(s);
+        }
+        for shards in [1usize, 2, 4, 8] {
+            // Round-robin the sample stream over per-shard histograms, the
+            // way per-shard metrics see an interleaved workload.
+            let per_shard: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+            for (i, &s) in samples.iter().enumerate() {
+                per_shard[i % shards].record(s);
+            }
+            // Left fold and reverse fold of the per-shard sketches.
+            let mut forward = QuantileSketch::new();
+            for h in &per_shard {
+                forward.merge(&h.sketch());
+            }
+            let mut backward = QuantileSketch::new();
+            for h in per_shard.iter().rev() {
+                backward.merge(&h.sketch());
+            }
+            assert_eq!(
+                forward, backward,
+                "{shards} shards: merge order changed the sketch"
+            );
+            assert_eq!(
+                forward,
+                global.sketch(),
+                "{shards} shards: rollup diverged from global"
+            );
+            assert_eq!(
+                forward.to_json().pretty(),
+                global.sketch().to_json().pretty(),
+                "{shards} shards: serialized bytes diverged"
+            );
+            for q in [0.5, 0.95, 0.99] {
+                assert_eq!(forward.quantile(q), global.quantile(q));
+            }
+        }
     }
 
     #[test]

@@ -405,8 +405,12 @@ impl ShardedEngine {
     /// sink; the engine's contribution is to fold buffered events into
     /// the merged timeline at each window barrier, once every shard has
     /// finished the window — so the merged prefix is always complete and
-    /// export needs no end-of-run sort. Purely observational: installing
-    /// a sink never changes the execution.
+    /// export needs no end-of-run sort. When the sink has a windowed span
+    /// rollup enabled (`TraceSink::enable_span_rollup`), each barrier
+    /// fold also merges that window's span durations into per-window
+    /// quantile sketches; sketch merges are associative, so the rollup is
+    /// bit-identical to the sequential engine's one-shot fold. Purely
+    /// observational: installing a sink never changes the execution.
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
         self.trace = sink;
     }
@@ -1080,6 +1084,90 @@ mod tests {
         // Nothing in this workload emits trace events, but the sink
         // stayed installed and mergeable throughout.
         assert!(sink.events().is_empty());
+    }
+
+    /// Sharded runs fold the windowed span rollup barrier by barrier;
+    /// the sequential engine folds everything at export. Both must yield
+    /// bit-identical sketches, for any shard count.
+    #[test]
+    fn barrier_merged_span_rollup_matches_sequential() {
+        use cyclosa_telemetry::{TraceEvent, TraceSink};
+
+        /// Emits a span per delivered message, then forwards like the
+        /// mesh workload so traffic crosses shards.
+        struct SpanEmitter {
+            population: u64,
+            sink: TraceSink,
+        }
+        impl NodeBehavior for SpanEmitter {
+            fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
+                self.sink.emit(
+                    TraceEvent::new(ctx.now(), ctx.self_id().0, "hop")
+                        .span(SimTime::from_micros(envelope.tag as u64 % 900 + 100)),
+                );
+                let ttl = envelope.tag >> 16;
+                if ttl == 0 {
+                    return;
+                }
+                let me = ctx.self_id().0;
+                let next = NodeId(
+                    (me.wrapping_mul(6364136223846793005)
+                        .wrapping_add(envelope.tag as u64))
+                        % self.population,
+                );
+                ctx.send(
+                    next,
+                    ((ttl - 1) << 16) | (envelope.tag & 0xFFFF),
+                    envelope.payload,
+                );
+            }
+        }
+
+        let window = SimTime::from_millis(20);
+        let run = |engine: &mut dyn Engine, sink: &TraceSink| {
+            sink.enable_span_rollup(window);
+            let population = 16u64;
+            for id in 0..population {
+                engine.add_node(
+                    NodeId(id),
+                    Box::new(SpanEmitter {
+                        population,
+                        sink: sink.clone(),
+                    }),
+                );
+            }
+            for i in 0..60u32 {
+                engine.post(
+                    SimTime::from_millis(i as u64 * 2),
+                    NodeId(1000),
+                    NodeId(i as u64 % population),
+                    (6 << 16) | i,
+                    vec![0u8; 8],
+                );
+            }
+            engine.run();
+            (sink.events(), sink.span_rollup())
+        };
+
+        let sequential_sink = TraceSink::enabled();
+        let mut sequential = Simulation::new(9);
+        let expected = run(&mut sequential, &sequential_sink);
+        assert!(!expected.1.is_empty(), "workload produced no spans");
+        assert!(expected.1.len() > 1, "spans must cover several windows");
+        for shards in [1, 2, 4, 8] {
+            let sink = TraceSink::enabled();
+            let mut engine = ShardedEngine::new(9, shards);
+            engine.set_trace_sink(sink.clone());
+            let observed = run(&mut engine, &sink);
+            assert_eq!(
+                observed.0, expected.0,
+                "timeline diverged with {shards} shards"
+            );
+            assert_eq!(
+                observed.1, expected.1,
+                "span rollup diverged with {shards} shards"
+            );
+        }
     }
 
     #[test]

@@ -224,19 +224,47 @@ fn check_event_name(name: &str) -> Result<(), String> {
             "unknown membership event kind {name:?} (the mship.* family is a closed schema)"
         ));
     }
+    if name.starts_with("slo.") && !crate::slo::SLO_EVENT_NAMES.contains(&name) {
+        return Err(format!(
+            "unknown SLO event kind {name:?} (the slo.* family is a closed schema)"
+        ));
+    }
     Ok(())
+}
+
+/// Renders the offending line for an error message, truncated to keep a
+/// pathological line from flooding CI logs.
+fn offending(line: &str) -> String {
+    const MAX: usize = 200;
+    if line.len() <= MAX {
+        return line.to_owned();
+    }
+    let mut cut = MAX;
+    while !line.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &line[..cut])
 }
 
 /// Validates JSONL trace output: every line parses as an object carrying
 /// `at_ns` (unsigned), `node` (unsigned or null), and a non-empty string
 /// `name`; optional keys (`query`, `dur_ns`, `wall_ns`, `attrs`) must
 /// have the right type; timestamps must be non-decreasing (the merged
-/// timeline is sorted). Returns the number of valid lines.
+/// timeline is sorted). Violations report the 1-based line number *and*
+/// the offending JSON line (truncated), so a CI failure pinpoints the
+/// bad record without re-opening the artifact. Returns the number of
+/// valid lines.
 pub fn validate_trace_jsonl(text: &str) -> Result<usize, String> {
     let mut count = 0;
     let mut last_at = 0u64;
     for (lineno, line) in text.lines().enumerate() {
-        let context = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let context = |msg: String| {
+            format!(
+                "line {}: {msg}\n  offending line: {}",
+                lineno + 1,
+                offending(line)
+            )
+        };
         let value = parse_json(line).map_err(&context)?;
         let Json::Obj(fields) = value else {
             return Err(context("not a JSON object".to_owned()));
@@ -399,5 +427,46 @@ mod tests {
         // ...while non-membership names stay unconstrained.
         let other = vec![TraceEvent::new(SimTime::from_millis(1), 2, "query.launch")];
         assert_eq!(validate_trace_jsonl(&to_jsonl(&other)).unwrap(), 1);
+    }
+
+    #[test]
+    fn slo_event_family_is_a_closed_schema() {
+        let known = vec![
+            TraceEvent::new(SimTime::from_secs(10), ACTOR_ENGINE, "slo.privacy.burn")
+                .attr("burn", 50.0),
+            TraceEvent::new(SimTime::from_secs(10), ACTOR_ENGINE, "slo.latency.burn")
+                .attr("burn", 1.2),
+            TraceEvent::new(SimTime::from_secs(20), ACTOR_ENGINE, "slo.membership.burn")
+                .attr("burn", 20.0),
+        ];
+        assert_eq!(validate_trace_jsonl(&to_jsonl(&known)).unwrap(), 3);
+        assert_eq!(validate_chrome_trace(&to_chrome_trace(&known)).unwrap(), 3);
+        let unknown = vec![TraceEvent::new(
+            SimTime::from_secs(10),
+            ACTOR_ENGINE,
+            "slo.novel",
+        )];
+        let err = validate_trace_jsonl(&to_jsonl(&unknown)).unwrap_err();
+        assert!(err.contains("unknown SLO event kind"), "{err}");
+        assert!(validate_chrome_trace(&to_chrome_trace(&unknown)).is_err());
+    }
+
+    /// Schema violations name the line and quote the offending JSON.
+    #[test]
+    fn violations_quote_the_offending_line() {
+        let good = "{\"at_ns\":1,\"node\":1,\"name\":\"a\"}";
+        let bad = "{\"at_ns\":2,\"node\":1,\"name\":\"\"}";
+        let err = validate_trace_jsonl(&format!("{good}\n{bad}\n")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("offending line"), "{err}");
+        assert!(err.contains(bad), "{err}");
+        // Pathologically long lines are truncated, not dumped whole.
+        let long = format!(
+            "{{\"at_ns\":3,\"node\":1,\"name\":\"{}\",\"attrs\":[]}}",
+            "x".repeat(500)
+        );
+        let err = validate_trace_jsonl(&long).unwrap_err();
+        assert!(err.contains('…'), "{err}");
+        assert!(err.len() < long.len(), "{err}");
     }
 }

@@ -28,12 +28,27 @@
 //! format that Perfetto and `chrome://tracing` open directly); [`check`]
 //! holds a dependency-free JSON parser and the schema validation used by
 //! the CI telemetry-smoke job.
+//!
+//! On top of the raw timeline sits the analysis half of the crate:
+//! [`sketch`] is a deterministic, mergeable log-bucketed quantile sketch
+//! (associative merge, so rollups folded at shard barriers are
+//! byte-identical to a one-shot fold); [`analyze`] reconstructs per-query
+//! causal timelines and exact critical-path decompositions from an
+//! exported trace; [`slo`] is a streaming burn-rate monitor that turns
+//! the timeline into closed-schema `slo.*` alert events for the privacy,
+//! latency and membership-health SLOs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod check;
 pub mod export;
+pub mod sketch;
+pub mod slo;
 pub mod trace;
 
-pub use trace::{AttrValue, NodeTracer, TraceEvent, TraceSink, ACTOR_ENGINE};
+pub use analyze::{CriticalPath, QueryTimeline, TraceRecord};
+pub use sketch::QuantileSketch;
+pub use slo::{SloAlert, SloConfig, SloKind, SloMonitor, SloReport, SLO_EVENT_NAMES};
+pub use trace::{AttrValue, NodeTracer, SpanRollup, TraceEvent, TraceSink, ACTOR_ENGINE};

@@ -13,9 +13,11 @@
 //! is total across actors and each actor's events sit in one stripe in
 //! the actor's own deterministic emission order.
 
+use crate::sketch::QuantileSketch;
 use cyclosa_net::time::SimTime;
 use cyclosa_util::rng::SplitMix64;
 use cyclosa_util::Rng as _;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -135,10 +137,33 @@ impl TraceEvent {
     }
 }
 
+/// Per-(window, name) quantile sketches over span durations, folded at
+/// merge time. Because sketch merges are per-bucket additions, the rollup
+/// is the same whether events fold window-by-window at shard barriers or
+/// all at once at export — the "barrier-merge of sketches" invariant.
+#[derive(Debug)]
+struct RollupState {
+    window_ns: u64,
+    sketches: BTreeMap<(u64, &'static str), QuantileSketch>,
+}
+
+/// One entry of a sink's windowed span rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRollup {
+    /// Window index (`at / window`).
+    pub window: u64,
+    /// Span event name.
+    pub name: &'static str,
+    /// Duration sketch over all spans of that name completing in the
+    /// window.
+    pub sketch: QuantileSketch,
+}
+
 #[derive(Debug)]
 struct SinkInner {
     stripes: Vec<Mutex<Vec<TraceEvent>>>,
     merged: Mutex<Vec<TraceEvent>>,
+    rollup: Mutex<Option<RollupState>>,
     wall_origin: Option<Instant>,
 }
 
@@ -176,6 +201,7 @@ impl TraceSink {
         Self(Some(Arc::new(SinkInner {
             stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
             merged: Mutex::new(Vec::new()),
+            rollup: Mutex::new(None),
             wall_origin: wall.then(Instant::now),
         })))
     }
@@ -225,6 +251,20 @@ impl TraceSink {
         // one actor lives in one stripe — so the merged order is a pure
         // function of the emitted events, not of thread interleaving.
         batch.sort_by_key(|event| (event.at, event.actor));
+        // Each event folds into the windowed rollup exactly once — at the
+        // merge that drains it from its stripe. Sketch merges commute, so
+        // barrier-by-barrier folding equals a one-shot fold.
+        if let Some(rollup) = inner.rollup.lock().expect("trace rollup poisoned").as_mut() {
+            for event in &batch {
+                if let Some(dur) = event.dur {
+                    rollup
+                        .sketches
+                        .entry((event.at.as_nanos() / rollup.window_ns, event.name))
+                        .or_default()
+                        .record(dur.as_nanos());
+                }
+            }
+        }
         inner
             .merged
             .lock()
@@ -238,6 +278,45 @@ impl TraceSink {
         self.merge_filter(|_| true);
         match &self.0 {
             Some(inner) => inner.merged.lock().expect("trace merge poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Enables the windowed span rollup: from now on, every span folded
+    /// into the merged timeline also folds its duration into a
+    /// per-(window, name) [`QuantileSketch`]. Call right after creating
+    /// the sink, before any merge, so no span is missed. No-op on a
+    /// disabled sink; panics on a zero window.
+    pub fn enable_span_rollup(&self, window: SimTime) {
+        assert!(window.as_nanos() > 0, "rollup window must be non-zero");
+        let Some(inner) = &self.0 else { return };
+        let mut rollup = inner.rollup.lock().expect("trace rollup poisoned");
+        *rollup = Some(RollupState {
+            window_ns: window.as_nanos(),
+            sketches: BTreeMap::new(),
+        });
+    }
+
+    /// The windowed span rollup, sorted by (window, name). Folds every
+    /// remaining buffered event first, so a sequential run that never hit
+    /// a barrier sees the same rollup a sharded run accumulated barrier
+    /// by barrier. Empty when the rollup was never enabled.
+    pub fn span_rollup(&self) -> Vec<SpanRollup> {
+        self.merge_filter(|_| true);
+        let Some(inner) = &self.0 else {
+            return Vec::new();
+        };
+        let rollup = inner.rollup.lock().expect("trace rollup poisoned");
+        match rollup.as_ref() {
+            Some(state) => state
+                .sketches
+                .iter()
+                .map(|(&(window, name), sketch)| SpanRollup {
+                    window,
+                    name,
+                    sketch: sketch.clone(),
+                })
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -386,6 +465,41 @@ mod tests {
         for window in events.windows(2) {
             assert!((window[0].at, window[0].actor) <= (window[1].at, window[1].actor));
         }
+    }
+
+    /// The windowed span rollup is identical whether events fold barrier
+    /// by barrier (sharded) or all at once at export (sequential).
+    #[test]
+    fn span_rollup_barrier_merge_matches_one_shot() {
+        let emit_all = |sink: &TraceSink| {
+            for ms in [5u64, 15, 25, 35, 45] {
+                for actor in [1u64, 2, 3] {
+                    sink.emit(
+                        TraceEvent::new(SimTime::from_millis(ms), actor, "work")
+                            .span(SimTime::from_millis(ms + actor)),
+                    );
+                }
+                sink.emit(TraceEvent::new(SimTime::from_millis(ms), 4, "instant"));
+            }
+        };
+        let window = SimTime::from_millis(20);
+        let barrier = TraceSink::enabled();
+        barrier.enable_span_rollup(window);
+        emit_all(&barrier);
+        for end_ms in [10u64, 20, 30, 40, 50] {
+            barrier.merge_up_to(SimTime::from_millis(end_ms));
+        }
+        let one_shot = TraceSink::enabled();
+        one_shot.enable_span_rollup(window);
+        emit_all(&one_shot);
+        let lhs = barrier.span_rollup();
+        let rhs = one_shot.span_rollup();
+        assert!(!lhs.is_empty());
+        assert_eq!(lhs, rhs);
+        // Instants contribute nothing; three windows of "work" spans.
+        assert!(lhs.iter().all(|entry| entry.name == "work"));
+        assert_eq!(lhs.len(), 3);
+        assert!(TraceSink::disabled().span_rollup().is_empty());
     }
 
     #[test]
