@@ -20,7 +20,7 @@ use cyclosa_search_engine::corpus::DocId;
 use cyclosa_search_engine::SearchEngine;
 use cyclosa_util::rng::Xoshiro256StarStar;
 use cyclosa_workload::generator::LabeledQuery;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Aggregated accuracy of one mechanism over a workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,14 +41,14 @@ fn result_sets(
     engine: &SearchEngine,
     original_query: &str,
     delivery: &ResultsDelivery,
-) -> (HashSet<DocId>, HashSet<DocId>) {
-    let reference: HashSet<DocId> = engine
+) -> (BTreeSet<DocId>, BTreeSet<DocId>) {
+    let reference: BTreeSet<DocId> = engine
         .reference_results(original_query)
         .results
         .iter()
         .map(|r| r.doc)
         .collect();
-    let received: HashSet<DocId> = match delivery {
+    let received: BTreeSet<DocId> = match delivery {
         ResultsDelivery::ExactQuery => reference.clone(),
         ResultsDelivery::FilteredFromObfuscated { obfuscated_query } => {
             // The engine answers the OR-aggregated query; the client (or

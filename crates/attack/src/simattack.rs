@@ -38,7 +38,7 @@ use cyclosa_nlp::profile::UserProfile;
 use cyclosa_nlp::text::TermInterner;
 use cyclosa_util::smoothing::exponential_smoothing;
 use cyclosa_workload::generator::UserTrace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The confidence threshold used by the paper.
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
@@ -56,11 +56,11 @@ struct Posting {
 #[derive(Debug, Default)]
 pub struct SimAttack {
     interner: TermInterner,
-    profiles: HashMap<UserId, UserProfile>,
+    profiles: BTreeMap<UserId, UserProfile>,
     /// Users in learning order; positions are the dense user indexes the
     /// postings refer to.
     users: Vec<UserId>,
-    user_index: HashMap<UserId, u32>,
+    user_index: BTreeMap<UserId, u32>,
     /// `postings[term.index()]` lists the training queries containing the
     /// term. Indexed by `TermId`, grown lazily as training terms appear.
     postings: Vec<Vec<Posting>>,
@@ -86,9 +86,9 @@ impl SimAttack {
         );
         Self {
             interner: TermInterner::new(),
-            profiles: HashMap::new(),
+            profiles: BTreeMap::new(),
             users: Vec::new(),
-            user_index: HashMap::new(),
+            user_index: BTreeMap::new(),
             postings: Vec::new(),
             threshold,
         }
@@ -181,7 +181,7 @@ impl SimAttack {
         // Count shared terms per (user, past query). Both sides are binary
         // vectors, so the dot product is the (exact, small-integer) overlap
         // count.
-        let mut overlap: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut overlap: BTreeMap<(u32, u32), u32> = BTreeMap::new();
         for (id, _) in vector.iter() {
             if let Some(posts) = self.postings.get(id.index()) {
                 for p in posts {

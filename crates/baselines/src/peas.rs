@@ -18,14 +18,14 @@ use cyclosa_mechanism::{
 };
 use cyclosa_nlp::text::tokenize;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A co-occurrence matrix over query terms, built incrementally from the
 /// queries the issuer has seen.
 #[derive(Debug, Clone, Default)]
 pub struct CooccurrenceMatrix {
     /// term → (co-occurring term → count).
-    counts: HashMap<String, HashMap<String, u32>>,
+    counts: BTreeMap<String, BTreeMap<String, u32>>,
 }
 
 impl CooccurrenceMatrix {

@@ -12,7 +12,7 @@ use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_util::dist::Exponential;
 use cyclosa_util::rng::{Rng, SplitMix64, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistical churn processes over a node population.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,7 +136,7 @@ impl ChurnModel {
                 // so a node's realized downtime always covers the full
                 // `recover_after` of its *last* overlapping hit and no
                 // redundant crash/recover pairs are emitted.
-                let mut hits: HashMap<u64, Vec<SimTime>> = HashMap::new();
+                let mut hits: BTreeMap<u64, Vec<SimTime>> = BTreeMap::new();
                 let mut t = inter.sample(&mut rng);
                 while SimTime::from_secs_f64(t) < horizon {
                     let at = SimTime::from_secs_f64(t);

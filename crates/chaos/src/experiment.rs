@@ -23,7 +23,7 @@ use cyclosa_runtime::ShardedEngine;
 use cyclosa_sgx::enclave::CostModel;
 use cyclosa_telemetry::{TraceEvent, TraceSink};
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
 const TAG_FORWARD: u32 = 1;
@@ -288,7 +288,7 @@ struct ClientSink {
 /// with one (the probation that lets post-partition queries spread over
 /// the healed population again).
 fn on_probation(
-    blacklist: &std::collections::HashMap<NodeId, SimTime>,
+    blacklist: &std::collections::BTreeMap<NodeId, SimTime>,
     ttl: Option<SimTime>,
     relay: NodeId,
     now: SimTime,
@@ -423,7 +423,7 @@ struct ClientBehavior {
     /// Relays the client has given up on (paper §IV: unresponsive proxies
     /// are blacklisted client-side), with the time each entry was added —
     /// entries expire after `blacklist_ttl` when one is configured.
-    blacklist: std::collections::HashMap<NodeId, SimTime>,
+    blacklist: std::collections::BTreeMap<NodeId, SimTime>,
     blacklist_ttl: Option<SimTime>,
     outbox: Vec<(NodeId, Vec<u8>)>,
     sink: Arc<Mutex<ClientSink>>,
@@ -432,7 +432,7 @@ struct ClientBehavior {
     /// Relays the applied fault plans take down (crash or leave) — used
     /// only to annotate `query.repair` events with whether the repaired
     /// failure was an injected fault, never to influence behaviour.
-    victims: HashSet<NodeId>,
+    victims: BTreeSet<NodeId>,
     /// Registry twin of [`ClientSink::clamped_samples`].
     clamped_metric: Option<Counter>,
     /// SWIM probing of the relay population (None outside membership
@@ -446,7 +446,7 @@ struct ClientBehavior {
     probe_seq: u64,
     /// In-flight probes: relay → probe sequence number. An ack clears
     /// the entry; a timeout that still finds it suspects the relay.
-    pending_probes: std::collections::HashMap<NodeId, u64>,
+    pending_probes: std::collections::BTreeMap<NodeId, u64>,
     /// Round-robin cursor over dead members for the per-round knock —
     /// the re-probe that lets a recovered (or merely partitioned-away)
     /// relay refute its death and win early forgiveness.
@@ -1026,7 +1026,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
     // annotations can tell injected-fault repairs from organic ones; the
     // set is computed (deterministically) whether or not tracing is on.
     let plan = config.failure_plan();
-    let victims: HashSet<NodeId> = plan
+    let victims: BTreeSet<NodeId> = plan
         .events()
         .iter()
         .chain(extra.events())
@@ -1052,7 +1052,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
             attempts: Vec::new(),
             real_relay: Vec::new(),
             fake_relays: Vec::new(),
-            blacklist: std::collections::HashMap::new(),
+            blacklist: std::collections::BTreeMap::new(),
             blacklist_ttl: config.blacklist_ttl,
             outbox: Vec::new(),
             sink: sink.clone(),
@@ -1066,7 +1066,7 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
             detector: FailureDetector::new(PeerId(client.0), relays.iter().map(|r| PeerId(r.0)), 0),
             probe_rng: rng.fork(3),
             probe_seq: 0,
-            pending_probes: std::collections::HashMap::new(),
+            pending_probes: std::collections::BTreeMap::new(),
             dead_cursor: 0,
             probe_deadline: config.horizon(),
         }),
@@ -1345,7 +1345,7 @@ mod tests {
         );
 
         let events = telemetry.trace.events();
-        let suspected: HashSet<u64> = events
+        let suspected: BTreeSet<u64> = events
             .iter()
             .filter(|e| e.name == "mship.suspect")
             .filter_map(|e| match e.attrs.first() {

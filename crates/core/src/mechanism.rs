@@ -21,7 +21,7 @@ use cyclosa_mechanism::{
 };
 use cyclosa_nlp::categorizer::{CategorizerMethod, QueryCategorizer};
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where fake queries come from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +39,7 @@ pub struct Cyclosa {
     protection: ProtectionConfig,
     categorizer: QueryCategorizer,
     method: CategorizerMethod,
-    analyzers: HashMap<UserId, SensitivityAnalyzer>,
+    analyzers: BTreeMap<UserId, SensitivityAnalyzer>,
     fake_pool: PastQueryTable,
     fake_source: FakeSource,
     adaptive: bool,
@@ -61,7 +61,7 @@ impl Cyclosa {
             protection,
             categorizer,
             method,
-            analyzers: HashMap::new(),
+            analyzers: BTreeMap::new(),
             fake_pool: PastQueryTable::new(capacity),
             fake_source: FakeSource::PastQueries,
             adaptive: true,

@@ -939,7 +939,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let plan = node.plan_query("zurich train strike", &mut rng).unwrap();
         assert!(plan.assessment.k >= 1);
-        let relays: std::collections::HashSet<_> =
+        let relays: std::collections::BTreeSet<_> =
             plan.assignments().iter().map(|a| a.relay).collect();
         assert_eq!(
             relays.len(),
@@ -1029,7 +1029,7 @@ mod tests {
             plan.assignments().iter().all(|a| a.relay != failed),
             "no assignment may still point at the dead relay"
         );
-        let relays: std::collections::HashSet<_> =
+        let relays: std::collections::BTreeSet<_> =
             plan.assignments().iter().map(|a| a.relay).collect();
         assert_eq!(relays.len(), plan.assignments().len(), "still distinct");
         assert!(
@@ -1102,7 +1102,7 @@ mod tests {
         assert_ne!(topped, failed);
         assert_eq!(plan.achieved_k(), target, "fake count must be restored");
         assert!(plan.assignments().iter().all(|a| a.relay != failed));
-        let relays: std::collections::HashSet<_> =
+        let relays: std::collections::BTreeSet<_> =
             plan.assignments().iter().map(|a| a.relay).collect();
         assert_eq!(relays.len(), plan.assignments().len(), "still distinct");
         let stats = node.stats();
@@ -1318,7 +1318,7 @@ mod tests {
         assert_ne!(plan.assignments()[0].relay, rotated_out);
         assert_eq!(plan.assignments()[0].query, old_query, "query unchanged");
         assert_eq!(plan.achieved_k(), before.achieved_k(), "no fakes redrawn");
-        let relays: std::collections::HashSet<_> =
+        let relays: std::collections::BTreeSet<_> =
             plan.assignments().iter().map(|a| a.relay).collect();
         assert_eq!(relays.len(), plan.assignments().len(), "still distinct");
         assert_eq!(plan.planned_at_round(), 3, "staleness clock reset");

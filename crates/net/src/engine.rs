@@ -45,8 +45,9 @@ use crate::latency::LatencyModel;
 use crate::sim::{Envelope, NodeBehavior, SimulationStats};
 use crate::time::SimTime;
 use crate::NodeId;
+use cyclosa_util::det::{DetHashMap, DetHashSet};
 use cyclosa_util::rng::{Rng, SplitMix64, Xoshiro256StarStar};
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Classes of events, ordered within the same `(time, node)` slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -180,7 +181,7 @@ struct LinkState {
 #[derive(Debug)]
 pub struct LinkTable {
     seed: u64,
-    links: HashMap<(NodeId, NodeId), LinkState>,
+    links: DetHashMap<(NodeId, NodeId), LinkState>,
 }
 
 impl LinkTable {
@@ -188,7 +189,7 @@ impl LinkTable {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            links: HashMap::new(),
+            links: DetHashMap::default(),
         }
     }
 
@@ -237,8 +238,8 @@ impl LinkTable {
 /// a node may leave and rejoin any number of times, each join with its own
 /// fresh behaviour.
 pub struct MembershipLedger<B> {
-    sequences: HashMap<NodeId, u64>,
-    pending_joins: HashMap<(NodeId, u64), B>,
+    sequences: BTreeMap<NodeId, u64>,
+    pending_joins: BTreeMap<(NodeId, u64), B>,
 }
 
 impl<B> Default for MembershipLedger<B> {
@@ -251,8 +252,8 @@ impl<B> MembershipLedger<B> {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         Self {
-            sequences: HashMap::new(),
-            pending_joins: HashMap::new(),
+            sequences: BTreeMap::new(),
+            pending_joins: BTreeMap::new(),
         }
     }
 
@@ -367,8 +368,8 @@ pub struct LinkGroupSchedule {
 
 #[derive(Debug, Clone)]
 struct LinkGroup {
-    src: HashSet<NodeId>,
-    dst: HashSet<NodeId>,
+    src: DetHashSet<NodeId>,
+    dst: DetHashSet<NodeId>,
     schedule: LossSchedule,
 }
 
@@ -391,8 +392,8 @@ impl LinkGroupSchedule {
             !src_set.is_empty() && !dst_set.is_empty(),
             "link groups need non-empty src and dst sets"
         );
-        let src: HashSet<NodeId> = src_set.iter().copied().collect();
-        let dst: HashSet<NodeId> = dst_set.iter().copied().collect();
+        let src: DetHashSet<NodeId> = src_set.iter().copied().collect();
+        let dst: DetHashSet<NodeId> = dst_set.iter().copied().collect();
         if let Some(group) = self
             .groups
             .iter_mut()

@@ -19,9 +19,10 @@ use crate::engine::{
 use crate::latency::LatencyModel;
 use crate::time::SimTime;
 use crate::NodeId;
+use cyclosa_util::det::{DetHashMap, DetHashSet};
 use cyclosa_util::rng::Xoshiro256StarStar;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// A message in flight between two nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,14 +157,14 @@ impl SimulationStats {
 pub struct Simulation {
     clock: SimTime,
     queue: BinaryHeap<Reverse<ScheduledEvent>>,
-    nodes: HashMap<NodeId, Box<dyn NodeBehavior>>,
-    crashed: HashSet<NodeId>,
+    nodes: DetHashMap<NodeId, Box<dyn NodeBehavior>>,
+    crashed: DetHashSet<NodeId>,
     default_latency: LatencyModel,
-    link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
+    link_latency: DetHashMap<(NodeId, NodeId), LatencyModel>,
     loss: LossSchedule,
     link_loss: LinkGroupSchedule,
     links: LinkTable,
-    timer_sequences: HashMap<NodeId, u64>,
+    timer_sequences: DetHashMap<NodeId, u64>,
     membership: MembershipLedger<Box<dyn NodeBehavior>>,
     rng: Xoshiro256StarStar,
     stats: SimulationStats,
@@ -187,14 +188,14 @@ impl Simulation {
         Self {
             clock: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            nodes: HashMap::new(),
-            crashed: HashSet::new(),
+            nodes: DetHashMap::default(),
+            crashed: DetHashSet::default(),
             default_latency: LatencyModel::wan(),
-            link_latency: HashMap::new(),
+            link_latency: DetHashMap::default(),
             loss: LossSchedule::new(),
             link_loss: LinkGroupSchedule::new(),
             links: LinkTable::new(seed),
-            timer_sequences: HashMap::new(),
+            timer_sequences: DetHashMap::default(),
             membership: MembershipLedger::new(),
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             stats: SimulationStats::default(),

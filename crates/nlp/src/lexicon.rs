@@ -13,7 +13,7 @@
 //! imprecise (Table II: WordNet alone reaches precision 0.53).
 
 use std::borrow::Cow;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Lowercases only when needed: dictionary probes sit on the per-term hot
 /// path of the sensitivity analysis, and query terms arrive already
@@ -41,7 +41,7 @@ pub struct Synset {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Lexicon {
     synsets: Vec<Synset>,
-    word_index: HashMap<String, Vec<usize>>,
+    word_index: BTreeMap<String, Vec<usize>>,
 }
 
 impl Lexicon {

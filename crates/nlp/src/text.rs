@@ -16,7 +16,7 @@
 //!   shared interner so every subsystem (profiles, SimAttack, the
 //!   search-engine index) agrees on the id of a term.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 /// English stop words that carry no topical signal in queries.
@@ -132,7 +132,7 @@ impl TermId {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Vocabulary {
     terms: Vec<String>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl Vocabulary {

@@ -47,7 +47,7 @@ use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_telemetry::trace::{NodeTracer, TraceSink};
 use cyclosa_util::rng::{Rng, SplitMix64, Xoshiro256StarStar};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 /// Message tag: direct or relayed liveness probe.
@@ -126,6 +126,7 @@ impl Default for MembershipConfig {
 /// Closed set of membership trace-event names this overlay (and the
 /// chaos client's relay prober) may emit. `trace_check` rejects any
 /// other `mship.*` name, keeping the telemetry schema contract closed.
+// cyclosa-lint: schema-registry
 pub const MEMBERSHIP_EVENT_NAMES: [&str; 8] = [
     "mship.probe",
     "mship.alive",
@@ -774,7 +775,7 @@ impl NodeBehavior for MembershipBehavior {
 /// [`crate::EngineGossipOverlay`]. See the module docs for the protocol.
 pub struct SwimGossipOverlay {
     handles: Vec<(PeerId, Arc<Mutex<MembershipState>>)>,
-    dead: HashSet<PeerId>,
+    dead: BTreeSet<PeerId>,
     config: MembershipConfig,
 }
 
@@ -864,7 +865,7 @@ impl SwimGossipOverlay {
         }
         Self {
             handles,
-            dead: HashSet::new(),
+            dead: BTreeSet::new(),
             config,
         }
     }

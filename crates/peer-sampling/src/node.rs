@@ -274,7 +274,7 @@ mod tests {
         let mut node = PeerSamplingNode::new(PeerId(0), config());
         node.bootstrap((1..=6).map(PeerId));
         let peers = node.random_peers(&mut rng, 4);
-        let distinct: std::collections::HashSet<_> = peers.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = peers.iter().collect();
         assert_eq!(peers.len(), 4);
         assert_eq!(distinct.len(), 4);
     }

@@ -119,7 +119,7 @@ fn node_rng(seed: u64, id: u64) -> Xoshiro256StarStar {
 /// `LossSchedule`.
 #[derive(Debug, Default)]
 struct DeadTimeline {
-    steps: std::collections::HashMap<PeerId, Vec<(SimTime, bool)>>,
+    steps: std::collections::BTreeMap<PeerId, Vec<(SimTime, bool)>>,
 }
 
 impl DeadTimeline {

@@ -4,7 +4,7 @@
 use crate::node::{PeerSamplingConfig, PeerSamplingNode};
 use crate::view::PeerId;
 use cyclosa_util::rng::Xoshiro256StarStar;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Quality metrics of the gossip overlay at one point in time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,11 +26,11 @@ pub struct OverlayMetrics {
 /// dead. Shared by the synchronous [`GossipSimulator`] and the
 /// event-driven engine overlay.
 pub fn overlay_metrics_from_views(views: &[(PeerId, Vec<PeerId>)]) -> OverlayMetrics {
-    let alive_set: HashSet<PeerId> = views.iter().map(|(id, _)| *id).collect();
-    let mut in_degree: HashMap<PeerId, usize> = views.iter().map(|(id, _)| (*id, 0)).collect();
+    let alive_set: BTreeSet<PeerId> = views.iter().map(|(id, _)| *id).collect();
+    let mut in_degree: BTreeMap<PeerId, usize> = views.iter().map(|(id, _)| (*id, 0)).collect();
     let mut dead_refs = 0usize;
     let mut total_refs = 0usize;
-    let mut adjacency: HashMap<PeerId, Vec<PeerId>> = HashMap::new();
+    let mut adjacency: BTreeMap<PeerId, Vec<PeerId>> = BTreeMap::new();
     for (id, peers) in views {
         for &peer in peers {
             total_refs += 1;
@@ -47,7 +47,7 @@ pub fn overlay_metrics_from_views(views: &[(PeerId, Vec<PeerId>)]) -> OverlayMet
     let connected = if views.is_empty() {
         true
     } else {
-        let mut visited = HashSet::new();
+        let mut visited = BTreeSet::new();
         let mut queue = VecDeque::new();
         queue.push_back(views[0].0);
         visited.insert(views[0].0);
@@ -82,8 +82,8 @@ pub fn overlay_metrics_from_views(views: &[(PeerId, Vec<PeerId>)]) -> OverlayMet
 /// rounds (each round, every alive node initiates one push–pull exchange).
 #[derive(Debug)]
 pub struct GossipSimulator {
-    nodes: HashMap<PeerId, PeerSamplingNode>,
-    dead: HashSet<PeerId>,
+    nodes: BTreeMap<PeerId, PeerSamplingNode>,
+    dead: BTreeSet<PeerId>,
     rng: Xoshiro256StarStar,
     rounds_run: usize,
 }
@@ -94,7 +94,7 @@ impl GossipSimulator {
     /// topology for the protocol to randomize.
     pub fn ring(count: usize, config: PeerSamplingConfig, seed: u64) -> Self {
         assert!(count >= 2, "a gossip overlay needs at least two nodes");
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         for i in 0..count {
             let id = PeerId(i as u64);
             let mut node = PeerSamplingNode::new(id, config);
@@ -103,7 +103,7 @@ impl GossipSimulator {
         }
         Self {
             nodes,
-            dead: HashSet::new(),
+            dead: BTreeSet::new(),
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             rounds_run: 0,
         }
@@ -113,7 +113,7 @@ impl GossipSimulator {
     /// star), modelling CYCLOSA's public-directory bootstrap.
     pub fn star(count: usize, config: PeerSamplingConfig, seed: u64) -> Self {
         assert!(count >= 2, "a gossip overlay needs at least two nodes");
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         for i in 0..count {
             let id = PeerId(i as u64);
             let mut node = PeerSamplingNode::new(id, config);
@@ -126,7 +126,7 @@ impl GossipSimulator {
         }
         Self {
             nodes,
-            dead: HashSet::new(),
+            dead: BTreeSet::new(),
             rng: Xoshiro256StarStar::seed_from_u64(seed),
             rounds_run: 0,
         }
@@ -157,16 +157,14 @@ impl GossipSimulator {
         self.nodes.get(&peer)
     }
 
-    /// All alive node identifiers.
+    /// All alive node identifiers, in ascending id order (`BTreeMap` keys
+    /// iterate sorted, so no explicit sort is needed).
     pub fn alive_peers(&self) -> Vec<PeerId> {
-        let mut peers: Vec<PeerId> = self
-            .nodes
+        self.nodes
             .keys()
             .filter(|p| !self.dead.contains(p))
             .copied()
-            .collect();
-        peers.sort_unstable();
-        peers
+            .collect()
     }
 
     /// Runs one synchronous gossip round.
@@ -311,7 +309,7 @@ mod tests {
         // Draw many relay sets from one node and check they cover a large
         // fraction of the population over time (the load-balancing property
         // CYCLOSA relies on).
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for _ in 0..200 {
             sim.run_round();
             let node = sim.node(PeerId(0)).unwrap().clone();

@@ -286,7 +286,7 @@ mod tests {
         }
         let sample = view.sample(&mut rng, 4);
         assert_eq!(sample.len(), 4);
-        let peers: std::collections::HashSet<_> = sample.iter().map(|d| d.peer).collect();
+        let peers: std::collections::BTreeSet<_> = sample.iter().map(|d| d.peer).collect();
         assert_eq!(peers.len(), 4);
         assert!(view.random(&mut rng).is_some());
         assert!(View::new(2).random(&mut rng).is_none());

@@ -1,0 +1,61 @@
+//! Seeded behavioral pin of [`GossipSimulator`].
+//!
+//! The simulator's node table was converted from `HashMap` to `BTreeMap`
+//! (cyclosa-lint's nondeterminism rule bans iterated hash state in
+//! determinism-critical crates). The digests below were captured from the
+//! *pre-conversion* `HashMap` implementation: equality pins that the
+//! conversion changed the container, not the timeline — every gossip
+//! exchange, partner draw and resulting view is unchanged for these seeds.
+
+use cyclosa_peer_sampling::{GossipSimulator, PeerId, PeerSamplingConfig};
+
+fn fnv(digest: &mut u64, value: u64) {
+    *digest ^= value;
+    *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+}
+
+fn run_digest(count: usize, rounds: usize, seed: u64) -> u64 {
+    let mut sim = GossipSimulator::ring(count, PeerSamplingConfig::default(), seed);
+    sim.run_rounds(rounds / 2);
+    for i in 0..5 {
+        sim.kill(PeerId(i));
+    }
+    sim.run_rounds(rounds - rounds / 2);
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    for id in sim.alive_peers() {
+        fnv(&mut digest, id.0);
+        for peer in sim.node(id).unwrap().view().peers() {
+            fnv(&mut digest, peer.0);
+        }
+    }
+    let metrics = sim.metrics();
+    fnv(&mut digest, metrics.nodes as u64);
+    fnv(&mut digest, metrics.max_in_degree as u64);
+    fnv(&mut digest, metrics.mean_in_degree.to_bits());
+    fnv(&mut digest, metrics.dead_references.to_bits());
+    fnv(&mut digest, metrics.connected as u64);
+    digest
+}
+
+#[test]
+fn timelines_match_the_hashmap_era_digests() {
+    let d1 = run_digest(60, 25, 42);
+    let d2 = run_digest(40, 40, 7);
+    println!("digest(60,25,42) = {d1:#018X}");
+    println!("digest(40,40,7) = {d2:#018X}");
+    assert_eq!(d1, PIN_60_25_42);
+    assert_eq!(d2, PIN_40_40_7);
+}
+
+/// Captured from the pre-conversion HashMap-backed simulator.
+const PIN_60_25_42: u64 = 0x51D4_89C1_D23C_8724;
+/// Captured from the pre-conversion HashMap-backed simulator.
+const PIN_40_40_7: u64 = 0x8D68_F5B7_C086_D9D6;
+
+/// Independently of the pinned digests: two runs with the same seed are
+/// identical, and different seeds diverge (the digest is discriminating).
+#[test]
+fn digest_is_seed_deterministic_and_discriminating() {
+    assert_eq!(run_digest(60, 25, 42), run_digest(60, 25, 42));
+    assert_ne!(run_digest(60, 25, 42), run_digest(60, 25, 43));
+}

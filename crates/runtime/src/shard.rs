@@ -51,9 +51,10 @@ use cyclosa_net::sim::{Action, Context, Envelope, NodeBehavior, SimulationStats}
 use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_telemetry::TraceSink;
+use cyclosa_util::det::{DetHashMap, DetHashSet};
 use cyclosa_util::rng::{Rng, SplitMix64};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
@@ -133,6 +134,8 @@ impl ShardProfile {
 
     /// Waits at `barrier`, recording the wall time spent stalled.
     fn wait_timed(&self, barrier: &Barrier) {
+        #[allow(clippy::disallowed_methods)]
+        // cyclosa-lint: allow(wall_clock, reason = "profiling-only barrier-stall stopwatch; the reading feeds a metrics histogram and never touches simulated state")
         let start = Instant::now();
         barrier.wait();
         self.barrier_stall_ns
@@ -155,15 +158,15 @@ fn wait(barrier: &Barrier, profile: Option<&ShardProfile>) {
 struct Shard {
     index: usize,
     num_shards: usize,
-    nodes: HashMap<NodeId, Box<dyn NodeBehavior + Send>>,
-    crashed: HashSet<NodeId>,
+    nodes: DetHashMap<NodeId, Box<dyn NodeBehavior + Send>>,
+    crashed: DetHashSet<NodeId>,
     queue: BinaryHeap<Reverse<ScheduledEvent>>,
     links: LinkTable,
     default_latency: LatencyModel,
-    link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
+    link_latency: DetHashMap<(NodeId, NodeId), LatencyModel>,
     loss: LossSchedule,
     link_loss: LinkGroupSchedule,
-    timer_sequences: HashMap<NodeId, u64>,
+    timer_sequences: DetHashMap<NodeId, u64>,
     membership: MembershipLedger<Box<dyn NodeBehavior + Send>>,
     clock: SimTime,
     processed: u64,
@@ -176,15 +179,15 @@ impl Shard {
         Self {
             index,
             num_shards,
-            nodes: HashMap::new(),
-            crashed: HashSet::new(),
+            nodes: DetHashMap::default(),
+            crashed: DetHashSet::default(),
             queue: BinaryHeap::new(),
             links: LinkTable::new(seed),
             default_latency: LatencyModel::wan(),
-            link_latency: HashMap::new(),
+            link_latency: DetHashMap::default(),
             loss: LossSchedule::new(),
             link_loss: LinkGroupSchedule::new(),
-            timer_sequences: HashMap::new(),
+            timer_sequences: DetHashMap::default(),
             membership: MembershipLedger::new(),
             clock: SimTime::ZERO,
             processed: 0,
@@ -745,7 +748,7 @@ mod tests {
     use cyclosa_net::sim::Simulation;
     use std::sync::Arc;
 
-    type SharedTrace = Arc<Mutex<HashMap<NodeId, Vec<(u64, u32)>>>>;
+    type SharedTrace = Arc<Mutex<std::collections::BTreeMap<NodeId, Vec<(u64, u32)>>>>;
 
     /// Records `(time, tag)` per receiving node through a shared map.
     #[derive(Clone)]
@@ -756,10 +759,10 @@ mod tests {
     impl Recorder {
         fn new() -> Self {
             Self {
-                log: Arc::new(Mutex::new(HashMap::new())),
+                log: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
             }
         }
-        fn take(&self) -> HashMap<NodeId, Vec<(u64, u32)>> {
+        fn take(&self) -> std::collections::BTreeMap<NodeId, Vec<(u64, u32)>> {
             std::mem::take(&mut self.log.lock().unwrap())
         }
     }
@@ -816,7 +819,10 @@ mod tests {
         }
     }
 
-    fn mesh_trace(engine: &mut dyn Engine, population: u64) -> HashMap<NodeId, Vec<(u64, u32)>> {
+    fn mesh_trace(
+        engine: &mut dyn Engine,
+        population: u64,
+    ) -> std::collections::BTreeMap<NodeId, Vec<(u64, u32)>> {
         let recorder = Recorder::new();
         let reporter = NodeId(population);
         for id in 0..population {

@@ -125,7 +125,7 @@ mod tests {
         assert_eq!(docs.len(), 100);
         assert_eq!(generator.topic_count(), 2);
         // Ids are unique and dense.
-        let ids: std::collections::HashSet<_> = docs.iter().map(|d| d.id).collect();
+        let ids: std::collections::BTreeSet<_> = docs.iter().map(|d| d.id).collect();
         assert_eq!(ids.len(), 100);
     }
 

@@ -10,7 +10,7 @@
 
 use crate::corpus::{DocId, Document};
 use cyclosa_nlp::text::{for_each_term, tokenize, TermId, TermInterner};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One ranked search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +33,7 @@ pub struct Index {
     /// Number of distinct terms with at least one posting.
     distinct_terms: usize,
     /// document → length in terms (for normalization).
-    doc_lengths: HashMap<DocId, u32>,
+    doc_lengths: BTreeMap<DocId, u32>,
     documents: usize,
 }
 
@@ -124,7 +124,7 @@ impl Index {
         if self.documents == 0 {
             return Vec::new();
         }
-        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        let mut scores: BTreeMap<DocId, f64> = BTreeMap::new();
         let mut any_term = false;
         for_each_term(query, |term| {
             any_term = true;
@@ -171,7 +171,7 @@ impl Index {
         let per_disjunct: Vec<Vec<SearchResult>> =
             disjuncts.iter().map(|q| self.search(q, limit)).collect();
         let mut merged = Vec::with_capacity(limit);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut rank = 0usize;
         while merged.len() < limit {
             let mut any = false;

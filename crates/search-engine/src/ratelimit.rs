@@ -8,7 +8,7 @@
 //! sliding `window_s`; exceeding the limit marks the client as a suspected
 //! bot and blocks it for `block_s` (or forever if `block_s` is `None`).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a network client as seen by the engine (IP-level identity).
 pub type ClientKey = u64;
@@ -68,7 +68,7 @@ struct ClientState {
 #[derive(Debug, Clone)]
 pub struct RateLimiter {
     config: RateLimiterConfig,
-    clients: HashMap<ClientKey, ClientState>,
+    clients: BTreeMap<ClientKey, ClientState>,
 }
 
 impl RateLimiter {
@@ -83,7 +83,7 @@ impl RateLimiter {
         assert!(config.window_s > 0.0, "window must be positive");
         Self {
             config,
-            clients: HashMap::new(),
+            clients: BTreeMap::new(),
         }
     }
 

@@ -22,7 +22,7 @@
 use crate::enclave::Enclave;
 use crate::measurement::Measurement;
 use cyclosa_crypto::hmac::HmacSha256;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Report data length (binds caller data, e.g. a public key, into a quote).
 pub const REPORT_DATA_LEN: usize = 64;
@@ -161,7 +161,7 @@ pub struct AttestationService {
     /// Quoting keys by platform id.
     provisioned: Vec<([u8; 16], [u8; 32])>,
     /// Measurements the relying parties accept.
-    allowed_measurements: HashSet<Measurement>,
+    allowed_measurements: BTreeSet<Measurement>,
 }
 
 impl AttestationService {

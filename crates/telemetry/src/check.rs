@@ -201,12 +201,71 @@ fn check_unsigned(value: &Json, what: &str) -> Result<(), String> {
     }
 }
 
+/// The dot-namespaced families the workspace may emit trace events in.
+/// Together with [`TRACE_EVENT_NAMES`] this is the *closed* trace schema:
+/// the validators below reject any family-prefixed name outside the list,
+/// and `cyclosa-lint`'s trace-schema cross-check statically verifies that
+/// every emitter in the instrumented crates uses a registered name and
+/// that every registered name still has an emitter.
+// cyclosa-lint: schema-registry
+pub const TRACE_EVENT_FAMILIES: [&str; 9] = [
+    "plan.", "query.", "relay.", "engine.", "latency.", "fault.", "mship.", "slo.", "bench.",
+];
+
+/// Every trace event name the workspace emits, by family. Adding an
+/// emitter requires adding its name here (and vice versa: a name without
+/// an emitter fails the lint), so this list is the single authoritative
+/// catalogue of the trace vocabulary.
+// cyclosa-lint: schema-registry
+pub const TRACE_EVENT_NAMES: [&str; 32] = [
+    // Query-plan lifecycle (core::node).
+    "plan.assess",
+    "plan.fakes_drawn",
+    "plan.assign",
+    "plan.create",
+    "plan.top_up",
+    "plan.repair",
+    "plan.refresh",
+    // Query lifecycle (core::deployment, chaos::experiment).
+    "query.launch",
+    "query.answered",
+    "query.repair",
+    "query.top_up",
+    // Relay/engine service path (chaos::experiment).
+    "relay.forward",
+    "engine.service",
+    "latency.clamped",
+    // Fault-plan application (chaos::plan).
+    "fault.crash",
+    "fault.leave",
+    "fault.recover",
+    "fault.join",
+    "fault.set_loss",
+    "fault.link_loss",
+    // Membership protocol (peer-sampling::membership).
+    "mship.probe",
+    "mship.alive",
+    "mship.suspect",
+    "mship.refute",
+    "mship.dead",
+    "mship.promote",
+    "mship.quarantine",
+    "mship.readmit",
+    // SLO burn-rate monitors (telemetry::slo).
+    "slo.privacy.burn",
+    "slo.latency.burn",
+    "slo.membership.burn",
+    // Benchmark markers (bench bins).
+    "bench.measure",
+];
+
 /// The closed set of membership (`mship.*`) event names the SWIM/
 /// HyParView overlay and the chaos client's relay prober may emit.
 /// Mirrors `cyclosa_peer_sampling::MEMBERSHIP_EVENT_NAMES` (duplicated
 /// here because the telemetry crate sits below peer-sampling in the
 /// dependency graph); `schema_closure` in this module's tests pins the
 /// two lists against each other indirectly via the emitters.
+// cyclosa-lint: schema-registry
 const MEMBERSHIP_EVENT_NAMES: [&str; 8] = [
     "mship.probe",
     "mship.alive",
@@ -228,6 +287,14 @@ fn check_event_name(name: &str) -> Result<(), String> {
         return Err(format!(
             "unknown SLO event kind {name:?} (the slo.* family is a closed schema)"
         ));
+    }
+    if let Some(family) = TRACE_EVENT_FAMILIES.iter().find(|f| name.starts_with(**f)) {
+        if !TRACE_EVENT_NAMES.contains(&name) {
+            return Err(format!(
+                "unknown event name {name:?} (the {family}* family is part of the closed \
+                 trace schema; see TRACE_EVENT_NAMES)"
+            ));
+        }
     }
     Ok(())
 }
@@ -358,6 +425,47 @@ mod tests {
     use crate::export::{to_chrome_trace, to_jsonl};
     use crate::trace::{TraceEvent, ACTOR_ENGINE};
     use cyclosa_net::time::SimTime;
+
+    #[test]
+    fn trace_schema_is_internally_consistent() {
+        // Every name belongs to exactly one declared family, the
+        // specialized sub-schemas are subsets of the master list, and
+        // there are no duplicates.
+        for name in TRACE_EVENT_NAMES {
+            assert_eq!(
+                TRACE_EVENT_FAMILIES
+                    .iter()
+                    .filter(|f| name.starts_with(**f))
+                    .count(),
+                1,
+                "{name} must match exactly one family"
+            );
+        }
+        for name in MEMBERSHIP_EVENT_NAMES {
+            assert!(TRACE_EVENT_NAMES.contains(&name), "{name} missing");
+        }
+        for name in crate::slo::SLO_EVENT_NAMES {
+            assert!(TRACE_EVENT_NAMES.contains(&name), "{name} missing");
+        }
+        let mut sorted = TRACE_EVENT_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), TRACE_EVENT_NAMES.len(), "duplicate names");
+    }
+
+    #[test]
+    fn family_names_outside_the_schema_are_rejected() {
+        assert!(check_event_name("plan.assess").is_ok());
+        assert!(check_event_name("bench.measure").is_ok());
+        assert!(check_event_name("hop").is_ok(), "unfamilied names pass");
+        let err = check_event_name("plan.bogus").unwrap_err();
+        assert!(err.contains("closed"), "{err}");
+        // Pre-existing wording for the specialized families is preserved.
+        let err = check_event_name("mship.bogus").unwrap_err();
+        assert!(err.contains("membership event kind"), "{err}");
+        let err = check_event_name("slo.bogus").unwrap_err();
+        assert!(err.contains("SLO event kind"), "{err}");
+    }
 
     #[test]
     fn parser_round_trips_serializer() {

@@ -26,6 +26,7 @@ use cyclosa_util::json::Json;
 
 /// The closed set of SLO alert event names. `check::validate_trace_jsonl`
 /// rejects any other name under the `slo.` prefix.
+// cyclosa-lint: schema-registry
 pub const SLO_EVENT_NAMES: [&str; 3] = [
     "slo.privacy.burn",
     "slo.latency.burn",

@@ -202,6 +202,8 @@ impl TraceSink {
             stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
             merged: Mutex::new(Vec::new()),
             rollup: Mutex::new(None),
+            #[allow(clippy::disallowed_methods)]
+            // cyclosa-lint: allow(wall_clock, reason = "opt-in wall-time origin for Chrome-trace export timestamps; simulated time is never derived from it")
             wall_origin: wall.then(Instant::now),
         })))
     }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod det;
 pub mod dist;
 pub mod json;
 pub mod rng;

@@ -239,7 +239,7 @@ impl Default for Xoshiro256StarStar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn splitmix_known_sequence() {
@@ -321,7 +321,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(17);
         let sample = rng.sample_indices(50, 10);
         assert_eq!(sample.len(), 10);
-        let set: HashSet<_> = sample.iter().collect();
+        let set: BTreeSet<_> = sample.iter().collect();
         assert_eq!(set.len(), 10);
         assert!(sample.iter().all(|&i| i < 50));
     }

@@ -587,14 +587,14 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let corpus = sensitive_corpus(&catalog, 50, &mut rng);
         assert_eq!(corpus.len(), 50);
-        let sexuality: std::collections::HashSet<&str> = catalog
+        let sexuality: std::collections::BTreeSet<&str> = catalog
             .topic("sexuality")
             .unwrap()
             .terms
             .iter()
             .copied()
             .collect();
-        let ambiguous: std::collections::HashSet<&str> =
+        let ambiguous: std::collections::BTreeSet<&str> =
             AMBIGUOUS_SEXUALITY.iter().copied().collect();
         for doc in &corpus {
             for term in doc.split_whitespace() {
@@ -612,7 +612,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let seeds = seed_queries(&catalog, 30, &mut rng);
         assert_eq!(seeds.len(), 30);
-        let sensitive_terms: std::collections::HashSet<&str> = catalog
+        let sensitive_terms: std::collections::BTreeSet<&str> = catalog
             .sensitive_topics()
             .iter()
             .flat_map(|t| t.terms.iter().copied())

@@ -17,10 +17,10 @@ use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-type Trace = HashMap<NodeId, Vec<(u64, u32, usize)>>;
+type Trace = BTreeMap<NodeId, Vec<(u64, u32, usize)>>;
 
 /// Forwards every message to a pseudo-random peer until the hop budget in
 /// the tag runs out, recording everything it sees (same shape as the

@@ -114,7 +114,7 @@ fn sensitive_query_is_relayed_through_attested_peers_with_exact_results() {
     let log = engine.log();
     assert_eq!(log.len(), 4);
     assert!(log.iter().all(|entry| entry.client != ClientAddr(0)));
-    let identities: std::collections::HashSet<_> = log.iter().map(|e| e.client).collect();
+    let identities: std::collections::BTreeSet<_> = log.iter().map(|e| e.client).collect();
     assert_eq!(identities.len(), 4);
 
     // Indistinguishability: the relays stored every forwarded query in

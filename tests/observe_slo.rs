@@ -25,7 +25,7 @@ use cyclosa_chaos::{ChaosPlan, FaultKind};
 use cyclosa_telemetry::analyze::{reconstruct, TraceRecord};
 use cyclosa_telemetry::{SloKind, TraceSink};
 use cyclosa_util::json::Json;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A churn configuration heavy enough to force retries and repairs.
 fn stormy() -> ChurnConfig {
@@ -63,7 +63,7 @@ fn critical_paths_sum_exactly_and_blame_only_real_victims() {
     let records = records_of(&observed);
     let timelines = reconstruct(&records);
 
-    let victims: HashSet<u64> = config
+    let victims: BTreeSet<u64> = config
         .failure_plan()
         .events()
         .iter()

@@ -17,11 +17,11 @@ use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Per-destination delivery log: `(delivery time, src, tag)`.
-type Trace = HashMap<u64, Vec<(u64, u64, u32)>>;
+type Trace = BTreeMap<u64, Vec<(u64, u64, u32)>>;
 
 struct Sink {
     log: Arc<Mutex<Trace>>,

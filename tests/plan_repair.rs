@@ -9,7 +9,7 @@ use cyclosa::config::ProtectionConfig;
 use cyclosa::node::{CyclosaNode, NodeError, QueryPlan};
 use cyclosa_peer_sampling::PeerId;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 const SEED_QUERIES: [&str; 8] = [
     "trending sneakers deal",
@@ -35,13 +35,13 @@ fn seeded_node(id: u64, peers: u64) -> CyclosaNode {
 /// The invariant every repair must restore: exactly one live real query,
 /// all relays distinct, none of them blacklisted, and the fake complement
 /// back at the assessed `k` whenever the view still has unused peers.
-fn assert_plan_invariants(node: &CyclosaNode, plan: &QueryPlan, dead: &HashSet<PeerId>) {
+fn assert_plan_invariants(node: &CyclosaNode, plan: &QueryPlan, dead: &BTreeSet<PeerId>) {
     assert_eq!(
         plan.assignments().iter().filter(|a| a.is_real).count(),
         1,
         "every plan carries exactly one real query"
     );
-    let relays: HashSet<PeerId> = plan.assignments().iter().map(|a| a.relay).collect();
+    let relays: BTreeSet<PeerId> = plan.assignments().iter().map(|a| a.relay).collect();
     assert_eq!(
         relays.len(),
         plan.assignments().len(),
@@ -93,7 +93,7 @@ fn any_scripted_churn_sequence_keeps_every_answered_query_at_target_k() {
 
         // The scripted churn sequence: random relays die one after the
         // other — sometimes plan relays, sometimes bystanders.
-        let mut dead: HashSet<PeerId> = HashSet::new();
+        let mut dead: BTreeSet<PeerId> = BTreeSet::new();
         let kills = 3 + script_rng.gen_range(0, peers / 2);
         for _ in 0..kills {
             let alive: Vec<PeerId> = (100..100 + peers)

@@ -13,10 +13,10 @@ use cyclosa_net::time::SimTime;
 use cyclosa_net::NodeId;
 use cyclosa_runtime::ShardedEngine;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-type Trace = HashMap<NodeId, Vec<(u64, u32, usize)>>;
+type Trace = BTreeMap<NodeId, Vec<(u64, u32, usize)>>;
 
 /// Relays every message to a pseudo-random peer until its hop budget is
 /// exhausted, recording everything it sees.

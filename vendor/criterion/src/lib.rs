@@ -7,6 +7,10 @@
 //! `name ... time: [<mean> ns/iter]` line per benchmark. It makes no
 //! statistical claims beyond that.
 
+// A benchmark harness exists to read the wall clock; the workspace-wide
+// determinism lint (clippy.toml disallowed-methods) does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};
