@@ -6,9 +6,24 @@
 //! churn [--relays N] [--k N] [--queries N] [--rates 0,0.1,...] [--seed N]
 //!       [--recover] [--shards N] [--scale small|default|paper]
 //!       [--partition-fractions 0.3,...] [--partition-durations 15,30]
-//!       [--membership] [--gate POINTS] [--json] [--out PATH]
+//!       [--membership] [--adversary] [--sybil-fractions 0,0.1,...]
+//!       [--gate POINTS] [--json] [--out PATH]
 //!       [--trace PATH.jsonl] [--metrics PATH.json]
 //! ```
+//!
+//! With `--adversary` the bin additionally sweeps **active adversaries**:
+//! for each Sybil identity budget it replays the identical attack against
+//! the naive shuffle sampler and the Brahms byzantine-resilient sampler
+//! (`cyclosa-peer-sampling`), then converts each sampler's measured
+//! view-poisoning share into SimAttack accuracy through a colluding-relay
+//! coalition of that size (`ColludingMechanism`) — the
+//! attack-accuracy-versus-fraction-malicious curves, written to the
+//! `adversary` key of `BENCH_churn.json`. Under `--gate`, at every Sybil
+//! fraction of at least 20 % the Brahms view's attacker share must stay
+//! within 0.15 of the *global* Sybil share (Brahms's containment
+//! guarantee) and the Brahms accuracy drift must sit at least five points
+//! below the naive sampler's drift under the identical attack, with the
+//! naive poisoned view share strictly above Brahms at the heaviest point.
 //!
 //! With `--trace` / `--metrics` the bin additionally runs the churn
 //! experiment at the highest swept failure rate **observed** on the
@@ -75,12 +90,15 @@ use cyclosa_chaos::partition::{
 };
 use cyclosa_chaos::slo::evaluate_churn_slos;
 use cyclosa_chaos::ChaosPlan;
-use cyclosa_chaos::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
+use cyclosa_chaos::{
+    AdaptiveChurnedMechanism, ChurnedMechanism, ColludingMechanism, PartitionedMechanism,
+};
 use cyclosa_net::sim::Simulation;
 use cyclosa_net::time::SimTime;
 use cyclosa_peer_sampling::{
-    overlay_metrics_from_views, EngineGossipConfig, EngineGossipOverlay, MembershipConfig, PeerId,
-    SwimGossipOverlay,
+    overlay_metrics_from_views, BrahmsConfig, BrahmsSimulator, EngineGossipConfig,
+    EngineGossipOverlay, MembershipConfig, PeerId, PeerSamplingConfig, SwimGossipOverlay,
+    SybilAttackConfig, SybilSimulator,
 };
 use cyclosa_runtime::metrics::Registry;
 use cyclosa_util::json::{Json, ToJson};
@@ -99,6 +117,8 @@ struct Options {
     partition_fractions: Vec<f64>,
     partition_durations_s: Vec<u64>,
     membership: bool,
+    adversary: bool,
+    sybil_fractions: Vec<f64>,
     gate: Option<f64>,
     json: bool,
     out: String,
@@ -119,6 +139,8 @@ impl Default for Options {
             partition_fractions: vec![0.3],
             partition_durations_s: vec![15, 30],
             membership: false,
+            adversary: false,
+            sybil_fractions: vec![0.0, 0.05, 0.1, 0.2, 0.3],
             gate: None,
             json: false,
             out: "BENCH_churn.json".to_owned(),
@@ -222,6 +244,30 @@ fn parse_args() -> Result<Options, String> {
                     .collect::<Result<Vec<_>, _>>()?;
             }
             "--membership" => options.membership = true,
+            "--adversary" => options.adversary = true,
+            "--sybil-fractions" => {
+                let value = args
+                    .next()
+                    .ok_or("--sybil-fractions needs a comma-separated list")?;
+                options.sybil_fractions = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad sybil fraction {s:?}"))
+                            .and_then(|f| {
+                                if (0.0..=1.0).contains(&f) {
+                                    Ok(f)
+                                } else {
+                                    Err(format!("sybil fraction {f} outside [0, 1]"))
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.sybil_fractions.is_empty() {
+                    return Err("--sybil-fractions needs at least one fraction".into());
+                }
+            }
             "--gate" => {
                 let value = args.next().ok_or("--gate needs a value in points")?;
                 let points: f64 = value.parse().map_err(|_| "bad --gate".to_owned())?;
@@ -239,7 +285,8 @@ fn parse_args() -> Result<Options, String> {
                     "usage: churn [--relays N] [--k N] [--queries N] [--rates R,R,...] \
                      [--seed N] [--recover] [--shards N] [--scale small|default|paper] \
                      [--partition-fractions F,F,...] [--partition-durations S,S,...] \
-                     [--membership] [--gate POINTS] [--json] [--out PATH] \
+                     [--membership] [--adversary] [--sybil-fractions F,F,...] \
+                     [--gate POINTS] [--json] [--out PATH] \
                      [--trace PATH.jsonl] [--metrics PATH.json]"
                 );
                 std::process::exit(0);
@@ -551,6 +598,58 @@ impl ToJson for CurvePoint {
             (
                 "adaptive_degraded_queries".to_owned(),
                 Json::U64(self.adaptive_degraded_queries),
+            ),
+        ])
+    }
+}
+
+/// One point of the active-adversary curves: a Sybil identity budget
+/// `fraction · N`, the view poisoning it achieves against the naive
+/// shuffle sampler versus the Brahms sampler (same attack, same seed),
+/// and the SimAttack accuracy a colluding-relay coalition of that view
+/// share extracts through `ColludingMechanism`.
+struct AdversaryPoint {
+    sybil_fraction: f64,
+    naive_view_fraction: f64,
+    brahms_view_fraction: f64,
+    brahms_voided_rounds: u64,
+    naive_attack_rate_percent: f64,
+    brahms_attack_rate_percent: f64,
+    naive_pooled_real: u64,
+    brahms_pooled_real: u64,
+}
+
+impl ToJson for AdversaryPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sybil_fraction".to_owned(), Json::F64(self.sybil_fraction)),
+            (
+                "naive_view_fraction".to_owned(),
+                Json::F64(self.naive_view_fraction),
+            ),
+            (
+                "brahms_view_fraction".to_owned(),
+                Json::F64(self.brahms_view_fraction),
+            ),
+            (
+                "brahms_voided_rounds".to_owned(),
+                Json::U64(self.brahms_voided_rounds),
+            ),
+            (
+                "naive_attack_rate_percent".to_owned(),
+                Json::F64(self.naive_attack_rate_percent),
+            ),
+            (
+                "brahms_attack_rate_percent".to_owned(),
+                Json::F64(self.brahms_attack_rate_percent),
+            ),
+            (
+                "naive_pooled_real".to_owned(),
+                Json::U64(self.naive_pooled_real),
+            ),
+            (
+                "brahms_pooled_real".to_owned(),
+                Json::U64(self.brahms_pooled_real),
             ),
         ])
     }
@@ -1086,6 +1185,87 @@ fn main() {
         None
     };
 
+    // Active adversary: for each Sybil identity budget, measure the view
+    // poisoning the attacker achieves against the naive shuffle sampler
+    // and against the Brahms sampler under the *identical* attack, then
+    // turn each poisoned view share into SimAttack accuracy through a
+    // colluding-relay coalition of that size (`ColludingMechanism`: a
+    // poisoned view slot is a relay the attacker controls, and a
+    // controlled relay pools the queries it carries with the client's
+    // network identity attached).
+    let adversary_points: Vec<AdversaryPoint> = if options.adversary {
+        const SYBIL_HONEST: usize = 100;
+        const SYBIL_ROUNDS: usize = 50;
+        println!(
+            "{:>8}  {:>11}  {:>12}  {:>7}  {:>10}  {:>11}",
+            "sybil f", "naive view", "brahms view", "voided", "naive(%)", "brahms(%)"
+        );
+        options
+            .sybil_fractions
+            .iter()
+            .map(|&fraction| {
+                let attack = SybilAttackConfig {
+                    honest: SYBIL_HONEST,
+                    fraction,
+                    pushes_per_sybil: 2,
+                    seed: options.seed,
+                };
+                let mut naive = SybilSimulator::ring(attack, PeerSamplingConfig::default());
+                naive.run_rounds(SYBIL_ROUNDS);
+                let naive_view = naive.attacker_fraction();
+                let mut brahms = BrahmsSimulator::ring(attack, BrahmsConfig::default());
+                brahms.run_rounds(SYBIL_ROUNDS);
+                let brahms_view = brahms.attacker_fraction();
+
+                let mut naive_mech = ColludingMechanism::new(
+                    setup.cyclosa(PRIVACY_K),
+                    naive_view,
+                    options.seed ^ 0xBAD0,
+                );
+                let mut rng = setup.rng(0xBAD0 ^ (fraction * 1000.0) as u64);
+                let naive_report = evaluate_reidentification_with(
+                    &adversary,
+                    &mut naive_mech,
+                    &setup.test_queries,
+                    &mut rng,
+                );
+                let mut brahms_mech = ColludingMechanism::new(
+                    setup.cyclosa(PRIVACY_K),
+                    brahms_view,
+                    options.seed ^ 0xB4A5,
+                );
+                let mut rng = setup.rng(0xB4A5 ^ (fraction * 1000.0) as u64);
+                let brahms_report = evaluate_reidentification_with(
+                    &adversary,
+                    &mut brahms_mech,
+                    &setup.test_queries,
+                    &mut rng,
+                );
+                println!(
+                    "{:>8.2}  {:>11.3}  {:>12.3}  {:>7}  {:>10.2}  {:>11.2}",
+                    fraction,
+                    naive_view,
+                    brahms_view,
+                    brahms.voided_rounds(),
+                    naive_report.rate_percent(),
+                    brahms_report.rate_percent()
+                );
+                AdversaryPoint {
+                    sybil_fraction: fraction,
+                    naive_view_fraction: naive_view,
+                    brahms_view_fraction: brahms_view,
+                    brahms_voided_rounds: brahms.voided_rounds(),
+                    naive_attack_rate_percent: naive_report.rate_percent(),
+                    brahms_attack_rate_percent: brahms_report.rate_percent(),
+                    naive_pooled_real: naive_mech.pooled_real(),
+                    brahms_pooled_real: brahms_mech.pooled_real(),
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     if options.json {
         let report = Json::Obj(vec![
             ("bench".to_owned(), Json::Str("churn".to_owned())),
@@ -1115,6 +1295,21 @@ fn main() {
                 membership_report
                     .as_ref()
                     .map_or(Json::Null, |report| report.to_json()),
+            ),
+            (
+                "adversary".to_owned(),
+                if adversary_points.is_empty() {
+                    Json::Null
+                } else {
+                    Json::Obj(vec![
+                        ("sybil_honest".to_owned(), Json::U64(100)),
+                        ("sybil_rounds".to_owned(), Json::U64(50)),
+                        (
+                            "points".to_owned(),
+                            Json::Arr(adversary_points.iter().map(|p| p.to_json()).collect()),
+                        ),
+                    ])
+                },
             ),
         ]);
         match std::fs::write(&options.out, report.pretty() + "\n") {
@@ -1243,6 +1438,93 @@ fn main() {
                     eprintln!(
                         "error: suspicion-driven probation regressed post-merge achieved_k \
                          ({membership_k:.3}) below the TTL-probation baseline ({ttl_k:.3})"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        // Active-adversary gates: against every swept Sybil budget of at
+        // least 20 %, the Brahms sampler must (a) contain view poisoning
+        // near the attacker's *global* identity share — Brahms's
+        // convergence guarantee, and the property the naive shuffle
+        // sampler loses outright — and (b) keep the collusion-boosted
+        // attack-accuracy drift at least `ADVERSARY_DRIFT_MARGIN` points
+        // below the naive sampler's drift under the identical attack.
+        // Exposure itself legitimately raises accuracy (a coalition that
+        // observes 20 % of requests re-identifies more than one that
+        // observes none), so the budget is relative to the undefended
+        // sampler, not an absolute point count.
+        if !adversary_points.is_empty() {
+            /// Slack on the view-containment bound: the Brahms view's
+            /// attacker share may exceed the global Sybil share by at most
+            /// this much.
+            const BRAHMS_VIEW_MARGIN: f64 = 0.15;
+            /// Minimum separation, in accuracy points, between the naive
+            /// sampler's attack-accuracy drift and Brahms's.
+            const ADVERSARY_DRIFT_MARGIN: f64 = 5.0;
+            let Some(clean) = adversary_points.iter().find(|p| p.sybil_fraction == 0.0) else {
+                eprintln!(
+                    "error: --gate with --adversary needs the attack-free baseline; \
+                     include 0 in --sybil-fractions"
+                );
+                std::process::exit(2);
+            };
+            for point in &adversary_points {
+                if point.sybil_fraction < 0.2 {
+                    continue;
+                }
+                let brahms_drift =
+                    point.brahms_attack_rate_percent - clean.brahms_attack_rate_percent;
+                let naive_drift = point.naive_attack_rate_percent - clean.naive_attack_rate_percent;
+                let view_bound = point.sybil_fraction + BRAHMS_VIEW_MARGIN;
+                eprintln!(
+                    "# gate: sybil {:.2} → brahms view {:.3} (bound {:.3}), \
+                     accuracy drift {:+.2} points; naive view {:.3}, drift \
+                     {:+.2} points (margin {:.1})",
+                    point.sybil_fraction,
+                    point.brahms_view_fraction,
+                    view_bound,
+                    brahms_drift,
+                    point.naive_view_fraction,
+                    naive_drift,
+                    ADVERSARY_DRIFT_MARGIN,
+                );
+                if point.brahms_view_fraction > view_bound {
+                    eprintln!(
+                        "error: Brahms view poisoning {:.3} exceeds the containment \
+                         bound {:.3} at sybil fraction {:.2} — the limited-pull \
+                         validation is no longer holding the view near the global \
+                         attacker share",
+                        point.brahms_view_fraction, view_bound, point.sybil_fraction
+                    );
+                    std::process::exit(1);
+                }
+                if brahms_drift + ADVERSARY_DRIFT_MARGIN > naive_drift {
+                    eprintln!(
+                        "error: at sybil fraction {:.2} the Brahms accuracy drift \
+                         ({brahms_drift:+.2} points) is not at least \
+                         {ADVERSARY_DRIFT_MARGIN:.1} points below the naive \
+                         sampler's ({naive_drift:+.2} points) — the defense is \
+                         not buying measurable privacy",
+                        point.sybil_fraction
+                    );
+                    std::process::exit(1);
+                }
+            }
+            if let Some(heaviest) = adversary_points
+                .iter()
+                .filter(|p| p.sybil_fraction >= 0.2)
+                .max_by(|a, b| a.sybil_fraction.total_cmp(&b.sybil_fraction))
+            {
+                if heaviest.naive_view_fraction <= heaviest.brahms_view_fraction {
+                    eprintln!(
+                        "error: at sybil fraction {:.2} the naive sampler's poisoned \
+                         view share ({:.3}) no longer exceeds Brahms ({:.3}) — the \
+                         attack stopped separating the defenses",
+                        heaviest.sybil_fraction,
+                        heaviest.naive_view_fraction,
+                        heaviest.brahms_view_fraction
                     );
                     std::process::exit(1);
                 }

@@ -23,6 +23,19 @@
 //! fakes are lost with the probability that their relay sat across the
 //! partition boundary — so the Fig. 5 harness plots the accuracy dip
 //! inside the window and the recovery after the merge.
+//!
+//! [`ColludingMechanism`] is the *active-adversary* bridge: a coalition of
+//! colluding relays pools every query it carries
+//! ([`crate::adversary::ByzantinePolicy::Collude`]), and a relay knows the
+//! network identity of the client that handed it the request. Each
+//! observed request is therefore **exposed** (its source flipped from
+//! `Anonymous` to `Exposed(user)`) with the probability that its relay
+//! belongs to the coalition — which is exactly the attacker's share of
+//! the client's peer-sampling view. Feeding the measured view-poisoning
+//! fraction of the naive shuffle sampler versus the Brahms sampler (under
+//! the *same* Sybil attack, `cyclosa_peer_sampling::sybil`) through this
+//! wrapper turns view poisoning into SimAttack accuracy — the
+//! attack-accuracy-versus-fraction-malicious curves of `BENCH_churn.json`.
 
 use cyclosa_mechanism::{
     FakeReplenisher, Mechanism, MechanismProperties, ObservedRequest, ProtectionOutcome, Query,
@@ -396,6 +409,89 @@ impl<M: Mechanism + FakeReplenisher> Mechanism for PartitionedMechanism<M> {
     }
 }
 
+/// A mechanism observed through a colluding relay coalition: each request
+/// is exposed (source flipped to `Exposed(user)`) with probability
+/// `exposure` — the chance its relay belongs to the coalition, i.e. the
+/// attacker's share of the client's peer-sampling view. An exposed *real*
+/// query hands SimAttack its strongest case (profile-consistency selection
+/// among known-source candidates); exposed *fakes* thin the anonymous
+/// dilution set. The coalition draws run on a dedicated RNG stream owned
+/// by the wrapper, so the inner mechanism's footprint is textually
+/// identical to the collusion-free run — collusion is pure observation.
+#[derive(Debug)]
+pub struct ColludingMechanism<M> {
+    inner: M,
+    exposure: f64,
+    collude_rng: Xoshiro256StarStar,
+    pooled_real: u64,
+    pooled_fakes: u64,
+}
+
+impl<M: Mechanism> ColludingMechanism<M> {
+    /// Wraps `inner`, exposing each observed request with probability
+    /// `exposure`, sampled from a stream derived from `collude_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exposure` is not in `[0, 1]`.
+    pub fn new(inner: M, exposure: f64, collude_seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&exposure),
+            "exposure probability must be in [0, 1]"
+        );
+        Self {
+            inner,
+            exposure,
+            collude_rng: Xoshiro256StarStar::seed_from_u64(collude_seed ^ 0xC011_5EED),
+            pooled_real: 0,
+            pooled_fakes: 0,
+        }
+    }
+
+    /// The wrapped mechanism.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Real queries the coalition has pooled so far.
+    pub fn pooled_real(&self) -> u64 {
+        self.pooled_real
+    }
+
+    /// Fake queries the coalition has pooled so far.
+    pub fn pooled_fakes(&self) -> u64 {
+        self.pooled_fakes
+    }
+}
+
+impl<M: Mechanism> Mechanism for ColludingMechanism<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        self.inner.properties()
+    }
+
+    fn protect(&mut self, query: &Query, rng: &mut Xoshiro256StarStar) -> ProtectionOutcome {
+        let mut outcome = self.inner.protect(query, rng);
+        if self.exposure <= 0.0 {
+            return outcome;
+        }
+        for request in outcome.observed.iter_mut() {
+            if !request.source.is_exposed() && self.collude_rng.gen_bool(self.exposure) {
+                request.source = SourceIdentity::Exposed(query.user);
+                if request.carries_real_query {
+                    self.pooled_real += 1;
+                } else {
+                    self.pooled_fakes += 1;
+                }
+            }
+        }
+        outcome
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +690,52 @@ mod tests {
     #[should_panic(expected = "cross fraction")]
     fn partitioned_mechanism_rejects_invalid_fraction() {
         let _ = PartitionedMechanism::new(TenRequests, 1.5, (0, 1), false, 0);
+    }
+
+    #[test]
+    fn zero_exposure_collusion_is_a_passthrough() {
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(30);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(30);
+        let plain = TenRequests.protect(&query(), &mut rng_a);
+        let mut colluding = ColludingMechanism::new(TenRequests, 0.0, 31);
+        let pooled = colluding.protect(&query(), &mut rng_b);
+        assert_eq!(plain, pooled);
+        assert_eq!(colluding.pooled_real() + colluding.pooled_fakes(), 0);
+    }
+
+    #[test]
+    fn full_coalition_exposes_every_request_to_the_true_user() {
+        let mut colluding = ColludingMechanism::new(TenRequests, 1.0, 32);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(32);
+        let outcome = colluding.protect(&query(), &mut rng);
+        assert_eq!(outcome.observed.len(), 10, "collusion drops nothing");
+        assert!(outcome
+            .observed
+            .iter()
+            .all(|r| r.source == SourceIdentity::Exposed(UserId(0))));
+        assert_eq!(colluding.pooled_real(), 1);
+        assert_eq!(colluding.pooled_fakes(), 9);
+    }
+
+    #[test]
+    fn collusion_is_pure_observation_of_the_inner_footprint() {
+        // Texts and order are identical to the collusion-free run — only
+        // source attribution changes — and the caller RNG stays in
+        // lockstep (the coalition draws from its own stream).
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(33);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(33);
+        let plain = TenRequests.protect(&query(), &mut rng_a);
+        let mut colluding = ColludingMechanism::new(TenRequests, 0.4, 34);
+        let pooled = colluding.protect(&query(), &mut rng_b);
+        let plain_texts: Vec<&str> = plain.observed.iter().map(|r| r.text.as_str()).collect();
+        let pooled_texts: Vec<&str> = pooled.observed.iter().map(|r| r.text.as_str()).collect();
+        assert_eq!(plain_texts, pooled_texts);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "caller RNG in lockstep");
+        assert!(
+            pooled.observed.iter().any(|r| r.source.is_exposed())
+                && pooled.observed.iter().any(|r| !r.source.is_exposed()),
+            "a partial coalition exposes some requests and misses others"
+        );
     }
 
     #[test]

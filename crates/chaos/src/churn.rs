@@ -217,6 +217,22 @@ impl ChurnModel {
                 }
             }
             ChurnModel::Trace(trace) => {
+                // Replayed verbatim, with the edge cases pinned: an empty
+                // trace samples to an empty plan; same-instant duplicates
+                // keep trace order, so the later entry wins wherever the
+                // engines apply last-write-wins (loss schedules, policy
+                // schedules); and an out-of-order trace is rejected
+                // outright rather than silently re-sorted — a measured
+                // trace that regresses in time is corrupt input, not a
+                // reordering request.
+                for pair in trace.windows(2) {
+                    assert!(
+                        pair[0].0 <= pair[1].0,
+                        "churn trace must be time-ordered: {:?} precedes {:?}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
                 events.extend(trace.iter().map(|&(at, kind)| FaultEvent { at, kind }));
             }
         }
@@ -449,5 +465,66 @@ mod tests {
         let replayed: Vec<(SimTime, FaultKind)> =
             plan.events().iter().map(|e| (e.at, e.kind)).collect();
         assert_eq!(replayed, trace);
+    }
+
+    #[test]
+    fn empty_trace_samples_to_an_empty_plan() {
+        let plan = ChurnModel::Trace(Vec::new()).sample(&nodes(5), SimTime::from_secs(10), 3);
+        assert!(plan.is_empty());
+        assert_eq!(plan.events().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_trace_order_so_the_last_write_wins() {
+        // Two same-instant SetLoss steps: the plan must preserve trace
+        // order, and the engines' loss schedules resolve same-instant
+        // steps last-write-wins — so 0.9 is the value in force.
+        let at = SimTime::from_secs(4);
+        let trace = vec![
+            (at, FaultKind::SetLoss(0.1)),
+            (at, FaultKind::Crash(NodeId(2))),
+            (at, FaultKind::SetLoss(0.9)),
+        ];
+        let plan = ChurnModel::Trace(trace.clone()).sample(&[], SimTime::from_secs(10), 0);
+        let replayed: Vec<(SimTime, FaultKind)> =
+            plan.events().iter().map(|e| (e.at, e.kind)).collect();
+        assert_eq!(replayed, trace, "same-instant entries keep trace order");
+
+        // Pin the end-to-end last-write-wins semantics on a live engine:
+        // a message sent at the duplicated instant sees loss 0.9, not 0.1.
+        use cyclosa_net::sim::{Context, Envelope, NodeBehavior, Simulation};
+        struct Quiet;
+        impl NodeBehavior for Quiet {
+            fn on_message(&mut self, _: &mut Context<'_>, _: Envelope) {}
+        }
+        let mut simulation = Simulation::new(7);
+        simulation.add_node(NodeId(1), Box::new(Quiet));
+        simulation.add_node(NodeId(3), Box::new(Quiet));
+        plan.apply(&mut simulation);
+        for i in 0..200 {
+            simulation.post(
+                at + SimTime::from_millis(i),
+                NodeId(1),
+                NodeId(3),
+                0,
+                vec![],
+            );
+        }
+        simulation.run();
+        let lost = simulation.stats().lost as f64 / 200.0;
+        assert!(
+            lost > 0.75,
+            "loss {lost} should reflect the last same-instant step (0.9), not the first (0.1)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_traces_are_rejected() {
+        let trace = vec![
+            (SimTime::from_secs(2), FaultKind::Crash(NodeId(1))),
+            (SimTime::from_secs(1), FaultKind::Recover(NodeId(1))),
+        ];
+        let _ = ChurnModel::Trace(trace).sample(&[], SimTime::from_secs(10), 0);
     }
 }

@@ -9,6 +9,10 @@
 //! because faults are deterministic membership events and all client
 //! randomness comes from seed-derived streams.
 
+use crate::adversary::{
+    adversary_stream, AdversaryConfig, ByzantinePolicy, CollusionLedger, PolicySchedule,
+    SharedCollusionLedger,
+};
 use crate::churn::churn_stream;
 use crate::plan::{ChaosPlan, FaultKind};
 use cyclosa::deployment::relay_service_time_ns;
@@ -126,6 +130,12 @@ pub struct ChurnConfig {
     /// [`ChurnOutcome::fakes_topped_up_proactive`]). `None` keeps the
     /// passive blacklist of the original healing path.
     pub membership: Option<MembershipProbeConfig>,
+    /// When set, a byzantine coalition: `fraction` of the relays switch
+    /// to `policy` at `activate_at` (see [`crate::adversary`]). The
+    /// malicious subset is drawn from a dedicated churn stream and the
+    /// policies compile into [`ChaosPlan`] policy events, so an honest
+    /// run (`None`) is bit-identical to the pre-adversary experiment.
+    pub adversary: Option<AdversaryConfig>,
     /// SGX transition cost model of the relays.
     pub cost: CostModel,
     /// Client-side serialization delay per outgoing request.
@@ -147,6 +157,7 @@ impl Default for ChurnConfig {
             adaptive: false,
             blacklist_ttl: None,
             membership: None,
+            adversary: None,
             cost: CostModel::default(),
             client_uplink_per_request: SimTime::from_millis(45),
         }
@@ -268,6 +279,21 @@ pub struct ChurnOutcome {
     pub clamped_samples: u64,
     /// Relays the failure plan took down.
     pub failed_relays: usize,
+    /// Distinct relays any applied plan stepped to a hostile policy
+    /// (0 for honest runs).
+    pub byzantine_relays: usize,
+    /// Real queries swallowed by `DropRealQueries` relays.
+    pub byzantine_dropped: u64,
+    /// Real queries stretched by `DelayRealQueries` relays.
+    pub byzantine_delayed: u64,
+    /// Probe acks carrying a forged incarnation jump (`ForgeIncarnation`).
+    pub byzantine_forged_acks: u64,
+    /// Distinct real queries the colluding coalition observed with their
+    /// sender identity — the pool it hands to the re-identification
+    /// attack.
+    pub colluded_real_observed: u64,
+    /// Total requests (real and fake) carried by colluding relays.
+    pub colluded_total_observed: u64,
     /// Raw engine counters (losses, drops on dead relays, membership).
     pub stats: SimulationStats,
 }
@@ -287,7 +313,7 @@ struct ClientSink {
 /// are permanent without a TTL, and expire `ttl` after they were added
 /// with one (the probation that lets post-partition queries spread over
 /// the healed population again).
-fn on_probation(
+pub(crate) fn on_probation(
     blacklist: &std::collections::BTreeMap<NodeId, SimTime>,
     ttl: Option<SimTime>,
     relay: NodeId,
@@ -312,19 +338,74 @@ struct RelayBehavior {
     /// Causal-trace sink: real-query forwards become `relay.forward`
     /// spans (disabled by default — emissions are no-ops).
     trace: TraceSink,
+    /// The relay's byzantine policy timeline (empty = honest forever),
+    /// consulted at message receipt — so a same-instant crash still wins,
+    /// because membership events sort before deliveries in a slot.
+    policies: PolicySchedule,
+    /// Dedicated behaviour stream for drop draws. Never consulted on the
+    /// honest path, so honest runs stay bit-identical.
+    adv_rng: Xoshiro256StarStar,
+    /// The coalition's shared ledger (None for fully honest runs).
+    adversary: Option<SharedCollusionLedger>,
+}
+
+impl RelayBehavior {
+    /// The tampering path of a hostile forward policy. Returns the extra
+    /// enclave delay to impose, or `None` when the request is swallowed.
+    fn tamper(
+        &mut self,
+        ctx: &Context<'_>,
+        policy: ByzantinePolicy,
+        payload: &[u8],
+    ) -> Option<SimTime> {
+        policy.apply_to_forward(
+            ctx.now(),
+            ctx.self_id().0,
+            parse_client(payload).map(|n| n.0).unwrap_or(0),
+            parse_real_seq(payload),
+            self.adversary.as_ref(),
+            &mut self.adv_rng,
+            &self.trace,
+        )
+    }
 }
 
 impl NodeBehavior for RelayBehavior {
     fn on_message(&mut self, ctx: &mut Context<'_>, envelope: Envelope) {
         match envelope.tag {
             TAG_FORWARD => {
+                let policy = self.policies.at(ctx.now());
+                let extra = if policy.is_hostile() {
+                    match self.tamper(ctx, policy, &envelope.payload) {
+                        Some(extra) => extra,
+                        None => return, // swallowed by a drop policy
+                    }
+                } else {
+                    SimTime::ZERO
+                };
                 self.pending.push(envelope);
-                ctx.set_timer(self.processing, (self.pending.len() - 1) as u64);
+                ctx.set_timer(self.processing + extra, (self.pending.len() - 1) as u64);
             }
             TAG_PING => {
                 if let Some((seq, state, incarnation)) = decode_ping(&envelope.payload) {
                     if state != MemberState::Alive.to_wire() && incarnation >= self.incarnation {
                         self.incarnation = incarnation + 1;
+                    }
+                    // Gossip lying: a forging relay jumps its advertised
+                    // incarnation on every ack instead of the protocol's
+                    // `+1` refutation bump, burning incarnation space.
+                    if let ByzantinePolicy::ForgeIncarnation { bump } = self.policies.at(ctx.now())
+                    {
+                        self.incarnation = self.incarnation.saturating_add(bump);
+                        if let Some(ledger) = &self.adversary {
+                            ledger.lock().expect("ledger poisoned").record_forged_ack();
+                        }
+                        if self.trace.is_enabled() {
+                            self.trace.emit(
+                                TraceEvent::new(ctx.now(), ctx.self_id().0, "adv.lie")
+                                    .attr("incarnation", self.incarnation),
+                            );
+                        }
                     }
                     // Answered inline, not through the processing queue:
                     // the probe measures reachability, and the timeout is
@@ -943,7 +1024,7 @@ fn decode_ack(payload: &[u8]) -> Option<(u64, u64)> {
     Some((seq, incarnation))
 }
 
-fn parse_client(payload: &[u8]) -> Option<NodeId> {
+pub(crate) fn parse_client(payload: &[u8]) -> Option<NodeId> {
     let text = std::str::from_utf8(payload).ok()?;
     let id: u64 = text.split('|').next()?.parse().ok()?;
     Some(NodeId(id))
@@ -951,7 +1032,7 @@ fn parse_client(payload: &[u8]) -> Option<NodeId> {
 
 /// The query sequence number of a real-query payload
 /// (`"client|seq|R|…"`), or `None` for fakes and non-query traffic.
-fn parse_real_seq(payload: &[u8]) -> Option<u64> {
+pub(crate) fn parse_real_seq(payload: &[u8]) -> Option<u64> {
     let text = std::str::from_utf8(payload).ok()?;
     let mut parts = text.splitn(4, '|');
     let _client = parts.next()?;
@@ -1009,8 +1090,25 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
             trace: telemetry.trace.clone(),
         }),
     );
+    // The byzantine coalition: the adversary config compiles into policy
+    // events, merged with whatever policy events the extra plan carries.
+    // Policies are data handed to each relay at build time; the shared
+    // ledger exists only when some relay is ever hostile, and honest
+    // relays never touch it (or their behaviour stream), so honest runs
+    // stay bit-identical to the pre-adversary experiment.
+    let adversary_plan = config
+        .adversary
+        .map(|a| a.plan(config.relays, config.seed))
+        .unwrap_or_default();
+    let any_hostile =
+        !adversary_plan.byzantine_relays().is_empty() || !extra.byzantine_relays().is_empty();
+    let ledger: Option<SharedCollusionLedger> =
+        any_hostile.then(|| Arc::new(Mutex::new(CollusionLedger::default())));
     let processing = SimTime::from_nanos(relay_service_time_ns(&config.cost, 512));
     for &relay in &relays {
+        let mut policies = adversary_plan.policy_schedule_for(relay);
+        policies.merge(&extra.policy_schedule_for(relay));
+        let hostile = policies.is_hostile();
         engine_impl.add_node(
             relay,
             Box::new(RelayBehavior {
@@ -1019,6 +1117,9 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
                 pending: Vec::new(),
                 incarnation: 0,
                 trace: telemetry.trace.clone(),
+                policies,
+                adv_rng: adversary_stream(config.seed, relay),
+                adversary: if hostile { ledger.clone() } else { None },
             }),
         );
     }
@@ -1089,8 +1190,29 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
         .count();
     plan.apply_traced(engine_impl, &telemetry.trace);
     extra.apply_traced(engine_impl, &telemetry.trace);
+    // Policy events schedule nothing on the engine (they were applied at
+    // behaviour build time); the traced apply only stamps the `adv.policy`
+    // activation annotations onto the merged timeline.
+    adversary_plan.apply_traced(engine_impl, &telemetry.trace);
 
     engine_impl.run();
+    let mut byzantine: Vec<NodeId> = adversary_plan.byzantine_relays();
+    byzantine.extend(extra.byzantine_relays());
+    byzantine.sort_unstable_by_key(|n| n.0);
+    byzantine.dedup();
+    let (dropped, delayed, forged, observed_real, observed_total) = ledger
+        .map(|ledger| {
+            let ledger = ledger.lock().expect("ledger poisoned");
+            let (dropped, delayed, forged) = ledger.tampered();
+            (
+                dropped,
+                delayed,
+                forged,
+                ledger.observed_real(),
+                ledger.observed_total(),
+            )
+        })
+        .unwrap_or_default();
     let sink = sink.lock().expect("sink poisoned");
     ChurnOutcome {
         latencies: sink.latencies.clone(),
@@ -1102,6 +1224,12 @@ pub fn run_churn_experiment_on_observed<E: Engine>(
         fakes_topped_up_proactive: sink.fakes_topped_up_proactive,
         clamped_samples: sink.clamped_samples,
         failed_relays,
+        byzantine_relays: byzantine.len(),
+        byzantine_dropped: dropped,
+        byzantine_delayed: delayed,
+        byzantine_forged_acks: forged,
+        colluded_real_observed: observed_real,
+        colluded_total_observed: observed_total,
         stats: engine_impl.stats(),
     }
 }
@@ -1164,6 +1292,104 @@ mod tests {
             failure_rate,
             recover,
             ..ChurnConfig::default()
+        }
+    }
+
+    fn adversarial(policy: ByzantinePolicy, fraction: f64) -> ChurnConfig {
+        ChurnConfig {
+            adversary: Some(AdversaryConfig {
+                fraction,
+                policy,
+                activate_at: SimTime::ZERO,
+            }),
+            ..small(0.0, false)
+        }
+    }
+
+    #[test]
+    fn colluding_relays_observe_without_perturbing_delivery() {
+        let honest = run_churn_experiment(&small(0.0, false));
+        let colluded = run_churn_experiment(&adversarial(ByzantinePolicy::Collude, 0.3));
+        // Collusion is pure observation: the delivered run is identical.
+        assert_eq!(colluded.latencies, honest.latencies);
+        assert_eq!(colluded.answered, honest.answered);
+        assert_eq!(colluded.byzantine_relays, 6);
+        assert!(
+            colluded.colluded_real_observed > 0,
+            "30% of relays must see some real queries"
+        );
+        assert!(colluded.colluded_real_observed <= 40);
+        assert!(colluded.colluded_total_observed > colluded.colluded_real_observed);
+    }
+
+    #[test]
+    fn dropping_relays_force_the_healing_path() {
+        let outcome = run_churn_experiment(&adversarial(
+            ByzantinePolicy::DropRealQueries { probability: 1.0 },
+            0.3,
+        ));
+        assert!(outcome.byzantine_dropped > 0, "blackholes must swallow");
+        assert!(
+            outcome.retries >= outcome.byzantine_dropped.min(5),
+            "only the retry timeout catches a probe-answering blackhole"
+        );
+        assert!(
+            outcome.answered as f64 >= 0.9 * 40.0,
+            "healing must still answer, got {}",
+            outcome.answered
+        );
+    }
+
+    #[test]
+    fn delaying_relays_stretch_latency_without_killing_queries() {
+        let honest = run_churn_experiment(&small(0.0, false));
+        let delayed = run_churn_experiment(&adversarial(
+            ByzantinePolicy::DelayRealQueries {
+                extra: SimTime::from_millis(1500),
+            },
+            0.3,
+        ));
+        assert!(delayed.byzantine_delayed > 0);
+        let honest_mean = Summary::from_samples(&honest.latencies).mean;
+        let delayed_mean = Summary::from_samples(&delayed.latencies).mean;
+        assert!(
+            delayed_mean > honest_mean,
+            "traffic shaping must show up in the mean ({delayed_mean} vs {honest_mean})"
+        );
+    }
+
+    #[test]
+    fn forging_relays_burn_incarnations_in_membership_mode() {
+        let config = ChurnConfig {
+            membership: Some(probing()),
+            ..adversarial(ByzantinePolicy::ForgeIncarnation { bump: 50 }, 0.3)
+        };
+        let outcome = run_churn_experiment(&config);
+        assert!(
+            outcome.byzantine_forged_acks > 0,
+            "probed forging relays must forge some acks"
+        );
+        assert!(
+            outcome.answered >= 38,
+            "forgery alone must not kill queries"
+        );
+    }
+
+    #[test]
+    fn adversarial_runs_are_bit_identical_across_engines_and_shards() {
+        let config = ChurnConfig {
+            failure_rate: 0.2,
+            adaptive: true,
+            ..adversarial(ByzantinePolicy::DropRealQueries { probability: 0.8 }, 0.25)
+        };
+        let sequential = run_churn_experiment(&config);
+        assert!(sequential.byzantine_dropped > 0);
+        for shards in [1, 2, 4, 8] {
+            assert_eq!(
+                run_churn_experiment_sharded(&config, shards),
+                sequential,
+                "adversarial outcome diverged with {shards} shards"
+            );
         }
     }
 

@@ -30,6 +30,16 @@
 //!   through `cyclosa_telemetry::SloMonitor` with targets derived from
 //!   the experiment's own configuration and splices the resulting
 //!   `slo.*` burn alerts back into the timeline for export.
+//! * [`adversary`] — the active-adversary upgrade of the scenario axis:
+//!   deterministic [`adversary::ByzantinePolicy`] behaviours (selective
+//!   drop/delay of real-looking queries, SWIM incarnation forgery,
+//!   colluding observation pools) that [`adversary::AdversaryConfig`]
+//!   compiles into [`plan::ChaosPlan`] policy events, activated on
+//!   malicious relays at scripted times like any other fault.
+//! * [`soak`] — the long-horizon soak/stress driver: diurnal load with
+//!   flash crowds replayed over millions of queries while the
+//!   `achieved_k` ledger, plan-repair, probation, resident-bytes and
+//!   trace-schema invariants are asserted continuously, window by window.
 //! * [`attack`] — [`attack::ChurnedMechanism`], which thins a mechanism's
 //!   observable footprint the way relay failures do, so the Fig. 5
 //!   harness produces attack accuracy as a function of the failure rate,
@@ -89,14 +99,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod attack;
 pub mod churn;
 pub mod experiment;
 pub mod partition;
 pub mod plan;
 pub mod slo;
+pub mod soak;
 
-pub use attack::{AdaptiveChurnedMechanism, ChurnedMechanism, PartitionedMechanism};
+pub use adversary::{
+    adversary_stream, AdversaryConfig, ByzantinePolicy, CollusionLedger, PolicySchedule,
+    SharedCollusionLedger,
+};
+pub use attack::{
+    AdaptiveChurnedMechanism, ChurnedMechanism, ColludingMechanism, PartitionedMechanism,
+};
 pub use churn::{churn_stream, ChurnModel};
 pub use experiment::{
     run_churn_experiment, run_churn_experiment_observed, run_churn_experiment_on,
@@ -109,5 +127,10 @@ pub use partition::{
     run_partition_experiment_on_observed, run_partition_experiment_sharded,
     run_partition_experiment_sharded_observed, PartitionConfig, PartitionOutcome, PhaseSummary,
 };
-pub use plan::{ChaosPlan, FaultEvent, FaultKind, LinkFault};
+pub use plan::{
+    ChaosPlan, FaultEvent, FaultKind, LinkFault, PlanEntry, PlanEventClass, PolicyEvent,
+};
 pub use slo::{churn_slo_config, evaluate_churn_slos, evaluate_timeline_slos, SloOutcome};
+pub use soak::{
+    run_soak, run_soak_on, run_soak_sharded, ArrivalModel, SoakConfig, SoakOutcome, SoakWindow,
+};

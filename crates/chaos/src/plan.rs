@@ -15,6 +15,7 @@
 //! boundary instead of severing it, and
 //! [`ChaosPlan::asymmetric_partition`] cuts only one direction.
 
+use crate::adversary::{ByzantinePolicy, PolicySchedule};
 use cyclosa_net::engine::Engine;
 use cyclosa_net::sim::NodeBehavior;
 use cyclosa_net::time::SimTime;
@@ -60,6 +61,63 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// A byzantine policy switch pinned to a simulated time: at `at`, `relay`
+/// starts following `policy` (see [`crate::adversary`]). Policy events are
+/// the third event list of a [`ChaosPlan`], riding alongside node faults
+/// and link faults; at equal timestamps membership faults apply *before*
+/// policy switches — the plan-level mirror of the engines' event-class
+/// ordering (`Membership` sorts first within a slot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyEvent {
+    /// When the switch takes effect (inclusive).
+    pub at: SimTime,
+    /// The relay whose behaviour changes.
+    pub relay: NodeId,
+    /// The policy in force from `at` on.
+    pub policy: ByzantinePolicy,
+}
+
+/// The class of a plan entry, ordered the way same-instant entries apply:
+/// membership faults strictly before byzantine policy switches. This pins
+/// `(time, EventClass)` as the plan's total order so that e.g. a relay
+/// crashed and compromised at the same instant is deterministically
+/// crashed first (and its policy switch is moot), matching the engines'
+/// `EventClass::Membership`-first slot ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PlanEventClass {
+    /// Node faults and global loss steps ([`FaultEvent`]).
+    Membership,
+    /// Byzantine policy switches ([`PolicyEvent`]).
+    Byzantine,
+}
+
+/// One entry of the classed plan timeline ([`ChaosPlan::classed_events`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanEntry<'a> {
+    /// A membership fault.
+    Membership(&'a FaultEvent),
+    /// A byzantine policy switch.
+    Byzantine(&'a PolicyEvent),
+}
+
+impl PlanEntry<'_> {
+    /// When the entry fires.
+    pub fn at(&self) -> SimTime {
+        match self {
+            PlanEntry::Membership(e) => e.at,
+            PlanEntry::Byzantine(e) => e.at,
+        }
+    }
+
+    /// The entry's ordering class.
+    pub fn class(&self) -> PlanEventClass {
+        match self {
+            PlanEntry::Membership(_) => PlanEventClass::Membership,
+            PlanEntry::Byzantine(_) => PlanEventClass::Byzantine,
+        }
+    }
+}
+
 /// A scheduled link-group loss step: at `at`, every directed link in
 /// `src_set × dst_set` steps to loss probability `p`. Two opposed events at
 /// `1.0` make a partition; a closing pair at `0.0` is the re-merge.
@@ -88,6 +146,7 @@ pub struct LinkFault {
 pub struct ChaosPlan {
     events: Vec<FaultEvent>,
     link_faults: Vec<LinkFault>,
+    policy_events: Vec<PolicyEvent>,
 }
 
 impl ChaosPlan {
@@ -105,6 +164,7 @@ impl ChaosPlan {
         Self {
             events,
             link_faults: Vec::new(),
+            policy_events: Vec::new(),
         }
     }
 
@@ -118,15 +178,74 @@ impl ChaosPlan {
         self.events.len()
     }
 
-    /// Whether the plan schedules no faults at all (link-group faults
-    /// included).
+    /// Whether the plan schedules no faults at all (link-group faults and
+    /// byzantine policy events included).
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.link_faults.is_empty()
+        self.events.is_empty() && self.link_faults.is_empty() && self.policy_events.is_empty()
     }
 
     /// The scheduled link-group loss steps, sorted by time.
     pub fn link_faults(&self) -> &[LinkFault] {
         &self.link_faults
+    }
+
+    /// The scheduled byzantine policy switches, sorted by time (stable at
+    /// equal times).
+    pub fn policy_events(&self) -> &[PolicyEvent] {
+        &self.policy_events
+    }
+
+    /// The piecewise-constant policy timeline of one relay, extracted from
+    /// the plan's policy events. Empty (honest forever) for relays the
+    /// plan never compromises.
+    pub fn policy_schedule_for(&self, relay: NodeId) -> PolicySchedule {
+        let mut schedule = PolicySchedule::new();
+        for event in &self.policy_events {
+            if event.relay == relay {
+                schedule.push(event.at, event.policy);
+            }
+        }
+        schedule
+    }
+
+    /// The distinct relays the plan ever steps to a hostile policy,
+    /// id-sorted.
+    pub fn byzantine_relays(&self) -> Vec<NodeId> {
+        let mut relays: Vec<NodeId> = self
+            .policy_events
+            .iter()
+            .filter(|e| e.policy.is_hostile())
+            .map(|e| e.relay)
+            .collect();
+        relays.sort_unstable_by_key(|n| n.0);
+        relays.dedup();
+        relays
+    }
+
+    /// The full plan timeline in its pinned apply order: sorted by
+    /// `(time, PlanEventClass)`, membership faults strictly before
+    /// byzantine policy switches at equal timestamps, insertion order
+    /// within a `(time, class)` slot. This order is invariant under
+    /// [`ChaosPlan::merge`] direction — merging A into B or B into A
+    /// yields the same classed timeline.
+    pub fn classed_events(&self) -> Vec<PlanEntry<'_>> {
+        let mut out = Vec::with_capacity(self.events.len() + self.policy_events.len());
+        let (mut m, mut p) = (0, 0);
+        while m < self.events.len() || p < self.policy_events.len() {
+            let take_membership = match (self.events.get(m), self.policy_events.get(p)) {
+                (Some(me), Some(pe)) => me.at <= pe.at,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_membership {
+                out.push(PlanEntry::Membership(&self.events[m]));
+                m += 1;
+            } else {
+                out.push(PlanEntry::Byzantine(&self.policy_events[p]));
+                p += 1;
+            }
+        }
+        out
     }
 
     /// Whether the plan contains any [`FaultKind::Join`] events (which
@@ -171,6 +290,21 @@ impl ChaosPlan {
     /// Schedules a loss-probability step.
     pub fn set_loss_at(mut self, at: SimTime, p: f64) -> Self {
         self.push(at, FaultKind::SetLoss(p));
+        self
+    }
+
+    /// Adds one byzantine policy switch, keeping the policy schedule
+    /// sorted (stable at equal times, so a same-instant re-step wins when
+    /// the per-relay schedule is consulted).
+    pub fn push_policy(&mut self, event: PolicyEvent) -> &mut Self {
+        let index = self.policy_events.partition_point(|e| e.at <= event.at);
+        self.policy_events.insert(index, event);
+        self
+    }
+
+    /// Schedules `relay` to start following `policy` at `at`.
+    pub fn byzantine_at(mut self, at: SimTime, relay: NodeId, policy: ByzantinePolicy) -> Self {
+        self.push_policy(PolicyEvent { at, relay, policy });
         self
     }
 
@@ -291,14 +425,20 @@ impl ChaosPlan {
         self
     }
 
-    /// Merges another plan's events (node faults and link faults) into
-    /// this one.
+    /// Merges another plan's events (node faults, link faults, and
+    /// byzantine policy switches) into this one. Each event list stays
+    /// independently time-sorted; the cross-class apply order is the
+    /// `(time, PlanEventClass)` pin of [`ChaosPlan::classed_events`],
+    /// which is the same whichever plan is merged into which.
     pub fn merge(mut self, other: ChaosPlan) -> Self {
         for event in other.events {
             self.push(event.at, event.kind);
         }
         for fault in other.link_faults {
             self.push_link_fault(fault);
+        }
+        for event in other.policy_events {
+            self.push_policy(event);
         }
         self
     }
@@ -413,6 +553,12 @@ impl ChaosPlan {
                     .attr("p", fault.p),
             );
         }
+        for event in &self.policy_events {
+            trace.emit(
+                TraceEvent::new(event.at, event.relay.0, "adv.policy")
+                    .attr("policy", event.policy.label()),
+            );
+        }
     }
 }
 
@@ -435,6 +581,65 @@ mod tests {
         // Equal-time events keep insertion order: the crash was added first.
         assert_eq!(plan.events()[1].kind, FaultKind::Crash(NodeId(1)));
         assert_eq!(plan.events()[2].kind, FaultKind::Leave(NodeId(2)));
+    }
+
+    #[test]
+    fn same_instant_membership_sorts_before_byzantine_in_either_merge_order() {
+        // The (time, EventClass) pin: a crash and a policy switch sharing
+        // a timestamp must apply crash-first no matter which plan is
+        // merged into which — mirroring EventClass::Membership sorting
+        // first within an engine slot.
+        let at = SimTime::from_secs(10);
+        let faults = ChaosPlan::new()
+            .crash_at(at, NodeId(3))
+            .set_loss_at(SimTime::from_secs(11), 0.1);
+        let policies = ChaosPlan::new()
+            .byzantine_at(at, NodeId(3), ByzantinePolicy::Collude)
+            .byzantine_at(SimTime::from_secs(9), NodeId(4), ByzantinePolicy::Collude);
+        let describe = |plan: &ChaosPlan| -> Vec<(u64, PlanEventClass)> {
+            plan.classed_events()
+                .iter()
+                .map(|e| (e.at().as_nanos(), e.class()))
+                .collect()
+        };
+        let ab = faults.clone().merge(policies.clone());
+        let ba = policies.merge(faults);
+        assert_eq!(describe(&ab), describe(&ba), "merge order must not matter");
+        assert_eq!(
+            describe(&ab),
+            vec![
+                (9_000_000_000, PlanEventClass::Byzantine),
+                (10_000_000_000, PlanEventClass::Membership),
+                (10_000_000_000, PlanEventClass::Byzantine),
+                (11_000_000_000, PlanEventClass::Membership),
+            ],
+            "same-instant entries sort membership before byzantine"
+        );
+        assert_eq!(ab.byzantine_relays(), vec![NodeId(3), NodeId(4)]);
+        assert!(!ab.is_empty());
+    }
+
+    #[test]
+    fn policy_schedule_extraction_is_per_relay_and_lww() {
+        let at = SimTime::from_secs(5);
+        let plan = ChaosPlan::new()
+            .byzantine_at(at, NodeId(1), ByzantinePolicy::Collude)
+            .byzantine_at(
+                at,
+                NodeId(1),
+                ByzantinePolicy::DropRealQueries { probability: 1.0 },
+            )
+            .byzantine_at(at, NodeId(2), ByzantinePolicy::Collude);
+        // Same-instant re-steps of the same relay: last write wins.
+        assert_eq!(
+            plan.policy_schedule_for(NodeId(1)).at(at),
+            ByzantinePolicy::DropRealQueries { probability: 1.0 }
+        );
+        assert_eq!(
+            plan.policy_schedule_for(NodeId(2)).at(at),
+            ByzantinePolicy::Collude
+        );
+        assert!(plan.policy_schedule_for(NodeId(3)).is_empty());
     }
 
     #[test]

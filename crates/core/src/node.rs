@@ -23,7 +23,7 @@ use cyclosa_net::time::SimTime;
 use cyclosa_nlp::categorizer::{CategorizerMethod, QueryCategorizer};
 use cyclosa_peer_sampling::{PeerId, PeerSamplingConfig, PeerSamplingNode};
 use cyclosa_sgx::attestation::{generate_quote, AttestationError, AttestationService, Quote};
-use cyclosa_sgx::enclave::{Enclave, Platform};
+use cyclosa_sgx::enclave::{Enclave, Platform, TransitionStats};
 use cyclosa_telemetry::NodeTracer;
 use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
 
@@ -329,6 +329,13 @@ impl CyclosaNode {
     /// Simulated nanoseconds spent inside the enclave so far.
     pub fn enclave_time_ns(&self) -> u64 {
         self.enclave.stats().simulated_ns
+    }
+
+    /// The enclave's transition counters, including the resident
+    /// protected-memory high-water mark (`peak_resident_bytes`) that
+    /// long-horizon soak runs assert against their EPC budget.
+    pub fn enclave_stats(&self) -> TransitionStats {
+        self.enclave.stats()
     }
 
     /// Number of past queries currently stored inside the enclave.

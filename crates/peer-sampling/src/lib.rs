@@ -28,6 +28,15 @@
 //!   descriptors re-probed so partition merges heal with **zero**
 //!   directory-assisted bridges, and per-observer membership timelines
 //!   exported as `mship.*` telemetry spans.
+//! * [`SybilSimulator`] — the active adversary: an attacker minting
+//!   `f · N` identities that push-flood and answer exchanges with
+//!   poisoned buffers, measuring how far naive shuffle views drift
+//!   towards the attacker.
+//! * [`BrahmsSimulator`] / [`EngineBrahmsOverlay`] — the evaluated
+//!   defense: Brahms byzantine-resilient sampling (push quotas voiding
+//!   flooded rounds, min-wise independent samplers anchoring views to
+//!   the full observation history), replaying the *same* attack
+//!   scenario for directly comparable poisoning curves.
 //!
 //! CYCLOSA uses the resulting random views for two purposes: selecting the
 //! `k + 1` relays of each query (load balancing falls out of view
@@ -36,18 +45,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod brahms;
 pub mod hyparview;
 pub mod membership;
 pub mod node;
 pub mod overlay;
 pub mod simulator;
 pub mod swim;
+pub mod sybil;
 pub mod view;
 
+pub use brahms::{BrahmsConfig, BrahmsNode, BrahmsSimulator, EngineBrahmsOverlay, MinWiseSampler};
 pub use hyparview::{HyParViewConfig, PartialViews};
 pub use membership::{MembershipConfig, SwimGossipOverlay, MEMBERSHIP_EVENT_NAMES};
 pub use node::{ExchangeBuffer, PeerSamplingConfig, PeerSamplingNode, SelectionPolicy};
 pub use overlay::{EngineGossipConfig, EngineGossipOverlay};
 pub use simulator::{overlay_metrics_from_views, GossipSimulator, OverlayMetrics};
 pub use swim::{FailureDetector, MemberState, MembershipEvent, MembershipEventKind, SwimRumor};
+pub use sybil::{is_sybil, sybil_view_fraction, SybilAttackConfig, SybilSimulator, SYBIL_BASE};
 pub use view::{Descriptor, PeerId, View};

@@ -74,6 +74,10 @@ const INDIRECT_TIMEOUT_BASE: u64 = 1 << 33;
 const SUSPECT_BASE: u64 = 1 << 34;
 /// Timer-token base: a probe-before-promote handshake went unanswered.
 const PROMOTE_TIMEOUT_BASE: u64 = 1 << 35;
+/// Timer token: drain one scheduled incarnation forgery — the
+/// adversarial gossip lie injected by
+/// [`SwimGossipOverlay::schedule_incarnation_forgery`].
+const TOKEN_FORGE: u64 = 1 << 36;
 
 /// Configuration of the SWIM/HyParView membership overlay.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -338,6 +342,9 @@ struct MembershipState {
     /// Last time firsthand traffic arrived from each peer (staleness
     /// observability; never read by protocol decisions).
     last_heard: BTreeMap<PeerId, SimTime>,
+    /// Scheduled incarnation forgeries `(victim, jump)`, drained one per
+    /// `TOKEN_FORGE` firing in scheduling order.
+    forged: Vec<(PeerId, u64)>,
 }
 
 struct MembershipBehavior {
@@ -696,7 +703,37 @@ impl NodeBehavior for MembershipBehavior {
         let state = self.state.clone();
         let mut state = state.lock().expect("membership state poisoned");
         let start = state.detector.timeline().len();
-        if token >= PROMOTE_TIMEOUT_BASE {
+        if token == TOKEN_FORGE {
+            // Gossip lying: fabricate firsthand evidence that the victim
+            // died at an incarnation jumped far beyond anything it ever
+            // advertised. `apply` records the lie locally (the forger
+            // believes it) and queues it for epidemic spread; the truth
+            // must win through the victim's own refutation bump.
+            if !state.forged.is_empty() {
+                let (victim, jump) = state.forged.remove(0);
+                let believed = state
+                    .detector
+                    .state_of(victim)
+                    .map_or(0, |(_, incarnation, _)| incarnation);
+                let incarnation = believed.saturating_add(jump);
+                let _ = state.detector.apply(
+                    SwimRumor {
+                        peer: victim,
+                        state: MemberState::Dead,
+                        incarnation,
+                    },
+                    now,
+                );
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        self.tracer
+                            .event("adv.lie")
+                            .attr("peer", victim.0)
+                            .attr("incarnation", incarnation),
+                    );
+                }
+            }
+        } else if token >= PROMOTE_TIMEOUT_BASE {
             let peer = PeerId(token - PROMOTE_TIMEOUT_BASE);
             // Candidate never acked: abandon the handshake (the next
             // round picks a fresh candidate; the silent one will be
@@ -843,6 +880,7 @@ impl SwimGossipOverlay {
                 detector,
                 views,
                 last_heard: BTreeMap::new(),
+                forged: Vec::new(),
             }));
             handles.push((id, state.clone()));
             engine.add_node(
@@ -926,6 +964,41 @@ impl SwimGossipOverlay {
         engine.schedule_link_loss(split_at, &majority, &minority_nodes, 1.0);
         engine.schedule_link_loss(merge_at, &minority_nodes, &majority, 0.0);
         engine.schedule_link_loss(merge_at, &majority, &minority_nodes, 0.0);
+    }
+
+    /// Schedules `forger` to inject a forged `dead` rumor about `victim`
+    /// at simulated time `at`, jumping `jump` incarnations beyond the
+    /// forger's current belief — SWIM gossip lying, the membership-layer
+    /// shape of `ByzantinePolicy::ForgeIncarnation`. The lie spreads
+    /// epidemically and quarantines the victim wherever it outruns the
+    /// truth; a live victim hears the accusation through the defendant
+    /// and grave knocks that follow, bumps its incarnation past the
+    /// forgery, and is readmitted everywhere. Multiple forgeries drain
+    /// in scheduling order, so schedule them in nondecreasing `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forger == victim` or `forger` is not a deployed node.
+    pub fn schedule_incarnation_forgery<E: Engine + ?Sized>(
+        &mut self,
+        engine: &mut E,
+        forger: PeerId,
+        victim: PeerId,
+        jump: u64,
+        at: SimTime,
+    ) {
+        assert_ne!(forger, victim, "a forger lies about *other* nodes");
+        let (_, state) = self
+            .handles
+            .iter()
+            .find(|(id, _)| *id == forger)
+            .expect("forger must be a deployed node");
+        state
+            .lock()
+            .expect("membership state poisoned")
+            .forged
+            .push((victim, jump));
+        engine.schedule_timer(at, NodeId(forger.0), TOKEN_FORGE);
     }
 
     /// Number of alive nodes.

@@ -1,0 +1,282 @@
+//! Sybil injection against the naive shuffle-based sampler.
+//!
+//! The attacker mints `f · N` identities and plays them against the
+//! population: sybils answer every exchange with a buffer of exclusively
+//! *fresh* sybil descriptors (age 0, so the healer policy prefers them)
+//! and additionally push-flood honest nodes every round. Because the
+//! Jelasity-style shuffle merges whatever it receives — its only defenses
+//! are age-based healing and random truncation, both of which the
+//! attacker satisfies trivially by minting fresh descriptors — honest
+//! views drift towards the attacker until relay selection is effectively
+//! attacker-chosen. [`SybilSimulator`] measures exactly that drift; the
+//! evaluated defense is the Brahms sampler in [`crate::brahms`], driven
+//! by the same [`SybilAttackConfig`] for comparable curves.
+
+use crate::node::{ExchangeBuffer, PeerSamplingConfig, PeerSamplingNode};
+use crate::view::{Descriptor, PeerId};
+use cyclosa_util::rng::{Rng, Xoshiro256StarStar};
+use std::collections::BTreeMap;
+
+/// Identifier floor of attacker-minted identities: any peer id at or
+/// above this is a sybil. Honest populations stay far below it.
+pub const SYBIL_BASE: u64 = 1 << 32;
+
+/// Whether `peer` is an attacker-minted identity.
+pub fn is_sybil(peer: PeerId) -> bool {
+    peer.0 >= SYBIL_BASE
+}
+
+/// The mean fraction of attacker entries across honest views — the
+/// poisoning metric both the naive and the Brahms experiment report.
+pub fn sybil_view_fraction(views: &[(PeerId, Vec<PeerId>)]) -> f64 {
+    let mut total = 0usize;
+    let mut hostile = 0usize;
+    for (_, view) in views {
+        total += view.len();
+        hostile += view.iter().filter(|p| is_sybil(**p)).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hostile as f64 / total as f64
+    }
+}
+
+/// One Sybil attack scenario, shared by the naive and the Brahms
+/// experiment so their poisoning curves are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SybilAttackConfig {
+    /// Honest population size `N`.
+    pub honest: usize,
+    /// Attacker identity budget as a fraction of `N` (`round(f · N)`
+    /// sybils are minted).
+    pub fraction: f64,
+    /// Push-flood rate: honest nodes each sybil pushes its descriptor to
+    /// per round.
+    pub pushes_per_sybil: usize,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for SybilAttackConfig {
+    fn default() -> Self {
+        Self {
+            honest: 100,
+            fraction: 0.2,
+            pushes_per_sybil: 2,
+            seed: 2018,
+        }
+    }
+}
+
+impl SybilAttackConfig {
+    /// The minted sybil identities, id-sorted.
+    pub fn sybils(&self) -> Vec<PeerId> {
+        assert!(
+            (0.0..=1.0).contains(&self.fraction),
+            "sybil fraction must be in [0, 1]"
+        );
+        let count = (self.honest as f64 * self.fraction).round() as usize;
+        (0..count as u64).map(|i| PeerId(SYBIL_BASE + i)).collect()
+    }
+}
+
+/// The naive shuffle population under Sybil attack: honest
+/// [`PeerSamplingNode`]s gossiping normally, sybils answering every
+/// exchange with poisoned buffers and push-flooding each round.
+#[derive(Debug)]
+pub struct SybilSimulator {
+    nodes: BTreeMap<PeerId, PeerSamplingNode>,
+    sybils: Vec<PeerId>,
+    attack: SybilAttackConfig,
+    protocol: PeerSamplingConfig,
+    rng: Xoshiro256StarStar,
+}
+
+impl SybilSimulator {
+    /// Creates the honest population bootstrapped in a ring, plus the
+    /// attacker's identity set. One sybil is seeded into every honest
+    /// bootstrap view — the attacker only needs a toehold (a directory
+    /// entry, one gossip exchange) and the poisoning does the rest.
+    pub fn ring(attack: SybilAttackConfig, protocol: PeerSamplingConfig) -> Self {
+        assert!(
+            attack.honest >= 2,
+            "a gossip overlay needs at least two nodes"
+        );
+        let sybils = attack.sybils();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(attack.seed ^ 0x5B11);
+        let mut nodes = BTreeMap::new();
+        for i in 0..attack.honest {
+            let id = PeerId(i as u64);
+            let mut node = PeerSamplingNode::new(id, protocol);
+            node.bootstrap([PeerId(((i + 1) % attack.honest) as u64)]);
+            if !sybils.is_empty() {
+                node.bootstrap([sybils[rng.gen_index(sybils.len())]]);
+            }
+            nodes.insert(id, node);
+        }
+        Self {
+            nodes,
+            sybils,
+            attack,
+            protocol,
+            rng,
+        }
+    }
+
+    /// A poisoned exchange buffer: exclusively fresh sybil descriptors, so
+    /// the healer policy (drop oldest) never prefers honest entries over
+    /// them.
+    fn poisoned_buffer(&mut self) -> ExchangeBuffer {
+        let count = self.protocol.exchange_size.min(self.sybils.len());
+        let picks = self.rng.sample_indices(self.sybils.len(), count);
+        ExchangeBuffer {
+            descriptors: picks
+                .into_iter()
+                .map(|i| Descriptor::fresh(self.sybils[i]))
+                .collect(),
+        }
+    }
+
+    /// Runs one synchronous round: the attacker flood-pushes, then every
+    /// honest node runs its normal shuffle exchange — against a poisoned
+    /// responder whenever its partner draw lands on a sybil.
+    pub fn run_round(&mut self) {
+        // Push flood: each sybil ships a poisoned buffer to
+        // `pushes_per_sybil` random honest nodes (push-only merge: the
+        // receiver sent nothing, so the swapper removes nothing).
+        let empty = ExchangeBuffer {
+            descriptors: Vec::new(),
+        };
+        for _ in 0..self.sybils.len() {
+            for _ in 0..self.attack.pushes_per_sybil {
+                let target = PeerId(self.rng.gen_index(self.attack.honest) as u64);
+                let buffer = self.poisoned_buffer();
+                if let Some(node) = self.nodes.get_mut(&target) {
+                    node.merge(&buffer, &empty, &mut self.rng);
+                }
+            }
+        }
+        // Honest shuffle round.
+        let honest: Vec<PeerId> = self.nodes.keys().copied().collect();
+        for id in honest {
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.increase_ages();
+            }
+            let Some(partner) = self
+                .nodes
+                .get(&id)
+                .and_then(|n| n.select_partner(&mut self.rng))
+            else {
+                continue;
+            };
+            let initiator_buffer = self
+                .nodes
+                .get(&id)
+                .expect("honest node")
+                .prepare_buffer(&mut self.rng);
+            if is_sybil(partner) {
+                // The sybil answers with a poisoned buffer and never
+                // appears dead, so it is never blacklisted.
+                let reply = self.poisoned_buffer();
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.merge(&reply, &initiator_buffer, &mut self.rng);
+                }
+                continue;
+            }
+            let partner_buffer = self
+                .nodes
+                .get(&partner)
+                .expect("partner exists")
+                .prepare_buffer(&mut self.rng);
+            if let Some(partner_node) = self.nodes.get_mut(&partner) {
+                partner_node.merge(&initiator_buffer, &partner_buffer, &mut self.rng);
+            }
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.merge(&partner_buffer, &initiator_buffer, &mut self.rng);
+            }
+        }
+    }
+
+    /// Runs `rounds` synchronous rounds.
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// The `(node, view peers)` pairs of the honest population.
+    pub fn views(&self) -> Vec<(PeerId, Vec<PeerId>)> {
+        self.nodes
+            .iter()
+            .map(|(id, node)| (*id, node.view().peers()))
+            .collect()
+    }
+
+    /// The mean fraction of sybil entries across honest views.
+    pub fn attacker_fraction(&self) -> f64 {
+        sybil_view_fraction(&self.views())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sybil_identities_are_recognizable_and_proportional() {
+        let attack = SybilAttackConfig {
+            honest: 50,
+            fraction: 0.2,
+            ..SybilAttackConfig::default()
+        };
+        let sybils = attack.sybils();
+        assert_eq!(sybils.len(), 10);
+        assert!(sybils.iter().all(|s| is_sybil(*s)));
+        assert!(!is_sybil(PeerId(49)));
+    }
+
+    #[test]
+    fn naive_shuffle_views_drift_towards_the_attacker() {
+        let attack = SybilAttackConfig::default(); // f = 0.2
+        let mut sim = SybilSimulator::ring(attack, PeerSamplingConfig::default());
+        // Bootstrap views hold one honest successor plus the one-sybil
+        // toehold; the shuffle is what amplifies the toehold from there.
+        let bootstrap = sim.attacker_fraction();
+        assert!(bootstrap <= 0.5, "bootstrap holds only the toehold");
+        sim.run_rounds(50);
+        let fraction = sim.attacker_fraction();
+        assert!(
+            fraction > bootstrap && fraction > 0.5,
+            "a 20% identity budget must capture most naive view slots, got {fraction}"
+        );
+    }
+
+    #[test]
+    fn poisoning_is_deterministic_per_seed() {
+        let attack = SybilAttackConfig::default();
+        let run = |seed| {
+            let mut sim = SybilSimulator::ring(
+                SybilAttackConfig { seed, ..attack },
+                PeerSamplingConfig::default(),
+            );
+            sim.run_rounds(30);
+            sim.views()
+        };
+        assert_eq!(run(7), run(7), "same seed, same poisoned views");
+        assert_ne!(run(7), run(8), "the seed must matter");
+    }
+
+    #[test]
+    fn zero_budget_attacker_changes_nothing() {
+        let attack = SybilAttackConfig {
+            fraction: 0.0,
+            ..SybilAttackConfig::default()
+        };
+        let mut sim = SybilSimulator::ring(attack, PeerSamplingConfig::default());
+        sim.run_rounds(30);
+        assert_eq!(sim.attacker_fraction(), 0.0);
+        let metrics = crate::simulator::overlay_metrics_from_views(&sim.views());
+        assert!(metrics.connected, "the honest overlay must still converge");
+    }
+}

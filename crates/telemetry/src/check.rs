@@ -208,8 +208,9 @@ fn check_unsigned(value: &Json, what: &str) -> Result<(), String> {
 /// every emitter in the instrumented crates uses a registered name and
 /// that every registered name still has an emitter.
 // cyclosa-lint: schema-registry
-pub const TRACE_EVENT_FAMILIES: [&str; 9] = [
+pub const TRACE_EVENT_FAMILIES: [&str; 10] = [
     "plan.", "query.", "relay.", "engine.", "latency.", "fault.", "mship.", "slo.", "bench.",
+    "adv.",
 ];
 
 /// Every trace event name the workspace emits, by family. Adding an
@@ -217,7 +218,7 @@ pub const TRACE_EVENT_FAMILIES: [&str; 9] = [
 /// an emitter fails the lint), so this list is the single authoritative
 /// catalogue of the trace vocabulary.
 // cyclosa-lint: schema-registry
-pub const TRACE_EVENT_NAMES: [&str; 32] = [
+pub const TRACE_EVENT_NAMES: [&str; 37] = [
     // Query-plan lifecycle (core::node).
     "plan.assess",
     "plan.fakes_drawn",
@@ -257,6 +258,13 @@ pub const TRACE_EVENT_NAMES: [&str; 32] = [
     "slo.membership.burn",
     // Benchmark markers (bench bins).
     "bench.measure",
+    // Active-adversary annotations (chaos::plan, chaos::experiment):
+    // policy activations and the byzantine tampering they cause.
+    "adv.policy",
+    "adv.drop",
+    "adv.delay",
+    "adv.lie",
+    "adv.collude",
 ];
 
 /// The closed set of membership (`mship.*`) event names the SWIM/

@@ -154,6 +154,85 @@ fn membership_timelines_are_bit_identical_across_shard_counts() {
 }
 
 #[test]
+fn incarnation_forgery_never_kills_a_live_node_that_answers_its_knock() {
+    // Gossip lying — the membership-layer shape of the chaos layer's
+    // `ByzantinePolicy::ForgeIncarnation`: a byzantine member fabricates
+    // firsthand `dead` evidence about a live honest victim, jumped far
+    // beyond any incarnation the victim ever advertised. Seeded sweep
+    // over forger/victim placements and jump sizes: the lie may
+    // transiently quarantine the victim wherever it outruns the truth,
+    // but the victim answers the defendant and grave knocks that
+    // follow, out-bumps the forged incarnation, and every observer must
+    // readmit it — a forgery can never make a dead declaration *stick*
+    // on a node that answers its own knock.
+    let count = 16;
+    for (seed, forger, victim, jump) in [
+        (61, PeerId(3), PeerId(11), 1),
+        (67, PeerId(0), PeerId(1), 10),
+        (71, PeerId(15), PeerId(7), 1_000),
+        (73, PeerId(8), PeerId(9), u64::MAX / 2),
+    ] {
+        let mut sim = Simulation::new(seed);
+        let mut overlay =
+            SwimGossipOverlay::ring(&mut sim, count, MembershipConfig::default(), seed);
+        overlay.schedule_incarnation_forgery(
+            &mut sim,
+            forger,
+            victim,
+            jump,
+            SimTime::from_secs(20),
+        );
+        sim.run();
+
+        let timelines = overlay.timelines();
+        // The lie must actually take somewhere (at minimum the forger
+        // records the forged death) — otherwise nothing is being
+        // defended against.
+        let believed = timelines.iter().any(|(observer, timeline)| {
+            *observer != victim
+                && timeline.iter().any(|e| {
+                    e.peer == victim && e.kind == MembershipEventKind::Dead && e.incarnation >= jump
+                })
+        });
+        assert!(
+            believed,
+            "seed {seed}: the forged rumor never took anywhere"
+        );
+
+        // The victim refutes firsthand, above the forged incarnation.
+        let (_, victim_timeline) = timelines
+            .iter()
+            .find(|(observer, _)| *observer == victim)
+            .expect("the victim keeps a timeline");
+        assert!(
+            victim_timeline.iter().any(|e| {
+                e.peer == victim && e.kind == MembershipEventKind::Refute && e.incarnation > jump
+            }),
+            "seed {seed}: the victim never out-bumped the forgery"
+        );
+
+        // And nowhere does the death stick: every observer's *last*
+        // word on the victim is the refutation, never the forged death.
+        for (observer, timeline) in &timelines {
+            if *observer == victim {
+                continue;
+            }
+            if let Some(last) = timeline.iter().rev().find(|e| e.peer == victim) {
+                assert_ne!(
+                    last.kind,
+                    MembershipEventKind::Dead,
+                    "seed {seed}: {observer} still believes the forged death of {victim}"
+                );
+            }
+        }
+        assert!(
+            overlay.metrics().connected,
+            "seed {seed}: the forgery fragmented the overlay"
+        );
+    }
+}
+
+#[test]
 fn unbridged_partition_merge_reconnects_forty_nodes() {
     let config = MembershipConfig {
         rounds: 90,
